@@ -1,0 +1,1 @@
+bench/experiments.ml: Abcast_apps Abcast_baseline Abcast_core Abcast_fd Abcast_harness Abcast_sim Abcast_util Array Fun List Sys

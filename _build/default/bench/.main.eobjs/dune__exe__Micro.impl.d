@@ -1,0 +1,1 @@
+bench/micro.ml: Abcast_core Abcast_harness Abcast_sim Abcast_util Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

@@ -1,0 +1,725 @@
+(* The experiment harness: one table per experiment E1-E9 of
+   EXPERIMENTS.md. Each function builds fresh simulations (everything is
+   seeded, so tables are reproducible bit-for-bit) and prints rows in the
+   style of a paper evaluation section. *)
+
+module Rng = Abcast_util.Rng
+module Net = Abcast_sim.Net
+module Metrics = Abcast_sim.Metrics
+module Faults = Abcast_sim.Faults
+module Payload = Abcast_core.Payload
+module Factory = Abcast_core.Factory
+module Proto = Abcast_core.Proto
+module Cluster = Abcast_harness.Cluster
+module Checks = Abcast_harness.Checks
+module Workload = Abcast_harness.Workload
+module Table = Abcast_harness.Table
+module Kv = Abcast_apps.Kv
+
+let quick = ref false
+
+let scale n = if !quick then max 1 (n / 4) else n
+
+(* Drive [msgs] Poisson broadcasts on a fresh cluster of the stack and run
+   to quiescence. Returns the cluster and the message count. *)
+let steady_run ?(n = 3) ?(seed = 7) ?(msgs = 200) ?(mean_gap = 1_500) ?net
+    ?(size = 32) stack =
+  let cluster = Cluster.create stack ~seed ~n ?net () in
+  let rng = Rng.create (seed * 13) in
+  let count =
+    Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id) ~start:1_000
+      ~stop:(1_000 + (msgs * mean_gap))
+      ~mean_gap ~size ()
+  in
+  let ok =
+    Cluster.run_until cluster ~until:1_000_000_000
+      ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+      ()
+  in
+  if not ok then failwith "steady_run did not quiesce";
+  (cluster, count)
+
+(* ------------------------------------------------------------------ *)
+(* E1 — log operations per delivered message (paper §4.3).             *)
+
+let e1 () =
+  let msgs = scale 200 in
+  let row name stack =
+    let cluster, count = steady_run ~msgs stack in
+    let m = Cluster.metrics cluster in
+    let cons = Metrics.sum_prefix m "log_ops.consensus" in
+    let ab = Metrics.sum_prefix m "log_ops.abcast" in
+    let rounds = Cluster.round cluster 0 in
+    [
+      name;
+      Table.num count;
+      Table.num rounds;
+      Table.num cons;
+      Table.num ab;
+      Table.flt (float_of_int ab /. float_of_int count);
+      Table.flt (float_of_int (cons + ab) /. float_of_int count);
+    ]
+  in
+  Table.print
+    ~title:
+      "E1: log operations by layer (n=3, crash-free; paper claim: the basic \
+       protocol adds ZERO log ops beyond consensus)"
+    ~header:
+      [ "stack"; "msgs"; "rounds"; "ops(consensus)"; "ops(abcast)";
+        "abcast ops/msg"; "total ops/msg" ]
+    [
+      row "basic/paxos (minimal)" (Factory.basic ());
+      row "alt/paxos (checkpoints)" (Factory.alternative ());
+      row "naive/paxos (strawman)" (Factory.naive ());
+      row "ct-stop/paxos (no crash-recovery)" (Abcast_baseline.Ct_abcast.stack ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E2 — recovery cost vs. history length (paper §5.1).                 *)
+
+let e2 () =
+  let variants =
+    [
+      ("basic (full replay)", fun () -> Factory.basic ());
+      ( "alt, checkpoint 50ms",
+        fun () -> Factory.alternative ~checkpoint_period:50_000 () );
+      ( "alt, checkpoint 200ms",
+        fun () -> Factory.alternative ~checkpoint_period:200_000 () );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun msgs ->
+        List.map
+          (fun (name, mk) ->
+            let cluster, _ = steady_run ~seed:11 ~msgs ~mean_gap:1_200 (mk ()) in
+            let rounds = Cluster.round cluster 1 in
+            Cluster.crash cluster 1;
+            let t0 = Sys.time () in
+            Cluster.recover cluster 1;
+            let host_ms = (Sys.time () -. t0) *. 1_000.0 in
+            let replayed =
+              Metrics.get (Cluster.metrics cluster) ~node:1 "replay_rounds"
+            in
+            [
+              Table.num msgs;
+              name;
+              Table.num rounds;
+              Table.num replayed;
+              Table.flt ~dec:3 host_ms;
+            ])
+          variants)
+      [ scale 100; scale 200; scale 400 ]
+  in
+  Table.print
+    ~title:
+      "E2: recovery cost vs history length (crash after the run, then \
+       recover; paper claim: checkpoints make replay O(since-checkpoint) \
+       instead of O(history))"
+    ~header:[ "msgs"; "stack"; "rounds"; "replayed rounds"; "host ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E3 — stable-storage footprint vs time (paper §5.2).                 *)
+
+let e3 () =
+  let kv_factory replicas =
+    Kv.Replica.factory (fun i r -> replicas.(i) <- Some r)
+  in
+  let run name stack =
+    let cluster = Cluster.create stack ~seed:17 ~n:3 () in
+    let rng = Rng.create 23 in
+    let msgs = scale 240 in
+    ignore
+      (Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+         ~stop:(msgs * 1_000) ~mean_gap:1_000 ~size:64 ());
+    let samples = ref [] in
+    List.iter
+      (fun frac ->
+        Cluster.at cluster (frac * msgs * 1_000 / 4) (fun () ->
+            samples := (frac, Cluster.retained_bytes cluster 0) :: !samples))
+      [ 1; 2; 3; 4 ];
+    (* run well past the workload so checkpoints compact the idle state,
+       then sample the durable footprint a recovering process would see *)
+    Cluster.run cluster ~until:((msgs * 1_000) + 400_000);
+    samples := (5, Cluster.retained_bytes cluster 0) :: !samples;
+    (name, List.rev !samples)
+  in
+  let replicas = Array.make 3 None in
+  let series =
+    [
+      run "basic (log grows)" (Factory.basic ());
+      run "alt, no app checkpoint"
+        (Factory.alternative ~checkpoint_period:60_000 ());
+      run "alt + KV app checkpoint"
+        (Factory.alternative ~checkpoint_period:60_000
+           ~app_factory:(kv_factory replicas) ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, samples) ->
+        name
+        :: List.map (fun (_, bytes) -> Table.num bytes) samples)
+      series
+  in
+  Table.print
+    ~title:
+      "E3: retained stable-storage bytes at node 0 over time (paper claim: \
+       application-level checkpoints keep the log bounded)"
+    ~header:[ "stack"; "t=25%"; "t=50%"; "t=75%"; "t=100%"; "idle+ckpt" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E4 — catching up: consensus replay vs state transfer (paper §5.3).  *)
+
+let e4 () =
+  let episode ~stack ~down_ms =
+    let cluster = Cluster.create stack ~seed:29 ~n:3 () in
+    let rng = Rng.create 31 in
+    Cluster.at cluster 2_000 (fun () -> Cluster.crash cluster 2);
+    let stop = 2_000 + (down_ms * 1_000) in
+    let count =
+      Workload.open_loop cluster ~rng ~senders:[ 0; 1 ] ~start:3_000 ~stop
+        ~mean_gap:1_000 ()
+    in
+    Cluster.at cluster (stop + 1_000) (fun () -> Cluster.recover cluster 2);
+    let recover_at = stop + 1_000 in
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+        ()
+    in
+    if not ok then failwith "E4 episode did not converge";
+    let catch_up_ms = (Cluster.now cluster - recover_at) / 1_000 in
+    let transfers = Metrics.sum (Cluster.metrics cluster) "state_transfers_applied" in
+    let rounds_missed = Cluster.round cluster 0 in
+    (rounds_missed, catch_up_ms, transfers)
+  in
+  let rows =
+    List.concat_map
+      (fun down_ms ->
+        List.map
+          (fun (name, stack) ->
+            let missed, ms, transfers = episode ~stack ~down_ms in
+            [
+              Table.num down_ms;
+              Table.num missed;
+              name;
+              Table.num ms;
+              Table.num transfers;
+            ])
+          [
+            ( "state transfer (alt, delta=3)",
+              Factory.alternative ~delta:3 ~checkpoint_period:40_000
+                ~early_return:false () );
+            ("replay missed consensus (basic)", Factory.basic ());
+          ])
+      [ scale 40; scale 80; scale 160 ]
+  in
+  Table.print
+    ~title:
+      "E4: catch-up after a long down-time (paper claim: state transfer \
+       catches up in O(1) rounds; re-running missed consensus grows with \
+       the gap)"
+    ~header:
+      [ "down ms"; "rounds run"; "catch-up path"; "catch-up ms"; "state transfers" ]
+    rows;
+  (* Δ sweep: how much de-synchronization triggers a transfer (§5.3 line d) *)
+  let sweep =
+    List.map
+      (fun delta ->
+        let missed, ms, transfers =
+          episode
+            ~stack:
+              (Factory.alternative ~delta ~checkpoint_period:2_000_000
+                 ~early_return:false ())
+            ~down_ms:(scale 120)
+        in
+        [ Table.num delta; Table.num missed; Table.num ms; Table.num transfers ])
+      [ 1; 4; 16; 64 ]
+  in
+  Table.print
+    ~title:
+      "E4b: tuning delta (fixed down-time; small delta = eager transfer, \
+       large delta = catch up by re-running consensus)"
+    ~header:[ "delta"; "rounds run"; "catch-up ms"; "state transfers" ]
+    sweep;
+  (* §5.3 closing remark: ship only what the recipient is missing *)
+  let bytes_row (name, trim_state) =
+    let stack =
+      Factory.alternative ~delta:3 ~checkpoint_period:2_000_000
+        ~early_return:false ~trim_state ()
+    in
+    let cluster = Cluster.create stack ~seed:71 ~n:3 () in
+    let rng = Rng.create 73 in
+    (* down for the last quarter only: most of the log is already there *)
+    let horizon = scale 160 * 1_000 in
+    Cluster.at cluster (3 * horizon / 4) (fun () -> Cluster.crash cluster 2);
+    let count =
+      Workload.open_loop cluster ~rng ~senders:[ 0; 1 ] ~start:1_000
+        ~stop:horizon ~mean_gap:1_000 ()
+    in
+    Cluster.at cluster (horizon + 1_000) (fun () -> Cluster.recover cluster 2);
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+        ()
+    in
+    if not ok then failwith "E4c did not converge";
+    let m = Cluster.metrics cluster in
+    [
+      name;
+      Table.num count;
+      Table.num (Metrics.sum m "state_sent");
+      Table.num (Metrics.sum m "state_bytes_sent");
+    ]
+  in
+  Table.print
+    ~title:
+      "E4c: state-transfer payload, full snapshot vs missing-suffix only \
+       (the optimization the paper sketches at the end of 5.3)"
+    ~header:[ "mode"; "msgs"; "state msgs sent"; "state bytes sent" ]
+    [ bytes_row ("full snapshot", false); bytes_row ("suffix only", true) ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — throughput and batching (paper §5.4).                          *)
+
+let e5 () =
+  let total = scale 300 in
+  let row stack_name stack pipeline =
+    let cluster = Cluster.create stack ~seed:37 ~n:3 () in
+    let rng = Rng.create 41 in
+    for node = 0 to 2 do
+      Workload.closed_loop cluster ~rng ~node ~total:(total / 3) ~pipeline ()
+    done;
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () ->
+          Cluster.all_caught_up cluster ~count:(3 * (total / 3)) ())
+        ()
+    in
+    if not ok then failwith "E5 did not converge";
+    let m = Cluster.metrics cluster in
+    let dur_s = float_of_int (Cluster.now cluster) /. 1_000_000.0 in
+    let delivered = 3 * (total / 3) in
+    let rounds = Cluster.round cluster 0 in
+    [
+      stack_name;
+      Table.num pipeline;
+      Table.flt (float_of_int delivered /. dur_s);
+      Table.flt (float_of_int delivered /. float_of_int rounds);
+      Table.flt ~dec:1 (Metrics.mean m "lat_deliver" /. 1_000.0);
+      Table.flt ~dec:1 (Metrics.percentile m "lat_deliver" 95.0 /. 1_000.0);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun pipeline ->
+        [
+          row "basic (blocking)" (Factory.basic ()) pipeline;
+          row "alt (early return)"
+            (Factory.alternative ~early_return:true ())
+            pipeline;
+        ])
+      [ 1; 4; 16; 64 ]
+  in
+  Table.print
+    ~title:
+      "E5: throughput vs client pipelining (3 closed-loop clients; paper \
+       claim: batching messages into one consensus raises throughput)"
+    ~header:
+      [ "stack"; "pipeline"; "msgs/s (sim)"; "batch (msgs/round)";
+        "mean lat ms"; "p95 lat ms" ]
+    rows
+
+(* E5b — drain time for an instantaneous burst: batching means the whole
+   burst should cost a near-constant number of consensus rounds. *)
+
+let e5b () =
+  let burst_size = scale 200 in
+  let row name stack =
+    let cluster = Cluster.create stack ~seed:101 ~n:3 () in
+    let rng = Rng.create 103 in
+    Workload.burst cluster ~rng ~senders:[ 0; 1; 2 ] ~at:1_000
+      ~count:burst_size ();
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count:burst_size ())
+        ()
+    in
+    if not ok then failwith "E5b did not drain";
+    [
+      name;
+      Table.num burst_size;
+      Table.num (Cluster.now cluster - 1_000);
+      Table.num (Cluster.round cluster 0);
+      Table.flt (float_of_int burst_size /. float_of_int (Cluster.round cluster 0));
+    ]
+  in
+  Table.print
+    ~title:
+      "E5b: draining an instantaneous burst (batching at work: the whole \
+       burst fits in a handful of consensus rounds)"
+    ~header:[ "stack"; "burst"; "drain us"; "rounds"; "batch" ]
+    [
+      row "basic" (Factory.basic ());
+      row "alt" (Factory.alternative ());
+      row "alt, window=4" (Factory.alternative ~window:4 ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6 — incremental logging (paper §5.5).                              *)
+
+let e6 () =
+  let row name incremental =
+    (* checkpointing disabled (huge period) so the table isolates the
+       cost of keeping the Unordered set durable *)
+    let stack =
+      Factory.alternative ~early_return:true ~incremental
+        ~checkpoint_period:1_000_000_000 ()
+    in
+    let cluster, count = steady_run ~seed:43 ~msgs:(scale 200) ~size:64 stack in
+    let m = Cluster.metrics cluster in
+    let ops = Metrics.sum_prefix m "log_ops.abcast" in
+    let bytes = Metrics.sum_prefix m "log_bytes.abcast" in
+    [
+      name;
+      Table.num count;
+      Table.num ops;
+      Table.num bytes;
+      Table.flt (float_of_int bytes /. float_of_int count);
+    ]
+  in
+  Table.print
+    ~title:
+      "E6: logging the Unordered set, full re-log vs incremental (paper \
+       claim: logging only the new part saves log operations and bytes)"
+    ~header:[ "mode"; "msgs"; "abcast log ops"; "abcast log bytes"; "bytes/msg" ]
+    [ row "full re-log" false; row "incremental" true ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — cost of crash-recovery support vs crash-stop CT (paper §1/§7). *)
+
+let e7 () =
+  let msgs = scale 150 in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let run stack =
+          let cluster, count = steady_run ~n ~seed:47 ~msgs stack in
+          let m = Cluster.metrics cluster in
+          ( Metrics.sum m "msgs_sent",
+            Metrics.sum_prefix m "log_ops",
+            Metrics.mean m "lat_deliver" /. 1_000.0,
+            count )
+        in
+        let bm, bl, blat, count = run (Factory.basic ()) in
+        let cm, cl, clat, _ = run (Abcast_baseline.Ct_abcast.stack ()) in
+        [
+          [
+            string_of_int n;
+            "basic/paxos (crash-recovery)";
+            Table.num count;
+            Table.num bm;
+            Table.num bl;
+            Table.flt ~dec:1 blat;
+          ];
+          [
+            string_of_int n;
+            "ct-stop/paxos (crash-stop)";
+            Table.num count;
+            Table.num cm;
+            Table.num cl;
+            Table.flt ~dec:1 clat;
+          ];
+        ])
+      [ 3; 5; 7 ]
+  in
+  Table.print
+    ~title:
+      "E7: crash-free runs vs the Chandra-Toueg crash-stop reduction (paper \
+       claim: same protocol structure; the entire crash-recovery premium is \
+       the logging)"
+    ~header:[ "n"; "stack"; "msgs"; "net msgs"; "log ops"; "mean lat ms" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E8 — consensus as a black box (paper §1/§7).                        *)
+
+let e8 () =
+  let msgs = scale 150 in
+  let row name stack =
+    let cluster, count = steady_run ~seed:53 ~msgs stack in
+    let m = Cluster.metrics cluster in
+    [
+      name;
+      Table.num count;
+      Table.num (Cluster.round cluster 0);
+      Table.num (Metrics.sum m "msgs_sent");
+      Table.num (Metrics.sum_prefix m "log_ops.consensus");
+      Table.num (Metrics.sum_prefix m "log_ops.abcast");
+      Table.flt ~dec:1 (Metrics.mean m "lat_deliver" /. 1_000.0);
+    ]
+  in
+  Table.print
+    ~title:
+      "E8: swapping the consensus building block (paper claim: the \
+       broadcast layer is consensus- and FD-agnostic; only consensus-\
+       internal costs change)"
+    ~header:
+      [ "stack"; "msgs"; "rounds"; "net msgs"; "ops(consensus)";
+        "ops(abcast)"; "mean lat ms" ]
+    [
+      row "basic over paxos (leader-based, Omega FD)" (Factory.basic ());
+      row "basic over coord (rotating coordinator, no FD)"
+        (Factory.basic ~consensus:`Coord ());
+      row "alt over paxos" (Factory.alternative ());
+      row "alt over coord" (Factory.alternative ~consensus:`Coord ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E9 — correctness under adversarial schedules (paper §2.2, P1-P7).   *)
+
+let e9 () =
+  let episodes = scale 12 in
+  let run_episode stack seed =
+    let n = 3 in
+    let cluster = Cluster.create stack ~seed ~n () in
+    let rng = Rng.create (seed + 7777) in
+    let stability = 150_000 in
+    let plan = Faults.plan_random ~rng ~n ~n_bad:1 ~stability () in
+    let good = Faults.good_nodes plan in
+    List.iter
+      (fun ({ time; node; kind } : Faults.event) ->
+        match kind with
+        | Faults.Crash ->
+          Cluster.at cluster time (fun () -> Cluster.crash cluster node)
+        | Faults.Recover ->
+          Cluster.at cluster time (fun () -> Cluster.recover cluster node))
+      plan.events;
+    ignore
+      (Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id)
+         ~start:1_000 ~stop:stability ~mean_gap:4_000 ());
+    Cluster.run cluster ~until:(plan.horizon + 4_000_000);
+    let crashes = Metrics.sum (Cluster.metrics cluster) "crashes" in
+    let delivered = Cluster.delivered_count cluster (List.hd good) in
+    match Checks.all ~cluster ~good () with
+    | Ok () -> (crashes, delivered, 0)
+    | Error _ -> (crashes, delivered, 1)
+  in
+  let rows =
+    List.map
+      (fun (name, stack) ->
+        let crashes = ref 0 and delivered = ref 0 and violations = ref 0 in
+        for seed = 1 to episodes do
+          let c, d, v = run_episode stack (seed * 271) in
+          crashes := !crashes + c;
+          delivered := !delivered + d;
+          violations := !violations + v
+        done;
+        [
+          name;
+          Table.num episodes;
+          Table.num !crashes;
+          Table.num !delivered;
+          Table.num !violations;
+        ])
+      [
+        ("basic/paxos", Factory.basic ());
+        ("basic/coord", Factory.basic ~consensus:`Coord ());
+        ("alt/paxos", Factory.alternative ~checkpoint_period:30_000 ~delta:4 ());
+      ]
+  in
+  Table.print
+    ~title:
+      "E9: randomized crash/recovery schedules, 1 bad process of 3 \
+       (Validity + Integrity + Total Order + Termination checked over good \
+       processes; paper claim: zero violations)"
+    ~header:[ "stack"; "episodes"; "crashes injected"; "msgs delivered"; "violations" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E10 — ablation: windowed (pipelined) sequencer. An extension beyond  *)
+(* the paper: the sequencer task of Fig. 2 runs one consensus at a      *)
+(* time; allowing a window of concurrent instances hides consensus      *)
+(* latency under load.                                                  *)
+
+let e10 () =
+  let msgs = scale 400 in
+  let row window =
+    let stack =
+      Factory.alternative ~window ~early_return:true
+        ~checkpoint_period:1_000_000_000 ()
+    in
+    let cluster = Cluster.create stack ~seed:59 ~n:3 () in
+    let rng = Rng.create 61 in
+    (* offered load well above one-consensus-at-a-time capacity *)
+    let count =
+      Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+        ~stop:(1_000 + (msgs * 150))
+        ~mean_gap:150 ()
+    in
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+        ()
+    in
+    if not ok then failwith "E10 did not converge";
+    let m = Cluster.metrics cluster in
+    let dur_s = float_of_int (Cluster.now cluster) /. 1_000_000.0 in
+    [
+      Table.num window;
+      Table.num (Cluster.round cluster 0);
+      Table.flt (float_of_int count /. dur_s);
+      Table.flt ~dec:1 (Metrics.mean m "lat_deliver" /. 1_000.0);
+      Table.flt ~dec:1 (Metrics.percentile m "lat_deliver" 95.0 /. 1_000.0);
+    ]
+  in
+  Table.print
+    ~title:
+      "E10 (extension ablation): concurrent consensus window under heavy \
+       open-loop load (paper's sequencer = window 1)"
+    ~header:[ "window"; "rounds"; "msgs/s (sim)"; "mean lat ms"; "p95 lat ms" ]
+    (List.map row [ 1; 2; 4; 8 ])
+
+(* ------------------------------------------------------------------ *)
+(* E11 — scalability with the group size (context for all the above:    *)
+(* the protocol's costs are consensus-dominated and grow with n).       *)
+
+let e11 () =
+  let msgs = scale 120 in
+  let row n =
+    let cluster, count = steady_run ~n ~seed:67 ~msgs (Factory.basic ()) in
+    let m = Cluster.metrics cluster in
+    let net_msgs = Metrics.sum m "msgs_sent" in
+    [
+      string_of_int n;
+      Table.num count;
+      Table.num (Cluster.round cluster 0);
+      Table.num net_msgs;
+      Table.flt (float_of_int net_msgs /. float_of_int count);
+      Table.flt
+        (float_of_int (Metrics.sum_prefix m "log_ops") /. float_of_int count);
+      Table.flt ~dec:1 (Metrics.mean m "lat_deliver" /. 1_000.0);
+      Table.flt ~dec:1 (Metrics.percentile m "lat_deliver" 95.0 /. 1_000.0);
+    ]
+  in
+  Table.print
+    ~title:
+      "E11: scaling the process group (basic/paxos, fixed offered load; \
+       message cost grows ~n^2 per round, latency stays ~flat while a \
+       majority answers quickly)"
+    ~header:
+      [ "n"; "msgs"; "rounds"; "net msgs"; "net msgs/msg"; "log ops/msg";
+        "mean lat ms"; "p95 lat ms" ]
+    (List.map row [ 3; 5; 7; 9 ])
+
+(* ------------------------------------------------------------------ *)
+(* E12 — failure-detector quality of service (context for §3.5): the    *)
+(* detection-time / false-suspicion trade-off of the heartbeat Omega.    *)
+
+let e12 () =
+  let module Engine = Abcast_sim.Engine in
+  let module Heartbeat = Abcast_fd.Heartbeat in
+  let row period =
+    let timeout = 5 * period in
+    (* an aggressive 20% heavy tail amplifies the premature-suspicion
+       side of the trade-off *)
+    let net = Net.create ~heavy_tail:0.2 () in
+    let eng = Engine.create ~seed:97 ~n:3 ~net () in
+    let fds = Array.make 3 None in
+    for i = 0 to 2 do
+      Engine.set_behavior eng i (fun io ->
+          let hb = Heartbeat.create ~period ~timeout io in
+          fds.(i) <- Some hb;
+          Heartbeat.handle hb)
+    done;
+    Engine.start_all eng;
+    let fd i = match fds.(i) with Some hb -> hb | None -> assert false in
+    (* phase 1: crash-free window, count wrongful suspicions at node 0 *)
+    let wrongful = ref 0 in
+    let horizon = 2_000_000 in
+    let rec monitor at =
+      if at < horizon then
+        Engine.at eng at (fun () ->
+            if Heartbeat.suspects (fd 0) <> [] then incr wrongful;
+            monitor (at + period))
+    in
+    monitor period;
+    Engine.run eng ~until:horizon;
+    (* phase 2: crash node 2 and measure time to suspicion at node 0 *)
+    let crash_at = Engine.now eng in
+    Engine.crash eng 2;
+    ignore
+      (Engine.run_until eng
+         ~until:(crash_at + 50 * timeout)
+         ~pred:(fun () -> not (Heartbeat.trusted (fd 0) 2))
+         ());
+    let detection = Engine.now eng - crash_at in
+    (* phase 3: recovery, time to trust again *)
+    let recover_at = Engine.now eng in
+    Engine.recover eng 2;
+    ignore
+      (Engine.run_until eng
+         ~until:(recover_at + 50 * timeout)
+         ~pred:(fun () -> Heartbeat.trusted (fd 0) 2)
+         ());
+    let retrust = Engine.now eng - recover_at in
+    [
+      Table.num period;
+      Table.num timeout;
+      Table.num !wrongful;
+      Table.num detection;
+      Table.num retrust;
+    ]
+  in
+  Table.print
+    ~title:
+      "E12: heartbeat failure-detector QoS (20 percent heavy-tail delays; \
+       detection time ~ timeout, wrongful suspicions fall as the timeout \
+       grows — the trade-off behind Omega's eventual accuracy)"
+    ~header:
+      [ "period us"; "timeout us"; "wrongful samples"; "detect us"; "re-trust us" ]
+    (List.map row [ 500; 1_000; 2_000; 4_000 ])
+
+(* E13 — traffic anatomy: what the wire actually carries. *)
+
+let e13 () =
+  let msgs = scale 150 in
+  let row name stack =
+    let cluster, count = steady_run ~seed:107 ~msgs stack in
+    let m = Cluster.metrics cluster in
+    let rx kind = Metrics.sum m ("rx." ^ kind) in
+    let total = rx "gossip" + rx "consensus" + rx "fd" + rx "state" in
+    let pct kind =
+      Table.flt (100.0 *. float_of_int (rx kind) /. float_of_int (max 1 total))
+    in
+    [
+      name;
+      Table.num count;
+      Table.num total;
+      pct "consensus";
+      pct "gossip";
+      pct "fd";
+      pct "state";
+    ]
+  in
+  Table.print
+    ~title:
+      "E13: received-message anatomy (share per layer; gossip+heartbeats \
+       are the fixed background, consensus scales with rounds)"
+    ~header:
+      [ "stack"; "msgs"; "rx total"; "% consensus"; "% gossip"; "% fd"; "% state" ]
+    [
+      row "basic/paxos" (Factory.basic ());
+      row "basic/coord" (Factory.basic ~consensus:`Coord ());
+      row "alt/paxos" (Factory.alternative ());
+    ]
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
+    ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
+    ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
+  ]

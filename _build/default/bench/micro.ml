@@ -1,0 +1,130 @@
+(* Bechamel micro-benchmarks of the hot paths: one Test.make per table
+   row. These measure real host time (the experiment tables in
+   Experiments report simulated metrics). *)
+
+open Bechamel
+open Toolkit
+module Rng = Abcast_util.Rng
+module Heap = Abcast_util.Heap
+module Engine = Abcast_sim.Engine
+module Cluster = Abcast_harness.Cluster
+module Workload = Abcast_harness.Workload
+module Factory = Abcast_core.Factory
+
+let rng_bench =
+  Test.make ~name:"rng.bits64"
+    (Staged.stage
+       (let rng = Rng.create 1 in
+        fun () -> ignore (Rng.bits64 rng)))
+
+let heap_bench =
+  Test.make ~name:"heap.push+pop (1k live)"
+    (Staged.stage
+       (let h = Heap.create ~cmp:compare () in
+        for i = 0 to 999 do
+          Heap.push h (i * 7919 mod 1000, i)
+        done;
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Heap.push h (!i * 7919 mod 1000, !i);
+          ignore (Heap.pop h)))
+
+let engine_bench =
+  Test.make ~name:"engine: 3-node echo round"
+    (Staged.stage (fun () ->
+         let eng = Engine.create ~seed:1 ~n:3 () in
+         for i = 0 to 2 do
+           Engine.set_behavior eng i (fun io ->
+               io.multisend "ping";
+               fun ~src:_ _ -> ())
+         done;
+         Engine.start_all eng;
+         Engine.run eng ~until:10_000))
+
+let protocol_round_bench =
+  Test.make ~name:"abcast: 10 msgs to quiescence (n=3)"
+    (Staged.stage (fun () ->
+         let cluster = Cluster.create (Factory.basic ()) ~seed:1 ~n:3 () in
+         for j = 0 to 9 do
+           Cluster.at cluster (500 * (j + 1)) (fun () ->
+               ignore (Cluster.broadcast cluster ~node:(j mod 3) "m"))
+         done;
+         ignore
+           (Cluster.run_until cluster ~until:100_000_000
+              ~pred:(fun () -> Cluster.all_caught_up cluster ~count:10 ())
+              ())))
+
+let batch_bench =
+  Test.make ~name:"batch encode/decode (32 msgs)"
+    (Staged.stage
+       (let payloads =
+          List.init 32 (fun i ->
+              {
+                Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
+                data = String.make 32 'x';
+              })
+        in
+        fun () ->
+          ignore
+            (Abcast_core.Batch.decode (Abcast_core.Batch.encode payloads))))
+
+let storage_bench =
+  Test.make ~name:"storage write (64B value)"
+    (Staged.stage
+       (let store =
+          Abcast_sim.Storage.create
+            ~metrics:(Abcast_sim.Metrics.create ())
+            ~node:0 ()
+        in
+        let v = String.make 64 'x' in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          Abcast_sim.Storage.write store ~layer:"bench"
+            ~key:(string_of_int (!i land 1023))
+            v))
+
+let vclock_bench =
+  Test.make ~name:"vclock add+contains (8 streams)"
+    (Staged.stage
+       (let vc = ref Abcast_core.Vclock.empty in
+        let seqs = Array.make 8 0 in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          let origin = !i land 7 in
+          let id =
+            { Abcast_core.Payload.origin; boot = 0; seq = seqs.(origin) }
+          in
+          seqs.(origin) <- seqs.(origin) + 1;
+          vc := Abcast_core.Vclock.add !vc id;
+          ignore (Abcast_core.Vclock.contains !vc id)))
+
+let tests =
+  [
+    rng_bench; heap_bench; storage_bench; vclock_bench; batch_bench;
+    engine_bench; protocol_round_bench;
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  Printf.printf "\n== Micro-benchmarks (host time per run) ==\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        analysis)
+    tests;
+  print_newline ()

@@ -1,0 +1,241 @@
+(* abcast-sim — command-line driver for the simulator.
+
+   `abcast-sim run`  : one workload on one configured stack, with optional
+                       fault injection and a full protocol trace.
+   `abcast-sim soak` : many randomized crash/recovery episodes with the
+                       correctness properties checked after each (E9-style
+                       soak testing from the shell). *)
+
+module Rng = Abcast_util.Rng
+module Net = Abcast_sim.Net
+module Metrics = Abcast_sim.Metrics
+module Trace = Abcast_sim.Trace
+module Faults = Abcast_sim.Faults
+module Factory = Abcast_core.Factory
+module Cluster = Abcast_harness.Cluster
+module Checks = Abcast_harness.Checks
+module Workload = Abcast_harness.Workload
+module Table = Abcast_harness.Table
+
+let make_stack stack consensus checkpoint_period delta =
+  match stack with
+  | "basic" -> Factory.basic ~consensus ()
+  | "alt" -> Factory.alternative ~consensus ~checkpoint_period ~delta ()
+  | "naive" -> Factory.naive ~consensus ()
+  | "ct" -> Abcast_baseline.Ct_abcast.stack ~consensus ()
+  | s -> failwith (Printf.sprintf "unknown stack %S (basic|alt|naive|ct)" s)
+
+let run_cmd stack consensus n seed msgs loss dup crashes trace_on check =
+  let consensus = if consensus = "coord" then `Coord else `Paxos in
+  let stack_mod = make_stack stack consensus 50_000 4 in
+  let net = Net.create ~loss ~dup () in
+  let trace = Trace.create ~enabled:trace_on ~echo:trace_on () in
+  let cluster = Cluster.create stack_mod ~seed ~n ~net ~trace () in
+  List.iter
+    (fun (node, from_, until) ->
+      Cluster.at cluster from_ (fun () -> Cluster.crash cluster node);
+      if until > from_ then
+        Cluster.at cluster until (fun () -> Cluster.recover cluster node))
+    crashes;
+  let rng = Rng.create (seed + 1) in
+  let stop = 1_000 + (msgs * 1_500) in
+  let count =
+    Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id) ~start:1_000
+      ~stop ~mean_gap:1_500 ()
+  in
+  let ok =
+    Cluster.run_until cluster ~until:2_000_000_000
+      ~pred:(fun () ->
+        Cluster.now cluster > stop
+        && Cluster.all_caught_up cluster
+             ~count:(List.length (Cluster.sent cluster))
+             ())
+      ()
+  in
+  let m = Cluster.metrics cluster in
+  Printf.printf
+    "\nstack=%s seed=%d n=%d: %d broadcasts attempted, %d injected (the \
+     rest hit a down process), %s\n"
+    stack seed n count
+    (List.length (Cluster.sent cluster))
+    (if ok then Printf.sprintf "quiesced at %d µs" (Cluster.now cluster)
+     else "DID NOT QUIESCE");
+  Table.print ~title:"per-process state"
+    ~header:[ "process"; "up"; "round"; "delivered"; "unordered"; "log bytes" ]
+    (List.init n (fun i ->
+         [
+           string_of_int i;
+           (if Cluster.is_up cluster i then "yes" else "no");
+           Table.num (Cluster.round cluster i);
+           Table.num (Cluster.delivered_count cluster i);
+           Table.num (Cluster.unordered_count cluster i);
+           Table.num (Cluster.retained_bytes cluster i);
+         ]));
+  Table.print ~title:"run totals"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "net messages"; Table.num (Metrics.sum m "msgs_sent") ];
+      [ "log ops (consensus)"; Table.num (Metrics.sum_prefix m "log_ops.consensus") ];
+      [ "log ops (abcast)"; Table.num (Metrics.sum_prefix m "log_ops.abcast") ];
+      [ "mean delivery latency µs"; Table.flt (Metrics.mean m "lat_deliver") ];
+      [ "crashes"; Table.num (Metrics.sum m "crashes") ];
+      [ "state transfers"; Table.num (Metrics.sum m "state_transfers_applied") ];
+    ];
+  if check then begin
+    match Checks.all ~cluster ~good:(List.init n Fun.id) () with
+    | Ok () -> print_endline "properties: OK (validity, integrity, total order, termination)"
+    | Error e ->
+      Printf.eprintf "PROPERTY VIOLATION: %s\n" e;
+      exit 1
+  end;
+  if not ok then exit 2
+
+let soak_cmd stack consensus n n_bad episodes seed0 =
+  let consensus = if consensus = "coord" then `Coord else `Paxos in
+  let violations = ref 0 in
+  for e = 1 to episodes do
+    let seed = seed0 + (e * 997) in
+    let stack_mod = make_stack stack consensus 30_000 4 in
+    let cluster = Cluster.create stack_mod ~seed ~n () in
+    let lemmas = Abcast_harness.Lemmas.attach cluster () in
+    let rng = Rng.create (seed + 31) in
+    let stability = 150_000 in
+    let plan = Faults.plan_random ~rng ~n ~n_bad ~stability () in
+    List.iter
+      (fun ({ time; node; kind } : Faults.event) ->
+        match kind with
+        | Faults.Crash -> Cluster.at cluster time (fun () -> Cluster.crash cluster node)
+        | Faults.Recover ->
+          Cluster.at cluster time (fun () -> Cluster.recover cluster node))
+      plan.events;
+    ignore
+      (Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id)
+         ~start:1_000 ~stop:stability ~mean_gap:4_000 ());
+    Cluster.run cluster ~until:(plan.horizon + 4_000_000);
+    let combined =
+      match Checks.all ~cluster ~good:(Faults.good_nodes plan) () with
+      | Error _ as e -> e
+      | Ok () -> Abcast_harness.Lemmas.report lemmas
+    in
+    (match combined with
+    | Ok () ->
+      Printf.printf "episode %3d (seed %7d): ok, %d delivered, %d crashes\n" e
+        seed
+        (Cluster.delivered_count cluster (List.hd (Faults.good_nodes plan)))
+        (Metrics.sum (Cluster.metrics cluster) "crashes")
+    | Error msg ->
+      incr violations;
+      Printf.printf "episode %3d (seed %7d): VIOLATION: %s\n" e seed msg)
+  done;
+  Printf.printf "\n%d episodes, %d violations\n" episodes !violations;
+  if !violations > 0 then exit 1
+
+let live_cmd stack consensus n msgs base_port =
+  let consensus = if consensus = "coord" then `Coord else `Paxos in
+  let stack_mod = make_stack stack consensus 100_000 3 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abcast-live-cli-%d" (Unix.getpid ()))
+  in
+  match Abcast_live.Runtime.create stack_mod ~n ~base_port ~dir () with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "cannot create sockets: %s
+" (Unix.error_message e);
+    exit 3
+  | live ->
+    Fun.protect ~finally:(fun () -> Abcast_live.Runtime.shutdown live)
+    @@ fun () ->
+    Printf.printf "%d live processes on udp/127.0.0.1:%d.. (storage: %s)
+" n
+      base_port dir;
+    let t0 = Unix.gettimeofday () in
+    for j = 0 to msgs - 1 do
+      Abcast_live.Runtime.broadcast live ~node:(j mod n)
+        (Printf.sprintf "m%d" j)
+    done;
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    let all () =
+      List.for_all
+        (fun i -> Abcast_live.Runtime.delivered_count live i >= msgs)
+        (List.init n Fun.id)
+    in
+    while (not (all ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.02
+    done;
+    if not (all ()) then begin
+      Printf.eprintf "did not converge within 30s
+";
+      exit 2
+    end;
+    let dt = Unix.gettimeofday () -. t0 in
+    let seqs =
+      List.map (fun i -> Abcast_live.Runtime.delivered_data live i) (List.init n Fun.id)
+    in
+    let agree = List.for_all (fun s -> s = List.hd seqs) seqs in
+    Printf.printf
+      "%d messages totally ordered at %d processes in %.0f ms (%.0f msg/s);        orders identical: %b
+"
+      msgs n (dt *. 1000.0)
+      (float_of_int msgs /. dt)
+      agree;
+    if not agree then exit 1
+
+(* ---- cmdliner plumbing ---- *)
+open Cmdliner
+
+let stack_arg =
+  Arg.(value & opt string "basic" & info [ "stack" ] ~doc:"basic|alt|naive|ct")
+
+let consensus_arg =
+  Arg.(value & opt string "paxos" & info [ "consensus" ] ~doc:"paxos|coord")
+
+let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"number of processes")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"root RNG seed")
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b; c ] -> Ok (int_of_string a, int_of_string b, int_of_string c)
+    | [ a; b ] -> Ok (int_of_string a, int_of_string b, -1)
+    | _ -> Error (`Msg "expected NODE:FROM[:UNTIL] in µs")
+  in
+  let print ppf (a, b, c) = Format.fprintf ppf "%d:%d:%d" a b c in
+  Arg.conv (parse, print)
+
+let run_t =
+  let msgs = Arg.(value & opt int 50 & info [ "msgs" ] ~doc:"broadcast count") in
+  let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"message loss probability") in
+  let dup = Arg.(value & opt float 0.0 & info [ "dup" ] ~doc:"duplication probability") in
+  let crashes =
+    Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~doc:"NODE:FROM[:UNTIL] fault (repeatable)")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"echo the protocol trace") in
+  let check = Arg.(value & flag & info [ "check" ] ~doc:"verify the four properties at the end") in
+  Term.(
+    const run_cmd $ stack_arg $ consensus_arg $ n_arg $ seed_arg $ msgs $ loss
+    $ dup $ crashes $ trace $ check)
+
+let live_t =
+  let msgs = Arg.(value & opt int 30 & info [ "msgs" ] ~doc:"broadcast count") in
+  let port = Arg.(value & opt int 7480 & info [ "port" ] ~doc:"UDP base port") in
+  Term.(const live_cmd $ stack_arg $ consensus_arg $ n_arg $ msgs $ port)
+
+let soak_t =
+  let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in
+  let episodes = Arg.(value & opt int 20 & info [ "episodes" ] ~doc:"number of episodes") in
+  Term.(const soak_cmd $ stack_arg $ consensus_arg $ n_arg $ n_bad $ episodes $ seed_arg)
+
+let cmds =
+  Cmd.group
+    (Cmd.info "abcast-sim" ~doc:"crash-recovery atomic broadcast simulator")
+    [
+      Cmd.v (Cmd.info "run" ~doc:"run one workload on a configured stack") run_t;
+      Cmd.v (Cmd.info "soak" ~doc:"randomized fault soak with property checks") soak_t;
+      Cmd.v
+        (Cmd.info "live"
+           ~doc:"run the stack over real UDP sockets and file storage")
+        live_t;
+    ]
+
+let () = exit (Cmd.eval cmds)

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Abcast_core Abcast_harness Abcast_sim Abcast_util List Printf

@@ -1,0 +1,1 @@
+examples/deferred_update_bank.ml: Abcast_apps Abcast_core Abcast_harness Array List Printf

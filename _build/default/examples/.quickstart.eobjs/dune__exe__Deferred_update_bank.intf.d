@@ -1,0 +1,1 @@
+examples/deferred_update_bank.mli:

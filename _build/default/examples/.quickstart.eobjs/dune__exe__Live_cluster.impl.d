@@ -1,0 +1,1 @@
+examples/live_cluster.ml: Abcast_core Abcast_live Filename Fun List Printf String Thread Unix

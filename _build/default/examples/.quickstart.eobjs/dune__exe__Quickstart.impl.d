@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abcast_core Abcast_harness Format List Printf

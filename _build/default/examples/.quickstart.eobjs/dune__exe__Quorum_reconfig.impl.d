@@ -1,0 +1,1 @@
+examples/quorum_reconfig.ml: Abcast_apps Abcast_core Abcast_harness Array List Option Printf String

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Abcast_apps Abcast_core Abcast_harness Abcast_sim Array List Option Printf

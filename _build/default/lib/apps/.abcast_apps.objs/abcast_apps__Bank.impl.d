@@ -1,0 +1,1 @@
+lib/apps/bank.ml: Abcast_sim Array Smr

@@ -1,0 +1,1 @@
+lib/apps/consensus_from_abcast.ml: Abcast_core Abcast_sim Hashtbl

@@ -1,0 +1,1 @@
+lib/apps/consensus_from_abcast.mli: Abcast_core

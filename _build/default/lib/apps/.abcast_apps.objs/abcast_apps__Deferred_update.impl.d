@@ -1,0 +1,1 @@
+lib/apps/deferred_update.ml: Abcast_core Abcast_sim Hashtbl List Map String

@@ -1,0 +1,1 @@
+lib/apps/deferred_update.mli: Abcast_core

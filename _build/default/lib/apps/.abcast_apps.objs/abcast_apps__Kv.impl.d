@@ -1,0 +1,1 @@
+lib/apps/kv.ml: Abcast_sim Hashtbl Map Smr String

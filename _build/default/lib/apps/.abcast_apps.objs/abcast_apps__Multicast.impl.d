@@ -1,0 +1,1 @@
+lib/apps/multicast.ml: Abcast_core Abcast_sim List

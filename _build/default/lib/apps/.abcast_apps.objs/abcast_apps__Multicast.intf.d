@@ -1,0 +1,1 @@
+lib/apps/multicast.mli: Abcast_core

@@ -1,0 +1,1 @@
+lib/apps/quorum.ml: Abcast_core Abcast_sim Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/apps/quorum.mli: Abcast_core

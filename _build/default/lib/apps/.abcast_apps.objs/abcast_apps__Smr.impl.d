@@ -1,0 +1,1 @@
+lib/apps/smr.ml: Abcast_core Abcast_sim

@@ -1,0 +1,1 @@
+lib/apps/smr.mli: Abcast_core

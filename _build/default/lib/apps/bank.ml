@@ -1,0 +1,42 @@
+let accounts = 16
+
+type state = int array (* immutable by convention: apply copies *)
+
+type cmd = Deposit of int * int | Transfer of int * int * int
+
+let encode (c : cmd) = Abcast_sim.Storage.encode c
+
+let deposit_cmd ~account ~amount = encode (Deposit (account, amount))
+
+let transfer_cmd ~src ~dst ~amount = encode (Transfer (src, dst, amount))
+
+module Machine = struct
+  type nonrec state = state
+
+  let name = "bank"
+
+  let initial = Array.make accounts 0
+
+  let valid a = a >= 0 && a < accounts
+
+  let apply state data =
+    match (Abcast_sim.Storage.decode data : cmd) with
+    | Deposit (a, amt) when valid a && amt > 0 ->
+      let s = Array.copy state in
+      s.(a) <- s.(a) + amt;
+      s
+    | Transfer (src, dst, amt)
+      when valid src && valid dst && amt > 0 && state.(src) >= amt ->
+      let s = Array.copy state in
+      s.(src) <- s.(src) - amt;
+      s.(dst) <- s.(dst) + amt;
+      s
+    | Deposit _ | Transfer _ -> state
+    | exception _ -> state
+end
+
+module Replica = Smr.Make (Machine)
+
+let balance state a = state.(a)
+
+let total state = Array.fold_left ( + ) 0 state

@@ -1,0 +1,27 @@
+(** Replicated bank — an SMR application with a global invariant.
+
+    Accounts hold integer balances; commands move or mint money. Because
+    every replica applies the same command sequence, the total balance is
+    conserved across replicas at every matching point of the sequence;
+    the fault-injection tests use {!total} as a cheap cross-replica
+    consistency oracle (any divergence in ordering shows up as different
+    totals or balances). Transfers that would overdraw are rejected
+    deterministically. *)
+
+type state
+
+module Machine : Smr.MACHINE with type state = state
+
+module Replica : module type of Smr.Make (Machine)
+
+val accounts : int
+(** Fixed number of accounts (16). *)
+
+val deposit_cmd : account:int -> amount:int -> string
+
+val transfer_cmd : src:int -> dst:int -> amount:int -> string
+
+val balance : state -> int -> int
+
+val total : state -> int
+(** Sum of all balances — conserved by transfers, grown by deposits. *)

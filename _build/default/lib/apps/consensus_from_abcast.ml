@@ -1,0 +1,17 @@
+type t = { decisions : (string, string) Hashtbl.t }
+
+type proposal = { instance : string; value : string }
+
+let create () = { decisions = Hashtbl.create 16 }
+
+let encode_proposal ~instance ~value =
+  Abcast_sim.Storage.encode { instance; value }
+
+let deliver t (p : Abcast_core.Payload.t) =
+  match (Abcast_sim.Storage.decode p.data : proposal) with
+  | exception _ -> ()
+  | { instance; value } ->
+    if not (Hashtbl.mem t.decisions instance) then
+      Hashtbl.add t.decisions instance value
+
+let decision t ~instance = Hashtbl.find_opt t.decisions instance

@@ -1,0 +1,22 @@
+(** Consensus from Atomic Broadcast (paper §6.1).
+
+    The reduction closing the equivalence: "to propose a value a process
+    atomically broadcasts it; the first value to be delivered can be
+    chosen as the decided value". Instances are named by strings so many
+    independent consensus can share one broadcast stream. Total order
+    makes every replica pick the same first proposal per instance. *)
+
+type t
+(** Decision bookkeeping of one process. *)
+
+val create : unit -> t
+
+val encode_proposal : instance:string -> value:string -> string
+(** Payload to [A-broadcast] in order to propose. *)
+
+val deliver : t -> Abcast_core.Payload.t -> unit
+(** Wire as the protocol's A-deliver upcall; records first proposals. *)
+
+val decision : t -> instance:string -> string option
+(** The decided value of an instance, once some proposal for it has been
+    delivered. *)

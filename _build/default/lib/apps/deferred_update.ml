@@ -1,0 +1,81 @@
+module Smap = Map.Make (String)
+
+(* Per key: (value, version). Versions count committed writers. *)
+type t = {
+  mutable data : (int * int) Smap.t;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type record = { reads : (string * int) list; writes : (string * int) list }
+
+let create () = { data = Smap.empty; committed = 0; aborted = 0 }
+
+let read t key =
+  match Smap.find_opt key t.data with Some vv -> vv | None -> (0, 0)
+
+module Txn = struct
+  type txn = {
+    db : t;
+    mutable rset : (string * int) list; (* key, version read *)
+    mutable wset : (string * int) list; (* key, new value *)
+  }
+
+  let begin_ db = { db; rset = []; wset = [] }
+
+  let read txn key =
+    match List.assoc_opt key txn.wset with
+    | Some v -> v (* read-your-writes *)
+    | None ->
+      let value, version = read txn.db key in
+      if not (List.mem_assoc key txn.rset) then
+        txn.rset <- (key, version) :: txn.rset;
+      value
+
+  let write txn key v =
+    txn.wset <- (key, v) :: List.remove_assoc key txn.wset
+
+  let payload txn =
+    Abcast_sim.Storage.encode { reads = txn.rset; writes = txn.wset }
+end
+
+let certify t (r : record) =
+  List.for_all
+    (fun (key, version) -> snd (read t key) = version)
+    r.reads
+
+let deliver t (p : Abcast_core.Payload.t) =
+  match (Abcast_sim.Storage.decode p.data : record) with
+  | exception _ -> () (* not a transaction: ignore *)
+  | r ->
+    if certify t r then begin
+      List.iter
+        (fun (key, v) ->
+          let _, version = read t key in
+          t.data <- Smap.add key (v, version + 1) t.data)
+        r.writes;
+      t.committed <- t.committed + 1
+    end
+    else t.aborted <- t.aborted + 1
+
+let committed t = t.committed
+
+let aborted t = t.aborted
+
+let digest t =
+  Smap.fold (fun k (v, ver) acc -> Hashtbl.hash (acc, k, v, ver)) t.data 0
+  |> string_of_int
+
+let hooks t =
+  {
+    Abcast_core.Protocol.checkpoint =
+      (fun () -> Abcast_sim.Storage.encode (t.data, t.committed, t.aborted));
+    install =
+      (fun blob ->
+        let (data, c, a) : (int * int) Smap.t * int * int =
+          Abcast_sim.Storage.decode blob
+        in
+        t.data <- data;
+        t.committed <- c;
+        t.aborted <- a);
+  }

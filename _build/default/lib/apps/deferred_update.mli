@@ -1,0 +1,55 @@
+(** Deferred-update replicated database (paper §6.2).
+
+    The termination protocol of Pedone–Guerraoui–Schiper, rebuilt on our
+    atomic broadcast: a transaction executes locally at one replica
+    against its current versions, then at commit time its read set (with
+    the versions read) and write set are atomically broadcast. Every
+    replica certifies delivered transactions in the {e same total order}:
+    a transaction commits iff every version it read is still current;
+    committed writes install new versions. Since certification is a
+    deterministic function of the delivery sequence, all replicas take
+    identical commit/abort decisions — no atomic commitment protocol is
+    needed. *)
+
+type t
+(** One database replica. *)
+
+val create : unit -> t
+
+val read : t -> string -> int * int
+(** [read t key] is [(value, version)] at this replica (missing keys read
+    as [(0, 0)]). *)
+
+(** A transaction being built locally. *)
+module Txn : sig
+  type txn
+
+  val begin_ : t -> txn
+  (** Start a transaction at a replica. *)
+
+  val read : txn -> string -> int
+  (** Read a key through the transaction, recording the version for
+      certification. Repeated reads are stable. *)
+
+  val write : txn -> string -> int -> unit
+  (** Buffer a write (visible to subsequent [read]s of this txn). *)
+
+  val payload : txn -> string
+  (** Serialize read and write sets for [A-broadcast] at commit time. *)
+end
+
+val deliver : t -> Abcast_core.Payload.t -> unit
+(** Certify and (maybe) apply a delivered transaction. Wire as the
+    protocol's A-deliver upcall. *)
+
+val committed : t -> int
+(** Transactions committed at this replica so far. *)
+
+val aborted : t -> int
+(** Transactions aborted by certification. *)
+
+val digest : t -> string
+(** Fingerprint of current data + versions (replica convergence). *)
+
+val hooks : t -> Abcast_core.Protocol.app
+(** Checkpoint hooks: the database state is the application checkpoint. *)

@@ -1,0 +1,36 @@
+module Smap = Map.Make (String)
+
+type state = string Smap.t
+
+type cmd = Set of string * string | Del of string
+
+let encode_cmd (c : cmd) = Abcast_sim.Storage.encode c
+
+let set_cmd ~key ~value = encode_cmd (Set (key, value))
+
+let del_cmd ~key = encode_cmd (Del key)
+
+module Machine = struct
+  type nonrec state = state
+
+  let name = "kv"
+
+  let initial = Smap.empty
+
+  let apply state data =
+    match (Abcast_sim.Storage.decode data : cmd) with
+    | Set (k, v) -> Smap.add k v state
+    | Del k -> Smap.remove k state
+    | exception _ -> state (* foreign command: ignore deterministically *)
+end
+
+module Replica = Smr.Make (Machine)
+
+let get state k = Smap.find_opt k state
+
+let bindings state = Smap.bindings state
+
+let size state = Smap.cardinal state
+
+let digest state =
+  Smap.fold (fun k v acc -> Hashtbl.hash (acc, k, v)) state 0 |> string_of_int

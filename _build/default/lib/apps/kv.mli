@@ -1,0 +1,33 @@
+(** Replicated key-value store.
+
+    A string-keyed store replicated with state-machine replication over
+    atomic broadcast — the "replicated data" application of the paper's
+    §5.2 (the checkpoint of the store substitutes the log of past
+    updates). Commands are built with {!set_cmd}/{!del_cmd} and handed to
+    [A-broadcast]; every replica applies them in delivery order. *)
+
+type state
+(** Immutable store contents. *)
+
+module Machine : Smr.MACHINE with type state = state
+(** The deterministic state machine (for plugging into {!Smr.Make}). *)
+
+module Replica : module type of Smr.Make (Machine)
+(** Ready-made SMR replica of the store. *)
+
+val set_cmd : key:string -> value:string -> string
+(** Command writing [value] under [key]. *)
+
+val del_cmd : key:string -> string
+(** Command removing [key]. *)
+
+val get : state -> string -> string option
+
+val bindings : state -> (string * string) list
+(** Sorted contents (for convergence assertions). *)
+
+val size : state -> int
+
+val digest : state -> string
+(** Fingerprint of the contents; equal digests across replicas witness
+    convergence. *)

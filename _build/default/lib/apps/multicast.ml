@@ -1,0 +1,29 @@
+type group = int
+
+type envelope = { dst : group list; body : string }
+
+type t = {
+  member_of : group list;
+  mutable delivered_rev : (Abcast_core.Payload.id * string) list;
+  mutable skipped : int;
+}
+
+let create ~member_of = { member_of; delivered_rev = []; skipped = 0 }
+
+let encode ~dst body =
+  if dst = [] then invalid_arg "Multicast.encode: empty destination set";
+  Abcast_sim.Storage.encode { dst; body }
+
+let deliver t (p : Abcast_core.Payload.t) =
+  match (Abcast_sim.Storage.decode p.data : envelope) with
+  | exception _ -> ()
+  | { dst; body } ->
+    if List.exists (fun g -> List.mem g t.member_of) dst then
+      t.delivered_rev <- (p.id, body) :: t.delivered_rev
+    else t.skipped <- t.skipped + 1
+
+let delivered t = List.rev t.delivered_rev
+
+let delivered_count t = List.length t.delivered_rev
+
+let skipped t = t.skipped

@@ -1,0 +1,104 @@
+type config = {
+  weights : int array;
+  read_quorum : int;
+  write_quorum : int;
+}
+
+let total_votes c = Array.fold_left ( + ) 0 c.weights
+
+let valid c =
+  let total = total_votes c in
+  Array.for_all (fun w -> w >= 0) c.weights
+  && c.read_quorum > 0 && c.write_quorum > 0
+  && c.read_quorum + c.write_quorum > total
+  && 2 * c.write_quorum > total
+
+let votes_of c replicas =
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc r ->
+      if r >= 0 && r < Array.length c.weights && not (Hashtbl.mem seen r)
+      then begin
+        Hashtbl.add seen r ();
+        acc + c.weights.(r)
+      end
+      else acc)
+    0 replicas
+
+let is_read_quorum c replicas = votes_of c replicas >= c.read_quorum
+
+let is_write_quorum c replicas = votes_of c replicas >= c.write_quorum
+
+module Store = struct
+  type t = {
+    mutable value : (string * int) option; (* value, version *)
+    mutable epoch : int;
+    mutable config : config option;
+  }
+
+  let create () = { value = None; epoch = 0; config = None }
+
+  let epoch t = t.epoch
+
+  let config t = t.config
+
+  let reconfig_cmd (c : config) = Abcast_sim.Storage.encode c
+
+  let deliver t (p : Abcast_core.Payload.t) =
+    match (Abcast_sim.Storage.decode p.data : config) with
+    | exception _ -> ()
+    | c ->
+      if valid c then begin
+        t.config <- Some c;
+        t.epoch <- t.epoch + 1
+      end
+
+  let local_read t =
+    match t.value with
+    | None -> None
+    | Some (v, version) -> Some (v, version, t.epoch)
+
+  let apply_write t ~epoch ~version v =
+    let current_version = match t.value with Some (_, ver) -> ver | None -> 0 in
+    if epoch <> t.epoch || version <= current_version then false
+    else begin
+      t.value <- Some (v, version);
+      true
+    end
+end
+
+module Client = struct
+  type read_result = {
+    value : string option;
+    version : int;
+    responders : int list;
+  }
+
+  let read config ~epoch ~responses =
+    let responders = List.map fst responses in
+    let stale =
+      List.exists
+        (fun (_, r) -> match r with Some (_, _, e) -> e > epoch | None -> false)
+        responses
+    in
+    if stale then Error "stale configuration: a replica is in a newer epoch"
+    else if not (is_read_quorum config responders) then
+      Error "insufficient votes for a read quorum"
+    else begin
+      let best =
+        List.fold_left
+          (fun acc (_, r) ->
+            match (acc, r) with
+            | _, None -> acc
+            | None, Some (v, ver, _) -> Some (v, ver)
+            | Some (_, bver), Some (v, ver, _) when ver > bver -> Some (v, ver)
+            | Some _, Some _ -> acc)
+          None responses
+      in
+      match best with
+      | None -> Ok { value = None; version = 0; responders }
+      | Some (v, ver) -> Ok { value = Some v; version = ver; responders }
+    end
+
+  let write_version (r : read_result) = r.version + 1
+end

@@ -1,0 +1,94 @@
+(** Quorum-based (weighted-voting) replication bridged with Atomic
+    Broadcast — the paper's §6.3 companion technique.
+
+    Classic weighted voting (Gifford): each replica holds a number of
+    votes; a read needs replicas totalling at least [read_quorum] votes, a
+    write at least [write_quorum], and [read_quorum + write_quorum >
+    total] forces every read quorum to intersect every write quorum, so a
+    read that takes the highest-versioned response always observes the
+    latest completed write. Reads and writes thus touch only a quorum —
+    {e not} the full replica group and {e not} the broadcast layer.
+
+    The bridge the paper points at: the {e vote assignment itself} must be
+    changed consistently (e.g. to shift weight away from flaky hosts).
+    Reconfigurations are serialized through atomic broadcast — every
+    replica applies the same sequence of configurations, numbered by
+    epoch — while data operations keep their cheap quorum path, tagged
+    with the epoch they were executed in. Quorum responses from older
+    epochs are rejected, so a reconfiguration acts as a barrier. *)
+
+(** A vote assignment with thresholds. *)
+type config = {
+  weights : int array;  (** votes per replica, all >= 0 *)
+  read_quorum : int;
+  write_quorum : int;
+}
+
+val total_votes : config -> int
+
+val valid : config -> bool
+(** Gifford's constraints: positive thresholds,
+    [read_quorum + write_quorum > total] (read/write intersection) and
+    [2 * write_quorum > total] (write/write intersection). *)
+
+val votes_of : config -> int list -> int
+(** Total votes carried by a set of replica indices (duplicates count
+    once). *)
+
+val is_read_quorum : config -> int list -> bool
+
+val is_write_quorum : config -> int list -> bool
+
+(** A versioned replicated value with epoch-tagged quorum operations. *)
+module Store : sig
+  type t
+  (** The state of one replica: current (value, version) and the current
+      configuration epoch, as driven by the broadcast layer. *)
+
+  val create : unit -> t
+
+  val epoch : t -> int
+  (** Configuration epoch this replica is in (0 before any
+      reconfiguration). *)
+
+  val config : t -> config option
+  (** Current vote assignment, once one was installed. *)
+
+  val reconfig_cmd : config -> string
+  (** Command to [A-broadcast] to install a new configuration. Invalid
+      configurations are ignored at delivery (deterministically). *)
+
+  val deliver : t -> Abcast_core.Payload.t -> unit
+  (** Apply a delivered reconfiguration (wire as the A-deliver upcall). *)
+
+  val local_read : t -> (string * int * int) option
+  (** [(value, version, epoch)] held by this replica, if any write ever
+      reached it. *)
+
+  val apply_write : t -> epoch:int -> version:int -> string -> bool
+  (** Install a write at this replica. Rejected ([false]) when the epoch
+      is stale or the version not newer than what the replica holds. *)
+end
+
+(** Client-side quorum assembly (pure functions over responses). *)
+module Client : sig
+  type read_result = {
+    value : string option;  (** highest-versioned value seen, if any *)
+    version : int;  (** 0 when no replica held a value *)
+    responders : int list;
+  }
+
+  val read :
+    config ->
+    epoch:int ->
+    responses:(int * (string * int * int) option) list ->
+    (read_result, string) result
+  (** Assemble a read from per-replica responses
+      [(replica, local_read)]. Fails if the responders do not carry a
+      read quorum of votes, or if any responder reports a higher epoch
+      (the client's configuration is stale). *)
+
+  val write_version : read_result -> int
+  (** Version to attach to a write following that read (read-modify-write:
+      highest seen + 1). *)
+end

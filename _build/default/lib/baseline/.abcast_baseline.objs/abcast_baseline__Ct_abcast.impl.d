@@ -1,0 +1,1 @@
+lib/baseline/ct_abcast.ml: Abcast_consensus Abcast_core Abcast_sim

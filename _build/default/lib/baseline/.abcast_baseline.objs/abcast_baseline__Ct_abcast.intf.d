@@ -1,0 +1,1 @@
+lib/baseline/ct_abcast.mli: Abcast_core

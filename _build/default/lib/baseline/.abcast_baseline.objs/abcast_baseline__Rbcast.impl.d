@@ -1,0 +1,1 @@
+lib/baseline/rbcast.ml: Abcast_core Abcast_sim Format Hashtbl

@@ -1,0 +1,1 @@
+lib/baseline/rbcast.mli: Abcast_core Abcast_sim Format

@@ -1,0 +1,46 @@
+module Engine = Abcast_sim.Engine
+module Storage = Abcast_sim.Storage
+module Metrics = Abcast_sim.Metrics
+
+let volatile_io (io : 'm Engine.io) =
+  (* A fresh store per incarnation, accounted against a metrics registry
+     nobody reads: writes become volatile and invisible — the crash-stop
+     protocol semantically performs no logging. *)
+  let store = Storage.create ~metrics:(Metrics.create ()) ~node:io.self () in
+  { io with store }
+
+let stack ?(consensus = `Paxos) ?gossip_period () : Abcast_core.Proto.t =
+  let make (module C : Abcast_consensus.Consensus_intf.S) =
+    let module P = Abcast_core.Protocol.Make (C) in
+    (module struct
+      let name = "ct-stop/" ^ C.name
+
+      type msg = P.msg
+
+      let msg_size = P.msg_size
+
+      type t = P.Basic.t
+
+      let create io ~deliver =
+        P.Basic.create ?gossip_period (volatile_io io) ~on_deliver:deliver
+
+      let broadcast_blocks = true
+
+      let handler = P.Basic.handler
+
+      let broadcast = P.Basic.broadcast
+
+      let round = P.Basic.round
+
+      let delivered_count = P.Basic.delivered_count
+
+      let delivered_tail = P.Basic.delivered_tail
+
+      let delivery_vc = P.Basic.delivery_vc
+
+      let unordered_count = P.Basic.unordered_count
+    end : Abcast_core.Proto.S)
+  in
+  match consensus with
+  | `Paxos -> make (module Abcast_consensus.Paxos)
+  | `Coord -> make (module Abcast_consensus.Coord)

@@ -1,0 +1,1 @@
+lib/consensus/consensus_intf.ml: Abcast_fd Abcast_sim Format Printf String

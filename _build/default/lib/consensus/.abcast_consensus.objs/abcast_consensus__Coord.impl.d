@@ -1,0 +1,1 @@
+lib/consensus/coord.ml: Abcast_sim Abcast_util Consensus_intf Format Keys List Printf

@@ -1,0 +1,1 @@
+lib/consensus/coord.mli: Consensus_intf

@@ -1,0 +1,1 @@
+lib/consensus/multi.ml: Abcast_fd Abcast_sim Consensus_intf Format Hashtbl Keys List

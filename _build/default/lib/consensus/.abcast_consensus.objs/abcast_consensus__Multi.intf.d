@@ -1,0 +1,1 @@
+lib/consensus/multi.mli: Abcast_fd Abcast_sim Consensus_intf Format

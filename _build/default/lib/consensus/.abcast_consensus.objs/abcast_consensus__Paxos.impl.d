@@ -1,0 +1,1 @@
+lib/consensus/paxos.ml: Abcast_fd Abcast_sim Abcast_util Consensus_intf Format Keys List Printf

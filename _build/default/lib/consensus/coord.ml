@@ -1,0 +1,179 @@
+module Engine = Abcast_sim.Engine
+module Storage = Abcast_sim.Storage
+module Rng = Abcast_util.Rng
+open Consensus_intf
+
+let name = "coord"
+
+let round_timeout = ref 12_000
+
+type msg =
+  | Estimate of { r : int; v : value; ts : int }
+  | Proposal of { r : int; v : value }
+  | Ack of { r : int }
+  | Query
+  | Decide of { v : value }
+
+let pp_msg ppf = function
+  | Estimate { r; ts; _ } -> Format.fprintf ppf "estimate(r%d,ts%d)" r ts
+  | Proposal { r; _ } -> Format.fprintf ppf "proposal(r%d)" r
+  | Ack { r } -> Format.fprintf ppf "ack(r%d)" r
+  | Query -> Format.fprintf ppf "query"
+  | Decide _ -> Format.fprintf ppf "decide"
+
+(* Durable: adopted estimate and the round in which it was adopted. Logged
+   before acking so a decision quorum survives crashes. *)
+type locked = { est : value; ts : int }
+
+type t = {
+  io : msg Engine.io;
+  k : int;
+  on_decide : value -> unit;
+  locked_slot : locked Storage.Slot.slot;
+  mutable locked : locked option;
+  mutable proposal : value option;
+  mutable decided : value option;
+  mutable round : int;
+  mutable estimates : (int * (value * int)) list; (* as coordinator *)
+  mutable acks : int list; (* as coordinator *)
+  mutable proposed_round : value option; (* our round-r proposal, as coord *)
+  mutable timer_round : int; (* detects stale round timers *)
+  mutable ticking : bool;
+}
+
+let majority t = (t.io.n / 2) + 1
+
+let coord_of t r = r mod t.io.n
+
+(* The estimate we would send: the locked one if any, else our proposal. *)
+let current_estimate t =
+  match t.locked with
+  | Some { est; ts } -> Some (est, ts)
+  | None -> ( match t.proposal with Some v -> Some (v, -1) | None -> None)
+
+let decide t v =
+  match t.decided with
+  | Some _ -> ()
+  | None ->
+    t.decided <- Some v;
+    Storage.write t.io.store ~layer:Keys.layer ~key:(Keys.decision t.k) v;
+    t.io.emit (Printf.sprintf "coord[%d]: decide" t.k);
+    t.io.multisend (Decide { v });
+    t.on_decide v
+
+let timeout_for t r =
+  let scale = min 10 (1 + (r / t.io.n)) in
+  (!round_timeout * scale) + Rng.int t.io.rng (!round_timeout / 4 + 1)
+
+let rec enter_round t r =
+  if t.decided = None then begin
+    t.round <- r;
+    t.estimates <- [];
+    t.acks <- [];
+    t.proposed_round <- None;
+    (match current_estimate t with
+    | Some (v, ts) -> t.io.send (coord_of t r) (Estimate { r; v; ts })
+    | None -> t.io.multisend Query);
+    arm_timer t r
+  end
+
+and arm_timer t r =
+  t.timer_round <- r;
+  t.io.after (timeout_for t r) (fun () ->
+      if t.decided = None && t.timer_round = r && t.round = r then
+        enter_round t (r + 1))
+
+let create io ~instance ~leader:_ ~on_decide =
+  let locked_slot =
+    Storage.Slot.make io.Engine.store ~layer:Keys.layer
+      ~key:(Keys.inst instance "coord.locked")
+  in
+  let locked = Storage.Slot.get locked_slot in
+  let t =
+    {
+      io;
+      k = instance;
+      on_decide;
+      locked_slot;
+      locked;
+      proposal = Storage.read io.store (Keys.proposal instance);
+      decided = Storage.read io.store (Keys.decision instance);
+      round = (match locked with Some { ts; _ } -> max 0 ts | None -> 0);
+      estimates = [];
+      acks = [];
+      proposed_round = None;
+      timer_round = -1;
+      ticking = false;
+    }
+  in
+  if t.proposal <> None && t.decided = None then begin
+    t.ticking <- true;
+    enter_round t t.round
+  end;
+  t
+
+let propose t v =
+  (match t.proposal with
+  | Some _ -> ()
+  | None ->
+    t.proposal <- Some v;
+    Storage.write t.io.store ~layer:Keys.layer ~key:(Keys.proposal t.k) v);
+  if t.decided = None && not t.ticking then begin
+    t.ticking <- true;
+    enter_round t t.round
+  end
+
+let proposal t = t.proposal
+
+let decision t = t.decided
+
+(* Joining a higher round when evidence shows others are ahead. *)
+let maybe_fast_forward t r = if r > t.round && t.decided = None then enter_round t r
+
+let coordinator_maybe_propose t =
+  if
+    t.proposed_round = None
+    && coord_of t t.round = t.io.self
+    && List.length t.estimates >= majority t
+  then begin
+    let _, (v, _) =
+      List.fold_left
+        (fun ((_, (_, best_ts)) as best) ((_, (_, ts)) as cand) ->
+          if ts > best_ts then cand else best)
+        (List.hd t.estimates) (List.tl t.estimates)
+    in
+    t.proposed_round <- Some v;
+    t.io.multisend (Proposal { r = t.round; v })
+  end
+
+let handle t ~src msg =
+  match t.decided with
+  | Some v -> ( match msg with Decide _ -> () | _ -> t.io.send src (Decide { v }))
+  | None -> (
+    match msg with
+    | Estimate { r; v; ts } ->
+      maybe_fast_forward t r;
+      if r = t.round && coord_of t r = t.io.self then begin
+        if not (List.mem_assoc src t.estimates) then
+          t.estimates <- (src, (v, ts)) :: t.estimates;
+        coordinator_maybe_propose t
+      end
+    | Proposal { r; v } ->
+      maybe_fast_forward t r;
+      if r = t.round then begin
+        (* Lock before acking: the crash-recovery-critical step. *)
+        let l = { est = v; ts = r } in
+        t.locked <- Some l;
+        Storage.Slot.set t.locked_slot l;
+        t.io.send (coord_of t r) (Ack { r })
+      end
+    | Ack { r } ->
+      if r = t.round && coord_of t r = t.io.self then begin
+        if not (List.mem src t.acks) then t.acks <- src :: t.acks;
+        if List.length t.acks >= majority t then
+          match t.proposed_round with
+          | Some v -> decide t v
+          | None -> () (* acks for a proposal of a previous incarnation *)
+      end
+    | Query -> ()
+    | Decide { v } -> decide t v)

@@ -1,0 +1,94 @@
+module Engine = Abcast_sim.Engine
+module Storage = Abcast_sim.Storage
+open Consensus_intf
+
+let floor_key = "cons.floor"
+
+let truncate_layer = "truncate"
+
+module Make (C : Consensus_intf.S) = struct
+  type msg = Inst of int * C.msg | Truncated of { floor : int }
+
+  let pp_msg ppf = function
+    | Inst (k, m) -> Format.fprintf ppf "[%d]%a" k C.pp_msg m
+    | Truncated { floor } -> Format.fprintf ppf "truncated(<%d)" floor
+
+  type t = {
+    io : msg Engine.io;
+    leader : Abcast_fd.Omega.t;
+    on_decide : int -> value -> unit;
+    on_lag : int -> unit;
+    on_behind : src:int -> unit;
+    instances : (int, C.t) Hashtbl.t;
+    mutable floor : int;
+  }
+
+  let create io ~leader ~on_decide ~on_lag ~on_behind =
+    let floor =
+      match Storage.read io.Engine.store floor_key with
+      | Some s -> int_of_string s
+      | None -> 0
+    in
+    {
+      io;
+      leader;
+      on_decide;
+      on_lag;
+      on_behind;
+      instances = Hashtbl.create 16;
+      floor;
+    }
+
+  let instance t k =
+    match Hashtbl.find_opt t.instances k with
+    | Some c -> c
+    | None ->
+      let io' = Engine.map_io (fun m -> Inst (k, m)) t.io in
+      let c =
+        C.create io' ~instance:k ~leader:t.leader
+          ~on_decide:(fun v -> t.on_decide k v)
+      in
+      Hashtbl.add t.instances k c;
+      c
+
+  let propose t k v = if k >= t.floor then C.propose (instance t k) v
+
+  let proposal t k = Storage.read t.io.store (Keys.proposal k)
+
+  let decision t k = Storage.read t.io.store (Keys.decision k)
+
+  let handle t ~src = function
+    | Truncated { floor } -> t.on_lag floor
+    | Inst (k, m) ->
+      if k < t.floor && decision t k = None then begin
+        t.io.send src (Truncated { floor = t.floor });
+        t.on_behind ~src
+      end
+      else C.handle (instance t k) ~src m
+
+  let logged_proposal_instances t =
+    Storage.keys_with_prefix t.io.store Keys.prefix
+    |> List.filter_map (fun key ->
+           match (Keys.field_of_key key, Keys.instance_of_key key) with
+           | Some "proposal", Some k -> Some k
+           | _ -> None)
+    |> List.sort compare
+
+  let floor t = t.floor
+
+  let truncate_below t k =
+    if k > t.floor then begin
+      Storage.keys_with_prefix t.io.store Keys.prefix
+      |> List.iter (fun key ->
+             match Keys.instance_of_key key with
+             | Some i when i < k ->
+               Storage.delete t.io.store ~layer:truncate_layer key
+             | _ -> ());
+      Hashtbl.iter
+        (fun i _ -> if i < k then Hashtbl.remove t.instances i)
+        (Hashtbl.copy t.instances);
+      t.floor <- k;
+      Storage.write t.io.store ~layer:truncate_layer ~key:floor_key
+        (string_of_int k)
+    end
+end

@@ -1,0 +1,68 @@
+(** Numbered consensus instances with idempotent [propose]/[decided].
+
+    The paper's broadcast layer runs one consensus per round [k]
+    (§4.1–§4.2). This functor wraps any {!Consensus_intf.S} implementation
+    into an instance manager that:
+
+    - routes wire messages [(k, m)] to instance [k], creating instances on
+      demand (a recovering or late process may receive traffic for
+      instances it never started — the primitives must be idempotent);
+    - answers [proposal]/[decision] queries straight from stable storage,
+      which is exactly the "log of proposed and agreed values kept
+      internally by Consensus" that the paper's replay procedure parses
+      (§4.2 Recovery);
+    - supports {e truncation} of instances below a floor once the
+      broadcast layer has checkpointed them (§5.1 line (c) / §5.2). A peer
+      asking about a truncated instance is told [Truncated { floor }],
+      which the broadcast layer treats as a lag signal and resolves via
+      state transfer (§5.3). *)
+
+module Make (C : Consensus_intf.S) : sig
+  type msg =
+    | Inst of int * C.msg  (** message of instance [k] *)
+    | Truncated of { floor : int }
+        (** "instances below [floor] are gone here; catch up by state" *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  type t
+
+  val create :
+    msg Abcast_sim.Engine.io ->
+    leader:Abcast_fd.Omega.t ->
+    on_decide:(int -> Consensus_intf.value -> unit) ->
+    on_lag:(int -> unit) ->
+    on_behind:(src:int -> unit) ->
+    t
+  (** [on_decide k v] fires when instance [k] decides at this incarnation;
+      [on_lag floor] fires when a peer reports truncation below [floor];
+      [on_behind ~src] fires when {e this} process detects that peer [src]
+      is asking about an instance we truncated — the broadcast layer must
+      then push it a state transfer, or the peer could block forever
+      waiting for a consensus that no quorum can still run (§5.3). *)
+
+  val propose : t -> int -> Consensus_intf.value -> unit
+  (** Idempotent propose to instance [k] (logs the initial value on first
+      call — paper §3.2). Ignored below the truncation floor. *)
+
+  val proposal : t -> int -> Consensus_intf.value option
+  (** Logged initial value of instance [k], read from stable storage. *)
+
+  val decision : t -> int -> Consensus_intf.value option
+  (** Decided value of instance [k], read from stable storage. *)
+
+  val handle : t -> src:int -> msg -> unit
+
+  val logged_proposal_instances : t -> int list
+  (** All instance numbers with a logged proposal, ascending — the replay
+      procedure's iteration domain. *)
+
+  val floor : t -> int
+  (** Lowest instance whose consensus state is still retained (0 if no
+      truncation ever happened). *)
+
+  val truncate_below : t -> int -> unit
+  (** Discard all stable consensus state of instances [< k] and raise the
+      floor. Only call once the corresponding prefix is covered by a
+      durable checkpoint. *)
+end

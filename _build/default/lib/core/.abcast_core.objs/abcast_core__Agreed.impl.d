@@ -1,0 +1,1 @@
+lib/core/agreed.ml: Format List Payload Vclock

@@ -1,0 +1,1 @@
+lib/core/agreed.mli: Format Payload Vclock

@@ -1,0 +1,1 @@
+lib/core/factory.ml: Abcast_consensus Abcast_sim Option Payload Proto Protocol

@@ -1,0 +1,1 @@
+lib/core/payload.ml: Format List String

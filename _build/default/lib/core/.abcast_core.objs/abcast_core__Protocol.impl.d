@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Abcast_consensus Abcast_fd Abcast_sim Agreed Batch Format Hashtbl List Payload Printf String Vclock

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Abcast_consensus Abcast_fd Abcast_sim Agreed Format Payload Vclock

@@ -1,0 +1,1 @@
+lib/core/stacks.ml: Abcast_consensus Protocol

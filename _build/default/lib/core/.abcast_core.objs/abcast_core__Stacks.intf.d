@@ -1,0 +1,1 @@
+lib/core/stacks.mli: Abcast_consensus Protocol

@@ -1,0 +1,1 @@
+lib/core/vclock.ml: Format List Map Payload

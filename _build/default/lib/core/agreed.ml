@@ -1,0 +1,93 @@
+type t = {
+  mutable base_app : string option;
+  mutable base_len : int;
+  mutable vc : Vclock.t;
+  mutable tail_rev : Payload.t list;
+  mutable tail_len : int;
+}
+
+type repr = {
+  base_app : string option;
+  base_len : int;
+  vc : Vclock.t;
+  tail : Payload.t list;
+}
+
+let create () =
+  { base_app = None; base_len = 0; vc = Vclock.empty; tail_rev = []; tail_len = 0 }
+
+let contains (t : t) id = Vclock.contains t.vc id
+
+let append (t : t) (p : Payload.t) =
+  if contains t p.id then false
+  else begin
+    t.vc <- Vclock.add t.vc p.id;
+    t.tail_rev <- p :: t.tail_rev;
+    t.tail_len <- t.tail_len + 1;
+    true
+  end
+
+let total_len (t : t) = t.base_len + t.tail_len
+
+let tail (t : t) = List.rev t.tail_rev
+
+let vc (t : t) = t.vc
+
+let compact (t : t) ~app_blob =
+  t.base_app <- Some app_blob;
+  t.base_len <- total_len t;
+  t.tail_rev <- [];
+  t.tail_len <- 0
+
+let snapshot (t : t) =
+  { base_app = t.base_app; base_len = t.base_len; vc = t.vc; tail = tail t }
+
+let suffix_snapshot (t : t) ~from_len =
+  if from_len < t.base_len || from_len > total_len t then None
+  else
+    let skip = from_len - t.base_len in
+    Some
+      {
+        base_app = None;
+        base_len = from_len;
+        vc = t.vc;
+        tail = List.filteri (fun i _ -> i >= skip) (tail t);
+      }
+
+let restore (r : repr) =
+  {
+    base_app = r.base_app;
+    base_len = r.base_len;
+    vc = r.vc;
+    tail_rev = List.rev r.tail;
+    tail_len = List.length r.tail;
+  }
+
+let set_to (t : t) (r : repr) =
+  t.base_app <- r.base_app;
+  t.base_len <- r.base_len;
+  t.vc <- r.vc;
+  t.tail_rev <- List.rev r.tail;
+  t.tail_len <- List.length r.tail
+
+let adopt (t : t) (r : repr) =
+  let donor_total = r.base_len + List.length r.tail in
+  let mine = total_len t in
+  if donor_total <= mine then `Deliver []
+  else if mine >= r.base_len then begin
+    (* Our sequence covers the donor's base: the missing messages are a
+       suffix of the donor's tail (total order makes ours a prefix). *)
+    let skip = mine - r.base_len in
+    let missing = List.filteri (fun i _ -> i >= skip) r.tail in
+    set_to t r;
+    `Deliver missing
+  end
+  else begin
+    set_to t r;
+    `Install (r.base_app, r.tail)
+  end
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "agreed<base:%d%s tail:%d>" t.base_len
+    (match t.base_app with Some _ -> "(app)" | None -> "")
+    t.tail_len

@@ -1,0 +1,6 @@
+let encode payloads =
+  Abcast_sim.Storage.encode (Payload.sort_batch payloads)
+
+let decode value : Payload.t list = Abcast_sim.Storage.decode value
+
+let size = String.length

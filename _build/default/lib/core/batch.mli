@@ -1,0 +1,15 @@
+(** Encoding of message batches as consensus values.
+
+    Each round of the protocol proposes its [Unordered] set to consensus
+    as one opaque value (paper §4.1); this module fixes the bijection.
+    Encoding sorts and deduplicates by identity, so equal sets encode to
+    equal byte strings regardless of insertion order — which matters for
+    the idempotent re-propose after recovery (property P4). *)
+
+val encode : Payload.t list -> Abcast_consensus.Consensus_intf.value
+
+val decode : Abcast_consensus.Consensus_intf.value -> Payload.t list
+(** Inverse of {!encode}; the result is sorted by identity. *)
+
+val size : Abcast_consensus.Consensus_intf.value -> int
+(** Encoded size in bytes (for logging/throughput accounting). *)

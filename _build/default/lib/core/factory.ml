@@ -1,0 +1,100 @@
+type consensus = [ `Paxos | `Coord ]
+
+type app_factory = int -> Protocol.app * (Payload.t -> unit)
+
+let basic ?(consensus = `Paxos) ?gossip_period () : Proto.t =
+  let make (module C : Abcast_consensus.Consensus_intf.S) =
+    let module P = Protocol.Make (C) in
+    (module struct
+      let name = "basic/" ^ C.name
+
+      type msg = P.msg
+
+      let msg_size = P.msg_size
+
+      type t = P.Basic.t
+
+      let create io ~deliver =
+        P.Basic.create ?gossip_period io ~on_deliver:deliver
+
+      let broadcast_blocks = true
+
+      let handler = P.Basic.handler
+
+      let broadcast = P.Basic.broadcast
+
+      let round = P.Basic.round
+
+      let delivered_count = P.Basic.delivered_count
+
+      let delivered_tail = P.Basic.delivered_tail
+
+      let delivery_vc = P.Basic.delivery_vc
+
+      let unordered_count = P.Basic.unordered_count
+    end : Proto.S)
+  in
+  match consensus with
+  | `Paxos -> make (module Abcast_consensus.Paxos)
+  | `Coord -> make (module Abcast_consensus.Coord)
+
+let alternative_named label ?(consensus = `Paxos) ?gossip_period
+    ?checkpoint_period ?delta ?early_return ?incremental ?paranoid_log
+    ?window ?trim_state ?app_factory () : Proto.t =
+  let make (module C : Abcast_consensus.Consensus_intf.S) =
+    let module P = Protocol.Make (C) in
+    (module struct
+      let name = label ^ "/" ^ C.name
+
+      type msg = P.msg
+
+      let msg_size = P.msg_size
+
+      type t = P.Alternative.t
+
+      let create io ~deliver =
+        let app, deliver =
+          match app_factory with
+          | None -> (None, deliver)
+          | Some f ->
+            let app, app_deliver = f io.Abcast_sim.Engine.self in
+            ( Some app,
+              fun p ->
+                app_deliver p;
+                deliver p )
+        in
+        P.Alternative.create ?gossip_period ?checkpoint_period ?delta
+          ?early_return ?incremental ?paranoid_log ?window ?trim_state ?app
+          io ~on_deliver:deliver
+
+      let broadcast_blocks = not (Option.value early_return ~default:true)
+
+      let handler = P.Alternative.handler
+
+      let broadcast = P.Alternative.broadcast
+
+      let round = P.Alternative.round
+
+      let delivered_count = P.Alternative.delivered_count
+
+      let delivered_tail = P.Alternative.delivered_tail
+
+      let delivery_vc = P.Alternative.delivery_vc
+
+      let unordered_count = P.Alternative.unordered_count
+    end : Proto.S)
+  in
+  match consensus with
+  | `Paxos -> make (module Abcast_consensus.Paxos)
+  | `Coord -> make (module Abcast_consensus.Coord)
+
+let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
+    ?early_return ?incremental ?paranoid_log ?window ?trim_state ?app_factory
+    () =
+  alternative_named "alt" ?consensus ?gossip_period ?checkpoint_period ?delta
+    ?early_return ?incremental ?paranoid_log ?window ?trim_state ?app_factory
+    ()
+
+let naive ?(consensus = `Paxos) () =
+  alternative_named "naive" ~consensus ~paranoid_log:true ~early_return:true
+    ~incremental:false ()

@@ -1,0 +1,37 @@
+(** Builders of packaged protocol stacks.
+
+    Each function closes a full configuration into a {!Proto.t} that the
+    harness can instantiate per process. The [consensus] argument selects
+    the black box ([`Paxos] default, [`Coord] for E8). *)
+
+type consensus = [ `Paxos | `Coord ]
+
+type app_factory = int -> Protocol.app * (Payload.t -> unit)
+(** Per-process application hook builder, called at every (re)start of
+    process [i] with a fresh application replica: returns the
+    [A-checkpoint]/install hooks and the application's own deliver
+    upcall (composed with the harness's instrumentation). *)
+
+val basic : ?consensus:consensus -> ?gossip_period:int -> unit -> Proto.t
+(** The basic protocol (Fig. 2). *)
+
+val alternative :
+  ?consensus:consensus ->
+  ?gossip_period:int ->
+  ?checkpoint_period:int ->
+  ?delta:int ->
+  ?early_return:bool ->
+  ?incremental:bool ->
+  ?paranoid_log:bool ->
+  ?window:int ->
+  ?trim_state:bool ->
+  ?app_factory:app_factory ->
+  unit ->
+  Proto.t
+(** The alternative protocol (Figs. 3–5); defaults as in
+    {!Protocol.Make.Alternative.create}. *)
+
+val naive : ?consensus:consensus -> unit -> Proto.t
+(** The naive-logging strawman for ablations E1/E6: alternative protocol
+    with a checkpoint after {e every} round and full (non-incremental)
+    [Unordered] re-logging on every broadcast. *)

@@ -1,0 +1,28 @@
+type id = { origin : int; boot : int; seq : int }
+
+let compare_id a b =
+  let c = compare a.origin b.origin in
+  if c <> 0 then c
+  else
+    let c = compare a.boot b.boot in
+    if c <> 0 then c else compare a.seq b.seq
+
+let equal_id a b = compare_id a b = 0
+
+let pp_id ppf { origin; boot; seq } =
+  Format.fprintf ppf "p%d.%d.%d" origin boot seq
+
+type t = { id : id; data : string }
+
+let compare a b = compare_id a.id b.id
+
+let pp ppf t = Format.fprintf ppf "%a(%d bytes)" pp_id t.id (String.length t.data)
+
+let sort_batch batch =
+  let sorted = List.sort compare batch in
+  let rec dedupe = function
+    | a :: b :: rest when equal_id a.id b.id -> dedupe (a :: rest)
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  dedupe sorted

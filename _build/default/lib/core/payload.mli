@@ -1,0 +1,31 @@
+(** Application messages and their identities.
+
+    The paper (§2.2) makes messages unique by tagging them with
+    [(local sequence number, sender identity)]. In the crash-recovery
+    model a sender's volatile sequence counter restarts after a crash, so
+    the identity also carries the sender's boot (incarnation) number — the
+    counter a real system keeps in stable storage and our engine provides
+    as [io.incarnation]. Identities order lexicographically by
+    [(origin, boot, seq)]; this is also the protocol's "predetermined
+    deterministic rule" for placing the messages of one decided batch. *)
+
+type id = { origin : int; boot : int; seq : int }
+
+val compare_id : id -> id -> int
+
+val equal_id : id -> id -> bool
+
+val pp_id : Format.formatter -> id -> unit
+(** Rendered as ["p<origin>.<boot>.<seq>"]. *)
+
+type t = { id : id; data : string }
+(** A message offered to [A-broadcast]. *)
+
+val compare : t -> t -> int
+(** Orders by {!compare_id} (payload bytes never influence order). *)
+
+val pp : Format.formatter -> t -> unit
+
+val sort_batch : t list -> t list
+(** Sort a decided batch by identity and drop duplicate identities — the
+    deterministic insertion rule of Fig. 2. *)

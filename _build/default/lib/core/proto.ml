@@ -1,0 +1,54 @@
+(** First-class protocol stacks.
+
+    Everything above the broadcast layer (harness, experiments, baselines,
+    example applications) manipulates a protocol through this uniform
+    signature, with the wire message type held abstract. A value of type
+    {!t} packages one fully configured stack — protocol variant, consensus
+    implementation, tuning parameters — ready to be instantiated on each
+    process of a simulation; see {!Factory} for ready-made builders. *)
+
+module type S = sig
+  val name : string
+  (** Identifier used in traces and experiment tables,
+      e.g. ["basic/paxos"]. *)
+
+  type msg
+  (** Wire message type of the whole stack. *)
+
+  val msg_size : msg -> int
+  (** Approximate serialized size, for byte accounting. *)
+
+  type t
+  (** Per-process protocol state (one value per incarnation). *)
+
+  val create :
+    msg Abcast_sim.Engine.io -> deliver:(Payload.t -> unit) -> t
+  (** Boot or recover the process; [deliver] is the A-deliver upcall. *)
+
+  val handler : t -> src:int -> msg -> unit
+  (** Incoming-message dispatcher (the engine behaviour). *)
+
+  val broadcast : t -> ?on_agreed:(Payload.id -> unit) -> string -> Payload.id
+  (** [A-broadcast]. *)
+
+  val broadcast_blocks : bool
+  (** Whether [A-broadcast] conceptually blocks its caller until the
+      message reaches the [Agreed] queue (basic protocol, §4.2) rather
+      than returning as soon as the [Unordered] set is logged
+      (alternative protocol with early return, §5.4). Workload generators
+      use this to model when a closed-loop client may continue. *)
+
+  val round : t -> int
+
+  val delivered_count : t -> int
+
+  val delivered_tail : t -> Payload.t list
+
+  val delivery_vc : t -> Vclock.t
+
+  val unordered_count : t -> int
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name

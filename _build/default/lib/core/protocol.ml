@@ -1,0 +1,500 @@
+module Engine = Abcast_sim.Engine
+module Storage = Abcast_sim.Storage
+module Metrics = Abcast_sim.Metrics
+module Heartbeat = Abcast_fd.Heartbeat
+module Omega = Abcast_fd.Omega
+
+let layer = "abcast"
+
+let checkpoint_key = "ab/checkpoint"
+
+let unordered_slot_key = "ab/unordered"
+
+let unordered_item_key (id : Payload.id) =
+  Printf.sprintf "ab/u/%d.%d.%d" id.origin id.boot id.seq
+
+(* Application-level checkpoint hooks (§5.2, Fig. 5). Shared by every
+   functor instantiation so that generic harness code can build them. *)
+type app = { checkpoint : unit -> string; install : string -> unit }
+
+module Make (C : Abcast_consensus.Consensus_intf.S) = struct
+  module M = Abcast_consensus.Multi.Make (C)
+
+  type msg =
+    | Gossip of { k : int; len : int; unordered : Payload.t list }
+    | State of { k : int; floor : int; agreed : Agreed.repr }
+    | Cons of M.msg
+    | Fd of Heartbeat.msg
+
+  let pp_msg ppf = function
+    | Gossip { k; len; unordered } ->
+      Format.fprintf ppf "gossip(k%d,len%d,|U|=%d)" k len (List.length unordered)
+    | State { k; _ } -> Format.fprintf ppf "state(k%d)" k
+    | Cons m -> M.pp_msg ppf m
+    | Fd m -> Heartbeat.pp_msg ppf m
+
+  let msg_size (m : msg) = String.length (Storage.encode m)
+
+  (* ----------------------------------------------------------------- *)
+  (* The parameterized node: both the basic protocol (Fig. 2) and the
+     alternative protocol (Figs. 3-4) are configurations of it. *)
+
+  type mode = {
+    gossip_period : int;
+    checkpoint_period : int option; (* None = basic: never checkpoint *)
+    delta : int option; (* None = basic: no state transfer *)
+    early_return : bool;
+    incremental : bool;
+    paranoid_log : bool; (* naive strawman: checkpoint every round *)
+    window : int; (* max consensus instances proposed ahead (>= 1) *)
+    trim_state : bool; (* ship only the suffix the recipient lacks (§5.3) *)
+    app : app option;
+  }
+
+  let basic_mode =
+    {
+      gossip_period = 3_000;
+      checkpoint_period = None;
+      delta = None;
+      early_return = false;
+      incremental = false;
+      paranoid_log = false;
+      window = 1;
+      trim_state = false;
+      app = None;
+    }
+
+  type node = {
+    io : msg Engine.io;
+    mode : mode;
+    on_deliver : Payload.t -> unit;
+    hb : Heartbeat.t;
+    multi : M.t;
+    mutable agreed : Agreed.t;
+    mutable k : int;
+    unordered : (Payload.id, Payload.t) Hashtbl.t;
+    logged_unordered : (Payload.id, unit) Hashtbl.t; (* keys on stable storage *)
+    mutable gossip_k : int;
+    mutable seq : int; (* local broadcast counter, volatile *)
+    pending : (Payload.id, int * (Payload.id -> unit) option) Hashtbl.t;
+    own_props : (int, Payload.id list) Hashtbl.t;
+        (* ids inside our own not-yet-decided proposals (window > 1) *)
+    ck_slot : (int * Agreed.repr) Storage.Slot.slot;
+    unordered_full_slot : Payload.t list Storage.Slot.slot;
+  }
+
+  let unordered_list t =
+    Hashtbl.fold (fun _ p acc -> p :: acc) t.unordered []
+    |> List.sort Payload.compare
+
+  (* --- Unordered-set durability (alternative protocol, §5.4/§5.5) --- *)
+
+  let log_unordered_add t (p : Payload.t) =
+    if t.mode.early_return then
+      if t.mode.incremental then begin
+        (* §5.5: log only the new part — one small write per message. *)
+        Storage.write t.io.store ~layer ~key:(unordered_item_key p.id)
+          (Storage.encode p);
+        Hashtbl.replace t.logged_unordered p.id ()
+      end
+      else begin
+        (* Full re-log of the whole set on every change. *)
+        Storage.Slot.set t.unordered_full_slot (unordered_list t);
+        Hashtbl.replace t.logged_unordered p.id ()
+      end
+
+  let cleanup_unordered_log t =
+    if t.mode.early_return then
+      if t.mode.incremental then
+        Hashtbl.iter
+          (fun id () ->
+            if not (Hashtbl.mem t.unordered id) then begin
+              Storage.delete t.io.store ~layer (unordered_item_key id);
+              Hashtbl.remove t.logged_unordered id
+            end)
+          (Hashtbl.copy t.logged_unordered)
+      else if Hashtbl.length t.logged_unordered > Hashtbl.length t.unordered
+      then begin
+        Storage.Slot.set t.unordered_full_slot (unordered_list t);
+        Hashtbl.reset t.logged_unordered;
+        Hashtbl.iter (fun id _ -> Hashtbl.replace t.logged_unordered id ())
+          t.unordered
+      end
+
+  let restore_unordered t =
+    if t.mode.early_return then
+      if t.mode.incremental then
+        Storage.keys_with_prefix t.io.store "ab/u/"
+        |> List.iter (fun key ->
+               match Storage.read t.io.store key with
+               | None -> ()
+               | Some blob ->
+                 let p : Payload.t = Storage.decode blob in
+                 Hashtbl.replace t.logged_unordered p.id ();
+                 if not (Agreed.contains t.agreed p.id) then
+                   Hashtbl.replace t.unordered p.id p)
+      else
+        match Storage.Slot.get t.unordered_full_slot with
+        | None -> ()
+        | Some ps ->
+          List.iter
+            (fun (p : Payload.t) ->
+              Hashtbl.replace t.logged_unordered p.id ();
+              if not (Agreed.contains t.agreed p.id) then
+                Hashtbl.replace t.unordered p.id p)
+            ps
+
+  (* --- Delivery ----------------------------------------------------- *)
+
+  let deliver_one t (p : Payload.t) =
+    Metrics.incr t.io.metrics ~node:t.io.self "ab_delivered";
+    (match Hashtbl.find_opt t.pending p.id with
+    | Some (t0, cb) ->
+      Hashtbl.remove t.pending p.id;
+      Metrics.observe t.io.metrics ~node:t.io.self "lat_deliver"
+        (float_of_int (t.io.now () - t0));
+      (match cb with Some f -> f p.id | None -> ())
+    | None -> ());
+    Hashtbl.remove t.unordered p.id;
+    t.on_deliver p
+
+  (* --- Checkpointing (§5.1/§5.2) ------------------------------------ *)
+
+  let do_checkpoint t =
+    (match t.mode.app with
+    | Some app -> Agreed.compact t.agreed ~app_blob:(app.checkpoint ())
+    | None -> ());
+    Storage.Slot.set t.ck_slot (t.k, Agreed.snapshot t.agreed);
+    M.truncate_below t.multi t.k;
+    cleanup_unordered_log t;
+    t.io.emit
+      (Printf.sprintf "checkpoint at k=%d (len %d)" t.k
+         (Agreed.total_len t.agreed))
+
+  (* --- Sequencer (Fig. 2; windowed extension) ------------------------ *)
+
+  (* Is some unordered message absent from every outstanding proposal of
+     ours?  Opening a further instance is only useful then. *)
+  let has_uncovered t =
+    let covered = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ ids -> List.iter (fun id -> Hashtbl.replace covered id ()) ids)
+      t.own_props;
+    Hashtbl.fold
+      (fun id _ acc -> acc || not (Hashtbl.mem covered id))
+      t.unordered false
+
+  let propose_at t j =
+    (* Always propose the FULL Unordered set: every proposal then carries
+       complete per-stream prefixes, which keeps delivery FIFO per stream
+       even when a later instance decides while an earlier one chose a
+       competing (possibly empty) proposal. Duplicates across instances
+       are removed at delivery, as the paper's idempotence requires. *)
+    let batch = unordered_list t in
+    Hashtbl.replace t.own_props j (List.map (fun (p : Payload.t) -> p.id) batch);
+    M.propose t.multi j (Batch.encode batch)
+
+  let maybe_propose t =
+    (* Walk the window: instances are opened strictly in order (the first
+       locally unproposed, undecided instance), so no instance is ever
+       skipped and every one eventually runs a consensus. *)
+    let rec walk j =
+      if j < t.k + t.mode.window then
+        match (M.decision t.multi j, M.proposal t.multi j) with
+        | Some _, _ | None, Some _ -> walk (j + 1)
+        | None, None ->
+          let trigger =
+            if j = t.k then Hashtbl.length t.unordered > 0 || t.gossip_k > t.k
+            else Hashtbl.length t.unordered > 0 && has_uncovered t
+          in
+          if trigger then propose_at t j
+    in
+    walk t.k
+
+  let apply_decision t v =
+    let batch = Batch.decode v in
+    List.iter
+      (fun (p : Payload.t) ->
+        if Agreed.append t.agreed p then deliver_one t p
+        else Hashtbl.remove t.unordered p.id)
+      batch;
+    Hashtbl.remove t.own_props t.k;
+    t.k <- t.k + 1;
+    if t.mode.paranoid_log then do_checkpoint t
+
+  let rec drain_decisions t =
+    match M.decision t.multi t.k with
+    | Some v ->
+      apply_decision t v;
+      drain_decisions t
+    | None -> maybe_propose t
+
+  (* --- State transfer (§5.3) ---------------------------------------- *)
+
+  let send_state ?for_len t dst =
+    let agreed =
+      match for_len with
+      | Some len when t.mode.trim_state -> (
+        match Agreed.suffix_snapshot t.agreed ~from_len:len with
+        | Some trimmed -> trimmed
+        | None -> Agreed.snapshot t.agreed)
+      | _ -> Agreed.snapshot t.agreed
+    in
+    Metrics.add t.io.metrics ~node:t.io.self "state_bytes_sent"
+      (String.length (Storage.encode agreed));
+    Metrics.incr t.io.metrics ~node:t.io.self "state_sent";
+    t.io.send dst (State { k = t.k; floor = M.floor t.multi; agreed })
+
+  let on_state t ~src:_ ks ~floor (repr : Agreed.repr) =
+    (* Adopt when the de-synchronization exceeds the tuning knob, or
+       unconditionally when we sit below the donor's truncation floor —
+       the consensus instances we would need to replay no longer exist
+       there, so state transfer is the only way forward (§5.3). *)
+    match t.mode.delta with
+    | Some delta when t.k < ks && (t.k < ks - delta || t.k < floor) ->
+      t.io.emit (Printf.sprintf "state transfer: k %d -> %d" t.k ks);
+      (* "Terminate task sequencer": in-flight decisions below [ks] are
+         ignored from now on because [t.k] jumps past them. *)
+      (match Agreed.adopt t.agreed repr with
+      | `Deliver ps -> List.iter (deliver_one t) ps
+      | `Install (blob, ps) ->
+        (match (t.mode.app, blob) with
+        | Some app, Some b -> app.install b
+        | _, None -> assert (repr.base_len = 0)
+        | None, Some _ ->
+          invalid_arg "state transfer: checkpointed donor but no app hook");
+        List.iter (deliver_one t) ps);
+      t.k <- ks;
+      Hashtbl.iter
+        (fun j _ -> if j < ks then Hashtbl.remove t.own_props j)
+        (Hashtbl.copy t.own_props);
+      Hashtbl.iter
+        (fun id _ ->
+          if Agreed.contains t.agreed id then Hashtbl.remove t.unordered id)
+        (Hashtbl.copy t.unordered);
+      (* Persist the jump: replay must not restart below the donor's
+         floor, whose consensus state may be truncated. *)
+      Storage.Slot.set t.ck_slot (t.k, Agreed.snapshot t.agreed);
+      Metrics.incr t.io.metrics ~node:t.io.self "state_transfers_applied";
+      drain_decisions t
+    | _ ->
+      (* Small de-synchronization: treat like a gossip round hint. *)
+      if ks > t.k then t.gossip_k <- max t.gossip_k ks
+
+  (* --- Gossip task (§4.2) ------------------------------------------- *)
+
+  let rec gossip_loop t =
+    t.io.multisend
+      (Gossip
+         { k = t.k; len = Agreed.total_len t.agreed; unordered = unordered_list t });
+    t.io.after t.mode.gossip_period (fun () -> gossip_loop t)
+
+  let on_gossip t ~src kq ~len_q uq =
+    List.iter
+      (fun (p : Payload.t) ->
+        if
+          (not (Agreed.contains t.agreed p.id))
+          && not (Hashtbl.mem t.unordered p.id)
+        then Hashtbl.replace t.unordered p.id p)
+      uq;
+    if kq > t.k then t.gossip_k <- max t.gossip_k kq;
+    (match t.mode.delta with
+    | Some delta when t.k > kq + delta -> send_state ~for_len:len_q t src
+    | _ -> ());
+    drain_decisions t
+
+  (* --- A-broadcast --------------------------------------------------- *)
+
+  let broadcast t ?on_agreed data =
+    let id = { Payload.origin = t.io.self; boot = t.io.incarnation; seq = t.seq } in
+    t.seq <- t.seq + 1;
+    let p = { Payload.id; data } in
+    Hashtbl.replace t.unordered id p;
+    Hashtbl.replace t.pending id (t.io.now (), on_agreed);
+    Metrics.incr t.io.metrics ~node:t.io.self "ab_broadcasts";
+    log_unordered_add t p;
+    maybe_propose t;
+    id
+
+  (* --- Recovery (§4.2 "Recovery", §5.1) ------------------------------ *)
+
+  let recover t =
+    (match Storage.Slot.get t.ck_slot with
+    | Some (k, repr) ->
+      t.k <- k;
+      t.agreed <- Agreed.restore repr;
+      (match (t.mode.app, repr.base_app) with
+      | Some app, Some blob -> app.install blob
+      | _ -> ());
+      (* The upper layer is volatile: re-deliver the explicit tail so it
+         rebuilds its state on top of the installed checkpoint. *)
+      List.iter (deliver_one t) (Agreed.tail t.agreed)
+    | None -> ());
+    restore_unordered t;
+    (* Replay: walk the consensus log upward from the checkpoint. *)
+    let rec replay () =
+      match M.decision t.multi t.k with
+      | Some v ->
+        apply_decision t v;
+        Metrics.incr t.io.metrics ~node:t.io.self "replay_rounds";
+        replay ()
+      | None -> ()
+    in
+    replay ();
+    (* Re-propose every logged, still-undecided proposal — with a window
+       there can be several in flight (idempotent, P4) — and rebuild the
+       volatile record of what they contain. *)
+    List.iter
+      (fun j ->
+        if j >= t.k && M.decision t.multi j = None then
+          match M.proposal t.multi j with
+          | Some v ->
+            Hashtbl.replace t.own_props j
+              (List.map (fun (p : Payload.t) -> p.id) (Batch.decode v));
+            M.propose t.multi j v
+          | None -> ())
+      (M.logged_proposal_instances t.multi)
+
+  let create_node io mode ~on_deliver =
+    let tref = ref None in
+    let with_t f = match !tref with Some t -> f t | None -> () in
+    let hb = Heartbeat.create (Engine.map_io (fun m -> Fd m) io) in
+    let multi =
+      M.create
+        (Engine.map_io (fun m -> Cons m) io)
+        ~leader:(Omega.of_heartbeat hb)
+        ~on_decide:(fun k _v -> with_t (fun t -> if k = t.k then drain_decisions t))
+        ~on_lag:(fun floor ->
+          with_t (fun t -> if floor > t.k then t.gossip_k <- max t.gossip_k floor))
+        ~on_behind:(fun ~src -> with_t (fun t -> send_state t src))
+    in
+    let store = io.Engine.store in
+    let t =
+      {
+        io;
+        mode;
+        on_deliver;
+        hb;
+        multi;
+        agreed = Agreed.create ();
+        k = 0;
+        unordered = Hashtbl.create 32;
+        logged_unordered = Hashtbl.create 32;
+        gossip_k = 0;
+        seq = 0;
+        pending = Hashtbl.create 32;
+        own_props = Hashtbl.create 8;
+        ck_slot = Storage.Slot.make store ~layer ~key:checkpoint_key;
+        unordered_full_slot =
+          Storage.Slot.make store ~layer ~key:unordered_slot_key;
+      }
+    in
+    tref := Some t;
+    recover t;
+    gossip_loop t;
+    (match mode.checkpoint_period with
+    | Some period ->
+      let rec checkpoint_loop () =
+        t.io.after period (fun () ->
+            do_checkpoint t;
+            checkpoint_loop ())
+      in
+      checkpoint_loop ()
+    | None -> ());
+    t
+
+  let node_handler t ~src msg =
+    let count kind = Metrics.incr t.io.metrics ~node:t.io.self ("rx." ^ kind) in
+    match msg with
+    | Gossip { k; len; unordered } ->
+      count "gossip";
+      on_gossip t ~src k ~len_q:len unordered
+    | State { k; floor; agreed } ->
+      count "state";
+      on_state t ~src k ~floor agreed
+    | Cons m ->
+      count "consensus";
+      M.handle t.multi ~src m
+    | Fd m ->
+      count "fd";
+      Heartbeat.handle t.hb ~src m
+
+  module type NODE = sig
+    type t
+
+    val handler : t -> src:int -> msg -> unit
+
+    val broadcast : t -> ?on_agreed:(Payload.id -> unit) -> string -> Payload.id
+
+    val round : t -> int
+
+    val unordered_count : t -> int
+
+    val delivered_count : t -> int
+
+    val delivered_tail : t -> Payload.t list
+
+    val delivery_vc : t -> Vclock.t
+
+    val agreed_snapshot : t -> Agreed.repr
+  end
+
+  module Node_ops = struct
+    type t = node
+
+    let handler = node_handler
+
+    let broadcast = broadcast
+
+    let round t = t.k
+
+    let unordered_count t = Hashtbl.length t.unordered
+
+    let delivered_count t = Agreed.total_len t.agreed
+
+    let delivered_tail t = Agreed.tail t.agreed
+
+    let delivery_vc t = Agreed.vc t.agreed
+
+    let agreed_snapshot t = Agreed.snapshot t.agreed
+  end
+
+  module Basic = struct
+    include Node_ops
+
+    let create ?(gossip_period = 3_000) io ~on_deliver =
+      create_node io { basic_mode with gossip_period } ~on_deliver
+  end
+
+  module Alternative = struct
+    include Node_ops
+
+    type nonrec app = app = {
+      checkpoint : unit -> string;
+      install : string -> unit;
+    }
+
+    let create ?(gossip_period = 3_000) ?(checkpoint_period = 50_000)
+        ?(delta = 4) ?(early_return = true) ?(incremental = true)
+        ?(paranoid_log = false) ?(window = 1) ?(trim_state = true) ?app io
+        ~on_deliver =
+      if window < 1 then invalid_arg "Alternative.create: window must be >= 1";
+      create_node io
+        {
+          gossip_period;
+          checkpoint_period = Some checkpoint_period;
+          delta = Some delta;
+          early_return;
+          incremental;
+          paranoid_log;
+          window;
+          trim_state;
+          app;
+        }
+        ~on_deliver
+
+    let checkpoint_now = do_checkpoint
+
+    let floor t = M.floor t.multi
+  end
+end

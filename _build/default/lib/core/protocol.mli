@@ -1,0 +1,159 @@
+(** The paper's Atomic Broadcast protocols, as a functor over the
+    Consensus building block.
+
+    [Make (C)] instantiates the whole stack over one consensus
+    implementation — the paper's central design point is that [C] is a
+    black box ({!Abcast_consensus.Consensus_intf.S}); swapping
+    {!Abcast_consensus.Paxos} for {!Abcast_consensus.Coord} changes
+    nothing above this line (experiment E8).
+
+    Two protocol variants are exposed:
+
+    - {!Make.Basic} — Fig. 2: minimal logging. The only stable-storage
+      write above consensus is… none: the proposal log is the consensus's
+      own initial-value write (§4.3). Recovery replays every logged round.
+    - {!Make.Alternative} — Figs. 3–5: periodic [(k, Agreed)] checkpoints
+      (§5.1), application-level checkpoints with vector clocks bounding
+      log size (§5.2), state transfer with tunable Δ (§5.3), early-return
+      [A-broadcast] that logs the [Unordered] set for batching (§5.4), and
+      incremental logging (§5.5).
+
+    Both satisfy Validity, Integrity, Termination and Total Order (§2.2);
+    the test suite checks these over adversarial crash/recovery
+    schedules. *)
+
+type app = { checkpoint : unit -> string; install : string -> unit }
+(** Application hooks for application-level checkpointing (§5.2, Fig. 5).
+    [checkpoint] is the [A-checkpoint] upcall returning the serialized
+    application state; [install] resets the application to a received
+    checkpoint (recovery and state transfer). Shared across all functor
+    instantiations. *)
+
+module Make (C : Abcast_consensus.Consensus_intf.S) : sig
+  module M : module type of Abcast_consensus.Multi.Make (C)
+
+  (** Wire messages of the whole stack: protocol gossip and state
+      transfer, plus encapsulated consensus and failure-detector
+      traffic. *)
+  type msg =
+    | Gossip of { k : int; len : int; unordered : Payload.t list }
+        (** periodic [gossip(k_p, Unordered_p)] multisend (§4.2); [len] is
+            the sender's delivered-sequence length, letting a state-
+            transfer donor ship only the missing suffix (§5.3) *)
+    | State of { k : int; floor : int; agreed : Agreed.repr }
+        (** state transfer for late processes (§5.3); [floor] is the
+            sender's consensus truncation floor — a receiver below it must
+            adopt the state regardless of Δ, because the consensus
+            instances it is missing can no longer be re-run *)
+    | Cons of M.msg  (** consensus instance traffic *)
+    | Fd of Abcast_fd.Heartbeat.msg  (** failure-detector heartbeats *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val msg_size : msg -> int
+  (** Approximate wire size in bytes, for network accounting. *)
+
+  (** Operations common to both protocol variants. *)
+  module type NODE = sig
+    type t
+
+    val handler : t -> src:int -> msg -> unit
+    (** The incoming-message dispatcher to register as the engine
+        behaviour of this process. *)
+
+    val broadcast : t -> ?on_agreed:(Payload.id -> unit) -> string -> Payload.id
+    (** [A-broadcast]: hand a message to the protocol. Returns its
+        identity immediately; [on_agreed] fires when the message enters
+        the [Agreed] queue locally (the basic protocol's completion
+        point, §4.2). *)
+
+    val round : t -> int
+    (** Current consensus round [k_p]. *)
+
+    val unordered_count : t -> int
+    (** Size of the [Unordered] set. *)
+
+    val delivered_count : t -> int
+    (** Length of the whole delivery sequence (including any checkpointed
+        prefix). *)
+
+    val delivered_tail : t -> Payload.t list
+    (** Explicit (non-checkpointed) suffix of the delivery sequence —
+      [A-deliver-sequence()] (§2.2). *)
+
+    val delivery_vc : t -> Vclock.t
+    (** Vector clock covering every delivered message. *)
+
+    val agreed_snapshot : t -> Agreed.repr
+    (** Snapshot of the [Agreed] queue (tests, state inspection). *)
+  end
+
+  (** The basic protocol (Fig. 2): minimal logging, full replay on
+      recovery. *)
+  module Basic : sig
+    include NODE
+
+    val create :
+      ?gossip_period:int ->
+      msg Abcast_sim.Engine.io ->
+      on_deliver:(Payload.t -> unit) ->
+      t
+    (** Boot or recover this process. Recovery runs the replay procedure:
+        it parses the consensus proposal/decision log, rebuilds [Agreed],
+        re-delivers (calling [on_deliver] from the start — the upper layer
+        is volatile too) and re-proposes the in-flight round (§4.2).
+        [gossip_period] defaults to 3_000 simulated µs. *)
+  end
+
+  (** The alternative protocol (Figs. 3–5). *)
+  module Alternative : sig
+    include NODE
+
+    type nonrec app = app = {
+      checkpoint : unit -> string;
+      install : string -> unit;
+    }
+
+    val create :
+      ?gossip_period:int ->
+      ?checkpoint_period:int ->
+      ?delta:int ->
+      ?early_return:bool ->
+      ?incremental:bool ->
+      ?paranoid_log:bool ->
+      ?window:int ->
+      ?trim_state:bool ->
+      ?app:app ->
+      msg Abcast_sim.Engine.io ->
+      on_deliver:(Payload.t -> unit) ->
+      t
+    (** Boot or recover. Defaults: [checkpoint_period = 50_000] µs,
+        [delta = 4] rounds (the paper's Δ), [early_return = true] (log
+        [Unordered] on broadcast and complete immediately, §5.4),
+        [incremental = true] (log only the new part, §5.5),
+        [paranoid_log = false] ([true] turns the node into the
+        naive-logging strawman used by experiments E1/E6: it checkpoints
+        after every round). Without [app], checkpoints store the full
+        message sequence; with it, the prefix is replaced by the
+        application state and the consensus log is truncated (§5.2).
+
+        [trim_state] (default true) applies the §5.3 optimization: a
+        state transfer triggered by a gossip carries only the suffix the
+        recipient is missing (falling back to the full snapshot when the
+        missing prefix reaches into a compacted checkpoint).
+
+        [window] (default 1 — the paper's strictly sequential sequencer)
+        is an extension: up to [window] consensus instances may run
+        concurrently. Instances are opened in order and each proposal
+        carries the full current [Unordered] set, which preserves the
+        per-stream FIFO delivery invariant (a later instance can decide a
+        superset of an earlier instance's losing proposal, never a
+        gap). Deliveries still happen strictly in instance order. *)
+
+    val checkpoint_now : t -> unit
+    (** Force a checkpoint immediately (tests and examples). *)
+
+    val floor : t -> int
+    (** Consensus truncation floor (0 until a checkpoint truncates). *)
+  end
+end

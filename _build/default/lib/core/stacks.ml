@@ -1,0 +1,3 @@
+module Over_paxos = Protocol.Make (Abcast_consensus.Paxos)
+
+module Over_coord = Protocol.Make (Abcast_consensus.Coord)

@@ -1,0 +1,10 @@
+(** Ready-made protocol stacks.
+
+    Convenience instantiations of {!Protocol.Make} over the two consensus
+    implementations. Experiment E8 runs the same workloads over both to
+    demonstrate that the broadcast layer treats consensus as a black
+    box. *)
+
+module Over_paxos : module type of Protocol.Make (Abcast_consensus.Paxos)
+
+module Over_coord : module type of Protocol.Make (Abcast_consensus.Coord)

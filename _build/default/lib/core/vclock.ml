@@ -1,0 +1,34 @@
+module Stream_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = int Stream_map.t
+
+let empty = Stream_map.empty
+
+let contains t (id : Payload.id) =
+  match Stream_map.find_opt (id.origin, id.boot) t with
+  | Some s -> id.seq <= s
+  | None -> false
+
+let add t (id : Payload.id) =
+  let key = (id.origin, id.boot) in
+  let expected =
+    match Stream_map.find_opt key t with Some s -> s + 1 | None -> 0
+  in
+  if id.seq <> expected then
+    invalid_arg
+      (Format.asprintf "Vclock.add: %a breaks FIFO (expected seq %d)"
+         Payload.pp_id id expected);
+  Stream_map.add key id.seq t
+
+let streams t = Stream_map.bindings t
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  List.iter
+    (fun ((o, b), s) -> Format.fprintf ppf " p%d.%d<=%d" o b s)
+    (streams t);
+  Format.fprintf ppf " }"

@@ -1,0 +1,25 @@
+(** Checkpoint vector clocks (paper §5.2).
+
+    A vector clock summarizes which messages are logically contained in an
+    application checkpoint: for each [(origin, boot)] stream it records the
+    highest delivered sequence number. The summary is exact because the
+    protocol delivers each stream's messages in sequence order — an
+    invariant that follows from gossip carrying whole [Unordered] sets (a
+    gossip that carries seq [s] of a stream also carries every smaller
+    not-yet-agreed seq), and that {!Agreed} asserts at every append. *)
+
+type t
+
+val empty : t
+
+val contains : t -> Payload.id -> bool
+(** Whether the identified message is covered by the clock. *)
+
+val add : t -> Payload.id -> t
+(** Record a delivery. Raises [Invalid_argument] if it would run a stream
+    backwards or leave a gap (protocol-invariant violation). *)
+
+val streams : t -> ((int * int) * int) list
+(** [((origin, boot), max_seq)] entries, sorted (for tests/inspection). *)
+
+val pp : Format.formatter -> t -> unit

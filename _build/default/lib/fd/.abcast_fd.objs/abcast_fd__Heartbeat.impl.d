@@ -1,0 +1,1 @@
+lib/fd/heartbeat.ml: Abcast_sim Array Format

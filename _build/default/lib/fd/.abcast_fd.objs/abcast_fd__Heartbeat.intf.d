@@ -1,0 +1,1 @@
+lib/fd/heartbeat.mli: Abcast_sim Format

@@ -1,0 +1,5 @@
+type t = unit -> int
+
+let of_heartbeat hb () = Heartbeat.leader hb
+
+let fixed i () = i

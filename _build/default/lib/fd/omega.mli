@@ -1,0 +1,18 @@
+(** The Ω (eventual leader) oracle interface.
+
+    A thin, implementation-agnostic view over a failure detector: consensus
+    protocols take a [unit -> int] leader estimate rather than a concrete
+    detector, mirroring the paper's insistence (§3.5, §7) that nothing in
+    the stack above consensus is bound to a particular failure-detection
+    mechanism. *)
+
+type t = unit -> int
+(** A leader oracle: each call returns the current leader estimate. In a
+    run where the system eventually stabilizes, all good processes' oracles
+    eventually agree forever on one good process. *)
+
+val of_heartbeat : Heartbeat.t -> t
+(** The oracle backed by a {!Heartbeat} detector. *)
+
+val fixed : int -> t
+(** A constant oracle (unit tests / degenerate scenarios). *)

@@ -1,0 +1,1 @@
+lib/harness/checks.ml: Abcast_core Array Cluster Format Hashtbl List Printf Result

@@ -1,0 +1,1 @@
+lib/harness/checks.mli: Abcast_core Cluster

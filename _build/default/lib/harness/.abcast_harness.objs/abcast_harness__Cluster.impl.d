@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Abcast_core Abcast_sim Array Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Abcast_core Abcast_sim

@@ -1,0 +1,1 @@
+lib/harness/lemmas.ml: Abcast_consensus Abcast_core Abcast_sim Cluster Format Hashtbl List Printf String

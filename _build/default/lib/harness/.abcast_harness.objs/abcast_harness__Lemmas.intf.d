@@ -1,0 +1,1 @@
+lib/harness/lemmas.mli: Cluster

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Buffer Float List Option Printf String

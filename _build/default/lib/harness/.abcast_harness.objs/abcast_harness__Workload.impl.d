@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Abcast_util Array Char Cluster String

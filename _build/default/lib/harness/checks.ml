@@ -1,0 +1,192 @@
+module Payload = Abcast_core.Payload
+
+let ( let* ) = Result.bind
+
+let integrity seq =
+  let tbl = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> Ok ()
+    | (p : Payload.t) :: rest ->
+      if Hashtbl.mem tbl p.id then
+        Error (Format.asprintf "integrity: %a delivered twice" Payload.pp_id p.id)
+      else begin
+        Hashtbl.add tbl p.id ();
+        go rest
+      end
+  in
+  go seq
+
+let is_prefix a b =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | (x : Payload.t) :: xs, (y : Payload.t) :: ys ->
+      Payload.equal_id x.id y.id && go (xs, ys)
+  in
+  go (a, b)
+
+let total_order seqs =
+  let arr = Array.of_list seqs in
+  let n = Array.length arr in
+  let rec pairs i j =
+    if i >= n then Ok ()
+    else if j >= n then pairs (i + 1) (i + 2)
+    else
+      let a = arr.(i) and b = arr.(j) in
+      if is_prefix a b || is_prefix b a then pairs i (j + 1)
+      else
+        Error
+          (Printf.sprintf
+             "total order: sequences %d and %d are not prefix-related" i j)
+  in
+  pairs 0 1
+
+let validity ~known seq =
+  let rec go = function
+    | [] -> Ok ()
+    | (p : Payload.t) :: rest ->
+      if known p.id then go rest
+      else
+        Error
+          (Format.asprintf "validity: %a was never broadcast" Payload.pp_id
+             p.id)
+  in
+  go seq
+
+let termination ~completed ~good_sequences =
+  let delivered_sets =
+    List.map
+      (fun seq ->
+        let tbl = Hashtbl.create 64 in
+        List.iter (fun (p : Payload.t) -> Hashtbl.replace tbl p.id ()) seq;
+        tbl)
+      good_sequences
+  in
+  (* (1) completed broadcasts reach every good process *)
+  let rec check_completed = function
+    | [] -> Ok ()
+    | id :: rest ->
+      if List.for_all (fun tbl -> Hashtbl.mem tbl id) delivered_sets then
+        check_completed rest
+      else
+        Error
+          (Format.asprintf
+             "termination: completed broadcast %a missing at a good process"
+             Payload.pp_id id)
+  in
+  let* () = check_completed completed in
+  (* (2) anything delivered at one good process is delivered at all *)
+  let union = Hashtbl.create 64 in
+  List.iter
+    (fun tbl -> Hashtbl.iter (fun id () -> Hashtbl.replace union id ()) tbl)
+    delivered_sets;
+  let missing =
+    Hashtbl.fold
+      (fun id () acc ->
+        if List.for_all (fun tbl -> Hashtbl.mem tbl id) delivered_sets then acc
+        else id :: acc)
+      union []
+  in
+  match missing with
+  | [] -> Ok ()
+  | id :: _ ->
+    Error
+      (Format.asprintf
+         "termination: %a delivered at some good process but not all"
+         Payload.pp_id id)
+
+let obligations cluster ~good =
+  let sent = Cluster.sent cluster in
+  List.filter_map
+    (fun ((id : Payload.id), c) ->
+      if c && List.mem id.origin good then Some id else None)
+    sent
+  @ Cluster.ever_delivered cluster
+
+let all_compacted ~cluster ~good () =
+  let module Vclock = Abcast_core.Vclock in
+  let clocks = List.map (fun i -> (i, Cluster.delivery_vc cluster i)) good in
+  (* termination: every obligation is contained in every good clock *)
+  let rec check_terminated = function
+    | [] -> Ok ()
+    | id :: rest ->
+      if List.for_all (fun (_, vc) -> Vclock.contains vc id) clocks then
+        check_terminated rest
+      else
+        Error
+          (Format.asprintf "termination: %a missing at a good process"
+             Payload.pp_id id)
+  in
+  let* () = check_terminated (obligations cluster ~good) in
+  (* validity: clocks never exceed what was actually broadcast *)
+  let sent_max = Hashtbl.create 64 in
+  List.iter
+    (fun ((id : Payload.id), _) ->
+      let key = (id.origin, id.boot) in
+      match Hashtbl.find_opt sent_max key with
+      | Some s when s >= id.seq -> ()
+      | _ -> Hashtbl.replace sent_max key id.seq)
+    (Cluster.sent cluster);
+  let rec check_valid = function
+    | [] -> Ok ()
+    | (i, vc) :: rest ->
+      let bad =
+        List.find_opt
+          (fun ((origin, boot), seq) ->
+            match Hashtbl.find_opt sent_max (origin, boot) with
+            | Some max_seq -> seq > max_seq
+            | None -> ignore origin; ignore boot; true)
+          (Vclock.streams vc)
+      in
+      (match bad with
+      | Some ((o, b), s) ->
+        Error
+          (Printf.sprintf
+             "validity: p%d delivered p%d.%d.%d which was never broadcast" i o
+             b s)
+      | None -> check_valid rest)
+  in
+  let* () = check_valid clocks in
+  (* agreement at quiescence: same count, same clock *)
+  match clocks with
+  | [] -> Ok ()
+  | (first, vc0) :: rest ->
+    let c0 = Cluster.delivered_count cluster first in
+    let rec check_agree = function
+      | [] -> Ok ()
+      | (i, vc) :: tl ->
+        if Cluster.delivered_count cluster i <> c0 then
+          Error
+            (Printf.sprintf "agreement: p%d and p%d quiesced at different counts"
+               first i)
+        else if Vclock.streams vc <> Vclock.streams vc0 then
+          Error
+            (Printf.sprintf "agreement: p%d and p%d delivered different sets"
+               first i)
+        else check_agree tl
+    in
+    check_agree rest
+
+let all ~cluster ~good () =
+  let seqs = List.map (fun i -> Cluster.delivered_tail cluster i) good in
+  let sent = Cluster.sent cluster in
+  let known id = List.exists (fun (i, _) -> Payload.equal_id i id) sent in
+  (* Obligations: clause (1) — completed broadcasts of good senders;
+     clause (2) — anything any process ever delivered (uniformity). *)
+  let completed =
+    List.filter_map
+      (fun ((id : Payload.id), c) ->
+        if c && List.mem id.origin good then Some id else None)
+      sent
+    @ Cluster.ever_delivered cluster
+  in
+  let rec per_seq = function
+    | [] -> Ok ()
+    | s :: rest ->
+      let* () = integrity s in
+      let* () = validity ~known s in
+      per_seq rest
+  in
+  let* () = per_seq seqs in
+  let* () = total_order seqs in
+  termination ~completed ~good_sequences:seqs

@@ -1,0 +1,154 @@
+module Engine = Abcast_sim.Engine
+module Payload = Abcast_core.Payload
+
+(* Monomorphic view over one process of the (existential) protocol. *)
+type node_ops = {
+  broadcast :
+    ?on_agreed:(Payload.id -> unit) -> string -> Payload.id;
+  round : unit -> int;
+  delivered_count : unit -> int;
+  delivered_tail : unit -> Payload.t list;
+  delivery_vc : unit -> Abcast_core.Vclock.t;
+  unordered_count : unit -> int;
+}
+
+type t = {
+  n : int;
+  metrics : Abcast_sim.Metrics.t;
+  trace : Abcast_sim.Trace.t;
+  net : Abcast_sim.Net.t;
+  nodes : node_ops option array;
+  now : unit -> int;
+  events_processed : unit -> int;
+  run : ?until:int -> ?max_events:int -> unit -> unit;
+  run_until :
+    ?until:int -> ?max_events:int -> pred:(unit -> bool) -> unit -> bool;
+  at : int -> (unit -> unit) -> unit;
+  after : int -> (unit -> unit) -> unit;
+  crash : int -> unit;
+  recover : int -> unit;
+  is_up : int -> bool;
+  retained_bytes : int -> int;
+  retained_keys : int -> int;
+  read_storage : int -> string -> string option;
+  corrupt_storage : int -> key:string -> string -> unit;
+  storage_keys : int -> string -> string list;
+  ever_delivered : (Payload.id, unit) Hashtbl.t;
+  broadcast_blocks : bool;
+  mutable sent : (Payload.id * bool ref) list;
+}
+
+let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
+    ?(count_bytes = false) () =
+  let msg_size = if count_bytes then Some P.msg_size else None in
+  let eng = Engine.create ~seed ~n ?net ?msg_size ?trace () in
+  let nodes = Array.make n None in
+  let ever_delivered = Hashtbl.create 256 in
+  for i = 0 to n - 1 do
+    Engine.set_behavior eng i (fun io ->
+        let p =
+          P.create io ~deliver:(fun pl ->
+              Hashtbl.replace ever_delivered pl.Payload.id ())
+        in
+        nodes.(i) <-
+          Some
+            {
+              broadcast = (fun ?on_agreed data -> P.broadcast p ?on_agreed data);
+              round = (fun () -> P.round p);
+              delivered_count = (fun () -> P.delivered_count p);
+              delivered_tail = (fun () -> P.delivered_tail p);
+              delivery_vc = (fun () -> P.delivery_vc p);
+              unordered_count = (fun () -> P.unordered_count p);
+            };
+        P.handler p)
+  done;
+  Engine.start_all eng;
+  {
+    n;
+    metrics = Engine.metrics eng;
+    trace = Engine.trace eng;
+    net = Engine.network eng;
+    nodes;
+    now = (fun () -> Engine.now eng);
+    events_processed = (fun () -> Engine.events_processed eng);
+    run = (fun ?until ?max_events () -> Engine.run ?until ?max_events eng);
+    run_until =
+      (fun ?until ?max_events ~pred () ->
+        Engine.run_until eng ?until ?max_events ~pred ());
+    at = (fun time fn -> Engine.at eng time fn);
+    after = (fun delay fn -> Engine.after eng delay fn);
+    crash = (fun i -> Engine.crash eng i);
+    recover = (fun i -> Engine.recover eng i);
+    is_up = (fun i -> Engine.is_up eng i);
+    retained_bytes =
+      (fun i -> Abcast_sim.Storage.retained_bytes (Engine.storage eng i));
+    retained_keys =
+      (fun i -> Abcast_sim.Storage.retained_keys (Engine.storage eng i));
+    read_storage = (fun i key -> Abcast_sim.Storage.read (Engine.storage eng i) key);
+    corrupt_storage =
+      (fun i ~key v ->
+        Abcast_sim.Storage.write (Engine.storage eng i) ~layer:"corruption"
+          ~key v);
+    storage_keys =
+      (fun i prefix ->
+        Abcast_sim.Storage.keys_with_prefix (Engine.storage eng i) prefix);
+    ever_delivered;
+    broadcast_blocks = P.broadcast_blocks;
+    sent = [];
+  }
+
+let n t = t.n
+let metrics t = t.metrics
+let trace t = t.trace
+let net t = t.net
+let now t = t.now ()
+let events_processed t = t.events_processed ()
+let run ?until ?max_events t = t.run ?until ?max_events ()
+
+let run_until ?until ?max_events t ~pred () =
+  t.run_until ?until ?max_events ~pred ()
+
+let at t time fn = t.at time fn
+let after t delay fn = t.after delay fn
+let crash t i = t.crash i
+let recover t i = t.recover i
+let is_up t i = t.is_up i
+
+let ops t i =
+  match t.nodes.(i) with
+  | Some ops -> ops
+  | None -> invalid_arg "Cluster: process was never started"
+
+let broadcast t ?on_agreed ~node data =
+  if not (t.is_up node) then None
+  else begin
+    let agreed = ref false in
+    let cb id =
+      agreed := true;
+      match on_agreed with Some f -> f id | None -> ()
+    in
+    let id = (ops t node).broadcast ~on_agreed:cb data in
+    t.sent <- (id, agreed) :: t.sent;
+    Some id
+  end
+
+let round t i = (ops t i).round ()
+let delivered_count t i = (ops t i).delivered_count ()
+let delivered_tail t i = (ops t i).delivered_tail ()
+let delivery_vc t i = (ops t i).delivery_vc ()
+let unordered_count t i = (ops t i).unordered_count ()
+let retained_bytes t i = t.retained_bytes i
+let retained_keys t i = t.retained_keys i
+let read_storage t i key = t.read_storage i key
+let corrupt_storage t i ~key v = t.corrupt_storage i ~key v
+let storage_keys t i prefix = t.storage_keys i prefix
+
+let sent t = List.rev_map (fun (id, flag) -> (id, !flag)) t.sent
+
+let ever_delivered t = Hashtbl.fold (fun id () acc -> id :: acc) t.ever_delivered []
+
+let broadcast_blocks t = t.broadcast_blocks
+
+let all_caught_up t ?among ~count () =
+  let ids = match among with Some l -> l | None -> List.init t.n Fun.id in
+  List.for_all (fun i -> (ops t i).delivered_count () >= count) ids

@@ -1,0 +1,87 @@
+(** A simulated cluster running one protocol stack on every process.
+
+    [create] wires a {!Abcast_core.Proto.t} into an engine: it installs a
+    behaviour per process that (re)creates the protocol at each
+    incarnation and records deliveries and broadcast completions. The wire
+    message type stays hidden; scenarios drive the run through the
+    monomorphic operations below. *)
+
+type t
+
+val create :
+  Abcast_core.Proto.t ->
+  seed:int ->
+  n:int ->
+  ?net:Abcast_sim.Net.t ->
+  ?trace:Abcast_sim.Trace.t ->
+  ?count_bytes:bool ->
+  unit ->
+  t
+(** Build the cluster and start every process. [count_bytes] (default
+    false) enables per-message byte accounting (slower: serializes every
+    message). *)
+
+val n : t -> int
+val metrics : t -> Abcast_sim.Metrics.t
+val trace : t -> Abcast_sim.Trace.t
+val net : t -> Abcast_sim.Net.t
+val now : t -> int
+val events_processed : t -> int
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+val run_until :
+  ?until:int -> ?max_events:int -> t -> pred:(unit -> bool) -> unit -> bool
+
+val at : t -> int -> (unit -> unit) -> unit
+val after : t -> int -> (unit -> unit) -> unit
+
+val crash : t -> int -> unit
+val recover : t -> int -> unit
+val is_up : t -> int -> bool
+
+val broadcast :
+  t -> ?on_agreed:(Abcast_core.Payload.id -> unit) -> node:int -> string ->
+  Abcast_core.Payload.id option
+(** Inject an [A-broadcast] at a process; [None] if it is down. The id and
+    its completion are recorded for the property checks. *)
+
+val round : t -> int -> int
+val delivered_count : t -> int -> int
+val delivered_tail : t -> int -> Abcast_core.Payload.t list
+val delivery_vc : t -> int -> Abcast_core.Vclock.t
+val unordered_count : t -> int -> int
+val retained_bytes : t -> int -> int
+(** Live stable-storage footprint of a process (experiment E3). *)
+
+val retained_keys : t -> int -> int
+
+val read_storage : t -> int -> string -> string option
+(** Peek at a key of a process's stable storage (works whether the
+    process is up or down — the lemma monitors use it to audit logs). *)
+
+val storage_keys : t -> int -> string -> string list
+(** All stored keys of a process with the given prefix, sorted. *)
+
+val corrupt_storage : t -> int -> key:string -> string -> unit
+(** Fault injection outside the model: overwrite a stable-storage key
+    behind the protocol's back (disk corruption). The protocols do NOT
+    promise to survive this — it exists so tests can prove the lemma
+    monitors detect log tampering. *)
+
+val sent : t -> (Abcast_core.Payload.id * bool) list
+(** Every id injected through {!broadcast}, with whether its completion
+    callback has fired at the origin ("the A-broadcast returned"). *)
+
+val broadcast_blocks : t -> bool
+(** Whether this stack's [A-broadcast] blocks until local agreement
+    (basic protocol) or returns at log time (early-return alternative) —
+    drives the pacing of closed-loop clients. *)
+
+val ever_delivered : t -> Abcast_core.Payload.id list
+(** Every id that was A-delivered by any process at any point of the run
+    (including by processes that later crashed) — the obligation set of
+    the uniform termination property's clause (2). *)
+
+val all_caught_up : t -> ?among:int list -> count:int -> unit -> bool
+(** Whether every listed (default: all) process has delivered at least
+    [count] messages. *)

@@ -1,0 +1,41 @@
+(** Runtime monitors for the paper's proof lemmas (§5.6, P1–P7).
+
+    The paper's correctness argument rests on seven properties of the
+    executions; this module turns the log-observable ones into continuous
+    monitors. Attach one to a cluster and it samples every process's
+    stable storage (up or down) on a period, flagging:
+
+    - {b P1/P2} — the sequence of logged round numbers (the checkpoint's
+      [k]) at one process never decreases;
+    - {b P4} — a logged consensus proposal never changes once written
+      (re-proposals after recovery reuse the logged value);
+    - {b P5} — a logged decision never changes once written;
+    - {b Uniform Agreement} — two processes never log different decisions
+      for the same consensus instance (checked across {e all} processes,
+      including ones that crashed afterwards — the uniformity the paper's
+      §3.4 demands);
+    - {b P3} — at quiescence ({!check_converged}), good processes have
+      joined the same round.
+
+    P6/P7 (dissemination obligations) are delivery-level and covered by
+    {!Checks.termination}. *)
+
+type t
+
+val attach : Cluster.t -> ?period:int -> unit -> t
+(** Start sampling every [period] simulated µs (default 5_000). Sampling
+    re-schedules itself forever; violations are accumulated. *)
+
+val sample_now : t -> unit
+(** Take one sample immediately (e.g. right after a targeted fault). *)
+
+val violations : t -> string list
+(** All violations observed so far, oldest first (empty = healthy). *)
+
+val report : t -> (unit, string) result
+(** [Ok ()] if no violation was ever observed, otherwise the first. *)
+
+val check_converged : t -> good:int list -> (unit, string) result
+(** P3 at quiescence: every listed process is in the same round and their
+    logged decision sets agree instance-by-instance. Call after the run
+    has settled. *)

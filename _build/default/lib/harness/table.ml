@@ -1,0 +1,39 @@
+let num n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + 4) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let flt ?(dec = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" dec x
+
+let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.2fx" (a /. b)
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render row =
+    List.mapi (fun c w -> pad w (Option.value ~default:"" (List.nth_opt row c))) widths
+    |> String.concat "  "
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n" (String.make (String.length (render header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+  print_newline ()

@@ -1,0 +1,18 @@
+(** Plain-text experiment tables.
+
+    The benchmark harness prints one table per experiment in the style of
+    a paper's evaluation section: a caption, a header row, aligned
+    columns. Cells are preformatted strings; {!num} and {!flt} help format
+    them consistently. *)
+
+val num : int -> string
+(** Integer with thousands separators ("12_345" -> "12,345"). *)
+
+val flt : ?dec:int -> float -> string
+(** Float with [dec] decimals (default 2); nan prints as "-". *)
+
+val ratio : float -> float -> string
+(** ["a/b"-style multiplier], e.g. [ratio 90. 30. = "3.00x"]. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** Render to stdout. Column widths adapt to content. *)

@@ -1,0 +1,57 @@
+module Rng = Abcast_util.Rng
+
+let payload rng ~size =
+  String.init size (fun _ -> Char.chr (32 + Rng.int rng 95))
+
+let open_loop cluster ~rng ~senders ~start ~stop ~mean_gap ?(size = 32) () =
+  let senders = Array.of_list senders in
+  let count = ref 0 in
+  let t = ref start in
+  let gap () = 1 + int_of_float (Rng.exponential rng ~mean:(float_of_int mean_gap)) in
+  t := !t + gap ();
+  while !t < stop do
+    let node = Rng.pick rng senders in
+    let data = payload rng ~size in
+    Cluster.at cluster !t (fun () ->
+        ignore (Cluster.broadcast cluster ~node data));
+    incr count;
+    t := !t + gap ()
+  done;
+  !count
+
+let burst cluster ~rng ~senders ~at ~count ?(size = 32) () =
+  let senders = Array.of_list senders in
+  Cluster.at cluster at (fun () ->
+      for _ = 1 to count do
+        let node = Rng.pick rng senders in
+        ignore (Cluster.broadcast cluster ~node (payload rng ~size))
+      done)
+
+let closed_loop cluster ~rng ~node ~total ?(pipeline = 1) ?(think = 200)
+    ?(size = 32) () =
+  let issued = ref 0 in
+  let blocking = Cluster.broadcast_blocks cluster in
+  let rec issue () =
+    if !issued < total then begin
+      incr issued;
+      let data = payload rng ~size in
+      if blocking then
+        (* The basic A-broadcast returns only once the message is in the
+           Agreed queue: the client's next request waits for delivery. *)
+        ignore
+          (Cluster.broadcast cluster ~node
+             ~on_agreed:(fun _ -> Cluster.after cluster think issue)
+             data)
+      else begin
+        (* Early-return A-broadcast (§5.4): the call returns as soon as
+           the Unordered set is logged; the client continues after its
+           think time, regardless of ordering progress. *)
+        ignore (Cluster.broadcast cluster ~node data);
+        Cluster.after cluster think issue
+      end
+    end
+  in
+  (* Stagger the initial pipeline slightly so clients do not synchronize. *)
+  for _ = 1 to pipeline do
+    Cluster.after cluster (Rng.int rng 100) issue
+  done

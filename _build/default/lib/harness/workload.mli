@@ -1,0 +1,56 @@
+(** Workload generators for experiments and tests.
+
+    All generators schedule broadcasts on a {!Cluster} through the engine's
+    action queue, drawing randomness from an explicit RNG so runs stay
+    reproducible. Broadcasts landing on a down process are silently
+    skipped (the injection models clients co-located with the process). *)
+
+val payload : Abcast_util.Rng.t -> size:int -> string
+(** A random printable payload of the given size. *)
+
+val open_loop :
+  Cluster.t ->
+  rng:Abcast_util.Rng.t ->
+  senders:int list ->
+  start:int ->
+  stop:int ->
+  mean_gap:int ->
+  ?size:int ->
+  unit ->
+  int
+(** Poisson arrivals: between [start] and [stop] simulated µs, schedule
+    broadcasts whose inter-arrival times are exponential with mean
+    [mean_gap]; each sender is drawn uniformly from [senders]. [size]
+    (default 32) is the payload size. Returns the number of broadcasts
+    scheduled. *)
+
+val burst :
+  Cluster.t ->
+  rng:Abcast_util.Rng.t ->
+  senders:int list ->
+  at:int ->
+  count:int ->
+  ?size:int ->
+  unit ->
+  unit
+(** Inject [count] broadcasts in the same simulated instant at [at],
+    spread uniformly over [senders] — the worst case for a sequencer,
+    the best case for batching (E5b). *)
+
+val closed_loop :
+  Cluster.t ->
+  rng:Abcast_util.Rng.t ->
+  node:int ->
+  total:int ->
+  ?pipeline:int ->
+  ?think:int ->
+  ?size:int ->
+  unit ->
+  unit
+(** A closed-loop client at [node]: keeps [pipeline] (default 1) request
+    chains alive until [total] broadcasts have been issued, waiting
+    [think] µs (default 200) between a completed request and the next.
+    The completion point models the paper's §5.4 distinction and follows
+    {!Cluster.broadcast_blocks}: local agreement for the basic protocol,
+    immediate return for the early-return alternative. Only meaningful on
+    processes that stay up (E5). *)

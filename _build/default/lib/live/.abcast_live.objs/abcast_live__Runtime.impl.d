@@ -1,0 +1,1 @@
+lib/live/runtime.ml: Abcast_core Abcast_sim Abcast_util Array Bytes Condition Filename Float List Marshal Mutex Printf Queue String Thread Unix

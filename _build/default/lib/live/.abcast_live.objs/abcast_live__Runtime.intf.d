@@ -1,0 +1,1 @@
+lib/live/runtime.mli: Abcast_core

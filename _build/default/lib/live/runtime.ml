@@ -1,0 +1,341 @@
+module Engine = Abcast_sim.Engine
+module Storage = Abcast_sim.Storage
+module Metrics = Abcast_sim.Metrics
+module Rng = Abcast_util.Rng
+module Heap = Abcast_util.Heap
+module Payload = Abcast_core.Payload
+
+(* Monomorphic operations on one process, only ever executed inside that
+   process's thread (reached via the mailbox). *)
+type node_ops = {
+  op_broadcast : string -> unit;
+  op_delivered_count : unit -> int;
+  op_delivered_data : unit -> string list;
+  op_round : unit -> int;
+}
+
+type node = {
+  id : int;
+  sock : Unix.file_descr;
+  port : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mailbox : (unit -> unit) Queue.t;
+  mutable running : bool; (* guarded by mutex *)
+  mutable thread : Thread.t option;
+  mutable ops : node_ops option; (* written by the node thread at boot *)
+  mutable boots : int;
+}
+
+type t = {
+  n : int;
+  base_port : int;
+  dir : string option;
+  nodes : node array;
+  wake_sock : Unix.file_descr; (* unbound socket used to poke loops *)
+  start_node : int -> unit; (* closes over the protocol's message type *)
+  epoch : float;
+}
+
+let localhost = Unix.inet_addr_loopback
+
+let addr_of t i = Unix.ADDR_INET (localhost, t.base_port + i)
+
+(* Datagram format: 'W' = wake (mailbox poke), 'M' ^ marshal(src, msg). *)
+let wake t i =
+  try ignore (Unix.sendto t.wake_sock (Bytes.of_string "W") 0 1 [] (addr_of t i))
+  with Unix.Unix_error _ -> ()
+
+let enqueue t i fn =
+  let nd = t.nodes.(i) in
+  Mutex.lock nd.mutex;
+  Queue.push fn nd.mailbox;
+  Mutex.unlock nd.mutex;
+  wake t i
+
+(* Synchronous query into the node thread. Returns None if the node is
+   down (or dies before answering). *)
+let call t i (fn : node_ops -> 'a) : 'a option =
+  let nd = t.nodes.(i) in
+  Mutex.lock nd.mutex;
+  if not nd.running then begin
+    Mutex.unlock nd.mutex;
+    None
+  end
+  else begin
+    let result = ref None in
+    let done_ = ref false in
+    Queue.push
+      (fun () ->
+        (match nd.ops with
+        | Some ops -> result := Some (fn ops)
+        | None -> ());
+        Mutex.lock nd.mutex;
+        done_ := true;
+        Condition.broadcast nd.cond;
+        Mutex.unlock nd.mutex)
+      nd.mailbox;
+    Mutex.unlock nd.mutex;
+    wake t i;
+    Mutex.lock nd.mutex;
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while (not !done_) && nd.running && Unix.gettimeofday () < deadline do
+      Mutex.unlock nd.mutex;
+      Thread.yield ();
+      Mutex.lock nd.mutex
+    done;
+    Mutex.unlock nd.mutex;
+    !result
+  end
+
+let drain_socket sock =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Unix.select [ sock ] [] [] 0.0 with
+    | [ _ ], _, _ ->
+      ignore (Unix.recvfrom sock buf 0 (Bytes.length buf) []);
+      go ()
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
+  let nodes =
+    Array.init n (fun id ->
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (localhost, base_port + id));
+        {
+          id;
+          sock;
+          port = base_port + id;
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          mailbox = Queue.create ();
+          running = false;
+          thread = None;
+          ops = None;
+          boots = 0;
+        })
+  in
+  let wake_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let epoch = Unix.gettimeofday () in
+  let rec t =
+    {
+      n;
+      base_port;
+      dir;
+      nodes;
+      wake_sock;
+      start_node;
+      epoch;
+    }
+  (* The node event loop. Everything protocol-related happens here. *)
+  and node_loop nd () =
+    let metrics = Metrics.create () in
+    let store =
+      match dir with
+      | Some d ->
+        Storage.create
+          ~dir:(Filename.concat d (Printf.sprintf "node%d" nd.id))
+          ~metrics ~node:nd.id ()
+      | None -> Storage.create ~metrics ~node:nd.id ()
+    in
+    (* Real boot counter: persisted, so identities survive restarts. *)
+    let incarnation =
+      match Storage.read store "sys/boot" with
+      | Some s -> int_of_string s
+      | None -> 0
+    in
+    Storage.write store ~layer:"sys" ~key:"sys/boot"
+      (string_of_int (incarnation + 1));
+    let timers : (int * int * (unit -> unit)) Heap.t =
+      Heap.create ~cmp:(fun (a, sa, _) (b, sb, _) -> compare (a, sa) (b, sb)) ()
+    in
+    let timer_seq = ref 0 in
+    let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6) in
+    let send dst (msg : P.msg) =
+      let payload = "M" ^ Marshal.to_string (nd.id, msg) [] in
+      let len = String.length payload in
+      if len <= 65_000 then
+        try
+          ignore
+            (Unix.sendto nd.sock (Bytes.of_string payload) 0 len [] (addr_of t dst))
+        with Unix.Unix_error _ -> () (* lossy channel *)
+    in
+    let io : P.msg Engine.io =
+      {
+        self = nd.id;
+        n;
+        incarnation;
+        now = now_us;
+        send;
+        multisend =
+          (fun m ->
+            for dst = 0 to n - 1 do
+              send dst m
+            done);
+        after =
+          (fun delay fn ->
+            incr timer_seq;
+            Heap.push timers (now_us () + delay, !timer_seq, fn));
+        store;
+        rng = Rng.create ((nd.id * 7919) + incarnation);
+        metrics;
+        emit = (fun _ -> ());
+      }
+    in
+    let p = P.create io ~deliver:(fun pl -> on_deliver nd.id pl) in
+    let handler = P.handler p in
+    Mutex.lock nd.mutex;
+    nd.ops <-
+      Some
+        {
+          op_broadcast = (fun data -> ignore (P.broadcast p data));
+          op_delivered_count = (fun () -> P.delivered_count p);
+          op_delivered_data =
+            (fun () ->
+              List.map (fun (x : Payload.t) -> x.data) (P.delivered_tail p));
+          op_round = (fun () -> P.round p);
+        };
+    Mutex.unlock nd.mutex;
+    let buf = Bytes.create 65536 in
+    let keep_going () =
+      Mutex.lock nd.mutex;
+      let r = nd.running in
+      Mutex.unlock nd.mutex;
+      r
+    in
+    while keep_going () do
+      (* fire due timers *)
+      let rec fire () =
+        match Heap.peek timers with
+        | Some (at, _, fn) when at <= now_us () ->
+          ignore (Heap.pop timers);
+          fn ();
+          fire ()
+        | _ -> ()
+      in
+      fire ();
+      (* drain the mailbox *)
+      let jobs = ref [] in
+      Mutex.lock nd.mutex;
+      while not (Queue.is_empty nd.mailbox) do
+        jobs := Queue.pop nd.mailbox :: !jobs
+      done;
+      Mutex.unlock nd.mutex;
+      List.iter (fun job -> job ()) (List.rev !jobs);
+      (* wait for traffic or the next timer *)
+      let timeout =
+        match Heap.peek timers with
+        | Some (at, _, _) ->
+          Float.max 0.0 (Float.min 0.05 (float_of_int (at - now_us ()) /. 1e6))
+        | None -> 0.05
+      in
+      match Unix.select [ nd.sock ] [] [] timeout with
+      | [ _ ], _, _ -> (
+        match Unix.recvfrom nd.sock buf 0 (Bytes.length buf) [] with
+        | len, _ when len > 0 && Bytes.get buf 0 = 'M' -> (
+          match
+            (Marshal.from_string (Bytes.sub_string buf 1 (len - 1)) 0
+              : int * P.msg)
+          with
+          | src, msg when src >= 0 && src < n -> handler ~src msg
+          | _ -> ()
+          | exception _ -> ())
+        | _ -> () (* wake byte or empty *)
+        | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ()
+    done;
+    Mutex.lock nd.mutex;
+    nd.ops <- None;
+    Mutex.unlock nd.mutex
+  and start_node i =
+    let nd = nodes.(i) in
+    Mutex.lock nd.mutex;
+    if not nd.running then begin
+      nd.running <- true;
+      nd.boots <- nd.boots + 1;
+      Mutex.unlock nd.mutex;
+      (* A recovering process has lost its input buffer: discard whatever
+         piled up in the socket while it was down. *)
+      drain_socket nd.sock;
+      nd.thread <- Some (Thread.create (node_loop nd) ())
+    end
+    else Mutex.unlock nd.mutex
+  in
+  t
+
+let create proto ~n ?(base_port = 7400) ?dir ?(on_deliver = fun _ _ -> ()) () =
+  let t = make proto ~n ~base_port ~dir ~on_deliver () in
+  for i = 0 to n - 1 do
+    t.start_node i
+  done;
+  (* wait for every loop to publish its operations *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  Array.iter
+    (fun nd ->
+      while nd.ops = None && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done)
+    t.nodes;
+  t
+
+let n t = t.n
+
+let is_up t i =
+  let nd = t.nodes.(i) in
+  Mutex.lock nd.mutex;
+  let r = nd.running in
+  Mutex.unlock nd.mutex;
+  r
+
+let crash t i =
+  let nd = t.nodes.(i) in
+  Mutex.lock nd.mutex;
+  let was_running = nd.running in
+  nd.running <- false;
+  Mutex.unlock nd.mutex;
+  if was_running then begin
+    wake t i;
+    (match nd.thread with Some th -> Thread.join th | None -> ());
+    nd.thread <- None
+  end
+
+let recover t i =
+  if not (is_up t i) then begin
+    t.start_node i;
+    let nd = t.nodes.(i) in
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while nd.ops = None && Unix.gettimeofday () < deadline do
+      Thread.yield ()
+    done
+  end
+
+let broadcast t ~node data =
+  if is_up t node then enqueue t node (fun () ->
+      match t.nodes.(node).ops with
+      | Some ops -> ops.op_broadcast data
+      | None -> ())
+
+let delivered_count t i =
+  match call t i (fun ops -> ops.op_delivered_count ()) with
+  | Some c -> c
+  | None -> 0
+
+let delivered_data t i =
+  match call t i (fun ops -> ops.op_delivered_data ()) with
+  | Some l -> l
+  | None -> []
+
+let round t i =
+  match call t i (fun ops -> ops.op_round ()) with Some r -> r | None -> 0
+
+let shutdown t =
+  for i = 0 to t.n - 1 do
+    crash t i
+  done;
+  Array.iter (fun nd -> try Unix.close nd.sock with Unix.Unix_error _ -> ()) t.nodes;
+  try Unix.close t.wake_sock with Unix.Unix_error _ -> ()

@@ -1,0 +1,72 @@
+(** Live runtime: the same protocol stacks on real OS primitives.
+
+    Where {!Abcast_sim.Engine} interprets a protocol against simulated
+    time, this runtime interprets the {e same unmodified code} — anything
+    packaged as a {!Abcast_core.Proto.t} — against the real world:
+
+    - each process runs as one OS thread with a single-threaded event
+      loop (the protocol code never sees concurrency);
+    - channels are UDP datagrams on localhost — genuinely unreliable,
+      unordered and size-limited, exactly the fair-lossy channel of §3.1
+      (oversized datagrams, e.g. huge state transfers, are dropped like
+      any other loss);
+    - stable storage is file-backed ({!Abcast_sim.Storage} with a
+      directory): process state genuinely survives {!crash}/{!recover},
+      including the boot counter that makes message identities unique
+      across incarnations;
+    - crashing a process kills its thread and discards its socket buffer
+      (the input buffer of a down process is lost, §2.1).
+
+    All interaction with a process's protocol state is marshalled into
+    its event loop, so the single-threaded discipline the protocol
+    assumes is preserved; the functions below are safe to call from the
+    controlling thread. Runs are {e not} deterministic — that is the
+    point; the simulator is the instrument for reproducibility, this
+    runtime is the proof that nothing in the stack depends on it. *)
+
+type t
+
+val create :
+  Abcast_core.Proto.t ->
+  n:int ->
+  ?base_port:int ->
+  ?dir:string ->
+  ?on_deliver:(int -> Abcast_core.Payload.t -> unit) ->
+  unit ->
+  t
+(** Bind one UDP socket per process on [127.0.0.1:base_port+i] (default
+    base port 7400) and start every process. With [dir], process [i]
+    persists its stable storage under [dir/node<i>/] — required for
+    {!recover} to actually recover. [on_deliver] runs in the delivering
+    process's thread; keep it short and synchronize your own data.
+
+    @raise Unix.Unix_error if sockets cannot be created (callers may want
+    to skip live tests in restricted environments). *)
+
+val n : t -> int
+
+val is_up : t -> int -> bool
+
+val crash : t -> int -> unit
+(** Kill the process's thread; volatile state and queued datagrams are
+    lost, files remain. Blocks until the thread has exited. *)
+
+val recover : t -> int -> unit
+(** Restart a crashed process: a fresh incarnation re-reads its files and
+    runs the protocol's recovery procedure, for real. *)
+
+val broadcast : t -> node:int -> string -> unit
+(** Inject an [A-broadcast] at an up process (no-op if down). *)
+
+val delivered_count : t -> int -> int
+(** Length of the process's delivery sequence (synchronous query into its
+    thread; 0 if the process is down). *)
+
+val delivered_data : t -> int -> string list
+(** Payload bytes of the process's explicit delivery tail, in order. *)
+
+val round : t -> int -> int
+
+val shutdown : t -> unit
+(** Crash everything and close all sockets. The runtime is unusable
+    afterwards. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Abcast_util Array List Metrics Net Printf Storage Trace

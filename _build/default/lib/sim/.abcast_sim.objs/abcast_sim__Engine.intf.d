@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Abcast_util Metrics Net Storage Trace

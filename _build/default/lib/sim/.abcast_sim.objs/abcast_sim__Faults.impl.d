@@ -1,0 +1,1 @@
+lib/sim/faults.ml: Abcast_util Array Engine List

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Abcast_util Hashtbl Option

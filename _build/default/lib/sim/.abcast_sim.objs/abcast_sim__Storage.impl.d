@@ -1,0 +1,1 @@
+lib/sim/storage.ml: Array Buffer Char Filename Hashtbl List Marshal Metrics Printf String Sys

@@ -1,0 +1,246 @@
+module Rng = Abcast_util.Rng
+module Heap = Abcast_util.Heap
+
+type time = int
+
+type 'm io = {
+  self : int;
+  n : int;
+  incarnation : int;
+  now : unit -> time;
+  send : int -> 'm -> unit;
+  multisend : 'm -> unit;
+  after : time -> (unit -> unit) -> unit;
+  store : Storage.t;
+  rng : Rng.t;
+  metrics : Metrics.t;
+  emit : string -> unit;
+}
+
+let map_io wrap io =
+  {
+    self = io.self;
+    n = io.n;
+    incarnation = io.incarnation;
+    now = io.now;
+    send = (fun dst m -> io.send dst (wrap m));
+    multisend = (fun m -> io.multisend (wrap m));
+    after = io.after;
+    store = io.store;
+    rng = io.rng;
+    metrics = io.metrics;
+    emit = io.emit;
+  }
+
+type 'm behavior = 'm io -> src:int -> 'm -> unit
+
+type 'm ev =
+  | Deliver of { dst : int; src : int; msg : 'm }
+  | Guarded of { node : int; inc : int; thunk : unit -> unit }
+  | Action of (unit -> unit)
+
+type 'm item = { at : time; seq : int; ev : 'm ev }
+
+type 'm node = {
+  id : int;
+  mutable up : bool;
+  mutable inc : int;
+  mutable handler : (src:int -> 'm -> unit) option;
+  store : Storage.t;
+  rng : Rng.t;
+}
+
+type 'm t = {
+  n : int;
+  net : Net.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  rng : Rng.t; (* network stream *)
+  nodes : 'm node array;
+  behaviors : 'm behavior option array;
+  heap : 'm item Heap.t;
+  msg_size : ('m -> int) option;
+  mutable time : time;
+  mutable seq : int;
+  mutable processed : int;
+}
+
+let item_cmp a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ~seed ~n ?net ?msg_size ?trace () =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  let root = Rng.create seed in
+  let metrics = Metrics.create () in
+  let net = match net with Some x -> x | None -> Net.create () in
+  let trace = match trace with Some x -> x | None -> Trace.create () in
+  let nodes =
+    Array.init n (fun id ->
+        {
+          id;
+          up = false;
+          inc = -1;
+          handler = None;
+          store = Storage.create ~metrics ~node:id ();
+          rng = Rng.split root;
+        })
+  in
+  {
+    n;
+    net;
+    metrics;
+    trace;
+    rng = Rng.split root;
+    nodes;
+    behaviors = Array.make n None;
+    heap = Heap.create ~cmp:item_cmp ();
+    msg_size;
+    time = 0;
+    seq = 0;
+    processed = 0;
+  }
+
+let n t = t.n
+let now t = t.time
+let metrics t = t.metrics
+let network t = t.net
+let trace t = t.trace
+let storage t i = t.nodes.(i).store
+
+let push t ~at ev =
+  let at = max at t.time in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { at; seq = t.seq; ev }
+
+let transmit t ~src ~dst msg =
+  Metrics.incr t.metrics ~node:src "msgs_sent";
+  (match t.msg_size with
+  | Some size -> Metrics.add t.metrics ~node:src "net_bytes" (size msg)
+  | None -> ());
+  match Net.transmit t.net ~rng:t.rng ~src ~dst with
+  | Net.Drop -> Metrics.incr t.metrics ~node:src "msgs_dropped"
+  | Net.Deliver delays ->
+    List.iter
+      (fun d -> push t ~at:(t.time + d) (Deliver { dst; src; msg }))
+      delays
+
+let io_of t node =
+  let id = node.id in
+  let inc = node.inc in
+  {
+    self = id;
+    n = t.n;
+    incarnation = inc;
+    now = (fun () -> t.time);
+    send = (fun dst m -> if node.up && node.inc = inc then transmit t ~src:id ~dst m);
+    multisend =
+      (fun m ->
+        if node.up && node.inc = inc then
+          for dst = 0 to t.n - 1 do
+            transmit t ~src:id ~dst m
+          done);
+    after =
+      (fun delay thunk ->
+        if delay < 0 then invalid_arg "io.after: negative delay";
+        push t ~at:(t.time + delay) (Guarded { node = id; inc; thunk }));
+    store = node.store;
+    rng = node.rng;
+    metrics = t.metrics;
+    emit = (fun s -> Trace.emit t.trace ~time:t.time ~node:id s);
+  }
+
+let set_behavior t i f = t.behaviors.(i) <- Some f
+
+let start t i =
+  let node = t.nodes.(i) in
+  if not node.up then begin
+    let behavior =
+      match t.behaviors.(i) with
+      | Some b -> b
+      | None -> invalid_arg "Engine.start: no behavior installed"
+    in
+    node.inc <- node.inc + 1;
+    node.up <- true;
+    Trace.emit t.trace ~time:t.time ~node:i
+      (if node.inc = 0 then "start" else Printf.sprintf "recover (inc %d)" node.inc);
+    let io = io_of t node in
+    node.handler <- Some (behavior io)
+  end
+
+let start_all t =
+  for i = 0 to t.n - 1 do
+    start t i
+  done
+
+let crash t i =
+  let node = t.nodes.(i) in
+  if node.up then begin
+    node.up <- false;
+    node.handler <- None;
+    Metrics.incr t.metrics ~node:i "crashes";
+    Trace.emit t.trace ~time:t.time ~node:i "crash"
+  end
+
+let recover = start
+
+let is_up t i = t.nodes.(i).up
+let incarnation t i = t.nodes.(i).inc
+
+let at t time fn = push t ~at:time (Action fn)
+let after t delay fn = push t ~at:(t.time + delay) (Action fn)
+let events_processed t = t.processed
+
+let dispatch t item =
+  t.time <- item.at;
+  t.processed <- t.processed + 1;
+  match item.ev with
+  | Action fn -> fn ()
+  | Guarded { node; inc; thunk } ->
+    let nd = t.nodes.(node) in
+    if nd.up && nd.inc = inc then thunk ()
+  | Deliver { dst; src; msg } -> (
+    let nd = t.nodes.(dst) in
+    if nd.up then
+      match nd.handler with
+      | Some h ->
+        Metrics.incr t.metrics ~node:dst "msgs_delivered";
+        h ~src msg
+      | None -> ()
+    else Metrics.incr t.metrics ~node:dst "msgs_lost_down")
+
+let default_max_events = 100_000_000
+
+let run ?until ?(max_events = default_max_events) t =
+  let budget = ref max_events in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    match Heap.peek t.heap with
+    | None -> continue_ := false
+    | Some item -> (
+      match until with
+      | Some limit when item.at > limit -> continue_ := false
+      | _ ->
+        ignore (Heap.pop t.heap);
+        decr budget;
+        dispatch t item)
+  done;
+  match until with Some limit when t.time < limit -> t.time <- limit | _ -> ()
+
+let run_until t ?until ?(max_events = default_max_events) ~pred () =
+  let budget = ref max_events in
+  let continue_ = ref true in
+  let satisfied = ref (pred ()) in
+  while (not !satisfied) && !continue_ && !budget > 0 do
+    match Heap.peek t.heap with
+    | None -> continue_ := false
+    | Some item -> (
+      match until with
+      | Some limit when item.at > limit -> continue_ := false
+      | _ ->
+        ignore (Heap.pop t.heap);
+        decr budget;
+        dispatch t item;
+        if pred () then satisfied := true)
+  done;
+  !satisfied

@@ -1,0 +1,79 @@
+type t = {
+  counters : (int * string, int ref) Hashtbl.t;
+  series : (int * string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; series = Hashtbl.create 16 }
+
+let counter t node name =
+  match Hashtbl.find_opt t.counters (node, name) with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters (node, name) r;
+    r
+
+let incr t ~node name = Stdlib.incr (counter t node name)
+
+let add t ~node name v =
+  let r = counter t node name in
+  r := !r + v
+
+let get t ~node name =
+  match Hashtbl.find_opt t.counters (node, name) with
+  | Some r -> !r
+  | None -> 0
+
+let sum t name =
+  Hashtbl.fold
+    (fun (_, n) r acc -> if String.equal n name then acc + !r else acc)
+    t.counters 0
+
+let has_prefix ~prefix s =
+  String.equal prefix s
+  || (String.length s > String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+      && s.[String.length prefix] = '.')
+
+let sum_prefix t prefix =
+  Hashtbl.fold
+    (fun (_, n) r acc -> if has_prefix ~prefix n then acc + !r else acc)
+    t.counters 0
+
+let observe t ~node name v =
+  match Hashtbl.find_opt t.series (node, name) with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add t.series (node, name) (ref [ v ])
+
+let samples t name =
+  Hashtbl.fold
+    (fun (_, n) r acc -> if String.equal n name then List.rev_append !r acc else acc)
+    t.series []
+
+let count_samples t name = List.length (samples t name)
+
+let mean t name =
+  match samples t name with
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile t name p =
+  match samples t name with
+  | [] -> nan
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let lo = max 0 (min lo (n - 1)) and hi = max 0 (min hi (n - 1)) in
+    let frac = rank -. floor rank in
+    (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series

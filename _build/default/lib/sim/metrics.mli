@@ -1,0 +1,50 @@
+(** Per-run measurement registry.
+
+    Counters are keyed by [(node, name)]; [node = -1] holds run-global
+    counters. Protocol layers use hierarchical dotted names
+    (e.g. ["log_ops.abcast"], ["log_ops.consensus"], ["msgs_sent"]) so
+    experiments can aggregate by prefix. Observations ([observe]) collect
+    scalar samples, e.g. per-message delivery latencies. *)
+
+type t
+(** A mutable registry. One per simulation run. *)
+
+val create : unit -> t
+(** Fresh, empty registry. *)
+
+val incr : t -> node:int -> string -> unit
+(** Add 1 to a counter. *)
+
+val add : t -> node:int -> string -> int -> unit
+(** Add an arbitrary amount to a counter. *)
+
+val get : t -> node:int -> string -> int
+(** Current value of a counter (0 if never touched). *)
+
+val sum : t -> string -> int
+(** Sum of a counter over all nodes (including the global node). *)
+
+val sum_prefix : t -> string -> int
+(** Sum over all nodes of every counter whose name starts with the given
+    dotted prefix (["log_ops"] matches ["log_ops.abcast"] etc.). *)
+
+val observe : t -> node:int -> string -> float -> unit
+(** Record one sample in a named series. *)
+
+val samples : t -> string -> float list
+(** All samples of a series across nodes, in recording order per node. *)
+
+val mean : t -> string -> float
+(** Mean of a series across nodes ([nan] if empty). *)
+
+val percentile : t -> string -> float -> float
+(** [percentile t name p] with [p] in [\[0,100\]] ([nan] if empty). *)
+
+val count_samples : t -> string -> int
+(** Number of recorded samples of a series across nodes. *)
+
+val counters : t -> ((int * string) * int) list
+(** Snapshot of all counters, sorted, for debugging and table dumps. *)
+
+val reset : t -> unit
+(** Drop all counters and series. *)

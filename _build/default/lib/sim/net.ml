@@ -1,0 +1,78 @@
+module Rng = Abcast_util.Rng
+
+type params = {
+  delay_min : int;
+  delay_max : int;
+  loss : float;
+  dup : float;
+  heavy_tail : float;
+}
+
+type t = {
+  default : params;
+  overrides : (int * int, params) Hashtbl.t;
+  mutable cut : (src:int -> dst:int -> bool) option;
+}
+
+let check_params p =
+  if p.delay_min < 0 || p.delay_max < p.delay_min then
+    invalid_arg "Net.create: bad delay bounds"
+
+let create ?(delay_min = 500) ?(delay_max = 2000) ?(loss = 0.0) ?(dup = 0.0)
+    ?(heavy_tail = 0.01) () =
+  let default = { delay_min; delay_max; loss; dup; heavy_tail } in
+  check_params default;
+  { default; overrides = Hashtbl.create 4; cut = None }
+
+let set_link t ~src ~dst ?delay_min ?delay_max ?loss ?dup ?heavy_tail () =
+  let d = match Hashtbl.find_opt t.overrides (src, dst) with
+    | Some p -> p
+    | None -> t.default
+  in
+  let p =
+    {
+      delay_min = Option.value delay_min ~default:d.delay_min;
+      delay_max = Option.value delay_max ~default:d.delay_max;
+      loss = Option.value loss ~default:d.loss;
+      dup = Option.value dup ~default:d.dup;
+      heavy_tail = Option.value heavy_tail ~default:d.heavy_tail;
+    }
+  in
+  check_params p;
+  Hashtbl.replace t.overrides (src, dst) p
+
+let reset_links t = Hashtbl.reset t.overrides
+
+let params_for t ~src ~dst =
+  match Hashtbl.find_opt t.overrides (src, dst) with
+  | Some p -> p
+  | None -> t.default
+
+let partition t pred = t.cut <- Some pred
+
+let heal t = t.cut <- None
+
+let is_partitioned t ~src ~dst =
+  match t.cut with None -> false | Some pred -> pred ~src ~dst
+
+type verdict = Drop | Deliver of int list
+
+let sample_delay p rng =
+  let base = p.delay_min + Rng.int rng (p.delay_max - p.delay_min + 1) in
+  if Rng.chance rng p.heavy_tail then base + Rng.int rng (9 * p.delay_max + 1)
+  else base
+
+let transmit t ~rng ~src ~dst =
+  if src = dst then
+    (* Local hand-off: reliable, fast, no duplication. *)
+    Deliver [ 1 ]
+  else if is_partitioned t ~src ~dst then Drop
+  else begin
+    let p = params_for t ~src ~dst in
+    if Rng.chance rng p.loss then Drop
+    else begin
+      let first = sample_delay p rng in
+      if Rng.chance rng p.dup then Deliver [ first; sample_delay p rng ]
+      else Deliver [ first ]
+    end
+  end

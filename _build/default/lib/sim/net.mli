@@ -1,0 +1,68 @@
+(** Network model (paper §3.1: unreliable but fair channels).
+
+    Channels connect every ordered pair of processes. They are not FIFO,
+    they may lose and duplicate messages, and delays are finite but
+    arbitrary — all per the paper's model. Fairness (a message sent
+    infinitely often is received infinitely often) holds as long as the
+    loss probability is below 1, which protocol retransmission/gossip
+    relies on.
+
+    Self-addressed messages (a process multisending to itself) bypass
+    loss and partitions: they model local hand-off, not a wire.
+
+    Partitions are an extension used by tests: while a predicate holds,
+    matching links silently drop everything. *)
+
+type t
+(** A network configuration shared by one simulation. *)
+
+val create :
+  ?delay_min:int ->
+  ?delay_max:int ->
+  ?loss:float ->
+  ?dup:float ->
+  ?heavy_tail:float ->
+  unit ->
+  t
+(** [create ()] builds a model. Delays are uniform in
+    [\[delay_min, delay_max\]] simulated microseconds (defaults 500..2000);
+    with probability [heavy_tail] (default 0.01) a message instead takes up
+    to 10x [delay_max], modelling the "arbitrary but finite" tail. [loss]
+    (default 0) and [dup] (default 0) are per-message probabilities. *)
+
+val set_link :
+  t ->
+  src:int ->
+  dst:int ->
+  ?delay_min:int ->
+  ?delay_max:int ->
+  ?loss:float ->
+  ?dup:float ->
+  ?heavy_tail:float ->
+  unit ->
+  unit
+(** Override parameters of one directed link (asymmetric networks, a slow
+    or flaky host). Unspecified fields keep their current value. *)
+
+val reset_links : t -> unit
+(** Drop all per-link overrides. *)
+
+val partition : t -> (src:int -> dst:int -> bool) -> unit
+(** Install a partition predicate: links for which it returns [true] drop
+    every message until {!heal} is called. *)
+
+val heal : t -> unit
+(** Remove any installed partition. *)
+
+val is_partitioned : t -> src:int -> dst:int -> bool
+(** Whether the link is currently cut. *)
+
+(** Decision for one message offered to the network. *)
+type verdict =
+  | Drop  (** lost (loss or partition) *)
+  | Deliver of int list
+      (** deliver after each listed delay — more than one element means
+          the channel duplicated the message *)
+
+val transmit : t -> rng:Abcast_util.Rng.t -> src:int -> dst:int -> verdict
+(** Sample the fate of one message on the [src -> dst] channel. *)

@@ -1,0 +1,129 @@
+type t = {
+  tbl : (string, string) Hashtbl.t;
+  metrics : Metrics.t;
+  node : int;
+  dir : string option; (* file backing: one file per key, hex-named *)
+}
+
+let hex_of_key key =
+  let buf = Buffer.create (2 * String.length key) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) key;
+  Buffer.contents buf
+
+let key_of_hex hex =
+  let len = String.length hex / 2 in
+  String.init len (fun i -> Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2)))
+
+let path t key =
+  match t.dir with
+  | Some dir -> Some (Filename.concat dir (hex_of_key key))
+  | None -> None
+
+let read_file file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_file file contents =
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp file
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let create ?dir ~metrics ~node () =
+  let t = { tbl = Hashtbl.create 32; metrics; node; dir } in
+  (match dir with
+  | None -> ()
+  | Some d ->
+    mkdir_p d;
+    Array.iter
+      (fun name ->
+        if not (Filename.check_suffix name ".tmp") then
+          match key_of_hex name with
+          | key -> Hashtbl.replace t.tbl key (read_file (Filename.concat d name))
+          | exception _ -> ())
+      (Sys.readdir d));
+  t
+
+let account t ~layer bytes =
+  Metrics.incr t.metrics ~node:t.node ("log_ops." ^ layer);
+  Metrics.add t.metrics ~node:t.node ("log_bytes." ^ layer) bytes
+
+let write t ~layer ~key v =
+  account t ~layer (String.length v);
+  Hashtbl.replace t.tbl key v;
+  match path t key with Some file -> write_file file v | None -> ()
+
+let read t key = Hashtbl.find_opt t.tbl key
+
+let write_if_changed t ~layer ~key v =
+  match read t key with
+  | Some old when String.equal old v -> false
+  | _ ->
+    write t ~layer ~key v;
+    true
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let delete t ~layer key =
+  if Hashtbl.mem t.tbl key then begin
+    account t ~layer 0;
+    Hashtbl.remove t.tbl key;
+    match path t key with
+    | Some file -> ( try Sys.remove file with Sys_error _ -> ())
+    | None -> ()
+  end
+
+let keys_with_prefix t prefix =
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun k _ acc ->
+      if String.length k >= plen && String.sub k 0 plen = prefix then k :: acc
+      else acc)
+    t.tbl []
+  |> List.sort compare
+
+let retained_bytes t =
+  Hashtbl.fold (fun _ v acc -> acc + String.length v) t.tbl 0
+
+let retained_keys t = Hashtbl.length t.tbl
+
+let wipe t =
+  (match t.dir with
+  | Some d when Sys.file_exists d ->
+    Array.iter
+      (fun name -> try Sys.remove (Filename.concat d name) with Sys_error _ -> ())
+      (Sys.readdir d)
+  | _ -> ());
+  Hashtbl.reset t.tbl
+
+let encode v = Marshal.to_string v []
+
+let decode s = Marshal.from_string s 0
+
+module Slot = struct
+  type 'a slot = { store : t; layer : string; key : string }
+
+  let make store ~layer ~key = { store; layer; key }
+
+  let set slot v = write slot.store ~layer:slot.layer ~key:slot.key (encode v)
+
+  let set_if_changed slot v =
+    write_if_changed slot.store ~layer:slot.layer ~key:slot.key (encode v)
+
+  let get slot =
+    match read slot.store slot.key with
+    | None -> None
+    | Some s -> Some (decode s)
+
+  let clear slot = delete slot.store ~layer:slot.layer slot.key
+end

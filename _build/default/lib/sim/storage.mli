@@ -1,0 +1,84 @@
+(** Simulated stable storage (paper §2.1: [log] / [retrieve]).
+
+    One instance per process. Its contents survive simulated crashes (the
+    engine resets only volatile state); it is the *only* state a recovering
+    process can rely on. Every write and delete is accounted against the
+    issuing layer so experiments can check the paper's minimal-logging
+    claim: counters ["log_ops.<layer>"] and ["log_bytes.<layer>"] in
+    {!Metrics}, plus the currently retained footprint via {!retained_bytes}
+    (used for the log-growth experiment E3). *)
+
+type t
+(** Stable storage of one process. *)
+
+val create : ?dir:string -> metrics:Metrics.t -> node:int -> unit -> t
+(** Storage for process [node], accounting into [metrics].
+
+    Without [dir] the store is memory-only and "stability" is the
+    simulator's promise (contents survive {e simulated} crashes). With
+    [dir] every key is additionally persisted as one file (hex-encoded
+    name, atomic tmp+rename write) and existing files are loaded at
+    creation — this is what the live runtime uses so that state survives
+    {e real} process restarts. *)
+
+val write : t -> layer:string -> key:string -> string -> unit
+(** [write t ~layer ~key v] durably stores [v] under [key]. Counts one
+    log operation and [String.length v] bytes for [layer].
+    Overwrites silently. *)
+
+val write_if_changed : t -> layer:string -> key:string -> string -> bool
+(** Like {!write} but skips the physical write (and its accounting) when
+    the stored value is already equal — the paper's §5.5 incremental
+    logging rule "a log operation can be saved each time the current value
+    does not differ from its previously logged value". Returns whether a
+    write happened. *)
+
+val read : t -> string -> string option
+(** Retrieve the value stored under a key, if any. Reads are free. *)
+
+val mem : t -> string -> bool
+(** Whether a key is present. *)
+
+val delete : t -> layer:string -> string -> unit
+(** Remove a key (log truncation). Counts one log operation. *)
+
+val keys_with_prefix : t -> string -> string list
+(** All present keys starting with the given prefix, sorted. *)
+
+val retained_bytes : t -> int
+(** Total size of currently stored values — the live log footprint. *)
+
+val retained_keys : t -> int
+(** Number of currently stored keys. *)
+
+val wipe : t -> unit
+(** Clear everything (test helper; never called by protocols). *)
+
+(** Typed single-value cell on top of {!t}, (de)serialized with [Marshal].
+    Only ever instantiate at plain data types (no closures). *)
+module Slot : sig
+  type 'a slot
+
+  val make : t -> layer:string -> key:string -> 'a slot
+  (** A typed view of one key. *)
+
+  val set : 'a slot -> 'a -> unit
+  (** Durably store a value (one log operation). *)
+
+  val set_if_changed : 'a slot -> 'a -> bool
+  (** Store only if the serialized form differs from what is on disk. *)
+
+  val get : 'a slot -> 'a option
+  (** Read back the stored value, if present. *)
+
+  val clear : 'a slot -> unit
+  (** Delete the key (one log operation). *)
+end
+
+val encode : 'a -> string
+(** [Marshal] serialization used by {!Slot} — exposed so protocols can
+    measure the size of values they are about to log. *)
+
+val decode : string -> 'a
+(** Inverse of {!encode}. Unsafe in general; callers fix ['a] by
+    annotation at a data type. *)

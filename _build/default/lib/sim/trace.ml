@@ -1,0 +1,35 @@
+type entry = { time : int; node : int; text : string }
+
+type t = {
+  mutable enabled : bool;
+  echo : bool;
+  mutable entries : entry list; (* reversed *)
+}
+
+let create ?(enabled = false) ?(echo = false) () =
+  { enabled; echo; entries = [] }
+
+let enable t b = t.enabled <- b
+
+let emit t ~time ~node text =
+  if t.enabled then begin
+    let e = { time; node; text } in
+    t.entries <- e :: t.entries;
+    if t.echo then Printf.printf "[%8d] p%d %s\n%!" time node text
+  end
+
+let emitf t ~time ~node fmt =
+  if t.enabled then
+    Format.kasprintf (fun s -> emit t ~time ~node s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t = List.rev t.entries
+
+let find t pred = List.find_opt pred (entries t)
+
+let dump t ppf =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%8d] p%d %s@." e.time e.node e.text)
+    (entries t)
+
+let clear t = t.entries <- []

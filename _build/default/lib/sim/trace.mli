@@ -1,0 +1,33 @@
+(** Timestamped event trace.
+
+    Cheap structured logging for simulations: protocols emit one-line
+    events; tests assert over them; examples print them as a timeline.
+    Disabled traces drop events without formatting cost. *)
+
+type t
+
+type entry = { time : int; node : int; text : string }
+
+val create : ?enabled:bool -> ?echo:bool -> unit -> t
+(** [echo] additionally prints each entry to stdout as it is emitted. *)
+
+val enable : t -> bool -> unit
+
+val emit : t -> time:int -> node:int -> string -> unit
+(** Record an entry (no-op when disabled). *)
+
+val emitf :
+  t -> time:int -> node:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are only evaluated when the
+    trace is enabled. *)
+
+val entries : t -> entry list
+(** All entries in emission order. *)
+
+val find : t -> (entry -> bool) -> entry option
+(** First entry satisfying the predicate. *)
+
+val dump : t -> Format.formatter -> unit
+(** Print the whole timeline, one entry per line. *)
+
+val clear : t -> unit

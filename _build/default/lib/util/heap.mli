@@ -1,0 +1,32 @@
+(** Imperative binary min-heap.
+
+    The simulator's event queue: keys are [(time, sequence)] pairs so
+    insertion order breaks ties deterministically. Kept polymorphic in the
+    element type; the ordering is supplied at creation time. *)
+
+type 'a t
+(** A mutable heap of ['a]. *)
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** Insert an element. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, if any, without removing it. O(1). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. O(log n). *)
+
+val clear : 'a t -> unit
+(** Remove every element. *)
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order (for inspection in tests). *)

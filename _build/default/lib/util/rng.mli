@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic choice in the simulator (message delays, loss,
+    duplication, workload inter-arrival times, fault schedules) is drawn
+    from an explicit [Rng.t] so that a run is a pure function of its seed.
+    SplitMix64 is used because it is tiny, fast, splittable and has
+    well-studied statistical quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will replay [t]'s future
+    stream from this point. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is statistically
+    independent of [t]'s; [t] is advanced once. Use it to give each
+    node / link its own stream so that adding draws in one component
+    does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean (for Poisson
+    arrival processes and heavy-ish delay tails). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice among the elements of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

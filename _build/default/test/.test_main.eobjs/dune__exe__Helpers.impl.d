@@ -1,0 +1,1 @@
+test/helpers.ml: Abcast_core Abcast_harness Abcast_sim Abcast_util Alcotest Fun List

@@ -1,0 +1,1 @@
+test/suite_apps.ml: Abcast_apps Abcast_core Alcotest Array Cluster Helpers List Option Payload Printf Rng

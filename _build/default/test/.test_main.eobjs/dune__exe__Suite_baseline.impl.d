@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Abcast_baseline Abcast_core Alcotest Array Checks Cluster Engine Helpers List Metrics Net Payload Rng Workload

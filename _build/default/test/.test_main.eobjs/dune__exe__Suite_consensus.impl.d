@@ -1,0 +1,1 @@
+test/suite_consensus.ml: Abcast_consensus Abcast_sim Alcotest Array Engine Helpers Int List Net Option Printf QCheck QCheck_alcotest Rng

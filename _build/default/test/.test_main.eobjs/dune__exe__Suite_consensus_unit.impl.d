@@ -1,0 +1,1 @@
+test/suite_consensus_unit.ml: Abcast_consensus Abcast_sim Alcotest Helpers List Metrics Queue Rng Storage

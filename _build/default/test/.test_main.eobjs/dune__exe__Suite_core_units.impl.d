@@ -1,0 +1,1 @@
+test/suite_core_units.ml: Abcast_core Alcotest Format Helpers List Option Payload QCheck QCheck_alcotest String

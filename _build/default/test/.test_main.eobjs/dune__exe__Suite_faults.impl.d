@@ -1,0 +1,1 @@
+test/suite_faults.ml: Abcast_apps Abcast_core Abcast_harness Abcast_sim Alcotest Array Checks Cluster Fun Helpers List Net Option Printf QCheck QCheck_alcotest Rng Workload

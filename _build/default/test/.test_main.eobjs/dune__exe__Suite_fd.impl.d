@@ -1,0 +1,1 @@
+test/suite_fd.ml: Abcast_fd Alcotest Array Engine Helpers List Net

@@ -1,0 +1,1 @@
+test/suite_harness.ml: Abcast_core Abcast_harness Alcotest Char Checks Cluster Helpers List Payload Printf Rng String Workload

@@ -1,0 +1,1 @@
+test/suite_lemmas.ml: Abcast_consensus Abcast_core Abcast_harness Abcast_sim Alcotest Astring Cluster Helpers Result Rng Workload

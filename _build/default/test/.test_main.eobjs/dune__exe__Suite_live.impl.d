@@ -1,0 +1,1 @@
+test/suite_live.ml: Abcast_core Abcast_live Alcotest Filename Fun Helpers List Printf Thread Unix

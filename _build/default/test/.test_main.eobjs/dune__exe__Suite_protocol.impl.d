@@ -1,0 +1,1 @@
+test/suite_protocol.ml: Abcast_apps Abcast_consensus Abcast_core Alcotest Array Checks Cluster Engine Format Helpers List Metrics Net Payload Printf Rng Workload

@@ -1,0 +1,1 @@
+test/suite_quorum.ml: Abcast_apps Abcast_core Alcotest Array Cluster Fun Gen Helpers List Payload QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Abcast_sim Alcotest Array Engine Filename Float Helpers List Metrics Net Option Printf Rng Storage String Unix

@@ -1,0 +1,1 @@
+test/suite_util.ml: Abcast_util Alcotest Array Fun Helpers List Printf QCheck QCheck_alcotest Rng

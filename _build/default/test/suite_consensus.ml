@@ -1,0 +1,382 @@
+(* Tests of the Consensus building blocks (Paxos and Coord), run through a
+   small single-instance rig, plus the Multi instance manager.
+
+   The rig gives every node a "perfect" leader oracle (lowest currently-up
+   process) so consensus liveness can be tested in isolation from the
+   failure detector; the full stack uses the heartbeat detector and is
+   tested in suite_protocol. *)
+
+open Helpers
+module Intf = Abcast_consensus.Consensus_intf
+
+module Rig (C : Intf.S) = struct
+  type t = {
+    eng : C.msg Engine.t;
+    nodes : C.t option array;
+    decisions : (int * Intf.value) list ref; (* node, value *)
+  }
+
+  let make ?(n = 3) ?(seed = 1) ?net () =
+    let eng = Engine.create ~seed ~n ?net () in
+    let nodes = Array.make n None in
+    let decisions = ref [] in
+    let leader () =
+      let rec first i = if Engine.is_up eng i then i else first (i + 1) in
+      first 0
+    in
+    for i = 0 to n - 1 do
+      Engine.set_behavior eng i (fun io ->
+          let c =
+            C.create io ~instance:0 ~leader ~on_decide:(fun v ->
+                decisions := (i, v) :: !decisions)
+          in
+          nodes.(i) <- Some c;
+          C.handle c)
+    done;
+    Engine.start_all eng;
+    { eng; nodes; decisions }
+
+  let node t i = match t.nodes.(i) with Some c -> c | None -> assert false
+
+  let propose t i v = C.propose (node t i) v
+
+  let decided_everywhere t ~up =
+    List.for_all (fun i -> C.decision (node t i) <> None) up
+
+  let run_to_decision ?(up = [ 0; 1; 2 ]) ?(until = 2_000_000) t =
+    let ok =
+      Engine.run_until t.eng ~until ~pred:(fun () -> decided_everywhere t ~up) ()
+    in
+    if not ok then Alcotest.fail "consensus did not terminate";
+    let values =
+      List.map (fun i -> Option.get (C.decision (node t i))) up
+    in
+    match values with
+    | [] -> Alcotest.fail "no processes"
+    | v :: rest ->
+      List.iter (Alcotest.(check string) "uniform agreement" v) rest;
+      v
+
+  let tests name =
+    [
+      test (name ^ ": all propose, all decide one proposal") (fun () ->
+          let t = make () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          let v = run_to_decision t in
+          Alcotest.(check bool) "validity" true (List.mem v [ "v0"; "v1"; "v2" ]));
+      test (name ^ ": n=5") (fun () ->
+          let t = make ~n:5 () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2; 3; 4 ];
+          let v = run_to_decision ~up:[ 0; 1; 2; 3; 4 ] t in
+          Alcotest.(check bool) "validity" true
+            (List.mem v [ "v0"; "v1"; "v2"; "v3"; "v4" ]));
+      test (name ^ ": decides under 20% message loss") (fun () ->
+          let net = Net.create ~loss:0.2 () in
+          let t = make ~net ~seed:5 () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          ignore (run_to_decision ~until:20_000_000 t));
+      test (name ^ ": survives a minority permanent crash") (fun () ->
+          let t = make () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          Engine.at t.eng 1_000 (fun () -> Engine.crash t.eng 2);
+          ignore (run_to_decision ~up:[ 0; 1 ] t));
+      test (name ^ ": survives leader crash") (fun () ->
+          let t = make () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          Engine.at t.eng 1_000 (fun () -> Engine.crash t.eng 0);
+          ignore (run_to_decision ~up:[ 1; 2 ] ~until:10_000_000 t));
+      test (name ^ ": crash-recovery of a participant") (fun () ->
+          let t = make ~seed:3 () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          Engine.at t.eng 500 (fun () -> Engine.crash t.eng 1);
+          Engine.at t.eng 50_000 (fun () -> Engine.recover t.eng 1);
+          let v = run_to_decision ~until:10_000_000 t in
+          Alcotest.(check bool) "validity" true (List.mem v [ "v0"; "v1"; "v2" ]));
+      test (name ^ ": proposal is logged and idempotent (P4)") (fun () ->
+          let t = make () in
+          propose t 0 "first";
+          propose t 0 "second";
+          Alcotest.(check (option string))
+            "first wins" (Some "first")
+            (C.proposal (node t 0)));
+      test (name ^ ": re-propose after recovery keeps logged value") (fun () ->
+          let t = make ~seed:7 () in
+          propose t 0 "original";
+          Engine.at t.eng 200 (fun () -> Engine.crash t.eng 0);
+          Engine.at t.eng 40_000 (fun () ->
+              Engine.recover t.eng 0;
+              (* the upper layer re-proposes with a different value; the
+                 logged one must win *)
+              propose t 0 "changed");
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 1; 2 ];
+          let v = run_to_decision ~until:10_000_000 t in
+          Alcotest.(check bool) "validity incl. original only" true
+            (List.mem v [ "original"; "v1"; "v2" ]);
+          Alcotest.(check (option string))
+            "logged" (Some "original")
+            (C.proposal (node t 0)));
+      test (name ^ ": decision is stable across recovery (P5)") (fun () ->
+          let t = make ~seed:11 () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          let v = run_to_decision t in
+          Engine.crash t.eng 1;
+          Engine.recover t.eng 1;
+          Engine.run t.eng ~until:Int.max_int |> ignore;
+          Alcotest.(check (option string))
+            "same decision" (Some v)
+            (C.decision (node t 1)));
+      test (name ^ ": uniform agreement includes bad processes") (fun () ->
+          (* node 2 decides then crashes forever; its logged decision must
+             equal the survivors' *)
+          let t = make ~seed:13 () in
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+          let ok =
+            Engine.run_until t.eng ~until:5_000_000
+              ~pred:(fun () -> C.decision (node t 2) <> None)
+              ()
+          in
+          Alcotest.(check bool) "node2 decided" true ok;
+          let v2 = Option.get (C.decision (node t 2)) in
+          Engine.crash t.eng 2;
+          let v = run_to_decision ~up:[ 0; 1 ] t in
+          Alcotest.(check string) "uniform" v v2);
+      test (name ^ ": late process learns an old decision") (fun () ->
+          let t = make ~seed:17 () in
+          (* node 2 is down from the start of the protocol *)
+          Engine.crash t.eng 2;
+          List.iter (fun i -> propose t i (Printf.sprintf "v%d" i)) [ 0; 1 ];
+          let v = run_to_decision ~up:[ 0; 1 ] t in
+          Engine.recover t.eng 2;
+          Engine.at t.eng (Engine.now t.eng + 100) (fun () -> propose t 2 "late");
+          let ok =
+            Engine.run_until t.eng ~until:20_000_000
+              ~pred:(fun () -> C.decision (node t 2) <> None)
+              ()
+          in
+          Alcotest.(check bool) "learned" true ok;
+          Alcotest.(check (option string)) "same" (Some v) (C.decision (node t 2)));
+    ]
+end
+
+module Paxos_rig = Rig (Abcast_consensus.Paxos)
+module Coord_rig = Rig (Abcast_consensus.Coord)
+
+(* Safety must never depend on the quality of the leader oracle: give
+   every process a lying oracle that always answers "you are the leader"
+   (permanent duel) on a lossy network; whenever decisions happen, they
+   must agree and be valid. *)
+module Adversarial_oracle (C : Intf.S) = struct
+  let make ~seed ~loss =
+    let net = Net.create ~loss () in
+    let eng = Engine.create ~seed ~n:3 ~net () in
+    let nodes = Array.make 3 None in
+    for i = 0 to 2 do
+      Engine.set_behavior eng i (fun io ->
+          let c =
+            C.create io ~instance:0
+              ~leader:(fun () -> i) (* everyone believes in themselves *)
+              ~on_decide:(fun _ -> ())
+          in
+          nodes.(i) <- Some c;
+          C.handle c)
+    done;
+    Engine.start_all eng;
+    let node i = match nodes.(i) with Some c -> c | None -> assert false in
+    for i = 0 to 2 do
+      C.propose (node i) (Printf.sprintf "v%d" i)
+    done;
+    Engine.run eng ~until:20_000_000;
+    let decisions = List.filter_map (fun i -> C.decision (node i)) [ 0; 1; 2 ] in
+    (match decisions with
+    | [] -> () (* liveness may be lost under a permanent duel: allowed *)
+    | v :: rest ->
+      Alcotest.(check bool) "validity" true (List.mem v [ "v0"; "v1"; "v2" ]);
+      List.iter (Alcotest.(check string) "agreement under duel" v) rest);
+    List.length decisions
+
+  let tests name =
+    [
+      test (name ^ ": safe under a permanently lying oracle") (fun () ->
+          ignore (make ~seed:21 ~loss:0.0));
+      test (name ^ ": safe under a lying oracle with 30% loss") (fun () ->
+          ignore (make ~seed:22 ~loss:0.3));
+      test (name ^ ": several seeds, all safe") (fun () ->
+          List.iter (fun seed -> ignore (make ~seed ~loss:0.1)) [ 1; 2; 3; 4; 5 ]);
+    ]
+end
+
+module Paxos_adv = Adversarial_oracle (Abcast_consensus.Paxos)
+module Coord_adv = Adversarial_oracle (Abcast_consensus.Coord)
+
+(* Property test: random crash/recovery schedules, agreement must hold. *)
+let random_schedule_prop (module C : Intf.S) name =
+  QCheck.Test.make ~name ~count:35 QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let module R = Rig (C) in
+      let t = R.make ~seed ~n:3 () in
+      let rng = Rng.create (seed * 31) in
+      List.iter (fun i -> R.propose t i (Printf.sprintf "v%d" i)) [ 0; 1; 2 ];
+      (* one random node bounces once; a majority stays up *)
+      let victim = Rng.int rng 3 in
+      let down_at = 100 + Rng.int rng 30_000 in
+      let up_at = down_at + 1_000 + Rng.int rng 60_000 in
+      Abcast_sim.Faults.down_between t.eng ~node:victim ~from_:down_at ~until:up_at;
+      let v = R.run_to_decision ~until:120_000_000 t in
+      List.mem v [ "v0"; "v1"; "v2" ])
+
+(* --- Multi instance manager (over both implementations) ------------ *)
+
+module Multi_suite (C : Intf.S) = struct
+  module M = Abcast_consensus.Multi.Make (C)
+
+  let multi_rig ?(n = 3) ?(seed = 1) () =
+  let eng = Engine.create ~seed ~n () in
+  let nodes = Array.make n None in
+  let decisions = Array.make n [] in
+  let lags = Array.make n [] in
+  let leader () =
+    let rec first i = if Engine.is_up eng i then i else first (i + 1) in
+    first 0
+  in
+  for i = 0 to n - 1 do
+    Engine.set_behavior eng i (fun io ->
+        let m =
+          M.create io ~leader
+            ~on_decide:(fun k v -> decisions.(i) <- (k, v) :: decisions.(i))
+            ~on_lag:(fun f -> lags.(i) <- f :: lags.(i))
+            ~on_behind:(fun ~src:_ -> ())
+        in
+        nodes.(i) <- Some m;
+        M.handle m)
+  done;
+  Engine.start_all eng;
+  let node i = match nodes.(i) with Some m -> m | None -> assert false in
+  (eng, node, decisions, lags)
+
+  let tests name =
+    [
+    test (name ^ " multi: instances are independent") (fun () ->
+        let eng, node, _, _ = multi_rig () in
+        for k = 0 to 3 do
+          for i = 0 to 2 do
+            M.propose (node i) k (Printf.sprintf "k%d-v%d" k i)
+          done
+        done;
+        let all_decided () =
+          List.for_all
+            (fun k -> List.for_all (fun i -> M.decision (node i) k <> None) [ 0; 1; 2 ])
+            [ 0; 1; 2; 3 ]
+        in
+        let ok = Engine.run_until eng ~until:10_000_000 ~pred:all_decided () in
+        Alcotest.(check bool) "all decided" true ok;
+        (* agreement per instance, and decisions may differ across instances *)
+        List.iter
+          (fun k ->
+            let v0 = Option.get (M.decision (node 0) k) in
+            List.iter
+              (fun i ->
+                Alcotest.(check (option string))
+                  "agree" (Some v0)
+                  (M.decision (node i) k))
+              [ 1; 2 ])
+          [ 0; 1; 2; 3 ]);
+    test (name ^ " multi: logged_proposal_instances lists proposals") (fun () ->
+        let eng, node, _, _ = multi_rig () in
+        M.propose (node 0) 0 "a";
+        M.propose (node 0) 2 "c";
+        Engine.run eng ~until:1_000;
+        Alcotest.(check (list int)) "instances" [ 0; 2 ]
+          (M.logged_proposal_instances (node 0)));
+    test (name ^ " multi: truncate_below raises the floor and drops state") (fun () ->
+        let eng, node, _, _ = multi_rig () in
+        for k = 0 to 2 do
+          for i = 0 to 2 do
+            M.propose (node i) k "v"
+          done
+        done;
+        let decided () =
+          List.for_all (fun k -> M.decision (node 0) k <> None) [ 0; 1; 2 ]
+        in
+        Alcotest.(check bool) "decided" true
+          (Engine.run_until eng ~until:10_000_000 ~pred:decided ());
+        M.truncate_below (node 0) 2;
+        Alcotest.(check int) "floor" 2 (M.floor (node 0));
+        Alcotest.(check (option string)) "old gone" None (M.decision (node 0) 0);
+        Alcotest.(check bool) "recent kept" true (M.decision (node 0) 2 <> None);
+        (* proposals below the floor are ignored *)
+        M.propose (node 0) 0 "zombie";
+        Alcotest.(check (option string)) "ignored" None (M.proposal (node 0) 0));
+    test (name ^ " multi: truncated peer reports lag to the asker") (fun () ->
+        let eng, node, _, lags = multi_rig ~seed:3 () in
+        (* decide instance 0 while node 2 is down *)
+        Engine.crash eng 2;
+        for i = 0 to 1 do
+          M.propose (node i) 0 "v"
+        done;
+        let decided () = M.decision (node 0) 0 <> None && M.decision (node 1) 0 <> None in
+        Alcotest.(check bool) "decided" true
+          (Engine.run_until eng ~until:10_000_000 ~pred:decided ());
+        M.truncate_below (node 0) 1;
+        M.truncate_below (node 1) 1;
+        Engine.recover eng 2;
+        Engine.at eng (Engine.now eng + 100) (fun () -> M.propose (node 2) 0 "late");
+        let lagged () = lags.(2) <> [] in
+        Alcotest.(check bool) "lag reported" true
+          (Engine.run_until eng ~until:20_000_000 ~pred:lagged ());
+        Alcotest.(check bool) "floor carried" true (List.mem 1 lags.(2)));
+    test (name ^ " multi: decisions persist across recovery") (fun () ->
+        let eng, node, _, _ = multi_rig ~seed:5 () in
+        for i = 0 to 2 do
+          M.propose (node i) 0 "v"
+        done;
+        let decided () = M.decision (node 1) 0 <> None in
+        Alcotest.(check bool) "decided" true
+          (Engine.run_until eng ~until:10_000_000 ~pred:decided ());
+        let v = M.decision (node 1) 0 in
+        Engine.crash eng 1;
+        Engine.recover eng 1;
+        Alcotest.(check (option string)) "persisted" v (M.decision (node 1) 0));
+    ]
+end
+
+module Multi_paxos = Multi_suite (Abcast_consensus.Paxos)
+module Multi_coord = Multi_suite (Abcast_consensus.Coord)
+
+let multi_tests = Multi_paxos.tests "paxos" @ Multi_coord.tests "coord"
+
+let keys_tests =
+  [
+    test "keys: instance/field roundtrip" (fun () ->
+        let key = Intf.Keys.proposal 1234 in
+        Alcotest.(check (option int)) "instance" (Some 1234)
+          (Intf.Keys.instance_of_key key);
+        Alcotest.(check (option string)) "field" (Some "proposal")
+          (Intf.Keys.field_of_key key));
+    test "keys: non-consensus keys are rejected" (fun () ->
+        Alcotest.(check (option int)) "other" None
+          (Intf.Keys.instance_of_key "ab/checkpoint"));
+  ]
+
+let keys_props =
+  [
+    QCheck.Test.make ~name:"keys: roundtrip for any instance/field" ~count:200
+      QCheck.(pair (int_range 0 999_999_999) (oneofl [ "proposal"; "decision"; "paxos.acc" ]))
+      (fun (k, field) ->
+        let key = Intf.Keys.inst k field in
+        Intf.Keys.instance_of_key key = Some k
+        && Intf.Keys.field_of_key key = Some field);
+  ]
+
+let suite =
+  ( "consensus",
+    Paxos_rig.tests "paxos" @ Coord_rig.tests "coord"
+    @ Paxos_adv.tests "paxos" @ Coord_adv.tests "coord" @ multi_tests
+    @ keys_tests
+    @ List.map QCheck_alcotest.to_alcotest
+        (keys_props
+        @ [
+            random_schedule_prop (module Abcast_consensus.Paxos)
+              "paxos: agreement under random bounce";
+            random_schedule_prop (module Abcast_consensus.Coord)
+              "coord: agreement under random bounce";
+          ]) )

@@ -1,0 +1,298 @@
+(* White-box, message-level unit tests of the consensus state machines.
+
+   A synthetic Engine.io captures outgoing messages and timers instead of
+   scheduling them, so each protocol step can be driven and inspected
+   deterministically — no engine, no clock. *)
+
+open Helpers
+module Engine = Abcast_sim.Engine
+module Paxos = Abcast_consensus.Paxos
+module Coord = Abcast_consensus.Coord
+
+type 'm probe = {
+  io : 'm Engine.io;
+  sent : (int * 'm) list ref; (* reversed *)
+  timers : (int * (unit -> unit)) Queue.t;
+  store : Storage.t;
+}
+
+let probe ?(self = 0) ?(n = 3) () =
+  let sent = ref [] in
+  let timers = Queue.create () in
+  let store = Storage.create ~metrics:(Metrics.create ()) ~node:self () in
+  let io : _ Engine.io =
+    {
+      self;
+      n;
+      incarnation = 0;
+      now = (fun () -> 0);
+      send = (fun dst m -> sent := (dst, m) :: !sent);
+      multisend =
+        (fun m ->
+          for dst = 0 to n - 1 do
+            sent := (dst, m) :: !sent
+          done);
+      after = (fun delay thunk -> Queue.push (delay, thunk) timers);
+      store;
+      rng = Rng.create 1;
+      metrics = Metrics.create ();
+      emit = ignore;
+    }
+  in
+  { io; sent; timers; store }
+
+let take_sent p =
+  let out = List.rev !(p.sent) in
+  p.sent := [];
+  out
+
+let fire_next_timer p =
+  match Queue.take_opt p.timers with
+  | Some (_, thunk) -> thunk ()
+  | None -> Alcotest.fail "no timer armed"
+
+let self_leader () = 0
+
+(* ---------------- Paxos ---------------- *)
+
+let sent_prepares msgs =
+  List.filter_map
+    (fun (dst, m) -> match m with Paxos.Prepare { b } -> Some (dst, b) | _ -> None)
+    msgs
+
+let paxos_make ?(self = 0) () =
+  let p = probe ~self () in
+  let decided = ref None in
+  let c =
+    Paxos.create p.io ~instance:0 ~leader:self_leader ~on_decide:(fun v ->
+        decided := Some v)
+  in
+  (p, c, decided)
+
+let paxos_tests =
+  [
+    test "paxos: propose logs the value and arms a retry timer" (fun () ->
+        let p, c, _ = paxos_make () in
+        Paxos.propose c "v";
+        Alcotest.(check (option string)) "logged" (Some "v")
+          (Storage.read p.store (Abcast_consensus.Consensus_intf.Keys.proposal 0));
+        Alcotest.(check bool) "timer armed" true (not (Queue.is_empty p.timers)));
+    test "paxos: the leader's timer starts phase 1 with ballot r*n+self"
+      (fun () ->
+        let p, c, _ = paxos_make () in
+        Paxos.propose c "v";
+        fire_next_timer p;
+        let prepares = sent_prepares (take_sent p) in
+        Alcotest.(check int) "to everyone" 3 (List.length prepares);
+        List.iter
+          (fun (_, b) ->
+            Alcotest.(check bool) "ballot = r*3+0, r>=1" true (b mod 3 = 0 && b >= 3))
+          prepares);
+    test "paxos: a non-leader queries instead of competing" (fun () ->
+        let p, c, _ = paxos_make ~self:1 () in
+        (* leader oracle says 0; self is 1 *)
+        Paxos.propose c "v";
+        fire_next_timer p;
+        let sent = take_sent p in
+        Alcotest.(check bool) "no prepares" true (sent_prepares sent = []);
+        Alcotest.(check bool) "queries instead" true
+          (List.exists (fun (_, m) -> m = Paxos.Query) sent));
+    test "paxos: acceptor promises higher ballots, rejects lower" (fun () ->
+        let p, c, _ = paxos_make ~self:1 () in
+        Paxos.handle c ~src:0 (Paxos.Prepare { b = 6 });
+        (match take_sent p with
+        | [ (0, Paxos.Promise { b = 6; accepted = None }) ] -> ()
+        | _ -> Alcotest.fail "expected a promise to 0");
+        Paxos.handle c ~src:2 (Paxos.Prepare { b = 5 });
+        match take_sent p with
+        | [ (2, Paxos.Reject { b = 6 }) ] -> ()
+        | _ -> Alcotest.fail "expected a reject carrying the promise");
+    test "paxos: accept updates durable state and acks" (fun () ->
+        let p, c, _ = paxos_make ~self:1 () in
+        Paxos.handle c ~src:0 (Paxos.Accept { b = 6; v = "x" });
+        (match take_sent p with
+        | [ (0, Paxos.Accepted { b = 6 }) ] -> ()
+        | _ -> Alcotest.fail "expected an ack");
+        (* the acceptor state must have been logged before the ack *)
+        Alcotest.(check bool) "durable" true
+          (Storage.mem p.store
+             (Abcast_consensus.Consensus_intf.Keys.inst 0 "paxos.acc")));
+    test "paxos: proposer adopts the highest accepted value from promises"
+      (fun () ->
+        let p, c, _ = paxos_make () in
+        Paxos.propose c "mine";
+        fire_next_timer p;
+        let b =
+          match sent_prepares (take_sent p) with
+          | (_, b) :: _ -> b
+          | [] -> Alcotest.fail "no prepare"
+        in
+        Paxos.handle c ~src:1 (Paxos.Promise { b; accepted = Some (2, "old-low") });
+        Paxos.handle c ~src:2 (Paxos.Promise { b; accepted = Some (4, "old-high") });
+        let accepts =
+          List.filter_map
+            (fun (_, m) ->
+              match m with Paxos.Accept { v; _ } -> Some v | _ -> None)
+            (take_sent p)
+        in
+        Alcotest.(check bool) "phase 2 started" true (accepts <> []);
+        List.iter (Alcotest.(check string) "adopted highest" "old-high") accepts);
+    test "paxos: free choice when no promise carries a value" (fun () ->
+        let p, c, _ = paxos_make () in
+        Paxos.propose c "mine";
+        fire_next_timer p;
+        let b =
+          match sent_prepares (take_sent p) with
+          | (_, b) :: _ -> b
+          | [] -> Alcotest.fail "no prepare"
+        in
+        Paxos.handle c ~src:1 (Paxos.Promise { b; accepted = None });
+        Paxos.handle c ~src:2 (Paxos.Promise { b; accepted = None });
+        let accepts =
+          List.filter_map
+            (fun (_, m) ->
+              match m with Paxos.Accept { v; _ } -> Some v | _ -> None)
+            (take_sent p)
+        in
+        List.iter (Alcotest.(check string) "own value" "mine") accepts);
+    test "paxos: majority of accepted acks decides, logs, announces" (fun () ->
+        let p, c, decided = paxos_make () in
+        Paxos.propose c "mine";
+        fire_next_timer p;
+        let b =
+          match sent_prepares (take_sent p) with
+          | (_, b) :: _ -> b
+          | [] -> Alcotest.fail "no prepare"
+        in
+        Paxos.handle c ~src:1 (Paxos.Promise { b; accepted = None });
+        Paxos.handle c ~src:2 (Paxos.Promise { b; accepted = None });
+        ignore (take_sent p);
+        Paxos.handle c ~src:1 (Paxos.Accepted { b });
+        Paxos.handle c ~src:2 (Paxos.Accepted { b });
+        Alcotest.(check (option string)) "decided" (Some "mine") !decided;
+        Alcotest.(check (option string)) "logged" (Some "mine")
+          (Storage.read p.store (Abcast_consensus.Consensus_intf.Keys.decision 0));
+        Alcotest.(check bool) "announced" true
+          (List.exists
+             (fun (_, m) -> match m with Paxos.Decide _ -> true | _ -> false)
+             (take_sent p)));
+    test "paxos: decided instance answers everything with Decide" (fun () ->
+        let p, c, _ = paxos_make ~self:1 () in
+        Paxos.handle c ~src:0 (Paxos.Decide { v = "done" });
+        ignore (take_sent p);
+        Paxos.handle c ~src:2 (Paxos.Prepare { b = 99 });
+        (match take_sent p with
+        | (2, Paxos.Decide { v = "done" }) :: _ -> ()
+        | _ -> Alcotest.fail "expected a Decide reply");
+        Paxos.handle c ~src:2 Paxos.Query;
+        match take_sent p with
+        | (2, Paxos.Decide { v = "done" }) :: _ -> ()
+        | _ -> Alcotest.fail "expected a Decide reply to query");
+    test "paxos: reject pushes the next ballot higher" (fun () ->
+        let p, c, _ = paxos_make () in
+        Paxos.propose c "v";
+        fire_next_timer p;
+        ignore (take_sent p);
+        Paxos.handle c ~src:1 (Paxos.Reject { b = 30 });
+        fire_next_timer p;
+        let prepares = sent_prepares (take_sent p) in
+        List.iter
+          (fun (_, b) -> Alcotest.(check bool) "above 30" true (b > 30))
+          prepares);
+  ]
+
+(* ---------------- Coord ---------------- *)
+
+let coord_make ?(self = 0) () =
+  let p = probe ~self () in
+  let decided = ref None in
+  let c =
+    Coord.create p.io ~instance:0 ~leader:self_leader ~on_decide:(fun v ->
+        decided := Some v)
+  in
+  (p, c, decided)
+
+let coord_tests =
+  [
+    test "coord: propose sends an estimate to round 0's coordinator" (fun () ->
+        let p, c, _ = coord_make ~self:1 () in
+        Coord.propose c "v";
+        match take_sent p with
+        | [ (0, Coord.Estimate { r = 0; v = "v"; ts = -1 }) ] -> ()
+        | _ -> Alcotest.fail "expected estimate to coordinator 0");
+    test "coord: coordinator proposes the highest-timestamp estimate" (fun () ->
+        let p, c, _ = coord_make ~self:0 () in
+        Coord.propose c "own";
+        ignore (take_sent p);
+        Coord.handle c ~src:0 (Coord.Estimate { r = 0; v = "own"; ts = -1 });
+        Coord.handle c ~src:1 (Coord.Estimate { r = 0; v = "locked"; ts = 3 });
+        let proposals =
+          List.filter_map
+            (fun (_, m) ->
+              match m with Coord.Proposal { r = 0; v } -> Some v | _ -> None)
+            (take_sent p)
+        in
+        Alcotest.(check bool) "proposal broadcast" true (proposals <> []);
+        List.iter (Alcotest.(check string) "highest ts wins" "locked") proposals);
+    test "coord: adopting a proposal logs the lock before acking" (fun () ->
+        let p, c, _ = coord_make ~self:1 () in
+        Coord.propose c "v";
+        ignore (take_sent p);
+        Coord.handle c ~src:0 (Coord.Proposal { r = 0; v = "w" });
+        (match take_sent p with
+        | [ (0, Coord.Ack { r = 0 }) ] -> ()
+        | _ -> Alcotest.fail "expected ack to coordinator");
+        Alcotest.(check bool) "locked durably" true
+          (Storage.mem p.store
+             (Abcast_consensus.Consensus_intf.Keys.inst 0 "coord.locked")));
+    test "coord: a majority of acks decides" (fun () ->
+        let p, c, decided = coord_make ~self:0 () in
+        Coord.propose c "own";
+        ignore (take_sent p);
+        Coord.handle c ~src:0 (Coord.Estimate { r = 0; v = "own"; ts = -1 });
+        Coord.handle c ~src:1 (Coord.Estimate { r = 0; v = "own"; ts = -1 });
+        ignore (take_sent p);
+        Coord.handle c ~src:0 (Coord.Ack { r = 0 });
+        Coord.handle c ~src:1 (Coord.Ack { r = 0 });
+        Alcotest.(check (option string)) "decided" (Some "own") !decided;
+        Alcotest.(check bool) "announced" true
+          (List.exists
+             (fun (_, m) -> match m with Coord.Decide _ -> true | _ -> false)
+             (take_sent p)));
+    test "coord: higher-round traffic fast-forwards the round" (fun () ->
+        let p, c, _ = coord_make ~self:1 () in
+        Coord.propose c "v";
+        ignore (take_sent p);
+        Coord.handle c ~src:2 (Coord.Estimate { r = 7; v = "x"; ts = 2 });
+        (* joining round 7 re-sends our estimate to coordinator 7 mod 3 = 1,
+           i.e. ourselves — the send is still visible *)
+        let estimates =
+          List.filter_map
+            (fun (dst, m) ->
+              match m with Coord.Estimate { r; _ } -> Some (dst, r) | _ -> None)
+            (take_sent p)
+        in
+        Alcotest.(check bool) "joined round 7" true
+          (List.exists (fun (_, r) -> r = 7) estimates));
+    test "coord: decided instance answers with Decide" (fun () ->
+        let p, c, _ = coord_make ~self:2 () in
+        Coord.handle c ~src:0 (Coord.Decide { v = "d" });
+        ignore (take_sent p);
+        Coord.handle c ~src:1 (Coord.Estimate { r = 0; v = "x"; ts = -1 });
+        match take_sent p with
+        | (1, Coord.Decide { v = "d" }) :: _ -> ()
+        | _ -> Alcotest.fail "expected Decide reply");
+    test "coord: stale acks from an older incarnation cannot decide" (fun () ->
+        (* coordinator restarted mid-round: proposed_round is volatile, so
+           acks arriving for its pre-crash proposal are ignored *)
+        let p, c, decided = coord_make ~self:0 () in
+        Coord.propose c "v";
+        ignore (take_sent p);
+        (* acks without any proposal sent by THIS incarnation *)
+        Coord.handle c ~src:1 (Coord.Ack { r = 0 });
+        Coord.handle c ~src:2 (Coord.Ack { r = 0 });
+        Alcotest.(check (option string)) "no decision" None !decided;
+        ignore p);
+  ]
+
+let suite = ("consensus-unit", paxos_tests @ coord_tests)

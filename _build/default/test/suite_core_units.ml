@@ -1,0 +1,280 @@
+(* Unit and property tests for the core data structures: Payload, Vclock,
+   Agreed, Batch. *)
+
+open Helpers
+module Vclock = Abcast_core.Vclock
+module Agreed = Abcast_core.Agreed
+module Batch = Abcast_core.Batch
+
+let id origin boot seq = { Payload.origin; boot; seq }
+
+let pl ?(data = "d") i = { Payload.id = i; data }
+
+let payload_tests =
+  [
+    test "id ordering is (origin, boot, seq)" (fun () ->
+        Alcotest.(check bool) "origin" true
+          (Payload.compare_id (id 0 5 5) (id 1 0 0) < 0);
+        Alcotest.(check bool) "boot" true
+          (Payload.compare_id (id 1 0 9) (id 1 1 0) < 0);
+        Alcotest.(check bool) "seq" true
+          (Payload.compare_id (id 1 1 0) (id 1 1 1) < 0);
+        Alcotest.(check int) "equal" 0 (Payload.compare_id (id 2 1 3) (id 2 1 3)));
+    test "equal_id" (fun () ->
+        Alcotest.(check bool) "eq" true (Payload.equal_id (id 1 2 3) (id 1 2 3));
+        Alcotest.(check bool) "neq" false (Payload.equal_id (id 1 2 3) (id 1 2 4)));
+    test "payload compare ignores data" (fun () ->
+        Alcotest.(check int) "same id" 0
+          (Payload.compare (pl ~data:"a" (id 0 0 0)) (pl ~data:"b" (id 0 0 0))));
+    test "sort_batch sorts and dedupes" (fun () ->
+        let batch =
+          [ pl (id 1 0 0); pl (id 0 0 1); pl (id 1 0 0); pl (id 0 0 0) ]
+        in
+        let sorted = Payload.sort_batch batch in
+        Alcotest.(check (list string))
+          "ids"
+          [ "p0.0.0"; "p0.0.1"; "p1.0.0" ]
+          (List.map (fun (p : Payload.t) -> Format.asprintf "%a" Payload.pp_id p.id) sorted));
+    test "pp_id renders" (fun () ->
+        Alcotest.(check string) "fmt" "p2.1.7"
+          (Format.asprintf "%a" Payload.pp_id (id 2 1 7)));
+  ]
+
+let vclock_tests =
+  [
+    test "empty contains nothing" (fun () ->
+        Alcotest.(check bool) "none" false (Vclock.contains Vclock.empty (id 0 0 0)));
+    test "add then contains up to max seq" (fun () ->
+        let vc = Vclock.add (Vclock.add Vclock.empty (id 0 0 0)) (id 0 0 1) in
+        Alcotest.(check bool) "0" true (Vclock.contains vc (id 0 0 0));
+        Alcotest.(check bool) "1" true (Vclock.contains vc (id 0 0 1));
+        Alcotest.(check bool) "2" false (Vclock.contains vc (id 0 0 2)));
+    test "streams are independent" (fun () ->
+        let vc = Vclock.add (Vclock.add Vclock.empty (id 0 0 0)) (id 1 0 0) in
+        Alcotest.(check bool) "other boot" false (Vclock.contains vc (id 0 1 0));
+        Alcotest.(check int) "two streams" 2 (List.length (Vclock.streams vc)));
+    test "gap raises" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Vclock.add Vclock.empty (id 0 0 1));
+             false
+           with Invalid_argument _ -> true));
+    test "rewind raises" (fun () ->
+        let vc = Vclock.add (Vclock.add Vclock.empty (id 0 0 0)) (id 0 0 1) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Vclock.add vc (id 0 0 1));
+             false
+           with Invalid_argument _ -> true));
+    test "same seq different boots are distinct streams" (fun () ->
+        let vc = Vclock.add (Vclock.add Vclock.empty (id 0 0 0)) (id 0 1 0) in
+        Alcotest.(check bool) "b0" true (Vclock.contains vc (id 0 0 0));
+        Alcotest.(check bool) "b1" true (Vclock.contains vc (id 0 1 0)));
+  ]
+
+let vclock_props =
+  [
+    QCheck.Test.make ~name:"vclock contains exactly the added prefix" ~count:200
+      QCheck.(pair (int_range 0 20) (int_range 0 20))
+      (fun (len, probe) ->
+        let vc = ref Vclock.empty in
+        for s = 0 to len - 1 do
+          vc := Vclock.add !vc (id 3 1 s)
+        done;
+        Vclock.contains !vc (id 3 1 probe) = (probe < len));
+  ]
+
+let agreed_tests =
+  [
+    test "append then contains; duplicates rejected" (fun () ->
+        let q = Agreed.create () in
+        Alcotest.(check bool) "fresh" true (Agreed.append q (pl (id 0 0 0)));
+        Alcotest.(check bool) "dup" false (Agreed.append q (pl (id 0 0 0)));
+        Alcotest.(check int) "len" 1 (Agreed.total_len q));
+    test "tail preserves append order" (fun () ->
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 1 0 0)));
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        Alcotest.(check (list string)) "order" [ "p1.0.0"; "p0.0.0" ]
+          (List.map
+             (fun (p : Payload.t) -> Format.asprintf "%a" Payload.pp_id p.id)
+             (Agreed.tail q)));
+    test "compact keeps membership, empties tail" (fun () ->
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        ignore (Agreed.append q (pl (id 1 0 0)));
+        Agreed.compact q ~app_blob:"snap";
+        Alcotest.(check int) "len" 2 (Agreed.total_len q);
+        Alcotest.(check int) "tail" 0 (List.length (Agreed.tail q));
+        Alcotest.(check bool) "contains" true (Agreed.contains q (id 0 0 0));
+        Alcotest.(check bool) "dup still rejected" false
+          (Agreed.append q (pl (id 0 0 0))));
+    test "snapshot/restore roundtrip" (fun () ->
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        Agreed.compact q ~app_blob:"s";
+        ignore (Agreed.append q (pl (id 0 0 1)));
+        let r = Agreed.snapshot q in
+        let q' = Agreed.restore r in
+        Alcotest.(check int) "len" 2 (Agreed.total_len q');
+        Alcotest.(check int) "tail" 1 (List.length (Agreed.tail q'));
+        Alcotest.(check bool) "contains base" true (Agreed.contains q' (id 0 0 0)));
+    test "adopt: donor behind is a no-op" (fun () ->
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        let donor = Agreed.create () in
+        (match Agreed.adopt q (Agreed.snapshot donor) with
+        | `Deliver [] -> ()
+        | _ -> Alcotest.fail "expected empty deliver");
+        Alcotest.(check int) "unchanged" 1 (Agreed.total_len q));
+    test "adopt: deliver path returns only the missing suffix" (fun () ->
+        let donor = Agreed.create () in
+        ignore (Agreed.append donor (pl (id 0 0 0)));
+        ignore (Agreed.append donor (pl (id 1 0 0)));
+        ignore (Agreed.append donor (pl (id 2 0 0)));
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        (match Agreed.adopt q (Agreed.snapshot donor) with
+        | `Deliver missing ->
+          Alcotest.(check (list string)) "suffix" [ "p1.0.0"; "p2.0.0" ]
+            (List.map
+               (fun (p : Payload.t) -> Format.asprintf "%a" Payload.pp_id p.id)
+               missing)
+        | `Install _ -> Alcotest.fail "expected deliver");
+        Alcotest.(check int) "caught up" 3 (Agreed.total_len q));
+    test "adopt: install path when behind the donor's base" (fun () ->
+        let donor = Agreed.create () in
+        ignore (Agreed.append donor (pl (id 0 0 0)));
+        ignore (Agreed.append donor (pl (id 1 0 0)));
+        Agreed.compact donor ~app_blob:"base2";
+        ignore (Agreed.append donor (pl (id 2 0 0)));
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        (match Agreed.adopt q (Agreed.snapshot donor) with
+        | `Install (Some "base2", [ p ]) ->
+          Alcotest.(check string) "tail" "p2.0.0"
+            (Format.asprintf "%a" Payload.pp_id p.id)
+        | _ -> Alcotest.fail "expected install of base2 with 1 tail msg");
+        Alcotest.(check int) "adopted len" 3 (Agreed.total_len q));
+    test "suffix_snapshot returns only the missing part" (fun () ->
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        ignore (Agreed.append q (pl (id 1 0 0)));
+        ignore (Agreed.append q (pl (id 2 0 0)));
+        (match Agreed.suffix_snapshot q ~from_len:1 with
+        | Some r ->
+          Alcotest.(check int) "base" 1 r.base_len;
+          Alcotest.(check int) "tail" 2 (List.length r.tail);
+          Alcotest.(check bool) "no app" true (r.base_app = None)
+        | None -> Alcotest.fail "expected a suffix");
+        (* adopting the suffix catches the receiver up *)
+        let receiver = Agreed.create () in
+        ignore (Agreed.append receiver (pl (id 0 0 0)));
+        (match
+           Agreed.adopt receiver (Option.get (Agreed.suffix_snapshot q ~from_len:1))
+         with
+        | `Deliver missing -> Alcotest.(check int) "two" 2 (List.length missing)
+        | `Install _ -> Alcotest.fail "deliver path expected");
+        Alcotest.(check int) "caught up" 3 (Agreed.total_len receiver));
+    test "suffix_snapshot refuses to reach into the base" (fun () ->
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        ignore (Agreed.append q (pl (id 1 0 0)));
+        Agreed.compact q ~app_blob:"s";
+        ignore (Agreed.append q (pl (id 2 0 0)));
+        Alcotest.(check bool) "inside base" true
+          (Agreed.suffix_snapshot q ~from_len:1 = None);
+        Alcotest.(check bool) "beyond end" true
+          (Agreed.suffix_snapshot q ~from_len:9 = None);
+        Alcotest.(check bool) "at base edge ok" true
+          (Agreed.suffix_snapshot q ~from_len:2 <> None));
+    test "fifo violation raises" (fun () ->
+        let q = Agreed.create () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Agreed.append q (pl (id 0 0 5)));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let batch_tests =
+  [
+    test "roundtrip preserves content" (fun () ->
+        let ps = [ pl ~data:"a" (id 1 0 0); pl ~data:"b" (id 0 0 0) ] in
+        let decoded = Batch.decode (Batch.encode ps) in
+        Alcotest.(check int) "len" 2 (List.length decoded);
+        Alcotest.(check string) "sorted first" "p0.0.0"
+          (Format.asprintf "%a" Payload.pp_id (List.hd decoded).id));
+    test "empty batch" (fun () ->
+        Alcotest.(check int) "empty" 0 (List.length (Batch.decode (Batch.encode []))));
+    test "equal sets encode equally regardless of order" (fun () ->
+        let a = [ pl (id 0 0 0); pl (id 1 0 0) ] in
+        let b = [ pl (id 1 0 0); pl (id 0 0 0) ] in
+        Alcotest.(check string) "equal" (Batch.encode a) (Batch.encode b));
+    test "duplicates removed by encode" (fun () ->
+        let ps = [ pl (id 0 0 0); pl (id 0 0 0) ] in
+        Alcotest.(check int) "one" 1 (List.length (Batch.decode (Batch.encode ps))));
+    test "size is the string length" (fun () ->
+        let v = Batch.encode [ pl (id 0 0 0) ] in
+        Alcotest.(check int) "size" (String.length v) (Batch.size v));
+  ]
+
+let agreed_props =
+  [
+    QCheck.Test.make ~name:"adopt always reconciles receiver with donor"
+      ~count:200
+      QCheck.(pair (int_range 0 20) (int_range 0 20))
+      (fun (donor_len, cut) ->
+        (* donor delivers donor_len messages of one stream; receiver holds
+           a prefix of length min cut donor_len; after adopt they agree *)
+        let donor = Agreed.create () in
+        for s = 0 to donor_len - 1 do
+          ignore (Agreed.append donor (pl (id 0 0 s)))
+        done;
+        let receiver = Agreed.create () in
+        for s = 0 to min cut donor_len - 1 do
+          ignore (Agreed.append receiver (pl (id 0 0 s)))
+        done;
+        (match Agreed.adopt receiver (Agreed.snapshot donor) with
+        | `Deliver _ | `Install _ -> ());
+        Agreed.total_len receiver = max donor_len (min cut donor_len)
+        && Agreed.vc receiver
+           = (if donor_len >= min cut donor_len then Agreed.vc donor
+              else Agreed.vc receiver));
+    QCheck.Test.make ~name:"suffix_snapshot + adopt equals full adopt"
+      ~count:200
+      QCheck.(pair (int_range 1 20) (int_range 0 20))
+      (fun (donor_len, cut) ->
+        let cut = min cut donor_len in
+        let donor = Agreed.create () in
+        for s = 0 to donor_len - 1 do
+          ignore (Agreed.append donor (pl (id 0 0 s)))
+        done;
+        match Agreed.suffix_snapshot donor ~from_len:cut with
+        | None -> false (* no base: every prefix must be available *)
+        | Some trimmed ->
+          let receiver = Agreed.create () in
+          for s = 0 to cut - 1 do
+            ignore (Agreed.append receiver (pl (id 0 0 s)))
+          done;
+          (match Agreed.adopt receiver trimmed with
+          | `Deliver _ -> ()
+          | `Install _ -> ());
+          Agreed.total_len receiver = donor_len
+          && Agreed.vc receiver = Agreed.vc donor);
+  ]
+
+let batch_props =
+  [
+    QCheck.Test.make ~name:"batch roundtrip = sort_batch" ~count:200
+      QCheck.(list (triple (int_range 0 4) (int_range 0 2) (int_range 0 5)))
+      (fun triples ->
+        let ps = List.map (fun (o, b, s) -> pl (id o b s)) triples in
+        Batch.decode (Batch.encode ps) = Payload.sort_batch ps);
+  ]
+
+let suite =
+  ( "core-units",
+    payload_tests @ vclock_tests @ agreed_tests @ batch_tests
+    @ List.map QCheck_alcotest.to_alcotest
+        (vclock_props @ agreed_props @ batch_props) )

@@ -1,0 +1,90 @@
+(* Tests for the heartbeat failure detector and the Omega oracle. *)
+
+open Helpers
+module Heartbeat = Abcast_fd.Heartbeat
+module Omega = Abcast_fd.Omega
+
+(* Build an engine whose nodes each run one heartbeat detector. *)
+let make_cluster ?(n = 3) ?(seed = 1) ?net () =
+  let eng = Engine.create ~seed ~n ?net () in
+  let fds = Array.make n None in
+  for i = 0 to n - 1 do
+    Engine.set_behavior eng i (fun io ->
+        let hb = Heartbeat.create io in
+        fds.(i) <- Some hb;
+        Heartbeat.handle hb)
+  done;
+  Engine.start_all eng;
+  let fd i = match fds.(i) with Some hb -> hb | None -> assert false in
+  (eng, fd)
+
+let tests =
+  [
+    test "fresh detector trusts everyone" (fun () ->
+        let _eng, fd = make_cluster () in
+        for i = 0 to 2 do
+          Alcotest.(check (list int)) "no suspects" [] (Heartbeat.suspects (fd i))
+        done);
+    test "crashed node becomes suspected" (fun () ->
+        let eng, fd = make_cluster () in
+        Engine.crash eng 2;
+        Engine.run eng ~until:100_000;
+        Alcotest.(check (list int)) "suspects at 0" [ 2 ] (Heartbeat.suspects (fd 0));
+        Alcotest.(check (list int)) "suspects at 1" [ 2 ] (Heartbeat.suspects (fd 1)));
+    test "recovered node is trusted again" (fun () ->
+        let eng, fd = make_cluster () in
+        Engine.crash eng 2;
+        Engine.run eng ~until:100_000;
+        Engine.recover eng 2;
+        Engine.run eng ~until:200_000;
+        Alcotest.(check (list int)) "trusted" [] (Heartbeat.suspects (fd 0)));
+    test "epochs reflect incarnations" (fun () ->
+        let eng, fd = make_cluster () in
+        Engine.run eng ~until:50_000;
+        Alcotest.(check int) "epoch 0" 0 (Heartbeat.epoch (fd 0) 2);
+        Engine.crash eng 2;
+        Engine.recover eng 2;
+        Engine.run eng ~until:150_000;
+        Alcotest.(check int) "epoch 1" 1 (Heartbeat.epoch (fd 0) 2));
+    test "all nodes converge on the same leader" (fun () ->
+        let eng, fd = make_cluster ~n:5 () in
+        Engine.run eng ~until:100_000;
+        let leaders = List.init 5 (fun i -> Heartbeat.leader (fd i)) in
+        Alcotest.(check (list int)) "same" [ 0; 0; 0; 0; 0 ] leaders);
+    test "leader avoids a crashed low id" (fun () ->
+        let eng, fd = make_cluster ~n:3 () in
+        Engine.run eng ~until:50_000;
+        Engine.crash eng 0;
+        Engine.run eng ~until:200_000;
+        Alcotest.(check int) "at 1" 1 (Heartbeat.leader (fd 1));
+        Alcotest.(check int) "at 2" 1 (Heartbeat.leader (fd 2)));
+    test "leader avoids an oscillating process" (fun () ->
+        let eng, fd = make_cluster ~n:3 () in
+        (* node 0 oscillates: its epoch keeps growing *)
+        for j = 0 to 5 do
+          Engine.at eng ((j * 60_000) + 30_000) (fun () -> Engine.crash eng 0);
+          Engine.at eng ((j * 60_000) + 40_000) (fun () -> Engine.recover eng 0)
+        done;
+        Engine.run eng ~until:500_000;
+        Alcotest.(check int) "stable leader at 1" 1 (Heartbeat.leader (fd 1));
+        Alcotest.(check int) "stable leader at 2" 1 (Heartbeat.leader (fd 2)));
+    test "self is always trusted" (fun () ->
+        let net = Net.create ~loss:1.0 () in
+        let _eng, fd = make_cluster ~net () in
+        Alcotest.(check bool) "self" true (Heartbeat.trusted (fd 1) 1));
+    test "Omega.of_heartbeat tracks the detector" (fun () ->
+        let eng, fd = make_cluster () in
+        let omega = Omega.of_heartbeat (fd 1) in
+        Engine.run eng ~until:50_000;
+        Alcotest.(check int) "leader" (Heartbeat.leader (fd 1)) (omega ()));
+    test "Omega.fixed is constant" (fun () ->
+        let omega = Omega.fixed 2 in
+        Alcotest.(check int) "fixed" 2 (omega ()));
+    test "total loss leaves everyone suspected except self" (fun () ->
+        let net = Net.create ~loss:1.0 () in
+        let eng, fd = make_cluster ~net () in
+        Engine.run eng ~until:100_000;
+        Alcotest.(check (list int)) "suspects" [ 1; 2 ] (Heartbeat.suspects (fd 0)));
+  ]
+
+let suite = ("fd", tests)

@@ -1,0 +1,134 @@
+(* Tests of the live runtime: the same protocol code over real threads,
+   UDP sockets and file-backed storage. These tests run in real time (a
+   few hundred ms each) and are skipped when the environment forbids
+   sockets. *)
+
+open Helpers
+module Live = Abcast_live.Runtime
+module Factory = Abcast_core.Factory
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abcast-live-%d-%d" (Unix.getpid ()) !counter)
+    in
+    d
+
+let with_live ?dir ~base_port stack f =
+  match Live.create stack ~n:3 ~base_port ?dir () with
+  | exception Unix.Unix_error (err, _, _) ->
+    Alcotest.skip () |> ignore;
+    Printf.printf "skipping live test: %s\n" (Unix.error_message err)
+  | live -> Fun.protect ~finally:(fun () -> Live.shutdown live) (fun () -> f live)
+
+(* Wait until the predicate holds, in real time. *)
+let await ?(timeout = 15.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let tests =
+  [
+    slow_test "live: total order over real UDP" (fun () ->
+        with_live ~base_port:7411 (Factory.basic ()) (fun live ->
+            for j = 0 to 4 do
+              Live.broadcast live ~node:(j mod 3) (Printf.sprintf "m%d" j)
+            done;
+            let done_ () =
+              List.for_all (fun i -> Live.delivered_count live i >= 5) [ 0; 1; 2 ]
+            in
+            Alcotest.(check bool) "all delivered" true (await done_);
+            let seq i = Live.delivered_data live i in
+            Alcotest.(check (list string)) "0=1" (seq 0) (seq 1);
+            Alcotest.(check (list string)) "1=2" (seq 1) (seq 2);
+            Alcotest.(check int) "five messages" 5 (List.length (seq 0))));
+    slow_test "live: majority continues while a process is down" (fun () ->
+        with_live ~base_port:7421 (Factory.basic ()) (fun live ->
+            Live.crash live 2;
+            Alcotest.(check bool) "down" false (Live.is_up live 2);
+            for j = 0 to 3 do
+              Live.broadcast live ~node:(j mod 2) (Printf.sprintf "x%d" j)
+            done;
+            let done_ () =
+              List.for_all (fun i -> Live.delivered_count live i >= 4) [ 0; 1 ]
+            in
+            Alcotest.(check bool) "survivors deliver" true (await done_)));
+    slow_test "live: real crash-recovery from files" (fun () ->
+        let dir = fresh_dir () in
+        with_live ~dir ~base_port:7431 (Factory.basic ()) (fun live ->
+            for j = 0 to 3 do
+              Live.broadcast live ~node:(j mod 3) (Printf.sprintf "a%d" j)
+            done;
+            let phase1 () =
+              List.for_all
+                (fun i -> Live.delivered_count live i >= 4)
+                [ 0; 1; 2 ]
+            in
+            Alcotest.(check bool) "phase1" true (await phase1);
+            (* kill process 2 for real; keep broadcasting; bring it back *)
+            Live.crash live 2;
+            for j = 4 to 7 do
+              Live.broadcast live ~node:(j mod 2) (Printf.sprintf "a%d" j)
+            done;
+            let phase2 () =
+              List.for_all (fun i -> Live.delivered_count live i >= 8) [ 0; 1 ]
+            in
+            Alcotest.(check bool) "phase2" true (await phase2);
+            Live.recover live 2;
+            let phase3 () = Live.delivered_count live 2 >= 8 in
+            Alcotest.(check bool) "recovered process caught up" true
+              (await phase3);
+            Alcotest.(check (list string))
+              "same order after real recovery"
+              (Live.delivered_data live 0)
+              (Live.delivered_data live 2)));
+    slow_test "live: alternative protocol with state transfer" (fun () ->
+        let dir = fresh_dir () in
+        let stack =
+          Factory.alternative ~checkpoint_period:100_000 ~delta:2
+            ~early_return:true ()
+        in
+        with_live ~dir ~base_port:7441 stack (fun live ->
+            Live.crash live 2;
+            for j = 0 to 9 do
+              Live.broadcast live ~node:(j mod 2) (Printf.sprintf "s%d" j);
+              Thread.delay 0.02
+            done;
+            let phase1 () =
+              List.for_all (fun i -> Live.delivered_count live i >= 10) [ 0; 1 ]
+            in
+            Alcotest.(check bool) "phase1" true (await phase1);
+            Live.recover live 2;
+            let phase2 () = Live.delivered_count live 2 >= 10 in
+            Alcotest.(check bool) "caught up" true (await phase2)));
+    slow_test "live: lifecycle robustness" (fun () ->
+        with_live ~base_port:7451 (Factory.basic ()) (fun live ->
+            Alcotest.(check int) "n" 3 (Live.n live);
+            Alcotest.(check bool) "up" true (Live.is_up live 0);
+            (* crash is idempotent; ops on a down node degrade gracefully *)
+            Live.crash live 1;
+            Live.crash live 1;
+            Alcotest.(check bool) "down" false (Live.is_up live 1);
+            Alcotest.(check int) "down count reads 0" 0 (Live.delivered_count live 1);
+            Live.broadcast live ~node:1 "ignored";
+            (* recover is idempotent too *)
+            Live.recover live 1;
+            Live.recover live 1;
+            Alcotest.(check bool) "up again" true (Live.is_up live 1);
+            Live.broadcast live ~node:1 "counted";
+            let done_ () = Live.delivered_count live 0 >= 1 in
+            Alcotest.(check bool) "works after bounce" true (await done_)));
+  ]
+
+let suite = ("live", tests)

@@ -1,0 +1,602 @@
+(* End-to-end tests of the atomic broadcast protocols (basic and
+   alternative) against the paper's properties and mechanisms. *)
+
+open Helpers
+module Factory = Abcast_core.Factory
+module Proto = Abcast_core.Proto
+
+let basic = Factory.basic ()
+
+let basic_tests =
+  [
+    test "basic: total order across 3 nodes" (fun () ->
+        let cluster, _ = run_workload ~msgs:30 basic in
+        ignore cluster);
+    test "basic: total order across 5 nodes" (fun () ->
+        ignore (run_workload ~n:5 ~seed:2 ~msgs:25 basic));
+    test "basic: lossy duplicating network" (fun () ->
+        let net = Net.create ~loss:0.15 ~dup:0.1 () in
+        ignore (run_workload ~seed:3 ~msgs:20 ~net ~until:60_000_000 basic));
+    test "basic: coord consensus black box" (fun () ->
+        ignore (run_workload ~seed:4 ~msgs:20 (Factory.basic ~consensus:`Coord ())));
+    test "basic: idle cluster runs no consensus (§4.2)" (fun () ->
+        let cluster = Cluster.create basic ~seed:5 ~n:3 () in
+        Cluster.run cluster ~until:500_000;
+        for i = 0 to 2 do
+          Alcotest.(check int) "round stays 0" 0 (Cluster.round cluster i)
+        done;
+        Alcotest.(check int) "no consensus logging" 0
+          (Metrics.sum_prefix (Cluster.metrics cluster) "log_ops"));
+    test "basic: zero abcast-layer log operations (§4.3)" (fun () ->
+        let cluster, _ = run_workload ~seed:6 ~msgs:25 basic in
+        Alcotest.(check int) "abcast ops" 0
+          (Metrics.sum_prefix (Cluster.metrics cluster) "log_ops.abcast");
+        Alcotest.(check bool) "consensus ops exist" true
+          (Metrics.sum_prefix (Cluster.metrics cluster) "log_ops.consensus" > 0));
+    test "basic: crash before completion may lose the message" (fun () ->
+        (* A-broadcast that never returned carries no obligation: crash the
+           origin immediately; whether or not the message survives (it was
+           never gossiped), properties must hold. *)
+        let cluster = Cluster.create basic ~seed:7 ~n:3 () in
+        Cluster.at cluster 1_000 (fun () ->
+            ignore (Cluster.broadcast cluster ~node:2 "doomed");
+            Cluster.crash cluster 2);
+        Cluster.at cluster 50_000 (fun () -> Cluster.recover cluster 2);
+        Cluster.run cluster ~until:2_000_000;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ());
+        Alcotest.(check int) "lost" 0 (Cluster.delivered_count cluster 0));
+    test "basic: recovery replays the full prefix" (fun () ->
+        let cluster, count = run_workload ~seed:8 ~msgs:15 basic in
+        let before = Cluster.delivered_count cluster 1 in
+        Cluster.crash cluster 1;
+        Cluster.recover cluster 1;
+        Cluster.run cluster ~until:(Cluster.now cluster + 3_000_000);
+        Alcotest.(check int) "same count" before (Cluster.delivered_count cluster 1);
+        Alcotest.(check bool) "replay metric" true
+          (Metrics.get (Cluster.metrics cluster) ~node:1 "replay_rounds" > 0);
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ());
+        ignore count);
+    test "basic: downed node catches up through gossip" (fun () ->
+        let cluster = Cluster.create basic ~seed:9 ~n:3 () in
+        Cluster.at cluster 1_000 (fun () -> Cluster.crash cluster 2);
+        let rng = Rng.create 99 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1 ] ~start:2_000
+            ~stop:30_000 ~mean_gap:1_500 ()
+        in
+        Cluster.at cluster 100_000 (fun () -> Cluster.recover cluster 2);
+        let ok =
+          Cluster.run_until cluster ~until:20_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "caught up" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "basic: majority keeps delivering while a minority is down" (fun () ->
+        let cluster = Cluster.create basic ~seed:10 ~n:5 () in
+        Cluster.at cluster 500 (fun () -> Cluster.crash cluster 3);
+        Cluster.at cluster 500 (fun () -> Cluster.crash cluster 4);
+        let rng = Rng.create 42 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+            ~stop:40_000 ~mean_gap:2_000 ()
+        in
+        let ok =
+          Cluster.run_until cluster ~until:30_000_000
+            ~pred:(fun () ->
+              Cluster.all_caught_up cluster ~among:[ 0; 1; 2 ] ~count ())
+            ()
+        in
+        Alcotest.(check bool) "minority down, majority live" true ok);
+    test "basic: blocked under majority loss, resumes after recovery" (fun () ->
+        let cluster = Cluster.create basic ~seed:11 ~n:3 () in
+        Cluster.at cluster 500 (fun () -> Cluster.crash cluster 1);
+        Cluster.at cluster 500 (fun () -> Cluster.crash cluster 2);
+        Cluster.at cluster 1_000 (fun () ->
+            ignore (Cluster.broadcast cluster ~node:0 "stuck"));
+        Cluster.run cluster ~until:2_000_000;
+        Alcotest.(check int) "blocked" 0 (Cluster.delivered_count cluster 0);
+        Cluster.recover cluster 1;
+        let ok =
+          Cluster.run_until cluster ~until:30_000_000
+            ~pred:(fun () -> Cluster.delivered_count cluster 0 >= 1)
+            ()
+        in
+        Alcotest.(check bool) "resumed" true ok);
+    test "basic: partition heals and order holds" (fun () ->
+        let net = Net.create () in
+        let cluster = Cluster.create basic ~seed:12 ~n:3 ~net () in
+        Cluster.at cluster 5_000 (fun () ->
+            Net.partition net (fun ~src ~dst -> src = 2 || dst = 2));
+        let rng = Rng.create 7 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1 ] ~start:6_000
+            ~stop:40_000 ~mean_gap:2_000 ()
+        in
+        Cluster.at cluster 100_000 (fun () -> Net.heal net);
+        let ok =
+          Cluster.run_until cluster ~until:30_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "healed" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+  ]
+
+let alt ?checkpoint_period ?delta ?early_return ?incremental () =
+  Factory.alternative ?checkpoint_period ?delta ?early_return ?incremental ()
+
+let alternative_tests =
+  [
+    test "alt: total order, default config" (fun () ->
+        ignore (run_workload ~seed:20 ~msgs:30 (alt ())));
+    test "alt: coord consensus" (fun () ->
+        ignore
+          (run_workload ~seed:21 ~msgs:20 (Factory.alternative ~consensus:`Coord ())));
+    test "alt: early-return broadcast survives an origin crash (§5.4)" (fun () ->
+        let cluster =
+          Cluster.create (alt ~early_return:true ()) ~seed:22 ~n:3 ()
+        in
+        (* Partition the origin first so nothing escapes by gossip; the
+           logged Unordered set is the only way the message survives. *)
+        let net = Cluster.net cluster in
+        Cluster.at cluster 1_000 (fun () ->
+            Net.partition net (fun ~src ~dst -> src = 2 || dst = 2);
+            ignore (Cluster.broadcast cluster ~node:2 "durable"));
+        Cluster.at cluster 3_000 (fun () ->
+            Cluster.crash cluster 2;
+            Net.heal net);
+        Cluster.at cluster 10_000 (fun () -> Cluster.recover cluster 2);
+        let ok =
+          Cluster.run_until cluster ~until:30_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count:1 ())
+            ()
+        in
+        Alcotest.(check bool) "delivered after recovery" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "basic: same scenario loses the message (contrast to §5.4)" (fun () ->
+        let cluster = Cluster.create basic ~seed:22 ~n:3 () in
+        let net = Cluster.net cluster in
+        Cluster.at cluster 1_000 (fun () ->
+            Net.partition net (fun ~src ~dst -> src = 2 || dst = 2);
+            ignore (Cluster.broadcast cluster ~node:2 "volatile"));
+        Cluster.at cluster 3_000 (fun () ->
+            Cluster.crash cluster 2;
+            Net.heal net);
+        Cluster.at cluster 10_000 (fun () -> Cluster.recover cluster 2);
+        Cluster.run cluster ~until:3_000_000;
+        Alcotest.(check int) "lost" 0 (Cluster.delivered_count cluster 0);
+        check_ok "props (loss is allowed: never completed)"
+          (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "alt: checkpoints shorten replay (§5.1)" (fun () ->
+        let stack = alt ~checkpoint_period:10_000 () in
+        let cluster, _ = run_workload ~seed:23 ~msgs:30 ~until:30_000_000 stack in
+        Cluster.run cluster ~until:(Cluster.now cluster + 50_000);
+        Cluster.crash cluster 1;
+        Cluster.recover cluster 1;
+        Cluster.run cluster ~until:(Cluster.now cluster + 1_000_000);
+        let replayed = Metrics.get (Cluster.metrics cluster) ~node:1 "replay_rounds" in
+        let rounds = Cluster.round cluster 1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "replayed %d << rounds %d" replayed rounds)
+          true
+          (replayed < rounds / 2));
+    test "alt: state transfer rescues a long-gone node (§5.3)" (fun () ->
+        let stack = alt ~delta:3 ~checkpoint_period:15_000 () in
+        let cluster = Cluster.create stack ~seed:24 ~n:3 () in
+        Cluster.at cluster 2_000 (fun () -> Cluster.crash cluster 2);
+        let rng = Rng.create 5 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1 ] ~start:3_000
+            ~stop:150_000 ~mean_gap:1_200 ()
+        in
+        Cluster.at cluster 200_000 (fun () -> Cluster.recover cluster 2);
+        let ok =
+          Cluster.run_until cluster ~until:50_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "caught up" true ok;
+        Alcotest.(check bool) "used state transfer" true
+          (Metrics.sum (Cluster.metrics cluster) "state_transfers_applied" >= 1);
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "alt: small lag stays below delta (no state transfer)" (fun () ->
+        let stack = alt ~delta:1_000 ~checkpoint_period:1_000_000 () in
+        let cluster, _ = run_workload ~seed:25 ~msgs:20 stack in
+        Alcotest.(check int) "no transfers" 0
+          (Metrics.sum (Cluster.metrics cluster) "state_transfers_applied"));
+    test "alt: trimmed state transfer ships fewer bytes (§5.3 optim.)" (fun () ->
+        let bytes_of trim_state =
+          let stack =
+            Factory.alternative ~delta:3 ~checkpoint_period:1_000_000
+              ~trim_state ()
+          in
+          let cluster = Cluster.create stack ~seed:95 ~n:3 () in
+          let rng = Rng.create 96 in
+          (* node 2 sees the first third, misses the rest, then catches up *)
+          Cluster.at cluster 30_000 (fun () -> Cluster.crash cluster 2);
+          let count =
+            Workload.open_loop cluster ~rng ~senders:[ 0; 1 ] ~start:1_000
+              ~stop:100_000 ~mean_gap:1_000 ()
+          in
+          Cluster.at cluster 110_000 (fun () -> Cluster.recover cluster 2);
+          let ok =
+            Cluster.run_until cluster ~until:60_000_000
+              ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+              ()
+          in
+          Alcotest.(check bool) "caught up" true ok;
+          Alcotest.(check bool) "transfer happened" true
+            (Metrics.sum (Cluster.metrics cluster) "state_transfers_applied" >= 1);
+          Metrics.sum (Cluster.metrics cluster) "state_bytes_sent"
+        in
+        let trimmed = bytes_of true and full = bytes_of false in
+        Alcotest.(check bool)
+          (Printf.sprintf "trimmed %d < full %d" trimmed full)
+          true
+          (trimmed < full));
+    test "alt: incremental logging writes fewer bytes than full (§5.5)" (fun () ->
+        let bytes_of incremental =
+          let stack = alt ~early_return:true ~incremental () in
+          let cluster, _ = run_workload ~seed:26 ~msgs:30 stack in
+          Metrics.sum_prefix (Cluster.metrics cluster) "log_bytes.abcast"
+        in
+        let inc = bytes_of true and full = bytes_of false in
+        Alcotest.(check bool)
+          (Printf.sprintf "incremental %d < full %d" inc full)
+          true (inc < full));
+    test "naive strawman logs far more than basic (§4.3 ablation)" (fun () ->
+        let ops_of stack =
+          let cluster, _ = run_workload ~seed:27 ~msgs:20 stack in
+          Metrics.sum_prefix (Cluster.metrics cluster) "log_ops.abcast"
+        in
+        let naive = ops_of (Factory.naive ()) in
+        let minimal = ops_of basic in
+        Alcotest.(check int) "basic is zero" 0 minimal;
+        (* per-round checkpoints + per-broadcast Unordered re-logs: at
+           least one abcast-layer write per message across the cluster *)
+        Alcotest.(check bool)
+          (Printf.sprintf "naive is busy (%d ops)" naive)
+          true (naive > 20));
+    test "alt: checkpoint bounds retained storage with an app (§5.2)" (fun () ->
+        let replicas = Array.make 3 None in
+        let module R = Abcast_apps.Kv.Replica in
+        let stack =
+          Factory.alternative ~checkpoint_period:10_000
+            ~app_factory:(R.factory (fun i r -> replicas.(i) <- Some r))
+            ()
+        in
+        let cluster = Cluster.create stack ~seed:28 ~n:3 () in
+        let rng = Rng.create 12 in
+        for j = 0 to 79 do
+          Cluster.at cluster (1_000 + (j * 1_000)) (fun () ->
+              ignore
+                (Cluster.broadcast cluster ~node:(j mod 3)
+                   (Abcast_apps.Kv.set_cmd ~key:(string_of_int (j mod 7))
+                      ~value:(Workload.payload rng ~size:40))))
+        done;
+        let ok =
+          Cluster.run_until cluster ~until:50_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count:80 ())
+            ()
+        in
+        Alcotest.(check bool) "done" true ok;
+        Cluster.run cluster ~until:(Cluster.now cluster + 30_000);
+        for i = 0 to 2 do
+          let b = Cluster.retained_bytes cluster i in
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d retains %dB (< 4KB)" i b)
+            true (b < 4_096)
+        done;
+        (* replicas converged *)
+        let digests =
+          List.map
+            (fun i ->
+              match replicas.(i) with
+              | Some r -> Abcast_apps.Kv.digest (R.state r)
+              | None -> Alcotest.fail "replica missing")
+            [ 0; 1; 2 ]
+        in
+        match digests with
+        | d :: rest -> List.iter (Alcotest.(check string) "converged" d) rest
+        | [] -> ());
+    test "alt: recovery installs the app checkpoint" (fun () ->
+        let replicas = Array.make 3 None in
+        let module R = Abcast_apps.Kv.Replica in
+        let stack =
+          Factory.alternative ~checkpoint_period:8_000
+            ~app_factory:(R.factory (fun i r -> replicas.(i) <- Some r))
+            ()
+        in
+        let cluster = Cluster.create stack ~seed:29 ~n:3 () in
+        for j = 0 to 29 do
+          Cluster.at cluster (1_000 + (j * 1_500)) (fun () ->
+              ignore
+                (Cluster.broadcast cluster ~node:(j mod 3)
+                   (Abcast_apps.Kv.set_cmd ~key:(string_of_int j) ~value:"v")))
+        done;
+        let ok =
+          Cluster.run_until cluster ~until:50_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count:30 ())
+            ()
+        in
+        Alcotest.(check bool) "done" true ok;
+        Cluster.run cluster ~until:(Cluster.now cluster + 20_000);
+        Cluster.crash cluster 0;
+        Cluster.recover cluster 0;
+        Cluster.run cluster ~until:(Cluster.now cluster + 500_000);
+        (match replicas.(0) with
+        | Some r ->
+          Alcotest.(check int) "all commands present" 30
+            (Abcast_apps.Kv.size (R.state r))
+        | None -> Alcotest.fail "replica missing"));
+  ]
+
+let window_tests =
+  [
+    test "window=4: total order and properties hold" (fun () ->
+        ignore
+          (run_workload ~seed:60 ~msgs:40
+             (Factory.alternative ~window:4 ())));
+    test "window=4: coord consensus" (fun () ->
+        ignore
+          (run_workload ~seed:61 ~msgs:25
+             (Factory.alternative ~window:4 ~consensus:`Coord ())));
+    test "window=4: lossy network, crash and recovery" (fun () ->
+        let stack = Factory.alternative ~window:4 ~checkpoint_period:30_000 () in
+        let net = Net.create ~loss:0.1 () in
+        let cluster = Cluster.create stack ~seed:62 ~n:3 ~net () in
+        let rng = Rng.create 63 in
+        Cluster.at cluster 20_000 (fun () -> Cluster.crash cluster 1);
+        Cluster.at cluster 60_000 (fun () -> Cluster.recover cluster 1);
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 2 ] ~start:1_000
+            ~stop:80_000 ~mean_gap:700 ()
+        in
+        let ok =
+          Cluster.run_until cluster ~until:100_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "caught up" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "window=4: multiple in-flight proposals survive a crash" (fun () ->
+        (* burst of broadcasts at one node so several instances are open,
+           then crash it before they decide; recovery must re-propose all
+           of them (P4) and lose nothing that was logged *)
+        let stack =
+          Factory.alternative ~window:4 ~early_return:true
+            ~checkpoint_period:1_000_000 ()
+        in
+        let cluster = Cluster.create stack ~seed:64 ~n:3 () in
+        let net = Cluster.net cluster in
+        Cluster.at cluster 1_000 (fun () ->
+            Net.partition net (fun ~src ~dst -> src = 0 || dst = 0);
+            for j = 0 to 7 do
+              ignore (Cluster.broadcast cluster ~node:0 (Printf.sprintf "b%d" j))
+            done);
+        Cluster.at cluster 5_000 (fun () ->
+            Cluster.crash cluster 0;
+            Net.heal net);
+        Cluster.at cluster 15_000 (fun () -> Cluster.recover cluster 0);
+        let ok =
+          Cluster.run_until cluster ~until:60_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count:8 ())
+            ()
+        in
+        Alcotest.(check bool) "all eight delivered" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "window=4: per-stream FIFO survives contention" (fun () ->
+        (* heavy concurrent load from all nodes; any FIFO violation makes
+           Vclock.add raise inside the protocol, so quiescing cleanly plus
+           the prefix check is the assertion *)
+        let stack = Factory.alternative ~window:4 () in
+        let cluster = Cluster.create stack ~seed:65 ~n:3 () in
+        let rng = Rng.create 66 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+            ~stop:40_000 ~mean_gap:200 ()
+        in
+        let ok =
+          Cluster.run_until cluster ~until:60_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "caught up" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 1; 2 ] ()));
+    test "window=1 equals the paper's sequential sequencer" (fun () ->
+        (* same seed, window=1 vs the basic-protocol trigger shape: the
+           alternative with window=1 opens at most one instance beyond
+           delivered rounds *)
+        let stack = Factory.alternative ~window:1 () in
+        let cluster, _ = run_workload ~seed:67 ~msgs:20 stack in
+        ignore cluster);
+    test "window: invalid value rejected" (fun () ->
+        let module P = Abcast_core.Stacks.Over_paxos in
+        let eng = Engine.create ~seed:1 ~n:1 () in
+        Engine.set_behavior eng 0 (fun io ->
+            Alcotest.check_raises "window=0"
+              (Invalid_argument "Alternative.create: window must be >= 1")
+              (fun () ->
+                ignore
+                  (P.Alternative.create ~window:0 io ~on_deliver:(fun _ -> ())));
+            fun ~src:_ _ -> ());
+        Engine.start eng 0);
+  ]
+
+(* Delivery latency should be recorded at origins. *)
+let metrics_tests =
+  [
+    test "latency observations are recorded" (fun () ->
+        let cluster, count = run_workload ~seed:30 ~msgs:15 basic in
+        let m = Cluster.metrics cluster in
+        Alcotest.(check int) "one sample per broadcast" count
+          (Metrics.count_samples m "lat_deliver");
+        Alcotest.(check bool) "positive" true (Metrics.mean m "lat_deliver" > 0.0));
+    test "broadcast counters add up" (fun () ->
+        let cluster, count = run_workload ~seed:31 ~msgs:10 basic in
+        let m = Cluster.metrics cluster in
+        Alcotest.(check int) "broadcasts" count (Metrics.sum m "ab_broadcasts");
+        Alcotest.(check int) "deliveries" (count * 3) (Metrics.sum m "ab_delivered"));
+  ]
+
+(* Direct use of the functor API (not via Factory): checkpoint_now and
+   floor, plus the tunables exposed on the consensus implementations. *)
+let direct_api_tests =
+  [
+    test "Alternative.checkpoint_now raises the truncation floor" (fun () ->
+        let module P = Abcast_core.Stacks.Over_paxos in
+        let eng = Engine.create ~seed:91 ~n:3 () in
+        let protos : P.Alternative.t option array = Array.make 3 None in
+        for i = 0 to 2 do
+          Engine.set_behavior eng i (fun io ->
+              let p =
+                P.Alternative.create ~checkpoint_period:10_000_000 io
+                  ~on_deliver:(fun _ -> ())
+              in
+              protos.(i) <- Some p;
+              P.Alternative.handler p)
+        done;
+        Engine.start_all eng;
+        let get i = match protos.(i) with Some p -> p | None -> assert false in
+        for j = 0 to 9 do
+          Engine.at eng (500 * (j + 1)) (fun () ->
+              ignore (P.Alternative.broadcast (get (j mod 3)) "x"))
+        done;
+        let done_ () =
+          List.for_all (fun i -> P.Alternative.delivered_count (get i) >= 10) [ 0; 1; 2 ]
+        in
+        Alcotest.(check bool) "delivered" true
+          (Engine.run_until eng ~until:20_000_000 ~pred:done_ ());
+        Alcotest.(check int) "floor starts at 0" 0 (P.Alternative.floor (get 0));
+        P.Alternative.checkpoint_now (get 0);
+        Alcotest.(check bool) "floor raised" true (P.Alternative.floor (get 0) > 0);
+        Alcotest.(check int) "floor = round" (P.Alternative.round (get 0))
+          (P.Alternative.floor (get 0));
+        (* the agreed snapshot survives a checkpoint untouched *)
+        let snap = P.Alternative.agreed_snapshot (get 0) in
+        Alcotest.(check int) "snapshot covers everything" 10
+          (snap.base_len + List.length snap.tail));
+    test "consensus tunables are settable" (fun () ->
+        let saved_p = !Abcast_consensus.Paxos.retry_period in
+        let saved_c = !Abcast_consensus.Coord.round_timeout in
+        Abcast_consensus.Paxos.retry_period := 2_000;
+        Abcast_consensus.Coord.round_timeout := 3_000;
+        ignore (run_workload ~seed:92 ~msgs:10 (Factory.basic ()));
+        ignore (run_workload ~seed:93 ~msgs:10 (Factory.basic ~consensus:`Coord ()));
+        Abcast_consensus.Paxos.retry_period := saved_p;
+        Abcast_consensus.Coord.round_timeout := saved_c);
+    test "gossip period is configurable and matters" (fun () ->
+        (* a 10x slower gossip delays a gossip-only catch-up *)
+        let catch_up_time gossip_period =
+          let cluster =
+            Cluster.create (Factory.basic ~gossip_period ()) ~seed:94 ~n:3 ()
+          in
+          Cluster.at cluster 1_000 (fun () -> Cluster.crash cluster 2);
+          Cluster.at cluster 2_000 (fun () ->
+              ignore (Cluster.broadcast cluster ~node:0 "m"));
+          Cluster.at cluster 50_000 (fun () -> Cluster.recover cluster 2);
+          let ok =
+            Cluster.run_until cluster ~until:200_000_000
+              ~pred:(fun () -> Cluster.all_caught_up cluster ~count:1 ())
+              ()
+          in
+          Alcotest.(check bool) "caught up" true ok;
+          Cluster.now cluster
+        in
+        Alcotest.(check bool) "slow gossip is slower" true
+          (catch_up_time 30_000 > catch_up_time 3_000));
+  ]
+
+let determinism_tests =
+  [
+    test "identical seeds give identical delivered sequences" (fun () ->
+        let go () =
+          let cluster, _ = run_workload ~seed:77 ~msgs:25 basic in
+          List.map
+            (fun (p : Payload.t) -> Format.asprintf "%a" Payload.pp_id p.id)
+            (Cluster.delivered_tail cluster 0)
+        in
+        Alcotest.(check (list string)) "bitwise equal" (go ()) (go ()));
+    test "identical seeds give identical metrics" (fun () ->
+        let go () =
+          let cluster, _ = run_workload ~seed:78 ~msgs:20 basic in
+          let m = Cluster.metrics cluster in
+          ( Metrics.sum m "msgs_sent",
+            Metrics.sum_prefix m "log_ops",
+            Cluster.now cluster )
+        in
+        Alcotest.(check (triple int int int)) "equal" (go ()) (go ()));
+    test "different seeds explore different schedules" (fun () ->
+        let go seed =
+          let cluster, _ = run_workload ~seed ~msgs:20 basic in
+          Metrics.sum (Cluster.metrics cluster) "msgs_sent"
+        in
+        (* not logically required, but if every seed gave identical counts
+           the randomization would clearly be broken *)
+        Alcotest.(check bool) "differ" true (go 101 <> go 202));
+  ]
+
+let edge_tests =
+  [
+    test "gossip does not resurrect agreed messages" (fun () ->
+        (* after quiescence, keep running with gossip flowing: nothing may
+           be re-delivered and rounds may not spin *)
+        let cluster, count = run_workload ~seed:79 ~msgs:15 basic in
+        let rounds = Cluster.round cluster 0 in
+        let delivered = Cluster.delivered_count cluster 0 in
+        Cluster.run cluster ~until:(Cluster.now cluster + 1_000_000);
+        Alcotest.(check int) "no new rounds" rounds (Cluster.round cluster 0);
+        Alcotest.(check int) "no re-deliveries" delivered
+          (Cluster.delivered_count cluster 0);
+        Alcotest.(check int) "unordered empty" 0 (Cluster.unordered_count cluster 0);
+        ignore count);
+    test "asymmetric slow node still converges" (fun () ->
+        let net = Net.create () in
+        (* node 2's outbound links are 20x slower *)
+        Net.set_link net ~src:2 ~dst:0 ~delay_min:10_000 ~delay_max:40_000 ();
+        Net.set_link net ~src:2 ~dst:1 ~delay_min:10_000 ~delay_max:40_000 ();
+        ignore (run_workload ~seed:80 ~msgs:15 ~net ~until:120_000_000 basic));
+    test "state message is harmless to the basic protocol" (fun () ->
+        (* a basic-mode node receiving State must not adopt anything; we
+           approximate by running alt and basic side by side is not
+           type-compatible, so instead check the basic stack treats a lag
+           hint via gossip_k only: a one-node burst then catch-up *)
+        let cluster, _ = run_workload ~seed:81 ~msgs:10 basic in
+        Alcotest.(check int) "no transfers ever" 0
+          (Metrics.sum (Cluster.metrics cluster) "state_transfers_applied"));
+    test "duplicated heavy traffic keeps integrity" (fun () ->
+        let net = Net.create ~dup:0.4 () in
+        ignore (run_workload ~seed:82 ~msgs:25 ~net ~until:60_000_000 basic));
+    test "broadcast ids are unique across incarnations" (fun () ->
+        let cluster = Cluster.create basic ~seed:83 ~n:3 () in
+        let collect = ref [] in
+        let send () =
+          match Cluster.broadcast cluster ~node:0 "x" with
+          | Some id -> collect := id :: !collect
+          | None -> Alcotest.fail "node down?"
+        in
+        Cluster.at cluster 1_000 send;
+        Cluster.at cluster 1_001 send;
+        Cluster.at cluster 30_000 (fun () ->
+            Cluster.crash cluster 0;
+            Cluster.recover cluster 0);
+        Cluster.at cluster 31_000 send;
+        Cluster.run cluster ~until:10_000_000;
+        let ids = !collect in
+        Alcotest.(check int) "three ids" 3 (List.length ids);
+        let distinct =
+          List.length
+            (List.sort_uniq Payload.compare_id ids)
+        in
+        Alcotest.(check int) "all distinct" 3 distinct;
+        (* the post-recovery id carries a new boot number *)
+        match ids with
+        | third :: _ -> Alcotest.(check int) "boot" 1 third.boot
+        | [] -> Alcotest.fail "no ids");
+  ]
+
+let suite =
+  ( "protocol",
+    basic_tests @ alternative_tests @ window_tests @ direct_api_tests
+    @ determinism_tests @ edge_tests @ metrics_tests )

@@ -1,0 +1,531 @@
+(* Unit tests for abcast.sim: Storage, Metrics, Net, Trace, Engine,
+   Faults. The engine tests pin down the crash-recovery semantics that the
+   protocol correctness depends on (volatile timers, lost input buffers,
+   durable storage, incarnation guards). *)
+
+open Helpers
+module Trace = Abcast_sim.Trace
+module Faults = Abcast_sim.Faults
+
+let mk_store () =
+  let metrics = Metrics.create () in
+  (Storage.create ~metrics ~node:0 (), metrics)
+
+let storage_tests =
+  [
+    test "write/read roundtrip" (fun () ->
+        let s, _ = mk_store () in
+        Storage.write s ~layer:"x" ~key:"a" "hello";
+        Alcotest.(check (option string)) "read" (Some "hello") (Storage.read s "a"));
+    test "missing key" (fun () ->
+        let s, _ = mk_store () in
+        Alcotest.(check (option string)) "read" None (Storage.read s "nope");
+        Alcotest.(check bool) "mem" false (Storage.mem s "nope"));
+    test "overwrite replaces" (fun () ->
+        let s, _ = mk_store () in
+        Storage.write s ~layer:"x" ~key:"a" "1";
+        Storage.write s ~layer:"x" ~key:"a" "2";
+        Alcotest.(check (option string)) "read" (Some "2") (Storage.read s "a"));
+    test "delete removes and counts" (fun () ->
+        let s, m = mk_store () in
+        Storage.write s ~layer:"x" ~key:"a" "1";
+        Storage.delete s ~layer:"x" "a";
+        Alcotest.(check bool) "gone" false (Storage.mem s "a");
+        Alcotest.(check int) "two ops" 2 (Metrics.get m ~node:0 "log_ops.x"));
+    test "delete of absent key is free" (fun () ->
+        let s, m = mk_store () in
+        Storage.delete s ~layer:"x" "a";
+        Alcotest.(check int) "no op" 0 (Metrics.get m ~node:0 "log_ops.x"));
+    test "ops and bytes accounted per layer" (fun () ->
+        let s, m = mk_store () in
+        Storage.write s ~layer:"cons" ~key:"a" "12345";
+        Storage.write s ~layer:"ab" ~key:"b" "123";
+        Alcotest.(check int) "cons ops" 1 (Metrics.get m ~node:0 "log_ops.cons");
+        Alcotest.(check int) "cons bytes" 5 (Metrics.get m ~node:0 "log_bytes.cons");
+        Alcotest.(check int) "ab bytes" 3 (Metrics.get m ~node:0 "log_bytes.ab"));
+    test "write_if_changed skips equal values" (fun () ->
+        let s, m = mk_store () in
+        Alcotest.(check bool) "first" true
+          (Storage.write_if_changed s ~layer:"x" ~key:"a" "v");
+        Alcotest.(check bool) "same" false
+          (Storage.write_if_changed s ~layer:"x" ~key:"a" "v");
+        Alcotest.(check bool) "changed" true
+          (Storage.write_if_changed s ~layer:"x" ~key:"a" "w");
+        Alcotest.(check int) "two ops" 2 (Metrics.get m ~node:0 "log_ops.x"));
+    test "keys_with_prefix sorted and filtered" (fun () ->
+        let s, _ = mk_store () in
+        List.iter
+          (fun k -> Storage.write s ~layer:"x" ~key:k "v")
+          [ "b/2"; "a/1"; "b/1"; "c" ];
+        Alcotest.(check (list string)) "b keys" [ "b/1"; "b/2" ]
+          (Storage.keys_with_prefix s "b/"));
+    test "retained bytes and keys track live state" (fun () ->
+        let s, _ = mk_store () in
+        Storage.write s ~layer:"x" ~key:"a" "12345";
+        Storage.write s ~layer:"x" ~key:"b" "123";
+        Alcotest.(check int) "bytes" 8 (Storage.retained_bytes s);
+        Alcotest.(check int) "keys" 2 (Storage.retained_keys s);
+        Storage.delete s ~layer:"x" "a";
+        Alcotest.(check int) "bytes after delete" 3 (Storage.retained_bytes s));
+    test "slot roundtrip" (fun () ->
+        let s, _ = mk_store () in
+        let slot = Storage.Slot.make s ~layer:"x" ~key:"pair" in
+        Alcotest.(check bool) "empty" true (Storage.Slot.get slot = None);
+        Storage.Slot.set slot (42, "hello");
+        Alcotest.(check (option (pair int string)))
+          "value" (Some (42, "hello")) (Storage.Slot.get slot);
+        Storage.Slot.clear slot;
+        Alcotest.(check bool) "cleared" true (Storage.Slot.get slot = None));
+    test "slot set_if_changed" (fun () ->
+        let s, m = mk_store () in
+        let slot = Storage.Slot.make s ~layer:"x" ~key:"v" in
+        Alcotest.(check bool) "first" true (Storage.Slot.set_if_changed slot [ 1 ]);
+        Alcotest.(check bool) "same" false (Storage.Slot.set_if_changed slot [ 1 ]);
+        Alcotest.(check int) "one op" 1 (Metrics.get m ~node:0 "log_ops.x"));
+    test "wipe clears everything" (fun () ->
+        let s, _ = mk_store () in
+        Storage.write s ~layer:"x" ~key:"a" "1";
+        Storage.wipe s;
+        Alcotest.(check int) "keys" 0 (Storage.retained_keys s));
+  ]
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abcast-storage-%d-%d" (Unix.getpid ()) !counter)
+
+let storage_file_tests =
+  [
+    test "file backing: contents survive re-opening" (fun () ->
+        let dir = temp_dir () in
+        let metrics = Metrics.create () in
+        let s1 = Storage.create ~dir ~metrics ~node:0 () in
+        Storage.write s1 ~layer:"x" ~key:"cons/000000001/proposal" "hello";
+        Storage.write s1 ~layer:"x" ~key:"weird key /%\\0" "bytes";
+        (* a fresh handle on the same directory sees everything *)
+        let s2 = Storage.create ~dir ~metrics ~node:0 () in
+        Alcotest.(check (option string)) "key 1" (Some "hello")
+          (Storage.read s2 "cons/000000001/proposal");
+        Alcotest.(check (option string)) "odd key" (Some "bytes")
+          (Storage.read s2 "weird key /%\\0");
+        Alcotest.(check int) "two keys" 2 (Storage.retained_keys s2));
+    test "file backing: delete removes the file" (fun () ->
+        let dir = temp_dir () in
+        let metrics = Metrics.create () in
+        let s1 = Storage.create ~dir ~metrics ~node:0 () in
+        Storage.write s1 ~layer:"x" ~key:"a" "1";
+        Storage.delete s1 ~layer:"x" "a";
+        let s2 = Storage.create ~dir ~metrics ~node:0 () in
+        Alcotest.(check (option string)) "gone" None (Storage.read s2 "a"));
+    test "file backing: overwrite persists the newest value" (fun () ->
+        let dir = temp_dir () in
+        let metrics = Metrics.create () in
+        let s1 = Storage.create ~dir ~metrics ~node:0 () in
+        Storage.write s1 ~layer:"x" ~key:"a" "old";
+        Storage.write s1 ~layer:"x" ~key:"a" "new";
+        let s2 = Storage.create ~dir ~metrics ~node:0 () in
+        Alcotest.(check (option string)) "new" (Some "new") (Storage.read s2 "a"));
+    test "file backing: wipe clears the directory" (fun () ->
+        let dir = temp_dir () in
+        let metrics = Metrics.create () in
+        let s1 = Storage.create ~dir ~metrics ~node:0 () in
+        Storage.write s1 ~layer:"x" ~key:"a" "1";
+        Storage.wipe s1;
+        let s2 = Storage.create ~dir ~metrics ~node:0 () in
+        Alcotest.(check int) "empty" 0 (Storage.retained_keys s2));
+    test "file backing: binary values roundtrip" (fun () ->
+        let dir = temp_dir () in
+        let metrics = Metrics.create () in
+        let s1 = Storage.create ~dir ~metrics ~node:0 () in
+        let blob = Storage.encode (42, [ "x"; "y" ], 3.14) in
+        Storage.write s1 ~layer:"x" ~key:"blob" blob;
+        let s2 = Storage.create ~dir ~metrics ~node:0 () in
+        let (a, b, c) : int * string list * float =
+          Storage.decode (Option.get (Storage.read s2 "blob"))
+        in
+        Alcotest.(check int) "int" 42 a;
+        Alcotest.(check (list string)) "list" [ "x"; "y" ] b;
+        Alcotest.(check (float 1e-9)) "float" 3.14 c);
+  ]
+
+let metrics_tests =
+  [
+    test "incr/add/get" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m ~node:1 "c";
+        Metrics.add m ~node:1 "c" 4;
+        Alcotest.(check int) "value" 5 (Metrics.get m ~node:1 "c");
+        Alcotest.(check int) "other node" 0 (Metrics.get m ~node:2 "c"));
+    test "sum across nodes" (fun () ->
+        let m = Metrics.create () in
+        Metrics.add m ~node:0 "c" 1;
+        Metrics.add m ~node:1 "c" 2;
+        Metrics.add m ~node:(-1) "c" 4;
+        Alcotest.(check int) "sum" 7 (Metrics.sum m "c"));
+    test "sum_prefix respects dotted boundaries" (fun () ->
+        let m = Metrics.create () in
+        Metrics.add m ~node:0 "log_ops.a" 1;
+        Metrics.add m ~node:0 "log_ops.b" 2;
+        Metrics.add m ~node:0 "log_opsx" 100;
+        Metrics.add m ~node:0 "log_ops" 10;
+        Alcotest.(check int) "prefix" 13 (Metrics.sum_prefix m "log_ops"));
+    test "observe/mean/percentile" (fun () ->
+        let m = Metrics.create () in
+        List.iter (Metrics.observe m ~node:0 "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+        Alcotest.(check (float 1e-6)) "mean" 2.5 (Metrics.mean m "lat");
+        Alcotest.(check (float 1e-6)) "p0" 1.0 (Metrics.percentile m "lat" 0.0);
+        Alcotest.(check (float 1e-6)) "p100" 4.0 (Metrics.percentile m "lat" 100.0);
+        Alcotest.(check (float 1e-6)) "p50" 2.5 (Metrics.percentile m "lat" 50.0);
+        Alcotest.(check int) "count" 4 (Metrics.count_samples m "lat"));
+    test "empty series" (fun () ->
+        let m = Metrics.create () in
+        Alcotest.(check bool) "mean nan" true (Float.is_nan (Metrics.mean m "x"));
+        Alcotest.(check int) "count" 0 (Metrics.count_samples m "x"));
+    test "reset clears" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m ~node:0 "c";
+        Metrics.observe m ~node:0 "s" 1.0;
+        Metrics.reset m;
+        Alcotest.(check int) "counter" 0 (Metrics.get m ~node:0 "c");
+        Alcotest.(check int) "samples" 0 (Metrics.count_samples m "s"));
+  ]
+
+let net_tests =
+  [
+    test "delays within bounds" (fun () ->
+        let net = Net.create ~delay_min:10 ~delay_max:20 ~heavy_tail:0.0 () in
+        let rng = Rng.create 1 in
+        for _ = 1 to 500 do
+          match Net.transmit net ~rng ~src:0 ~dst:1 with
+          | Net.Deliver [ d ] ->
+            Alcotest.(check bool) "bounds" true (d >= 10 && d <= 20)
+          | _ -> Alcotest.fail "expected single delivery"
+        done);
+    test "loss=1 drops all" (fun () ->
+        let net = Net.create ~loss:1.0 () in
+        let rng = Rng.create 1 in
+        for _ = 1 to 50 do
+          Alcotest.(check bool) "drop" true
+            (Net.transmit net ~rng ~src:0 ~dst:1 = Net.Drop)
+        done);
+    test "duplication produces two copies sometimes" (fun () ->
+        let net = Net.create ~dup:0.5 ~heavy_tail:0.0 () in
+        let rng = Rng.create 1 in
+        let dups = ref 0 in
+        for _ = 1 to 200 do
+          match Net.transmit net ~rng ~src:0 ~dst:1 with
+          | Net.Deliver [ _; _ ] -> incr dups
+          | Net.Deliver [ _ ] -> ()
+          | _ -> Alcotest.fail "unexpected"
+        done;
+        Alcotest.(check bool) "some dups" true (!dups > 50));
+    test "self hand-off is reliable and fast" (fun () ->
+        let net = Net.create ~loss:1.0 () in
+        let rng = Rng.create 1 in
+        Alcotest.(check bool) "self" true
+          (Net.transmit net ~rng ~src:2 ~dst:2 = Net.Deliver [ 1 ]));
+    test "partition blocks matching links, heal restores" (fun () ->
+        let net = Net.create ~heavy_tail:0.0 () in
+        let rng = Rng.create 1 in
+        Net.partition net (fun ~src ~dst -> src = 0 && dst = 1);
+        Alcotest.(check bool) "cut" true (Net.transmit net ~rng ~src:0 ~dst:1 = Net.Drop);
+        Alcotest.(check bool) "reverse open" true
+          (match Net.transmit net ~rng ~src:1 ~dst:0 with
+          | Net.Deliver _ -> true
+          | Net.Drop -> false);
+        Alcotest.(check bool) "is_partitioned" true (Net.is_partitioned net ~src:0 ~dst:1);
+        Net.heal net;
+        Alcotest.(check bool) "healed" true
+          (match Net.transmit net ~rng ~src:0 ~dst:1 with
+          | Net.Deliver _ -> true
+          | Net.Drop -> false));
+    test "per-link override shapes one direction only" (fun () ->
+        let net = Net.create ~delay_min:10 ~delay_max:20 ~heavy_tail:0.0 () in
+        Net.set_link net ~src:0 ~dst:1 ~delay_min:500 ~delay_max:600 ();
+        let rng = Rng.create 2 in
+        for _ = 1 to 100 do
+          (match Net.transmit net ~rng ~src:0 ~dst:1 with
+          | Net.Deliver [ d ] -> Alcotest.(check bool) "slow" true (d >= 500)
+          | _ -> Alcotest.fail "unexpected");
+          match Net.transmit net ~rng ~src:1 ~dst:0 with
+          | Net.Deliver [ d ] -> Alcotest.(check bool) "fast" true (d <= 20)
+          | _ -> Alcotest.fail "unexpected"
+        done);
+    test "per-link loss override" (fun () ->
+        let net = Net.create ~heavy_tail:0.0 () in
+        Net.set_link net ~src:2 ~dst:0 ~loss:1.0 ();
+        let rng = Rng.create 3 in
+        for _ = 1 to 50 do
+          Alcotest.(check bool) "lossy link" true
+            (Net.transmit net ~rng ~src:2 ~dst:0 = Net.Drop)
+        done;
+        Net.reset_links net;
+        Alcotest.(check bool) "reset restores" true
+          (match Net.transmit net ~rng ~src:2 ~dst:0 with
+          | Net.Deliver _ -> true
+          | Net.Drop -> false));
+    test "bad delay bounds rejected" (fun () ->
+        Alcotest.check_raises "inverted" (Invalid_argument "Net.create: bad delay bounds")
+          (fun () -> ignore (Net.create ~delay_min:10 ~delay_max:5 ())));
+  ]
+
+let trace_tests =
+  [
+    test "disabled trace records nothing" (fun () ->
+        let tr = Trace.create () in
+        Trace.emit tr ~time:1 ~node:0 "x";
+        Alcotest.(check int) "entries" 0 (List.length (Trace.entries tr)));
+    test "enabled trace keeps order" (fun () ->
+        let tr = Trace.create ~enabled:true () in
+        Trace.emit tr ~time:1 ~node:0 "a";
+        Trace.emit tr ~time:2 ~node:1 "b";
+        let texts = List.map (fun (e : Trace.entry) -> e.text) (Trace.entries tr) in
+        Alcotest.(check (list string)) "order" [ "a"; "b" ] texts);
+    test "emitf formats" (fun () ->
+        let tr = Trace.create ~enabled:true () in
+        Trace.emitf tr ~time:5 ~node:2 "k=%d %s" 7 "yes";
+        match Trace.entries tr with
+        | [ e ] ->
+          Alcotest.(check string) "text" "k=7 yes" e.text;
+          Alcotest.(check int) "time" 5 e.time;
+          Alcotest.(check int) "node" 2 e.node
+        | _ -> Alcotest.fail "one entry expected");
+    test "find locates entry" (fun () ->
+        let tr = Trace.create ~enabled:true () in
+        Trace.emit tr ~time:1 ~node:0 "a";
+        Trace.emit tr ~time:2 ~node:1 "target";
+        Alcotest.(check bool) "found" true
+          (Trace.find tr (fun e -> e.text = "target") <> None));
+    test "clear drops entries" (fun () ->
+        let tr = Trace.create ~enabled:true () in
+        Trace.emit tr ~time:1 ~node:0 "a";
+        Trace.clear tr;
+        Alcotest.(check int) "entries" 0 (List.length (Trace.entries tr)));
+  ]
+
+(* A trivial echo protocol to exercise the engine. *)
+let echo_behavior log (io : string Engine.io) ~src:_ msg =
+  log := (io.self, io.now (), msg) :: !log
+
+let engine_tests =
+  [
+    test "actions run in time order with FIFO ties" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let log = ref [] in
+        Engine.at eng 100 (fun () -> log := 2 :: !log);
+        Engine.at eng 50 (fun () -> log := 1 :: !log);
+        Engine.at eng 100 (fun () -> log := 3 :: !log);
+        Engine.run eng;
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log));
+    test "run ~until stops and advances clock" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let fired = ref false in
+        Engine.at eng 10_000 (fun () -> fired := true);
+        Engine.run eng ~until:5_000;
+        Alcotest.(check bool) "not yet" false !fired;
+        Alcotest.(check int) "clock" 5_000 (Engine.now eng);
+        Engine.run eng ~until:20_000;
+        Alcotest.(check bool) "fired" true !fired);
+    test "messages are delivered to up nodes" (fun () ->
+        let eng = Engine.create ~seed:1 ~n:2 () in
+        let log = ref [] in
+        for i = 0 to 1 do
+          Engine.set_behavior eng i (echo_behavior log)
+        done;
+        Engine.start_all eng;
+        Engine.set_behavior eng 0 (fun io ->
+            io.send 1 "hi";
+            echo_behavior log io);
+        (* restart node 0 so the new behavior (which sends) runs *)
+        Engine.crash eng 0;
+        Engine.recover eng 0;
+        Engine.run eng ~until:1_000_000;
+        Alcotest.(check bool) "received" true
+          (List.exists (fun (n, _, m) -> n = 1 && m = "hi") !log));
+    test "messages to down nodes are lost" (fun () ->
+        let eng = Engine.create ~seed:1 ~n:2 () in
+        let log = ref [] in
+        Engine.set_behavior eng 1 (echo_behavior log);
+        Engine.set_behavior eng 0 (fun io ->
+            io.send 1 "lost";
+            echo_behavior log io);
+        Engine.start eng 0;
+        (* node 1 never started: delivery dropped, counted *)
+        Engine.run eng ~until:1_000_000;
+        Alcotest.(check (list (triple int int string))) "empty" [] !log;
+        Alcotest.(check bool) "counted" true
+          (Metrics.get (Engine.metrics eng) ~node:1 "msgs_lost_down" >= 1));
+    test "timers are volatile: crash cancels them" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let fired = ref false in
+        Engine.set_behavior eng 0 (fun io ~src:_ () -> ignore io);
+        Engine.set_behavior eng 0 (fun io ->
+            if io.incarnation = 0 then io.after 1_000 (fun () -> fired := true);
+            fun ~src:_ () -> ());
+        Engine.start eng 0;
+        Engine.at eng 500 (fun () -> Engine.crash eng 0);
+        Engine.at eng 600 (fun () -> Engine.recover eng 0);
+        Engine.run eng ~until:10_000;
+        Alcotest.(check bool) "old timer dead" false !fired);
+    test "incarnation increments on recovery; storage survives" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let incs = ref [] in
+        Engine.set_behavior eng 0 (fun io ->
+            incs := io.incarnation :: !incs;
+            if io.incarnation = 0 then
+              Abcast_sim.Storage.write io.store ~layer:"t" ~key:"k" "v"
+            else
+              Alcotest.(check (option string))
+                "durable" (Some "v")
+                (Abcast_sim.Storage.read io.store "k");
+            fun ~src:_ () -> ());
+        Engine.start eng 0;
+        Engine.crash eng 0;
+        Engine.recover eng 0;
+        Alcotest.(check (list int)) "incarnations" [ 1; 0 ] !incs;
+        Alcotest.(check int) "engine view" 1 (Engine.incarnation eng 0));
+    test "start is idempotent while up" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let boots = ref 0 in
+        Engine.set_behavior eng 0 (fun _io ->
+            incr boots;
+            fun ~src:_ () -> ());
+        Engine.start eng 0;
+        Engine.start eng 0;
+        Alcotest.(check int) "boots" 1 !boots);
+    test "sends from a stale incarnation are suppressed" (fun () ->
+        let eng = Engine.create ~seed:1 ~n:2 () in
+        let log = ref [] in
+        let stale_io = ref None in
+        Engine.set_behavior eng 1 (echo_behavior log);
+        Engine.set_behavior eng 0 (fun io ->
+            if io.incarnation = 0 then stale_io := Some io;
+            fun ~src:_ _ -> ());
+        Engine.start_all eng;
+        Engine.crash eng 0;
+        Engine.recover eng 0;
+        (match !stale_io with
+        | Some (io : string Engine.io) -> io.send 1 "ghost"
+        | None -> Alcotest.fail "no io captured");
+        Engine.run eng ~until:1_000_000;
+        Alcotest.(check bool) "no ghost" true
+          (not (List.exists (fun (_, _, m) -> m = "ghost") !log)));
+    test "run_until stops when predicate holds" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let x = ref 0 in
+        for i = 1 to 10 do
+          Engine.at eng (i * 100) (fun () -> incr x)
+        done;
+        let ok = Engine.run_until eng ~pred:(fun () -> !x >= 3) () in
+        Alcotest.(check bool) "stopped" true ok;
+        Alcotest.(check int) "exactly 3" 3 !x);
+    test "max_events bounds the run" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:1 () in
+        let x = ref 0 in
+        for i = 1 to 100 do
+          Engine.at eng i (fun () -> incr x)
+        done;
+        Engine.run eng ~max_events:10;
+        Alcotest.(check int) "ten" 10 !x);
+    test "map_io wraps sends" (fun () ->
+        let eng = Engine.create ~seed:1 ~n:2 () in
+        let got = ref [] in
+        Engine.set_behavior eng 1 (fun _io ~src:_ m -> got := m :: !got);
+        Engine.set_behavior eng 0 (fun io ->
+            let sub = Engine.map_io (fun i -> `Wrapped i) io in
+            sub.send 1 7;
+            fun ~src:_ _ -> ());
+        Engine.start_all eng;
+        Engine.run eng ~until:1_000_000;
+        Alcotest.(check bool) "wrapped" true (List.mem (`Wrapped 7) !got));
+    test "deterministic runs: same seed, same event count" (fun () ->
+        let go seed =
+          let eng = Engine.create ~seed ~n:3 () in
+          let log = ref [] in
+          for i = 0 to 2 do
+            Engine.set_behavior eng i (fun io ->
+                io.multisend "x";
+                echo_behavior log io)
+          done;
+          Engine.start_all eng;
+          Engine.run eng ~until:100_000;
+          (Engine.events_processed eng, List.length !log)
+        in
+        Alcotest.(check (pair int int)) "equal" (go 5) (go 5);
+        ignore (go 6));
+  ]
+
+let faults_tests =
+  [
+    test "plan_random needs a good majority" (fun () ->
+        let rng = Rng.create 1 in
+        Alcotest.check_raises "bad majority"
+          (Invalid_argument "Faults.plan_random: need a good majority")
+          (fun () ->
+            ignore (Faults.plan_random ~rng ~n:4 ~n_bad:2 ~stability:1000 ())));
+    test "plan marks the requested number of bad processes" (fun () ->
+        let rng = Rng.create 2 in
+        let plan = Faults.plan_random ~rng ~n:5 ~n_bad:2 ~stability:10_000 () in
+        let bad = Array.to_list plan.good |> List.filter not |> List.length in
+        Alcotest.(check int) "bad" 2 bad;
+        Alcotest.(check int) "good list" 3 (List.length (Faults.good_nodes plan)));
+    test "good processes end up and stay up" (fun () ->
+        let rng = Rng.create 3 in
+        let plan = Faults.plan_random ~rng ~n:3 ~stability:50_000 () in
+        (* final event of each good node, if any, must be a recovery
+           strictly before stability *)
+        Array.iteri
+          (fun node good ->
+            if good then
+              let evs =
+                List.filter (fun (e : Faults.event) -> e.node = node) plan.events
+              in
+              match List.rev evs with
+              | [] -> ()
+              | last :: _ ->
+                Alcotest.(check bool) "recover" true (last.kind = Faults.Recover);
+                Alcotest.(check bool) "before stability" true
+                  (last.time < 50_000))
+          plan.good);
+    test "events are time-sorted" (fun () ->
+        let rng = Rng.create 4 in
+        let plan = Faults.plan_random ~rng ~n:5 ~n_bad:1 ~stability:20_000 () in
+        let times = List.map (fun (e : Faults.event) -> e.time) plan.events in
+        Alcotest.(check (list int)) "sorted" (List.sort compare times) times);
+    test "apply schedules crashes and recoveries" (fun () ->
+        let eng : unit Engine.t = Engine.create ~seed:1 ~n:2 () in
+        for i = 0 to 1 do
+          Engine.set_behavior eng i (fun _io ~src:_ () -> ())
+        done;
+        Engine.start_all eng;
+        Faults.down_between eng ~node:1 ~from_:100 ~until:200;
+        Engine.run eng ~until:150;
+        Alcotest.(check bool) "down" false (Engine.is_up eng 1);
+        Engine.run eng ~until:250;
+        Alcotest.(check bool) "up" true (Engine.is_up eng 1));
+  ]
+
+let engine_bytes_tests =
+  [
+    test "byte accounting counts serialized sizes" (fun () ->
+        let eng =
+          Engine.create ~seed:1 ~n:2 ~msg_size:String.length ()
+        in
+        Engine.set_behavior eng 1 (fun _io ~src:_ (_ : string) -> ());
+        Engine.set_behavior eng 0 (fun io ->
+            io.send 1 "12345";
+            io.send 1 "12";
+            fun ~src:_ _ -> ());
+        Engine.start_all eng;
+        Engine.run eng ~until:1_000_000;
+        Alcotest.(check int) "bytes" 7
+          (Metrics.get (Engine.metrics eng) ~node:0 "net_bytes"));
+  ]
+
+let suite =
+  ( "sim",
+    storage_tests @ storage_file_tests @ metrics_tests @ net_tests
+    @ trace_tests @ engine_tests @ engine_bytes_tests @ faults_tests )

@@ -1,0 +1,164 @@
+(* Unit and property tests for abcast.util: Rng and Heap. *)
+
+open Helpers
+module Heap = Abcast_util.Heap
+
+let stream rng k = List.init k (fun _ -> Rng.bits64 rng)
+
+let rng_tests =
+  [
+    test "same seed, same stream" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        Alcotest.(check (list int64)) "streams" (stream a 50) (stream b 50));
+    test "different seeds differ" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 8 in
+        Alcotest.(check bool) "differ" true (stream a 10 <> stream b 10));
+    test "copy replays the future" (fun () ->
+        let a = Rng.create 42 in
+        ignore (stream a 5);
+        let b = Rng.copy a in
+        Alcotest.(check (list int64)) "replay" (stream a 20) (stream b 20));
+    test "split decorrelates" (fun () ->
+        let a = Rng.create 42 in
+        let b = Rng.split a in
+        Alcotest.(check bool) "differ" true (stream a 10 <> stream b 10));
+    test "int rejects non-positive bound" (fun () ->
+        let rng = Rng.create 1 in
+        Alcotest.check_raises "zero" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int rng 0)));
+    test "chance extremes" (fun () ->
+        let rng = Rng.create 3 in
+        for _ = 1 to 100 do
+          Alcotest.(check bool) "p=0" false (Rng.chance rng 0.0);
+          Alcotest.(check bool) "p=1" true (Rng.chance rng 1.0)
+        done);
+    test "exponential is positive" (fun () ->
+        let rng = Rng.create 4 in
+        for _ = 1 to 1000 do
+          Alcotest.(check bool) "pos" true (Rng.exponential rng ~mean:5.0 >= 0.0)
+        done);
+    test "exponential mean is roughly right" (fun () ->
+        let rng = Rng.create 5 in
+        let n = 20_000 in
+        let sum = ref 0.0 in
+        for _ = 1 to n do
+          sum := !sum +. Rng.exponential rng ~mean:10.0
+        done;
+        let mean = !sum /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "mean %.2f in [9;11]" mean)
+          true
+          (mean > 9.0 && mean < 11.0));
+    test "pick returns an element" (fun () ->
+        let rng = Rng.create 6 in
+        let a = [| 1; 2; 3 |] in
+        for _ = 1 to 100 do
+          Alcotest.(check bool) "member" true (Array.mem (Rng.pick rng a) a)
+        done);
+    test "pick rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+          (fun () -> ignore (Rng.pick (Rng.create 1) [||])));
+    test "shuffle permutes" (fun () ->
+        let rng = Rng.create 9 in
+        let a = Array.init 50 Fun.id in
+        let b = Array.copy a in
+        Rng.shuffle rng b;
+        Alcotest.(check bool) "moved something" true (a <> b);
+        Array.sort compare b;
+        Alcotest.(check (array int)) "same multiset" a b);
+  ]
+
+let rng_props =
+  [
+    QCheck.Test.make ~name:"Rng.int in bounds" ~count:500
+      QCheck.(pair small_int (int_range 1 1_000_000))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        let v = Rng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"Rng.float in bounds" ~count:500
+      QCheck.(pair small_int (float_range 0.001 1e9))
+      (fun (seed, bound) ->
+        let rng = Rng.create seed in
+        let v = Rng.float rng bound in
+        v >= 0.0 && v < bound);
+  ]
+
+let drain h =
+  let rec go acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let heap_tests =
+  [
+    test "empty heap" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        Alcotest.(check int) "len" 0 (Heap.length h);
+        Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+        Alcotest.(check (option int)) "peek" None (Heap.peek h);
+        Alcotest.(check (option int)) "pop" None (Heap.pop h));
+    test "push/pop sorts" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] (drain h));
+    test "peek does not remove" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        Heap.push h 4;
+        Heap.push h 2;
+        Alcotest.(check (option int)) "peek" (Some 2) (Heap.peek h);
+        Alcotest.(check int) "len" 2 (Heap.length h));
+    test "duplicate keys kept" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) [ 3; 3; 3 ];
+        Alcotest.(check (list int)) "all" [ 3; 3; 3 ] (drain h));
+    test "ties break by secondary component" (fun () ->
+        let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+        (* Equal primary keys: heap order is unspecified, but with the
+           engine's (time, seq) compare the sequence disambiguates. *)
+        let h2 = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h2) [ (5, 2); (5, 0); (5, 1) ];
+        Alcotest.(check (list (pair int int)))
+          "fifo by seq"
+          [ (5, 0); (5, 1); (5, 2) ]
+          (drain h2);
+        ignore h);
+    test "clear empties" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) [ 1; 2 ];
+        Heap.clear h;
+        Alcotest.(check int) "len" 0 (Heap.length h);
+        Alcotest.(check (option int)) "pop" None (Heap.pop h));
+    test "to_list has all elements" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) [ 4; 1; 3 ];
+        Alcotest.(check (list int)) "sorted view" [ 1; 3; 4 ]
+          (List.sort compare (Heap.to_list h)));
+    test "interleaved push/pop keeps order" (fun () ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) [ 7; 3 ];
+        Alcotest.(check (option int)) "pop1" (Some 3) (Heap.pop h);
+        List.iter (Heap.push h) [ 1; 9 ];
+        Alcotest.(check (option int)) "pop2" (Some 1) (Heap.pop h);
+        Alcotest.(check (list int)) "rest" [ 7; 9 ] (drain h));
+  ]
+
+let heap_props =
+  [
+    QCheck.Test.make ~name:"heap sorts like List.sort" ~count:300
+      QCheck.(list int)
+      (fun xs ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) xs;
+        drain h = List.sort compare xs);
+    QCheck.Test.make ~name:"heap length tracks pushes" ~count:300
+      QCheck.(list small_int)
+      (fun xs ->
+        let h = Heap.create ~cmp:compare () in
+        List.iter (Heap.push h) xs;
+        Heap.length h = List.length xs);
+  ]
+
+let suite =
+  ("util", rng_tests @ heap_tests
+           @ List.map QCheck_alcotest.to_alcotest (rng_props @ heap_props))
