@@ -691,24 +691,24 @@ let e13 () =
     let cluster, count = steady_run ~seed:107 ~msgs stack in
     let m = Cluster.metrics cluster in
     let rx kind = Metrics.sum m ("rx." ^ kind) in
-    let total = rx "gossip" + rx "consensus" + rx "fd" + rx "state" in
-    let pct kind =
-      Table.flt (100.0 *. float_of_int (rx kind) /. float_of_int (max 1 total))
-    in
+    let gossip = rx "gossip" + rx "digest" + rx "need" in
+    let total = gossip + rx "consensus" + rx "fd" + rx "state" in
+    let pct v = Table.flt (100.0 *. float_of_int v /. float_of_int (max 1 total)) in
     [
       name;
       Table.num count;
       Table.num total;
-      pct "consensus";
-      pct "gossip";
-      pct "fd";
-      pct "state";
+      pct (rx "consensus");
+      pct gossip;
+      pct (rx "fd");
+      pct (rx "state");
     ]
   in
   Table.print
     ~title:
-      "E13: received-message anatomy (share per layer; gossip+heartbeats \
-       are the fixed background, consensus scales with rounds)"
+      "E13: received-message anatomy (share per layer; gossip covers full \
+       sets, digests and Need pulls; heartbeats are the fixed background, \
+       consensus scales with rounds)"
     ~header:
       [ "stack"; "msgs"; "rx total"; "% consensus"; "% gossip"; "% fd"; "% state" ]
     [
@@ -717,9 +717,41 @@ let e13 () =
       row "alt/paxos" (Factory.alternative ());
     ]
 
+(* E14 — delta gossip: wire cost of the dissemination layer. *)
+
+let e14 () =
+  let msgs = scale 400 in
+  let row name stack =
+    let cluster, count = steady_run ~n:5 ~msgs ~mean_gap:1_500 stack in
+    let m = Cluster.metrics cluster in
+    let gmsgs = Metrics.sum m "gossip_msgs_sent" in
+    let gbytes = Metrics.sum m "gossip_bytes_sent" in
+    [
+      name;
+      Table.num count;
+      Table.num gmsgs;
+      Table.num gbytes;
+      Table.flt (float_of_int gbytes /. float_of_int (max 1 gmsgs));
+      Table.flt (float_of_int gbytes /. float_of_int (max 1 count));
+      Table.num (Metrics.sum m "msgs_sent");
+    ]
+  in
+  Table.print
+    ~title:
+      "E14: digest/pull gossip vs full-set gossip (n=5 steady load; the \
+       dissemination layer stops re-shipping the whole Unordered set \
+       every period)"
+    ~header:
+      [ "gossip mode"; "msgs"; "gossip msgs"; "gossip bytes";
+        "bytes/gossip msg"; "gossip bytes/msg"; "net msgs total" ]
+    [
+      row "full set (Fig. 3 literal)" (Factory.alternative ~delta_gossip:false ());
+      row "digest + Need pull" (Factory.alternative ());
+    ]
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
-    ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13);
+    ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
   ]

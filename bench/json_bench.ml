@@ -1,0 +1,175 @@
+(* `bench/main.exe --json`: machine-readable performance snapshot.
+
+   Writes BENCH_PR1.json in the current directory with
+
+   - the n=5 steady-load workload run once per gossip mode (full set vs
+     digest+Need pull): host events/sec, broadcasts-to-quiescence wall
+     time, gossip message/byte counts from the [gossip_*_sent] metrics;
+   - a handful of hand-timed micro-benchmarks (ns/op) for the hot paths
+     touched by the optimization work.
+
+   The simulated metrics (counts, bytes, sim time) are seeded and
+   bit-reproducible; the wall-clock and ns/op figures are host-dependent
+   and only meaningful as before/after pairs on one machine. *)
+
+module Rng = Abcast_util.Rng
+module Metrics = Abcast_sim.Metrics
+module Cluster = Abcast_harness.Cluster
+module Workload = Abcast_harness.Workload
+module Factory = Abcast_core.Factory
+
+type steady = {
+  count : int;
+  events : int;
+  wall_s : float;
+  sim_us : int;
+  gossip_msgs : int;
+  gossip_bytes : int;
+  net_msgs : int;
+}
+
+(* The E14 workload: n=5, 400 Poisson broadcasts, mean gap 1.5ms. One
+   warm-up run (allocator, caches), then one timed run. *)
+let steady ~delta_gossip () =
+  let n = 5 and msgs = 400 and mean_gap = 1_500 in
+  let go () =
+    let stack = Factory.alternative ~delta_gossip () in
+    let cluster = Cluster.create stack ~seed:7 ~n () in
+    let rng = Rng.create 91 in
+    let count =
+      Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id)
+        ~start:1_000
+        ~stop:(1_000 + (msgs * mean_gap))
+        ~mean_gap ()
+    in
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+        ()
+    in
+    if not ok then failwith "json bench: steady run did not quiesce";
+    (cluster, count)
+  in
+  ignore (go ());
+  (* The run is deterministic (seeded), so repetitions differ only in
+     host noise: report the best of 7. *)
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 7 do
+    let t0 = Unix.gettimeofday () in
+    let r = go () in
+    let w = Unix.gettimeofday () -. t0 in
+    if w < !best then begin
+      best := w;
+      result := Some r
+    end
+  done;
+  let cluster, count = Option.get !result in
+  let wall_s = !best in
+  let m = Cluster.metrics cluster in
+  {
+    count;
+    events = Cluster.events_processed cluster;
+    wall_s;
+    sim_us = Cluster.now cluster;
+    gossip_msgs = Metrics.sum m "gossip_msgs_sent";
+    gossip_bytes = Metrics.sum m "gossip_bytes_sent";
+    net_msgs = Metrics.sum m "msgs_sent";
+  }
+
+let time_ns ~iters f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let micros () =
+  let rng = Rng.create 1 in
+  let payloads =
+    List.init 32 (fun i ->
+        {
+          Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
+          data = String.make 32 'x';
+        })
+  in
+  let m = Metrics.create () in
+  let h = Metrics.handle m ~node:0 "rx.gossip" in
+  let quiesce () =
+    let cluster = Cluster.create (Factory.basic ()) ~seed:1 ~n:3 () in
+    for j = 0 to 9 do
+      Cluster.at cluster
+        (500 * (j + 1))
+        (fun () -> ignore (Cluster.broadcast cluster ~node:(j mod 3) "m"))
+    done;
+    ignore
+      (Cluster.run_until cluster ~until:100_000_000
+         ~pred:(fun () -> Cluster.all_caught_up cluster ~count:10 ())
+         ())
+  in
+  [
+    ("rng_bits64", time_ns ~iters:2_000_000 (fun () -> ignore (Rng.bits64 rng)));
+    ( "batch_encode_decode_32",
+      time_ns ~iters:20_000 (fun () ->
+          ignore (Abcast_core.Batch.decode (Abcast_core.Batch.encode payloads)))
+    );
+    ( "metrics_incr_string",
+      time_ns ~iters:2_000_000 (fun () -> Metrics.incr m ~node:0 "rx.gossip") );
+    ("metrics_hincr_interned", time_ns ~iters:10_000_000 (fun () -> Metrics.hincr h));
+    ("abcast_10msgs_quiescence_n3", time_ns ~iters:100 quiesce);
+  ]
+
+let steady_json name (s : steady) =
+  Printf.sprintf
+    {|  "%s": {
+    "msgs": %d,
+    "events": %d,
+    "quiescence_wall_s": %.6f,
+    "events_per_sec": %.0f,
+    "sim_us": %d,
+    "gossip_msgs": %d,
+    "gossip_bytes": %d,
+    "gossip_bytes_per_msg": %.1f,
+    "net_msgs_total": %d
+  }|}
+    name s.count s.events s.wall_s
+    (float_of_int s.events /. s.wall_s)
+    s.sim_us s.gossip_msgs s.gossip_bytes
+    (float_of_int s.gossip_bytes /. float_of_int (max 1 s.count))
+    s.net_msgs
+
+let run () =
+  let full = steady ~delta_gossip:false () in
+  let delta = steady ~delta_gossip:true () in
+  let micro = micros () in
+  let reduction =
+    float_of_int full.gossip_bytes /. float_of_int (max 1 delta.gossip_bytes)
+  in
+  let micro_json =
+    micro
+    |> List.map (fun (name, ns) -> Printf.sprintf {|    "%s": %.1f|} name ns)
+    |> String.concat ",\n"
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "schema": 1,
+  "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
+%s,
+%s,
+  "gossip_bytes_reduction_x": %.2f,
+  "micro_ns_per_op": {
+%s
+  }
+}
+|}
+      (steady_json "full_gossip" full)
+      (steady_json "delta_gossip" delta)
+      reduction micro_json
+  in
+  let oc = open_out "BENCH_PR1.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "wrote BENCH_PR1.json (gossip bytes reduction: %.2fx)\n"
+    reduction

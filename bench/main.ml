@@ -7,10 +7,17 @@
    Flags:
      --only E4 [E5 ...]   run only the listed experiments
      --micro              run only the micro-benchmarks
-     --quick              shrink workloads (~4x faster, coarser numbers) *)
+     --quick              shrink workloads (~4x faster, coarser numbers)
+     --json               write BENCH_PR1.json (machine-readable snapshot:
+                          events/sec, quiescence wall time, gossip bytes,
+                          micro ns/op) and exit *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--json" args then begin
+    Json_bench.run ();
+    exit 0
+  end;
   let micro_only = List.mem "--micro" args in
   Experiments.quick := List.mem "--quick" args;
   let selected =

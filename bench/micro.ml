@@ -10,6 +10,7 @@ module Engine = Abcast_sim.Engine
 module Cluster = Abcast_harness.Cluster
 module Workload = Abcast_harness.Workload
 module Factory = Abcast_core.Factory
+module Metrics = Abcast_sim.Metrics
 
 let rng_bench =
   Test.make ~name:"rng.bits64"
@@ -101,10 +102,24 @@ let vclock_bench =
           vc := Abcast_core.Vclock.add !vc id;
           ignore (Abcast_core.Vclock.contains !vc id)))
 
+let metrics_string_bench =
+  Test.make ~name:"metrics incr (string key)"
+    (Staged.stage
+       (let m = Metrics.create () in
+        fun () -> Metrics.incr m ~node:0 "rx.gossip"))
+
+let metrics_handle_bench =
+  Test.make ~name:"metrics hincr (interned handle)"
+    (Staged.stage
+       (let m = Metrics.create () in
+        let h = Metrics.handle m ~node:0 "rx.gossip" in
+        fun () -> Metrics.hincr h))
+
 let tests =
   [
     rng_bench; heap_bench; storage_bench; vclock_bench; batch_bench;
-    engine_bench; protocol_round_bench;
+    metrics_string_bench; metrics_handle_bench; engine_bench;
+    protocol_round_bench;
   ]
 
 let run () =

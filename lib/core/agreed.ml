@@ -42,48 +42,62 @@ let compact (t : t) ~app_blob =
 let snapshot (t : t) =
   { base_app = t.base_app; base_len = t.base_len; vc = t.vc; tail = tail t }
 
+(* Last [n] elements of the tail, in delivery order: the first [n]
+   elements of [tail_rev] consed back over — one pass, no full [tail]
+   materialization followed by an indexed filter. *)
+let take_rev n l =
+  let rec go n l acc =
+    if n <= 0 then acc
+    else match l with [] -> acc | x :: rest -> go (n - 1) rest (x :: acc)
+  in
+  go n l []
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: rest -> drop (n - 1) rest
+
 let suffix_snapshot (t : t) ~from_len =
   if from_len < t.base_len || from_len > total_len t then None
   else
-    let skip = from_len - t.base_len in
     Some
       {
         base_app = None;
         base_len = from_len;
         vc = t.vc;
-        tail = List.filteri (fun i _ -> i >= skip) (tail t);
+        tail = take_rev (total_len t - from_len) t.tail_rev;
       }
 
-let restore (r : repr) =
-  {
-    base_app = r.base_app;
-    base_len = r.base_len;
-    vc = r.vc;
-    tail_rev = List.rev r.tail;
-    tail_len = List.length r.tail;
-  }
-
-let set_to (t : t) (r : repr) =
+(* [set_to]/[restore]/[adopt] all need the length of [r.tail]; compute it
+   once and thread it through instead of re-walking the list. *)
+let set_to_len (t : t) (r : repr) len =
   t.base_app <- r.base_app;
   t.base_len <- r.base_len;
   t.vc <- r.vc;
   t.tail_rev <- List.rev r.tail;
-  t.tail_len <- List.length r.tail
+  t.tail_len <- len
+
+let restore (r : repr) =
+  let t = create () in
+  set_to_len t r (List.length r.tail);
+  t
 
 let adopt (t : t) (r : repr) =
-  let donor_total = r.base_len + List.length r.tail in
+  let donor_tail_len = List.length r.tail in
+  let donor_total = r.base_len + donor_tail_len in
   let mine = total_len t in
   if donor_total <= mine then `Deliver []
   else if mine >= r.base_len then begin
     (* Our sequence covers the donor's base: the missing messages are a
-       suffix of the donor's tail (total order makes ours a prefix). *)
-    let skip = mine - r.base_len in
-    let missing = List.filteri (fun i _ -> i >= skip) r.tail in
-    set_to t r;
+       suffix of the donor's tail (total order makes ours a prefix).
+       Append them to OUR state rather than adopting the donor's repr —
+       a trimmed repr (suffix snapshot, [base_app = None]) does not carry
+       the prefix, and wholesale replacement would silently drop our
+       already-delivered prefix from [tail]. *)
+    let missing = drop (mine - r.base_len) r.tail in
+    List.iter (fun p -> ignore (append t p)) missing;
     `Deliver missing
   end
   else begin
-    set_to t r;
+    set_to_len t r donor_tail_len;
     `Install (r.base_app, r.tail)
   end
 

@@ -65,7 +65,8 @@ val adopt :
 (** State transfer: advance this queue to the (at least as long) donor
     snapshot. Returns what the upper layer must do to catch up:
     [`Deliver msgs] if our current sequence already covers the donor's
-    base (apply just the missing suffix), or
+    base — the missing suffix is appended to our own state (a trimmed
+    donor repr carries no prefix, so it must not replace ours) — or
     [`Install (app, msgs)] if it does not (reset the application to the
     donor's base checkpoint, then deliver the donor tail).
     If the donor is not ahead, returns [`Deliver []] and changes

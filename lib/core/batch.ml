@@ -1,6 +1,9 @@
 let encode payloads =
   Abcast_sim.Storage.encode (Payload.sort_batch payloads)
 
+let encode_sorted payloads : Abcast_consensus.Consensus_intf.value =
+  Abcast_sim.Storage.encode payloads
+
 let decode value : Payload.t list = Abcast_sim.Storage.decode value
 
 let size = String.length

@@ -8,6 +8,13 @@
 
 val encode : Payload.t list -> Abcast_consensus.Consensus_intf.value
 
+val encode_sorted : Payload.t list -> Abcast_consensus.Consensus_intf.value
+(** Like {!encode} but the caller guarantees the list is already sorted
+    by identity and duplicate-free (e.g. it came out of the protocol's
+    incrementally sorted [Unordered] structure) — skips the O(n log n)
+    re-sort on the proposal hot path. Encodings are interchangeable with
+    {!encode}'s for such inputs. *)
+
 val decode : Abcast_consensus.Consensus_intf.value -> Payload.t list
 (** Inverse of {!encode}; the result is sorted by identity. *)
 

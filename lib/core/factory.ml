@@ -2,7 +2,8 @@ type consensus = [ `Paxos | `Coord ]
 
 type app_factory = int -> Protocol.app * (Payload.t -> unit)
 
-let basic ?(consensus = `Paxos) ?gossip_period () : Proto.t =
+let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
+    ?gossip_full_every () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -15,7 +16,8 @@ let basic ?(consensus = `Paxos) ?gossip_period () : Proto.t =
       type t = P.Basic.t
 
       let create io ~deliver =
-        P.Basic.create ?gossip_period io ~on_deliver:deliver
+        P.Basic.create ?gossip_period ?delta_gossip ?gossip_full_every io
+          ~on_deliver:deliver
 
       let broadcast_blocks = true
 
@@ -40,7 +42,8 @@ let basic ?(consensus = `Paxos) ?gossip_period () : Proto.t =
 
 let alternative_named label ?(consensus = `Paxos) ?gossip_period
     ?checkpoint_period ?delta ?early_return ?incremental ?paranoid_log
-    ?window ?trim_state ?app_factory () : Proto.t =
+    ?window ?trim_state ?delta_gossip ?gossip_full_every ?app_factory () :
+    Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -64,8 +67,8 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
                 deliver p )
         in
         P.Alternative.create ?gossip_period ?checkpoint_period ?delta
-          ?early_return ?incremental ?paranoid_log ?window ?trim_state ?app
-          io ~on_deliver:deliver
+          ?early_return ?incremental ?paranoid_log ?window ?trim_state
+          ?delta_gossip ?gossip_full_every ?app io ~on_deliver:deliver
 
       let broadcast_blocks = not (Option.value early_return ~default:true)
 
@@ -89,11 +92,11 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
   | `Coord -> make (module Abcast_consensus.Coord)
 
 let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
-    ?early_return ?incremental ?paranoid_log ?window ?trim_state ?app_factory
-    () =
+    ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
+    ?gossip_full_every ?app_factory () =
   alternative_named "alt" ?consensus ?gossip_period ?checkpoint_period ?delta
-    ?early_return ?incremental ?paranoid_log ?window ?trim_state ?app_factory
-    ()
+    ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
+    ?gossip_full_every ?app_factory ()
 
 let naive ?(consensus = `Paxos) () =
   alternative_named "naive" ~consensus ~paranoid_log:true ~early_return:true

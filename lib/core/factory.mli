@@ -12,8 +12,16 @@ type app_factory = int -> Protocol.app * (Payload.t -> unit)
     [A-checkpoint]/install hooks and the application's own deliver
     upcall (composed with the harness's instrumentation). *)
 
-val basic : ?consensus:consensus -> ?gossip_period:int -> unit -> Proto.t
-(** The basic protocol (Fig. 2). *)
+val basic :
+  ?consensus:consensus ->
+  ?gossip_period:int ->
+  ?delta_gossip:bool ->
+  ?gossip_full_every:int ->
+  unit ->
+  Proto.t
+(** The basic protocol (Fig. 2). [delta_gossip] (default true) gossips
+    digests and pulls missing entries; [false] multisends the full
+    [Unordered] set every period, as the paper's pseudocode reads. *)
 
 val alternative :
   ?consensus:consensus ->
@@ -25,6 +33,8 @@ val alternative :
   ?paranoid_log:bool ->
   ?window:int ->
   ?trim_state:bool ->
+  ?delta_gossip:bool ->
+  ?gossip_full_every:int ->
   ?app_factory:app_factory ->
   unit ->
   Proto.t

@@ -17,11 +17,21 @@ let unordered_item_key (id : Payload.id) =
    functor instantiation so that generic harness code can build them. *)
 type app = { checkpoint : unit -> string; install : string -> unit }
 
+(* The Unordered set, kept sorted by identity at all times so the hot
+   paths (proposing, gossiping, full re-logs) never fold-and-sort. *)
+module Umap = Map.Make (struct
+  type t = Payload.id
+
+  let compare = Payload.compare_id
+end)
+
 module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   module M = Abcast_consensus.Multi.Make (C)
 
   type msg =
     | Gossip of { k : int; len : int; unordered : Payload.t list }
+    | Digest of { k : int; len : int; summary : (int * int * int) list }
+    | Need of { ids : Payload.id list }
     | State of { k : int; floor : int; agreed : Agreed.repr }
     | Cons of M.msg
     | Fd of Heartbeat.msg
@@ -29,11 +39,27 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   let pp_msg ppf = function
     | Gossip { k; len; unordered } ->
       Format.fprintf ppf "gossip(k%d,len%d,|U|=%d)" k len (List.length unordered)
+    | Digest { k; len; summary } ->
+      Format.fprintf ppf "digest(k%d,len%d,|S|=%d)" k len (List.length summary)
+    | Need { ids } -> Format.fprintf ppf "need(|ids|=%d)" (List.length ids)
     | State { k; _ } -> Format.fprintf ppf "state(k%d)" k
     | Cons m -> M.pp_msg ppf m
     | Fd m -> Heartbeat.pp_msg ppf m
 
-  let msg_size (m : msg) = String.length (Storage.encode m)
+  (* One-slot memo keyed by physical equality: a multisend hands the same
+     message value to [Engine.transmit] once per destination, and byte
+     accounting used to re-marshal it every time. Protocol-level byte
+     accounting (gossip) warms the slot, the engine then hits it n
+     times. *)
+  let msg_size_memo : (msg * int) option ref = ref None
+
+  let msg_size (m : msg) =
+    match !msg_size_memo with
+    | Some (m', s) when m' == m -> s
+    | _ ->
+      let s = String.length (Storage.encode m) in
+      msg_size_memo := Some (m, s);
+      s
 
   (* ----------------------------------------------------------------- *)
   (* The parameterized node: both the basic protocol (Fig. 2) and the
@@ -48,6 +74,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     paranoid_log : bool; (* naive strawman: checkpoint every round *)
     window : int; (* max consensus instances proposed ahead (>= 1) *)
     trim_state : bool; (* ship only the suffix the recipient lacks (§5.3) *)
+    delta_gossip : bool; (* gossip digests, pull missing entries (vs Fig. 3 full sets) *)
+    gossip_full_every : int; (* every Nth tick still ships the full set (liveness belt) *)
     app : app option;
   }
 
@@ -61,8 +89,24 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       paranoid_log = false;
       window = 1;
       trim_state = false;
+      delta_gossip = true;
+      gossip_full_every = 8;
       app = None;
     }
+
+  (* Interned per-node counters for the per-message paths. *)
+  type handles = {
+    h_delivered : Metrics.handle;
+    h_broadcasts : Metrics.handle;
+    h_rx_gossip : Metrics.handle;
+    h_rx_digest : Metrics.handle;
+    h_rx_need : Metrics.handle;
+    h_rx_state : Metrics.handle;
+    h_rx_cons : Metrics.handle;
+    h_rx_fd : Metrics.handle;
+    h_gossip_msgs : Metrics.handle;
+    h_gossip_bytes : Metrics.handle;
+  }
 
   type node = {
     io : msg Engine.io;
@@ -70,11 +114,15 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     on_deliver : Payload.t -> unit;
     hb : Heartbeat.t;
     multi : M.t;
+    mh : handles;
     mutable agreed : Agreed.t;
     mutable k : int;
-    unordered : (Payload.id, Payload.t) Hashtbl.t;
+    mutable unordered : Payload.t Umap.t;
+    mutable unordered_cache : Payload.t list option;
+        (* the sorted list view, memoized between mutations *)
     logged_unordered : (Payload.id, unit) Hashtbl.t; (* keys on stable storage *)
     mutable gossip_k : int;
+    mutable gossip_tick : int;
     mutable seq : int; (* local broadcast counter, volatile *)
     pending : (Payload.id, int * (Payload.id -> unit) option) Hashtbl.t;
     own_props : (int, Payload.id list) Hashtbl.t;
@@ -83,9 +131,41 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     unordered_full_slot : Payload.t list Storage.Slot.slot;
   }
 
+  let unordered_mem t id = Umap.mem id t.unordered
+
+  let unordered_add t (p : Payload.t) =
+    if not (Umap.mem p.id t.unordered) then begin
+      t.unordered <- Umap.add p.id p t.unordered;
+      t.unordered_cache <- None
+    end
+
+  let unordered_remove t id =
+    if Umap.mem id t.unordered then begin
+      t.unordered <- Umap.remove id t.unordered;
+      t.unordered_cache <- None
+    end
+
+  let unordered_count t = Umap.cardinal t.unordered
+
   let unordered_list t =
-    Hashtbl.fold (fun _ p acc -> p :: acc) t.unordered []
-    |> List.sort Payload.compare
+    match t.unordered_cache with
+    | Some l -> l
+    | None ->
+      let l = List.rev (Umap.fold (fun _ p acc -> p :: acc) t.unordered []) in
+      t.unordered_cache <- Some l;
+      l
+
+  (* Per-(origin, boot) maximum sequence number present in Unordered —
+     the digest advertised instead of the payloads. The map iterates in
+     identity order, so within a stream the last seq seen is the max. *)
+  let unordered_summary t =
+    Umap.fold
+      (fun (id : Payload.id) _ acc ->
+        match acc with
+        | (o, b, _) :: rest when o = id.origin && b = id.boot ->
+          (o, b, id.seq) :: rest
+        | _ -> (id.origin, id.boot, id.seq) :: acc)
+      t.unordered []
 
   (* --- Unordered-set durability (alternative protocol, §5.4/§5.5) --- *)
 
@@ -105,19 +185,24 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
   let cleanup_unordered_log t =
     if t.mode.early_return then
-      if t.mode.incremental then
-        Hashtbl.iter
-          (fun id () ->
-            if not (Hashtbl.mem t.unordered id) then begin
-              Storage.delete t.io.store ~layer (unordered_item_key id);
-              Hashtbl.remove t.logged_unordered id
-            end)
-          (Hashtbl.copy t.logged_unordered)
-      else if Hashtbl.length t.logged_unordered > Hashtbl.length t.unordered
+      if t.mode.incremental then begin
+        let stale =
+          Hashtbl.fold
+            (fun id () acc ->
+              if not (unordered_mem t id) then id :: acc else acc)
+            t.logged_unordered []
+        in
+        List.iter
+          (fun id ->
+            Storage.delete t.io.store ~layer (unordered_item_key id);
+            Hashtbl.remove t.logged_unordered id)
+          stale
+      end
+      else if Hashtbl.length t.logged_unordered > unordered_count t
       then begin
         Storage.Slot.set t.unordered_full_slot (unordered_list t);
         Hashtbl.reset t.logged_unordered;
-        Hashtbl.iter (fun id _ -> Hashtbl.replace t.logged_unordered id ())
+        Umap.iter (fun id _ -> Hashtbl.replace t.logged_unordered id ())
           t.unordered
       end
 
@@ -132,7 +217,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
                  let p : Payload.t = Storage.decode blob in
                  Hashtbl.replace t.logged_unordered p.id ();
                  if not (Agreed.contains t.agreed p.id) then
-                   Hashtbl.replace t.unordered p.id p)
+                   unordered_add t p)
       else
         match Storage.Slot.get t.unordered_full_slot with
         | None -> ()
@@ -140,14 +225,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           List.iter
             (fun (p : Payload.t) ->
               Hashtbl.replace t.logged_unordered p.id ();
-              if not (Agreed.contains t.agreed p.id) then
-                Hashtbl.replace t.unordered p.id p)
+              if not (Agreed.contains t.agreed p.id) then unordered_add t p)
             ps
 
   (* --- Delivery ----------------------------------------------------- *)
 
   let deliver_one t (p : Payload.t) =
-    Metrics.incr t.io.metrics ~node:t.io.self "ab_delivered";
+    Metrics.hincr t.mh.h_delivered;
     (match Hashtbl.find_opt t.pending p.id with
     | Some (t0, cb) ->
       Hashtbl.remove t.pending p.id;
@@ -155,7 +239,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         (float_of_int (t.io.now () - t0));
       (match cb with Some f -> f p.id | None -> ())
     | None -> ());
-    Hashtbl.remove t.unordered p.id;
+    unordered_remove t p.id;
     t.on_deliver p
 
   (* --- Checkpointing (§5.1/§5.2) ------------------------------------ *)
@@ -180,7 +264,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     Hashtbl.iter
       (fun _ ids -> List.iter (fun id -> Hashtbl.replace covered id ()) ids)
       t.own_props;
-    Hashtbl.fold
+    Umap.fold
       (fun id _ acc -> acc || not (Hashtbl.mem covered id))
       t.unordered false
 
@@ -192,7 +276,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
        are removed at delivery, as the paper's idempotence requires. *)
     let batch = unordered_list t in
     Hashtbl.replace t.own_props j (List.map (fun (p : Payload.t) -> p.id) batch);
-    M.propose t.multi j (Batch.encode batch)
+    M.propose t.multi j (Batch.encode_sorted batch)
 
   let maybe_propose t =
     (* Walk the window: instances are opened strictly in order (the first
@@ -204,8 +288,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         | Some _, _ | None, Some _ -> walk (j + 1)
         | None, None ->
           let trigger =
-            if j = t.k then Hashtbl.length t.unordered > 0 || t.gossip_k > t.k
-            else Hashtbl.length t.unordered > 0 && has_uncovered t
+            if j = t.k then
+              not (Umap.is_empty t.unordered) || t.gossip_k > t.k
+            else (not (Umap.is_empty t.unordered)) && has_uncovered t
           in
           if trigger then propose_at t j
     in
@@ -216,7 +301,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     List.iter
       (fun (p : Payload.t) ->
         if Agreed.append t.agreed p then deliver_one t p
-        else Hashtbl.remove t.unordered p.id)
+        else unordered_remove t p.id)
       batch;
     Hashtbl.remove t.own_props t.k;
     t.k <- t.k + 1;
@@ -251,7 +336,15 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
        the consensus instances we would need to replay no longer exist
        there, so state transfer is the only way forward (§5.3). *)
     match t.mode.delta with
-    | Some delta when t.k < ks && (t.k < ks - delta || t.k < floor) ->
+    | Some delta
+      when t.k < ks
+           && (t.k < ks - delta || t.k < floor)
+           (* A trimmed repr (no app blob, synthetic base) is only usable
+              if our sequence still covers its base — it carries no
+              prefix. A crash after we advertised [len] can put us below;
+              skip, the donor re-sends against our fresher len. *)
+           && (repr.base_app <> None
+              || Agreed.total_len t.agreed >= repr.base_len) ->
       t.io.emit (Printf.sprintf "state transfer: k %d -> %d" t.k ks);
       (* "Terminate task sequencer": in-flight decisions below [ks] are
          ignored from now on because [t.k] jumps past them. *)
@@ -265,13 +358,17 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           invalid_arg "state transfer: checkpointed donor but no app hook");
         List.iter (deliver_one t) ps);
       t.k <- ks;
-      Hashtbl.iter
-        (fun j _ -> if j < ks then Hashtbl.remove t.own_props j)
-        (Hashtbl.copy t.own_props);
-      Hashtbl.iter
-        (fun id _ ->
-          if Agreed.contains t.agreed id then Hashtbl.remove t.unordered id)
-        (Hashtbl.copy t.unordered);
+      let stale_props =
+        Hashtbl.fold
+          (fun j _ acc -> if j < ks then j :: acc else acc)
+          t.own_props []
+      in
+      List.iter (Hashtbl.remove t.own_props) stale_props;
+      (* [t.unordered] is immutable underneath — filter in place without
+         the defensive whole-table copy a Hashtbl needed. *)
+      t.unordered <-
+        Umap.filter (fun id _ -> not (Agreed.contains t.agreed id)) t.unordered;
+      t.unordered_cache <- None;
       (* Persist the jump: replay must not restart below the donor's
          floor, whose consensus state may be truncated. *)
       Storage.Slot.set t.ck_slot (t.k, Agreed.snapshot t.agreed);
@@ -281,21 +378,41 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       (* Small de-synchronization: treat like a gossip round hint. *)
       if ks > t.k then t.gossip_k <- max t.gossip_k ks
 
-  (* --- Gossip task (§4.2) ------------------------------------------- *)
+  (* --- Gossip task (§4.2; digest/pull optimization) ------------------ *)
+
+  (* Byte accounting of the gossip layer proper — kept whether or not the
+     engine counts wire bytes, so experiments can compare dissemination
+     strategies directly. *)
+  let count_gossip t ~copies m =
+    Metrics.hadd t.mh.h_gossip_msgs copies;
+    Metrics.hadd t.mh.h_gossip_bytes (copies * msg_size m)
 
   let rec gossip_loop t =
-    t.io.multisend
-      (Gossip
-         { k = t.k; len = Agreed.total_len t.agreed; unordered = unordered_list t });
+    t.gossip_tick <- t.gossip_tick + 1;
+    let full =
+      (not t.mode.delta_gossip)
+      || t.gossip_tick mod t.mode.gossip_full_every = 0
+    in
+    let m =
+      if full then
+        Gossip
+          { k = t.k; len = Agreed.total_len t.agreed; unordered = unordered_list t }
+      else
+        Digest
+          {
+            k = t.k;
+            len = Agreed.total_len t.agreed;
+            summary = unordered_summary t;
+          }
+    in
+    count_gossip t ~copies:t.io.n m;
+    t.io.multisend m;
     t.io.after t.mode.gossip_period (fun () -> gossip_loop t)
 
   let on_gossip t ~src kq ~len_q uq =
     List.iter
       (fun (p : Payload.t) ->
-        if
-          (not (Agreed.contains t.agreed p.id))
-          && not (Hashtbl.mem t.unordered p.id)
-        then Hashtbl.replace t.unordered p.id p)
+        if not (Agreed.contains t.agreed p.id) then unordered_add t p)
       uq;
     if kq > t.k then t.gossip_k <- max t.gossip_k kq;
     (match t.mode.delta with
@@ -303,15 +420,60 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     | _ -> ());
     drain_decisions t
 
+  (* A digest names, per stream, the highest seq the sender holds
+     unordered. Everything below it that we neither delivered nor hold is
+     a candidate gap: pull exactly those. The sender replies with the
+     subset it actually has, as a regular payload gossip. *)
+  let on_digest t ~src kq ~len_q summary =
+    let missing =
+      List.fold_left
+        (fun acc (origin, boot, smax) ->
+          let vc = Agreed.vc t.agreed in
+          let rec collect s acc =
+            if s > smax then acc
+            else
+              let id = { Payload.origin; boot; seq = s } in
+              collect (s + 1)
+                (if unordered_mem t id then acc else id :: acc)
+          in
+          collect (Vclock.next_seq vc ~origin ~boot) acc)
+        [] summary
+    in
+    if missing <> [] then begin
+      let m = Need { ids = missing } in
+      count_gossip t ~copies:1 m;
+      t.io.send src m
+    end;
+    if kq > t.k then t.gossip_k <- max t.gossip_k kq;
+    (match t.mode.delta with
+    | Some delta when t.k > kq + delta -> send_state ~for_len:len_q t src
+    | _ -> ());
+    drain_decisions t
+
+  let on_need t ~src ids =
+    let ps = List.filter_map (fun id -> Umap.find_opt id t.unordered) ids in
+    if ps <> [] then begin
+      let m =
+        Gossip
+          {
+            k = t.k;
+            len = Agreed.total_len t.agreed;
+            unordered = List.sort Payload.compare ps;
+          }
+      in
+      count_gossip t ~copies:1 m;
+      t.io.send src m
+    end
+
   (* --- A-broadcast --------------------------------------------------- *)
 
   let broadcast t ?on_agreed data =
     let id = { Payload.origin = t.io.self; boot = t.io.incarnation; seq = t.seq } in
     t.seq <- t.seq + 1;
     let p = { Payload.id; data } in
-    Hashtbl.replace t.unordered id p;
+    unordered_add t p;
     Hashtbl.replace t.pending id (t.io.now (), on_agreed);
-    Metrics.incr t.io.metrics ~node:t.io.self "ab_broadcasts";
+    Metrics.hincr t.mh.h_broadcasts;
     log_unordered_add t p;
     maybe_propose t;
     id
@@ -369,6 +531,23 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         ~on_behind:(fun ~src -> with_t (fun t -> send_state t src))
     in
     let store = io.Engine.store in
+    let metrics = io.Engine.metrics in
+    let self = io.Engine.self in
+    let h name = Metrics.handle metrics ~node:self name in
+    let mh =
+      {
+        h_delivered = h "ab_delivered";
+        h_broadcasts = h "ab_broadcasts";
+        h_rx_gossip = h "rx.gossip";
+        h_rx_digest = h "rx.digest";
+        h_rx_need = h "rx.need";
+        h_rx_state = h "rx.state";
+        h_rx_cons = h "rx.consensus";
+        h_rx_fd = h "rx.fd";
+        h_gossip_msgs = h "gossip_msgs_sent";
+        h_gossip_bytes = h "gossip_bytes_sent";
+      }
+    in
     let t =
       {
         io;
@@ -376,11 +555,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         on_deliver;
         hb;
         multi;
+        mh;
         agreed = Agreed.create ();
         k = 0;
-        unordered = Hashtbl.create 32;
+        unordered = Umap.empty;
+        unordered_cache = None;
         logged_unordered = Hashtbl.create 32;
         gossip_k = 0;
+        gossip_tick = 0;
         seq = 0;
         pending = Hashtbl.create 32;
         own_props = Hashtbl.create 8;
@@ -404,19 +586,24 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     t
 
   let node_handler t ~src msg =
-    let count kind = Metrics.incr t.io.metrics ~node:t.io.self ("rx." ^ kind) in
     match msg with
     | Gossip { k; len; unordered } ->
-      count "gossip";
+      Metrics.hincr t.mh.h_rx_gossip;
       on_gossip t ~src k ~len_q:len unordered
+    | Digest { k; len; summary } ->
+      Metrics.hincr t.mh.h_rx_digest;
+      on_digest t ~src k ~len_q:len summary
+    | Need { ids } ->
+      Metrics.hincr t.mh.h_rx_need;
+      on_need t ~src ids
     | State { k; floor; agreed } ->
-      count "state";
+      Metrics.hincr t.mh.h_rx_state;
       on_state t ~src k ~floor agreed
     | Cons m ->
-      count "consensus";
+      Metrics.hincr t.mh.h_rx_cons;
       M.handle t.multi ~src m
     | Fd m ->
-      count "fd";
+      Metrics.hincr t.mh.h_rx_fd;
       Heartbeat.handle t.hb ~src m
 
   module type NODE = sig
@@ -448,7 +635,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
     let round t = t.k
 
-    let unordered_count t = Hashtbl.length t.unordered
+    let unordered_count t = unordered_count t
 
     let delivered_count t = Agreed.total_len t.agreed
 
@@ -462,8 +649,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   module Basic = struct
     include Node_ops
 
-    let create ?(gossip_period = 3_000) io ~on_deliver =
-      create_node io { basic_mode with gossip_period } ~on_deliver
+    let create ?(gossip_period = 3_000) ?(delta_gossip = true)
+        ?(gossip_full_every = 8) io ~on_deliver =
+      if gossip_full_every < 1 then
+        invalid_arg "Basic.create: gossip_full_every must be >= 1";
+      create_node io
+        { basic_mode with gossip_period; delta_gossip; gossip_full_every }
+        ~on_deliver
   end
 
   module Alternative = struct
@@ -476,9 +668,11 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
     let create ?(gossip_period = 3_000) ?(checkpoint_period = 50_000)
         ?(delta = 4) ?(early_return = true) ?(incremental = true)
-        ?(paranoid_log = false) ?(window = 1) ?(trim_state = true) ?app io
-        ~on_deliver =
+        ?(paranoid_log = false) ?(window = 1) ?(trim_state = true)
+        ?(delta_gossip = true) ?(gossip_full_every = 8) ?app io ~on_deliver =
       if window < 1 then invalid_arg "Alternative.create: window must be >= 1";
+      if gossip_full_every < 1 then
+        invalid_arg "Alternative.create: gossip_full_every must be >= 1";
       create_node io
         {
           gossip_period;
@@ -489,6 +683,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           paranoid_log;
           window;
           trim_state;
+          delta_gossip;
+          gossip_full_every;
           app;
         }
         ~on_deliver

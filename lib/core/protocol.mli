@@ -37,9 +37,20 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       traffic. *)
   type msg =
     | Gossip of { k : int; len : int; unordered : Payload.t list }
-        (** periodic [gossip(k_p, Unordered_p)] multisend (§4.2); [len] is
-            the sender's delivered-sequence length, letting a state-
-            transfer donor ship only the missing suffix (§5.3) *)
+        (** full-payload [gossip(k_p, Unordered_p)] multisend (§4.2); [len]
+            is the sender's delivered-sequence length, letting a state-
+            transfer donor ship only the missing suffix (§5.3). With
+            digest gossip enabled this is the periodic full-set fallback
+            and the reply to a {!Need} pull. *)
+    | Digest of { k : int; len : int; summary : (int * int * int) list }
+        (** compact gossip: [summary] lists, per [(origin, boot)] stream,
+            the highest sequence number present in the sender's
+            [Unordered] set. A receiver derives exactly the candidate
+            entries it is missing and pulls them with {!Need} — see
+            DESIGN.md for why the §4.2 liveness argument is preserved. *)
+    | Need of { ids : Payload.id list }
+        (** pull request for specific unordered entries, answered with a
+            payload {!Gossip} restricted to the ids the sender holds *)
     | State of { k : int; floor : int; agreed : Agreed.repr }
         (** state transfer for late processes (§5.3); [floor] is the
             sender's consensus truncation floor — a receiver below it must
@@ -51,7 +62,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
   val pp_msg : Format.formatter -> msg -> unit
 
   val msg_size : msg -> int
-  (** Approximate wire size in bytes, for network accounting. *)
+  (** Approximate wire size in bytes, for network accounting. The result
+      is memoized per physical message value, so a multisend re-accounting
+      the same message for every destination marshals it once. *)
 
   (** Operations common to both protocol variants. *)
   module type NODE = sig
@@ -95,6 +108,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
 
     val create :
       ?gossip_period:int ->
+      ?delta_gossip:bool ->
+      ?gossip_full_every:int ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
       t
@@ -102,7 +117,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         it parses the consensus proposal/decision log, rebuilds [Agreed],
         re-delivers (calling [on_deliver] from the start — the upper layer
         is volatile too) and re-proposes the in-flight round (§4.2).
-        [gossip_period] defaults to 3_000 simulated µs. *)
+        [gossip_period] defaults to 3_000 simulated µs.
+
+        [delta_gossip] (default [true]) gossips {!Digest} summaries and
+        pulls missing entries instead of multisending the full [Unordered]
+        set every period; every [gossip_full_every]'th tick (default 8)
+        still ships the full set, so the paper's literal §4.2 liveness
+        argument applies unchanged to that subsequence of gossips.
+        [delta_gossip = false] restores Fig. 2/3 verbatim. *)
   end
 
   (** The alternative protocol (Figs. 3–5). *)
@@ -123,6 +145,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?paranoid_log:bool ->
       ?window:int ->
       ?trim_state:bool ->
+      ?delta_gossip:bool ->
+      ?gossip_full_every:int ->
       ?app:app ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
@@ -141,6 +165,10 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         state transfer triggered by a gossip carries only the suffix the
         recipient is missing (falling back to the full snapshot when the
         missing prefix reaches into a compacted checkpoint).
+
+        [delta_gossip]/[gossip_full_every]: as in {!Basic.create} —
+        digest-based gossip with pull of missing entries and a periodic
+        full-set fallback.
 
         [window] (default 1 — the paper's strictly sequential sequencer)
         is an extension: up to [window] consensus instances may run

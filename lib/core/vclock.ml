@@ -24,6 +24,11 @@ let add t (id : Payload.id) =
          Payload.pp_id id expected);
   Stream_map.add key id.seq t
 
+let next_seq t ~origin ~boot =
+  match Stream_map.find_opt (origin, boot) t with
+  | Some s -> s + 1
+  | None -> 0
+
 let streams t = Stream_map.bindings t
 
 let pp ppf t =

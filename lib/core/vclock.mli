@@ -19,6 +19,12 @@ val add : t -> Payload.id -> t
 (** Record a delivery. Raises [Invalid_argument] if it would run a stream
     backwards or leave a gap (protocol-invariant violation). *)
 
+val next_seq : t -> origin:int -> boot:int -> int
+(** First sequence number of the [(origin, boot)] stream {e not} covered
+    by the clock (0 for an unknown stream). Digest-based gossip uses this
+    to enumerate exactly the candidate gaps below a peer's advertised
+    per-stream maximum. *)
+
 val streams : t -> ((int * int) * int) list
 (** [((origin, boot), max_seq)] entries, sorted (for tests/inspection). *)
 

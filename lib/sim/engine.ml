@@ -60,6 +60,12 @@ type 'm t = {
   behaviors : 'm behavior option array;
   heap : 'm item Heap.t;
   msg_size : ('m -> int) option;
+  (* interned per-node counters for the per-message hot paths *)
+  h_sent : Metrics.handle array;
+  h_bytes : Metrics.handle array;
+  h_dropped : Metrics.handle array;
+  h_delivered : Metrics.handle array;
+  h_lost_down : Metrics.handle array;
   mutable time : time;
   mutable seq : int;
   mutable processed : int;
@@ -86,6 +92,7 @@ let create ~seed ~n ?net ?msg_size ?trace () =
           rng = Rng.split root;
         })
   in
+  let handles name = Array.init n (fun i -> Metrics.handle metrics ~node:i name) in
   {
     n;
     net;
@@ -96,6 +103,11 @@ let create ~seed ~n ?net ?msg_size ?trace () =
     behaviors = Array.make n None;
     heap = Heap.create ~cmp:item_cmp ();
     msg_size;
+    h_sent = handles "msgs_sent";
+    h_bytes = handles "net_bytes";
+    h_dropped = handles "msgs_dropped";
+    h_delivered = handles "msgs_delivered";
+    h_lost_down = handles "msgs_lost_down";
     time = 0;
     seq = 0;
     processed = 0;
@@ -114,12 +126,12 @@ let push t ~at ev =
   Heap.push t.heap { at; seq = t.seq; ev }
 
 let transmit t ~src ~dst msg =
-  Metrics.incr t.metrics ~node:src "msgs_sent";
+  Metrics.hincr t.h_sent.(src);
   (match t.msg_size with
-  | Some size -> Metrics.add t.metrics ~node:src "net_bytes" (size msg)
+  | Some size -> Metrics.hadd t.h_bytes.(src) (size msg)
   | None -> ());
   match Net.transmit t.net ~rng:t.rng ~src ~dst with
-  | Net.Drop -> Metrics.incr t.metrics ~node:src "msgs_dropped"
+  | Net.Drop -> Metrics.hincr t.h_dropped.(src)
   | Net.Deliver delays ->
     List.iter
       (fun d -> push t ~at:(t.time + d) (Deliver { dst; src; msg }))
@@ -204,10 +216,10 @@ let dispatch t item =
     if nd.up then
       match nd.handler with
       | Some h ->
-        Metrics.incr t.metrics ~node:dst "msgs_delivered";
+        Metrics.hincr t.h_delivered.(dst);
         h ~src msg
       | None -> ()
-    else Metrics.incr t.metrics ~node:dst "msgs_lost_down")
+    else Metrics.hincr t.h_lost_down.(dst))
 
 let default_max_events = 100_000_000
 

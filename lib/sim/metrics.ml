@@ -19,6 +19,21 @@ let add t ~node name v =
   let r = counter t node name in
   r := !r + v
 
+(* Interned counter handles: the per-event hot paths (engine transmit,
+   protocol dispatch, storage accounting) resolve their counters once and
+   then bump a bare ref — no (node, name) tuple allocation, no string
+   hashing per event. *)
+
+type handle = int ref
+
+let handle t ~node name = counter t node name
+
+let hincr (h : handle) = Stdlib.incr h
+
+let hadd (h : handle) v = h := !h + v
+
+let hget (h : handle) = !h
+
 let get t ~node name =
   match Hashtbl.find_opt t.counters (node, name) with
   | Some r -> !r

@@ -18,6 +18,26 @@ val incr : t -> node:int -> string -> unit
 val add : t -> node:int -> string -> int -> unit
 (** Add an arbitrary amount to a counter. *)
 
+type handle
+(** A pre-resolved counter: the hot paths look a counter up once (paying
+    the [(node, name)] hashing) and afterwards bump it through the handle
+    for free. Handles share storage with the named counter — [get]/[sum]
+    observe updates made through a handle and vice versa. A {!reset}
+    detaches all outstanding handles (they keep counting into dead
+    storage); re-resolve after resetting. *)
+
+val handle : t -> node:int -> string -> handle
+(** Resolve (creating if needed) the counter [(node, name)]. *)
+
+val hincr : handle -> unit
+(** Add 1 through a handle. *)
+
+val hadd : handle -> int -> unit
+(** Add an arbitrary amount through a handle. *)
+
+val hget : handle -> int
+(** Current value seen through a handle. *)
+
 val get : t -> node:int -> string -> int
 (** Current value of a counter (0 if never touched). *)
 

@@ -3,6 +3,9 @@ type t = {
   metrics : Metrics.t;
   node : int;
   dir : string option; (* file backing: one file per key, hex-named *)
+  layer_handles : (string, Metrics.handle * Metrics.handle) Hashtbl.t;
+      (* layer -> (log_ops.<layer>, log_bytes.<layer>) — interned so the
+         per-write accounting stops concatenating and hashing full names *)
 }
 
 let hex_of_key key =
@@ -40,7 +43,15 @@ let rec mkdir_p dir =
   end
 
 let create ?dir ~metrics ~node () =
-  let t = { tbl = Hashtbl.create 32; metrics; node; dir } in
+  let t =
+    {
+      tbl = Hashtbl.create 32;
+      metrics;
+      node;
+      dir;
+      layer_handles = Hashtbl.create 4;
+    }
+  in
   (match dir with
   | None -> ()
   | Some d ->
@@ -55,8 +66,19 @@ let create ?dir ~metrics ~node () =
   t
 
 let account t ~layer bytes =
-  Metrics.incr t.metrics ~node:t.node ("log_ops." ^ layer);
-  Metrics.add t.metrics ~node:t.node ("log_bytes." ^ layer) bytes
+  let ops, byt =
+    match Hashtbl.find_opt t.layer_handles layer with
+    | Some h -> h
+    | None ->
+      let h =
+        ( Metrics.handle t.metrics ~node:t.node ("log_ops." ^ layer),
+          Metrics.handle t.metrics ~node:t.node ("log_bytes." ^ layer) )
+      in
+      Hashtbl.add t.layer_handles layer h;
+      h
+  in
+  Metrics.hincr ops;
+  Metrics.hadd byt bytes
 
 let write t ~layer ~key v =
   account t ~layer (String.length v);

@@ -176,6 +176,29 @@ let agreed_tests =
         | `Deliver missing -> Alcotest.(check int) "two" 2 (List.length missing)
         | `Install _ -> Alcotest.fail "deliver path expected");
         Alcotest.(check int) "caught up" 3 (Agreed.total_len receiver));
+    test "adopt of a trimmed repr keeps the local prefix in the tail" (fun () ->
+        (* regression: adopting a suffix snapshot must append the missing
+           messages, not replace the receiver's state with the prefix-less
+           trimmed repr (which would drop already-delivered messages from
+           [tail] and break the delivered-sequence prefix property) *)
+        let q = Agreed.create () in
+        ignore (Agreed.append q (pl (id 0 0 0)));
+        ignore (Agreed.append q (pl (id 1 0 0)));
+        ignore (Agreed.append q (pl (id 2 0 0)));
+        let receiver = Agreed.create () in
+        ignore (Agreed.append receiver (pl (id 0 0 0)));
+        (match
+           Agreed.adopt receiver (Option.get (Agreed.suffix_snapshot q ~from_len:1))
+         with
+        | `Deliver _ -> ()
+        | `Install _ -> Alcotest.fail "deliver path expected");
+        Alcotest.(check (list string)) "full tail retained"
+          [ "p0.0.0"; "p1.0.0"; "p2.0.0" ]
+          (List.map
+             (fun (p : Payload.t) -> Format.asprintf "%a" Payload.pp_id p.id)
+             (Agreed.tail receiver));
+        Alcotest.(check bool) "prefix still contained" true
+          (Agreed.contains receiver (id 0 0 0)));
     test "suffix_snapshot refuses to reach into the base" (fun () ->
         let q = Agreed.create () in
         ignore (Agreed.append q (pl (id 0 0 0)));

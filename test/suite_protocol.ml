@@ -596,7 +596,99 @@ let edge_tests =
         | [] -> Alcotest.fail "no ids");
   ]
 
+(* One adversarial run (message loss + duplication + a crash/recovery)
+   under the given gossip mode; returns a fingerprint of everything node 0
+   delivered. Used by the equivalence sweep: digest/pull gossip must
+   produce the same delivered set as Fig. 3's full-set gossip. *)
+let delta_equiv_run ~delta_gossip ~seed =
+  let net = Net.create ~loss:0.12 ~dup:0.05 () in
+  let stack = Factory.alternative ~delta_gossip () in
+  let cluster = Cluster.create stack ~seed ~n:3 ~net () in
+  let rng = Rng.create (seed + 4242) in
+  Cluster.at cluster 12_000 (fun () -> Cluster.crash cluster 1);
+  Cluster.at cluster 30_000 (fun () -> Cluster.recover cluster 1);
+  let count =
+    Workload.open_loop cluster ~rng ~senders:[ 0; 2 ] ~start:1_000 ~stop:40_000
+      ~mean_gap:900 ()
+  in
+  let ok =
+    Cluster.run_until cluster ~until:400_000_000
+      ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+      ()
+  in
+  if not ok then
+    Alcotest.failf "seed %d (delta_gossip=%b): did not quiesce" seed
+      delta_gossip;
+  check_ok
+    (Printf.sprintf "properties (seed %d, delta_gossip=%b)" seed delta_gossip)
+    (Checks.all ~cluster ~good:[ 0; 1; 2 ] ());
+  ( Cluster.delivered_count cluster 0,
+    Abcast_core.Vclock.streams (Cluster.delivery_vc cluster 0) )
+
+let delta_gossip_tests =
+  [
+    test "digest+Need pulls payloads while consensus is blocked" (fun () ->
+        (* n=5 with only a minority up: consensus cannot order anything,
+           so the only way node 1 can learn node 0's message is the
+           digest -> Need -> payload-Gossip pull path. *)
+        let cluster = Cluster.create basic ~seed:41 ~n:5 () in
+        Cluster.at cluster 500 (fun () ->
+            Cluster.crash cluster 2;
+            Cluster.crash cluster 3;
+            Cluster.crash cluster 4);
+        Cluster.at cluster 1_000 (fun () ->
+            ignore (Cluster.broadcast cluster ~node:0 "pull-me"));
+        Cluster.run cluster ~until:40_000;
+        Alcotest.(check int) "consensus blocked" 0
+          (Cluster.delivered_count cluster 1);
+        Alcotest.(check int) "payload pulled" 1
+          (Cluster.unordered_count cluster 1);
+        let m = Cluster.metrics cluster in
+        Alcotest.(check bool) "digests flowed" true (Metrics.sum m "rx.digest" > 0);
+        Alcotest.(check bool) "Need sent" true (Metrics.sum m "rx.need" > 0);
+        (* restore the majority: the pulled message must get ordered *)
+        Cluster.recover cluster 2;
+        Cluster.recover cluster 3;
+        Cluster.recover cluster 4;
+        let ok =
+          Cluster.run_until cluster ~until:5_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count:1 ())
+            ()
+        in
+        Alcotest.(check bool) "ordered once majority returns" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:(List.init 5 Fun.id) ()));
+    test "full-gossip mode sends no digests or Needs" (fun () ->
+        let cluster, _ =
+          run_workload ~seed:42 ~msgs:10 (Factory.basic ~delta_gossip:false ())
+        in
+        let m = Cluster.metrics cluster in
+        Alcotest.(check int) "rx.digest" 0 (Metrics.sum m "rx.digest");
+        Alcotest.(check int) "rx.need" 0 (Metrics.sum m "rx.need"));
+    test "delta mode: digests dominate, full fallback still flows" (fun () ->
+        let cluster = Cluster.create basic ~seed:43 ~n:3 () in
+        Cluster.run cluster ~until:100_000;
+        let m = Cluster.metrics cluster in
+        let digests = Metrics.sum m "rx.digest" in
+        let fulls = Metrics.sum m "rx.gossip" in
+        Alcotest.(check bool) "digests dominate" true (digests > 3 * fulls);
+        Alcotest.(check bool) "full fallback present" true (fulls > 0));
+    test "gossip_full_every=1 degenerates to full gossip" (fun () ->
+        let cluster, _ =
+          run_workload ~seed:44 ~msgs:8 (Factory.basic ~gossip_full_every:1 ())
+        in
+        Alcotest.(check int) "no digests" 0
+          (Metrics.sum (Cluster.metrics cluster) "rx.digest"));
+    test "delta ≡ full gossip: delivered sets match across 24 seeds" (fun () ->
+        for seed = 1 to 24 do
+          let full = delta_equiv_run ~delta_gossip:false ~seed in
+          let delta = delta_equiv_run ~delta_gossip:true ~seed in
+          if full <> delta then
+            Alcotest.failf "seed %d: delivered sets diverge (full %d, delta %d)"
+              seed (fst full) (fst delta)
+        done);
+  ]
+
 let suite =
   ( "protocol",
     basic_tests @ alternative_tests @ window_tests @ direct_api_tests
-    @ determinism_tests @ edge_tests @ metrics_tests )
+    @ determinism_tests @ edge_tests @ delta_gossip_tests @ metrics_tests )

@@ -191,6 +191,31 @@ let metrics_tests =
         Metrics.reset m;
         Alcotest.(check int) "counter" 0 (Metrics.get m ~node:0 "c");
         Alcotest.(check int) "samples" 0 (Metrics.count_samples m "s"));
+    test "handle shares storage with the named counter" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.handle m ~node:3 "hot" in
+        Metrics.hincr h;
+        Metrics.hadd h 4;
+        Alcotest.(check int) "get sees handle bumps" 5 (Metrics.get m ~node:3 "hot");
+        Metrics.incr m ~node:3 "hot";
+        Alcotest.(check int) "handle sees named bumps" 6 (Metrics.hget h);
+        Alcotest.(check int) "sum" 6 (Metrics.sum m "hot"));
+    test "handle resolved twice hits the same counter" (fun () ->
+        let m = Metrics.create () in
+        let h1 = Metrics.handle m ~node:0 "c" in
+        let h2 = Metrics.handle m ~node:0 "c" in
+        Metrics.hincr h1;
+        Metrics.hincr h2;
+        Alcotest.(check int) "both bumps visible" 2 (Metrics.get m ~node:0 "c");
+        Alcotest.(check bool) "same cell" true (h1 == h2));
+    test "reset detaches live handles" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.handle m ~node:0 "c" in
+        Metrics.hincr h;
+        Metrics.reset m;
+        Metrics.hincr h;
+        (* the old cell keeps counting privately; the table is clean *)
+        Alcotest.(check int) "table cleared" 0 (Metrics.get m ~node:0 "c"));
   ]
 
 let net_tests =
