@@ -749,9 +749,96 @@ let e14 () =
       row "digest + Need pull" (Factory.alternative ());
     ]
 
+(* E15 — binary wire codec vs Marshal, per protocol message type. *)
+
+let e15 () =
+  let module Paxos = Abcast_consensus.Paxos in
+  let module Heartbeat = Abcast_fd.Heartbeat in
+  let module Agreed = Abcast_core.Agreed in
+  let module Vclock = Abcast_core.Vclock in
+  let module P = Abcast_core.Protocol.Make (Paxos) in
+  let payload i =
+    {
+      Payload.id = { origin = i mod 5; boot = 0; seq = i / 5 };
+      data = String.make 32 'x';
+    }
+  in
+  let payloads n = List.init n payload in
+  let vc =
+    Vclock.of_streams (List.init 5 (fun origin -> ((origin, 0), 10)))
+  in
+  let repr =
+    {
+      Agreed.base_app = Some (String.make 64 'a');
+      base_len = 55;
+      vc;
+      tail = payloads 16;
+    }
+  in
+  let msgs : (string * P.msg) list =
+    [
+      ("gossip (8 x 32B)", P.Gossip { k = 12; len = 40; unordered = payloads 8 });
+      ( "digest (5 streams)",
+        P.Digest
+          { k = 12; len = 40; summary = List.init 5 (fun o -> (o, 0, 10)) } );
+      ("need (4 ids)", P.Need { ids = List.map (fun (p : Payload.t) -> p.id) (payloads 4) });
+      ("state (16-msg tail)", P.State { k = 12; floor = 8; agreed = repr });
+      ( "cons accept (24-msg batch)",
+        P.Cons
+          (P.M.Inst
+             ( 12,
+               Paxos.Accept { b = 3; v = Abcast_core.Batch.encode (payloads 24) }
+             )) );
+      ("fd heartbeat", P.Fd (Heartbeat.Beat { epoch = 3 }));
+    ]
+  in
+  let time_ns ~iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let iters = scale 40_000 in
+  let row (name, m) =
+    let wire = P.encode_msg m in
+    let marshal = Marshal.to_string m [] in
+    let wire_ns =
+      time_ns ~iters (fun () ->
+          match P.decode_msg (P.encode_msg m) with
+          | Some _ -> ()
+          | None -> failwith "wire roundtrip failed")
+    in
+    let marshal_ns =
+      time_ns ~iters (fun () ->
+          ignore (Marshal.from_string (Marshal.to_string m []) 0 : P.msg))
+    in
+    [
+      name;
+      Table.num (String.length wire);
+      Table.num (String.length marshal);
+      Table.flt
+        (float_of_int (String.length marshal)
+        /. float_of_int (String.length wire));
+      Table.flt wire_ns;
+      Table.flt marshal_ns;
+      Table.flt (marshal_ns /. wire_ns);
+    ]
+  in
+  Table.print
+    ~title:
+      "E15: binary wire codec vs Marshal (encode+decode round trip per \
+       message; every boundary-crossing type is hand-coded, Marshal is \
+       the replaced baseline)"
+    ~header:
+      [ "message"; "wire B"; "marshal B"; "size x"; "wire ns"; "marshal ns";
+        "speedup x" ]
+    (List.map row msgs)
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
     ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
+    ("E15", e15);
   ]

@@ -56,19 +56,64 @@ let protocol_round_bench =
               ~pred:(fun () -> Cluster.all_caught_up cluster ~count:10 ())
               ())))
 
+let bench_payloads =
+  List.init 32 (fun i ->
+      {
+        Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
+        data = String.make 32 'x';
+      })
+
 let batch_bench =
-  Test.make ~name:"batch encode/decode (32 msgs)"
-    (Staged.stage
-       (let payloads =
-          List.init 32 (fun i ->
-              {
-                Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
-                data = String.make 32 'x';
-              })
-        in
-        fun () ->
-          ignore
-            (Abcast_core.Batch.decode (Abcast_core.Batch.encode payloads))))
+  Test.make ~name:"batch encode/decode, wire codec (32 msgs)"
+    (Staged.stage (fun () ->
+         ignore
+           (Abcast_core.Batch.decode (Abcast_core.Batch.encode bench_payloads))))
+
+(* The replaced baseline, kept as a row so the codec-vs-Marshal gap stays
+   visible in every run. *)
+let batch_marshal_bench =
+  Test.make ~name:"batch encode/decode, Marshal (32 msgs)"
+    (Staged.stage (fun () ->
+         let sorted = Abcast_core.Payload.sort_batch bench_payloads in
+         let s = Marshal.to_string sorted [] in
+         ignore (Marshal.from_string s 0 : Abcast_core.Payload.t list)))
+
+module PB = Abcast_core.Protocol.Make (Abcast_consensus.Paxos)
+
+let bench_msg =
+  PB.Gossip { k = 12; len = 40; unordered = bench_payloads }
+
+let msg_wire_bench =
+  Test.make ~name:"protocol msg roundtrip, wire codec (gossip)"
+    (Staged.stage (fun () ->
+         match PB.decode_msg (PB.encode_msg bench_msg) with
+         | Some _ -> ()
+         | None -> assert false))
+
+let msg_marshal_bench =
+  Test.make ~name:"protocol msg roundtrip, Marshal (gossip)"
+    (Staged.stage (fun () ->
+         let s = Marshal.to_string bench_msg [] in
+         ignore (Marshal.from_string s 0 : PB.msg)))
+
+(* hex_of_key: lookup-table fast path vs the sprintf-per-byte
+   formulation it replaced (one filename per file-backed log write). *)
+let hex_key = "cons/000123/proposal"
+
+let hex_bench =
+  Test.make ~name:"storage hex_of_key, table (20B key)"
+    (Staged.stage (fun () -> ignore (Abcast_sim.Storage.hex_of_key hex_key)))
+
+let hex_sprintf_of_key key =
+  let buf = Buffer.create (2 * String.length key) in
+  String.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+    key;
+  Buffer.contents buf
+
+let hex_sprintf_bench =
+  Test.make ~name:"storage hex_of_key, sprintf (20B key)"
+    (Staged.stage (fun () -> ignore (hex_sprintf_of_key hex_key)))
 
 let storage_bench =
   Test.make ~name:"storage write (64B value)"
@@ -118,8 +163,9 @@ let metrics_handle_bench =
 let tests =
   [
     rng_bench; heap_bench; storage_bench; vclock_bench; batch_bench;
-    metrics_string_bench; metrics_handle_bench; engine_bench;
-    protocol_round_bench;
+    batch_marshal_bench; msg_wire_bench; msg_marshal_bench; hex_bench;
+    hex_sprintf_bench; metrics_string_bench; metrics_handle_bench;
+    engine_bench; protocol_round_bench;
   ]
 
 let run () =

@@ -19,6 +19,14 @@ let stack ?(consensus = `Paxos) ?gossip_period () : Abcast_core.Proto.t =
 
       let msg_size = P.msg_size
 
+      let write_msg = P.write_msg
+
+      let read_msg = P.read_msg
+
+      let encode_msg = P.encode_msg
+
+      let decode_msg = P.decode_msg
+
       type t = P.Basic.t
 
       let create io ~deliver =

@@ -60,6 +60,15 @@ module type S = sig
 
   val pp_msg : Format.formatter -> msg -> unit
 
+  val write_msg : Abcast_util.Wire.writer -> msg -> unit
+  (** Binary wire encoding, composed into the enclosing stack's message
+      codec (the whole datagram is framed by the outermost layer). *)
+
+  val read_msg : Abcast_util.Wire.reader -> msg
+  (** Inverse of {!write_msg}.
+      @raise Abcast_util.Wire.Error on malformed input — the outermost
+      decoder catches it and drops the datagram. *)
+
   type t
   (** One instance at one process (volatile part; the durable part lives
       in the process's stable storage under {!Keys.inst} [instance]). *)

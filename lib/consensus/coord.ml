@@ -21,9 +21,55 @@ let pp_msg ppf = function
   | Query -> Format.fprintf ppf "query"
   | Decide _ -> Format.fprintf ppf "decide"
 
+module Wire = Abcast_util.Wire
+
+let write_msg w = function
+  | Estimate { r; v; ts } ->
+    Wire.write_u8 w 0;
+    Wire.write_varint w r;
+    Wire.write_string w v;
+    (* ts is -1 for a never-locked estimate: zigzag keeps it one byte *)
+    Wire.write_varint w ts
+  | Proposal { r; v } ->
+    Wire.write_u8 w 1;
+    Wire.write_varint w r;
+    Wire.write_string w v
+  | Ack { r } ->
+    Wire.write_u8 w 2;
+    Wire.write_varint w r
+  | Query -> Wire.write_u8 w 3
+  | Decide { v } ->
+    Wire.write_u8 w 4;
+    Wire.write_string w v
+
+let read_msg r =
+  match Wire.read_u8 r with
+  | 0 ->
+    let rr = Wire.read_varint r in
+    let v = Wire.read_string r in
+    let ts = Wire.read_varint r in
+    Estimate { r = rr; v; ts }
+  | 1 ->
+    let rr = Wire.read_varint r in
+    let v = Wire.read_string r in
+    Proposal { r = rr; v }
+  | 2 -> Ack { r = Wire.read_varint r }
+  | 3 -> Query
+  | 4 -> Decide { v = Wire.read_string r }
+  | t -> Wire.error "coord: bad message tag %d" t
+
 (* Durable: adopted estimate and the round in which it was adopted. Logged
    before acking so a decision quorum survives crashes. *)
 type locked = { est : value; ts : int }
+
+let locked_codec =
+  ( Wire.to_string (fun w l ->
+        Wire.write_string w l.est;
+        Wire.write_varint w l.ts),
+    Wire.of_string_opt (fun r ->
+        let est = Wire.read_string r in
+        let ts = Wire.read_varint r in
+        { est; ts }) )
 
 type t = {
   io : msg Engine.io;
@@ -85,7 +131,7 @@ and arm_timer t r =
 
 let create io ~instance ~leader:_ ~on_decide =
   let locked_slot =
-    Storage.Slot.make io.Engine.store ~layer:Keys.layer
+    Storage.Slot.make ~codec:locked_codec io.Engine.store ~layer:Keys.layer
       ~key:(Keys.inst instance "coord.locked")
   in
   let locked = Storage.Slot.get locked_slot in

@@ -13,6 +13,26 @@ module Make (C : Consensus_intf.S) = struct
     | Inst (k, m) -> Format.fprintf ppf "[%d]%a" k C.pp_msg m
     | Truncated { floor } -> Format.fprintf ppf "truncated(<%d)" floor
 
+  module Wire = Abcast_util.Wire
+
+  let write_msg w = function
+    | Inst (k, m) ->
+      Wire.write_u8 w 0;
+      Wire.write_varint w k;
+      C.write_msg w m
+    | Truncated { floor } ->
+      Wire.write_u8 w 1;
+      Wire.write_varint w floor
+
+  let read_msg r =
+    match Wire.read_u8 r with
+    | 0 ->
+      let k = Wire.read_varint r in
+      let m = C.read_msg r in
+      Inst (k, m)
+    | 1 -> Truncated { floor = Wire.read_varint r }
+    | t -> Wire.error "multi: bad message tag %d" t
+
   type t = {
     io : msg Engine.io;
     leader : Abcast_fd.Omega.t;

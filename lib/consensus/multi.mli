@@ -25,6 +25,13 @@ module Make (C : Consensus_intf.S) : sig
 
   val pp_msg : Format.formatter -> msg -> unit
 
+  val write_msg : Abcast_util.Wire.writer -> msg -> unit
+  (** Wire encoding: instance number + the wrapped implementation's
+      {!Consensus_intf.S.write_msg}. *)
+
+  val read_msg : Abcast_util.Wire.reader -> msg
+  (** @raise Abcast_util.Wire.Error on malformed input. *)
+
   type t
 
   val create :

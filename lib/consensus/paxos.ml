@@ -27,7 +27,69 @@ let pp_msg ppf = function
   | Query -> Format.fprintf ppf "query"
   | Decide _ -> Format.fprintf ppf "decide"
 
+module Wire = Abcast_util.Wire
+
+let write_accepted w (b, v) =
+  Wire.write_varint w b;
+  Wire.write_string w v
+
+let read_accepted r =
+  let b = Wire.read_varint r in
+  let v = Wire.read_string r in
+  (b, v)
+
+let write_msg w = function
+  | Prepare { b } ->
+    Wire.write_u8 w 0;
+    Wire.write_varint w b
+  | Promise { b; accepted } ->
+    Wire.write_u8 w 1;
+    Wire.write_varint w b;
+    Wire.write_option write_accepted w accepted
+  | Reject { b } ->
+    Wire.write_u8 w 2;
+    Wire.write_varint w b
+  | Accept { b; v } ->
+    Wire.write_u8 w 3;
+    Wire.write_varint w b;
+    Wire.write_string w v
+  | Accepted { b } ->
+    Wire.write_u8 w 4;
+    Wire.write_varint w b
+  | Query -> Wire.write_u8 w 5
+  | Decide { v } ->
+    Wire.write_u8 w 6;
+    Wire.write_string w v
+
+let read_msg r =
+  match Wire.read_u8 r with
+  | 0 -> Prepare { b = Wire.read_varint r }
+  | 1 ->
+    let b = Wire.read_varint r in
+    let accepted = Wire.read_option read_accepted r in
+    Promise { b; accepted }
+  | 2 -> Reject { b = Wire.read_varint r }
+  | 3 ->
+    let b = Wire.read_varint r in
+    let v = Wire.read_string r in
+    Accept { b; v }
+  | 4 -> Accepted { b = Wire.read_varint r }
+  | 5 -> Query
+  | 6 -> Decide { v = Wire.read_string r }
+  | t -> Wire.error "paxos: bad message tag %d" t
+
 type acc_state = { promised : int; accepted : (int * value) option }
+
+(* The per-instance acceptor log: written before every promise/accept
+   answer, so its encode is a consensus hot path. *)
+let acc_codec =
+  ( Wire.to_string (fun w a ->
+        Wire.write_varint w a.promised;
+        Wire.write_option write_accepted w a.accepted),
+    Wire.of_string_opt (fun r ->
+        let promised = Wire.read_varint r in
+        let accepted = Wire.read_option read_accepted r in
+        { promised; accepted }) )
 
 type phase = Idle | Phase1 | Phase2
 
@@ -94,7 +156,7 @@ let ensure_ticking t =
 
 let create io ~instance ~leader ~on_decide =
   let acc_slot =
-    Storage.Slot.make io.Engine.store ~layer:Keys.layer
+    Storage.Slot.make ~codec:acc_codec io.Engine.store ~layer:Keys.layer
       ~key:(Keys.inst instance "paxos.acc")
   in
   let acc =

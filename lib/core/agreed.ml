@@ -101,6 +101,21 @@ let adopt (t : t) (r : repr) =
     `Install (r.base_app, r.tail)
   end
 
+module Wire = Abcast_util.Wire
+
+let write_repr w (r : repr) =
+  Wire.write_option Wire.write_string w r.base_app;
+  Wire.write_varint w r.base_len;
+  Vclock.write w r.vc;
+  Wire.write_list Payload.write w r.tail
+
+let read_repr rd =
+  let base_app = Wire.read_option Wire.read_string rd in
+  let base_len = Wire.read_varint rd in
+  let vc = Vclock.read rd in
+  let tail = Wire.read_list Payload.read rd in
+  { base_app; base_len; vc; tail }
+
 let pp ppf (t : t) =
   Format.fprintf ppf "agreed<base:%d%s tail:%d>" t.base_len
     (match t.base_app with Some _ -> "(app)" | None -> "")

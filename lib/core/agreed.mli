@@ -72,4 +72,11 @@ val adopt :
     If the donor is not ahead, returns [`Deliver []] and changes
     nothing. *)
 
+(** {2 Wire codec for {!repr}} — what [state] messages and checkpoint
+    slots ship. *)
+
+val write_repr : Abcast_util.Wire.writer -> repr -> unit
+
+val read_repr : Abcast_util.Wire.reader -> repr
+
 val pp : Format.formatter -> t -> unit

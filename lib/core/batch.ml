@@ -1,9 +1,44 @@
-let encode payloads =
-  Abcast_sim.Storage.encode (Payload.sort_batch payloads)
+module Wire = Abcast_util.Wire
 
-let encode_sorted payloads : Abcast_consensus.Consensus_intf.value =
-  Abcast_sim.Storage.encode payloads
+let rec write_payloads w = function
+  | [] -> ()
+  | (p : Payload.t) :: rest ->
+    Payload.write w p;
+    write_payloads w rest
 
-let decode value : Payload.t list = Abcast_sim.Storage.decode value
+(* Encode through one module-level scratch writer: it keeps its
+   high-water-mark allocation across calls, so a proposal costs one
+   output-string allocation and zero growth copies once warm. Safe
+   because encoding is atomic (payload codecs never call back into
+   [encode]) and the stack is single-domain. *)
+let scratch = Wire.writer ~cap:4096 ()
+
+let encode_into payloads : Abcast_consensus.Consensus_intf.value =
+  Wire.clear scratch;
+  Wire.write_uvarint scratch (List.length payloads);
+  write_payloads scratch payloads;
+  Wire.contents scratch
+
+(* For unsorted input, walk the compacted sorted array straight into the
+   writer — no list rebuild between sort and encode. *)
+let encode payloads : Abcast_consensus.Consensus_intf.value =
+  if Payload.sorted_distinct payloads then encode_into payloads
+  else begin
+    let arr, m = Payload.sorted_array payloads in
+    Wire.clear scratch;
+    Wire.write_uvarint scratch m;
+    for i = 0 to m - 1 do
+      Payload.write scratch (Array.unsafe_get arr i)
+    done;
+    Wire.contents scratch
+  end
+
+let encode_sorted = encode_into
+
+let decode value : Payload.t list =
+  Wire.of_string_exn Payload.read_list value
+
+let decode_opt value : Payload.t list option =
+  Wire.of_string_opt Payload.read_list value
 
 let size = String.length

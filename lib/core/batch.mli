@@ -16,7 +16,13 @@ val encode_sorted : Payload.t list -> Abcast_consensus.Consensus_intf.value
     {!encode}'s for such inputs. *)
 
 val decode : Abcast_consensus.Consensus_intf.value -> Payload.t list
-(** Inverse of {!encode}; the result is sorted by identity. *)
+(** Inverse of {!encode}; the result is sorted by identity. Only for
+    values produced by {!encode} (our own proposals and decisions read
+    back from stable storage or carried inside already-validated
+    consensus messages). @raise Abcast_util.Wire.Error on malformation. *)
+
+val decode_opt : Abcast_consensus.Consensus_intf.value -> Payload.t list option
+(** Total variant of {!decode} for values of uncertain provenance. *)
 
 val size : Abcast_consensus.Consensus_intf.value -> int
 (** Encoded size in bytes (for logging/throughput accounting). *)

@@ -13,6 +13,14 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
 
       let msg_size = P.msg_size
 
+      let write_msg = P.write_msg
+
+      let read_msg = P.read_msg
+
+      let encode_msg = P.encode_msg
+
+      let decode_msg = P.decode_msg
+
       type t = P.Basic.t
 
       let create io ~deliver =
@@ -52,6 +60,14 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
       type msg = P.msg
 
       let msg_size = P.msg_size
+
+      let write_msg = P.write_msg
+
+      let read_msg = P.read_msg
+
+      let encode_msg = P.encode_msg
+
+      let decode_msg = P.decode_msg
 
       type t = P.Alternative.t
 

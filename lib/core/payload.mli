@@ -29,3 +29,30 @@ val pp : Format.formatter -> t -> unit
 val sort_batch : t list -> t list
 (** Sort a decided batch by identity and drop duplicate identities — the
     deterministic insertion rule of Fig. 2. *)
+
+val sorted_distinct : t list -> bool
+(** True iff already strictly ascending by identity — the
+    {!sort_batch} fast path, exposed so encoders can skip the array
+    round-trip for protocol-built (incrementally sorted) batches. *)
+
+val sorted_array : t list -> t array * int
+(** [sorted_array batch] is {!sort_batch} as a compacted array: sorted
+    by identity with duplicates dropped, valid in the first [m] slots of
+    the returned array. The batch must be non-empty. Lets the batch
+    encoder walk the sorted result without rebuilding a list. *)
+
+(** {2 Wire codec} — three zigzag varints for the identity, a
+    length-prefixed string for the payload bytes. *)
+
+val write_id : Abcast_util.Wire.writer -> id -> unit
+
+val read_id : Abcast_util.Wire.reader -> id
+
+val write : Abcast_util.Wire.writer -> t -> unit
+
+val read : Abcast_util.Wire.reader -> t
+
+val read_list : Abcast_util.Wire.reader -> t list
+(** Count-prefixed payloads — [Wire.read_list read] specialised to a
+    direct-call loop (batches and gossip bodies are the decode hot
+    path), with the same hostile-count guard. *)

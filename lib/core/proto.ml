@@ -16,7 +16,21 @@ module type S = sig
   (** Wire message type of the whole stack. *)
 
   val msg_size : msg -> int
-  (** Approximate serialized size, for byte accounting. *)
+  (** Exact serialized size, for byte accounting. *)
+
+  val write_msg : Abcast_util.Wire.writer -> msg -> unit
+  (** Append the wire encoding — composable with caller framing (the
+      live runtime prepends a type byte and the sender id). *)
+
+  val read_msg : Abcast_util.Wire.reader -> msg
+  (** @raise Abcast_util.Wire.Error on malformed input. Callers reading
+      untrusted bytes must catch it (or use {!decode_msg}). *)
+
+  val encode_msg : msg -> string
+  (** Whole-value encode. *)
+
+  val decode_msg : string -> msg option
+  (** Total whole-value decode: [None] on any malformation. *)
 
   type t
   (** Per-process protocol state (one value per incarnation). *)

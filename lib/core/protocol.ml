@@ -4,6 +4,8 @@ module Metrics = Abcast_sim.Metrics
 module Heartbeat = Abcast_fd.Heartbeat
 module Omega = Abcast_fd.Omega
 
+module Wire = Abcast_util.Wire
+
 let layer = "abcast"
 
 let checkpoint_key = "ab/checkpoint"
@@ -24,6 +26,30 @@ module Umap = Map.Make (struct
 
   let compare = Payload.compare_id
 end)
+
+(* --- Stable-storage codecs ------------------------------------------- *)
+(* Shared across every functor instantiation (none of these types depend
+   on the consensus implementation), and by harness code that inspects
+   checkpoints from outside the stack (Lemmas). *)
+
+let write_checkpoint w ((k, repr) : int * Agreed.repr) =
+  Wire.write_varint w k;
+  Agreed.write_repr w repr
+
+let read_checkpoint r =
+  let k = Wire.read_varint r in
+  let repr = Agreed.read_repr r in
+  (k, repr)
+
+let encode_checkpoint ck = Wire.to_string write_checkpoint ck
+
+let decode_checkpoint s = Wire.of_string_opt read_checkpoint s
+
+let checkpoint_codec = (encode_checkpoint, decode_checkpoint)
+
+let unordered_codec =
+  ( Wire.to_string (Wire.write_list Payload.write),
+    Wire.of_string_opt Payload.read_list )
 
 module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   module M = Abcast_consensus.Multi.Make (C)
@@ -46,20 +72,95 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     | Cons m -> M.pp_msg ppf m
     | Fd m -> Heartbeat.pp_msg ppf m
 
+  (* --- Wire codec --------------------------------------------------- *)
+
+  let write_summary_entry w (origin, boot, smax) =
+    Wire.write_varint w origin;
+    Wire.write_varint w boot;
+    Wire.write_varint w smax
+
+  let read_summary_entry r =
+    let origin = Wire.read_varint r in
+    let boot = Wire.read_varint r in
+    let smax = Wire.read_varint r in
+    (origin, boot, smax)
+
+  let write_msg w = function
+    | Gossip { k; len; unordered } ->
+      Wire.write_u8 w 0;
+      Wire.write_varint w k;
+      Wire.write_varint w len;
+      Wire.write_list Payload.write w unordered
+    | Digest { k; len; summary } ->
+      Wire.write_u8 w 1;
+      Wire.write_varint w k;
+      Wire.write_varint w len;
+      Wire.write_list write_summary_entry w summary
+    | Need { ids } ->
+      Wire.write_u8 w 2;
+      Wire.write_list Payload.write_id w ids
+    | State { k; floor; agreed } ->
+      Wire.write_u8 w 3;
+      Wire.write_varint w k;
+      Wire.write_varint w floor;
+      Agreed.write_repr w agreed
+    | Cons m ->
+      Wire.write_u8 w 4;
+      M.write_msg w m
+    | Fd m ->
+      Wire.write_u8 w 5;
+      Heartbeat.write_msg w m
+
+  let read_msg r =
+    match Wire.read_u8 r with
+    | 0 ->
+      let k = Wire.read_varint r in
+      let len = Wire.read_varint r in
+      let unordered = Payload.read_list r in
+      Gossip { k; len; unordered }
+    | 1 ->
+      let k = Wire.read_varint r in
+      let len = Wire.read_varint r in
+      let summary = Wire.read_list read_summary_entry r in
+      Digest { k; len; summary }
+    | 2 -> Need { ids = Wire.read_list Payload.read_id r }
+    | 3 ->
+      let k = Wire.read_varint r in
+      let floor = Wire.read_varint r in
+      let agreed = Agreed.read_repr r in
+      State { k; floor; agreed }
+    | 4 -> Cons (M.read_msg r)
+    | 5 -> Fd (Heartbeat.read_msg r)
+    | t -> Wire.error "protocol: bad message tag %d" t
+
+  let encode_msg m = Wire.to_string write_msg m
+
+  let decode_msg s = Wire.of_string_opt read_msg s
+
   (* One-slot memo keyed by physical equality: a multisend hands the same
      message value to [Engine.transmit] once per destination, and byte
-     accounting used to re-marshal it every time. Protocol-level byte
-     accounting (gossip) warms the slot, the engine then hits it n
-     times. *)
-  let msg_size_memo : (msg * int) option ref = ref None
+     accounting used to re-serialize it every time. Protocol-level byte
+     accounting (gossip) warms the slot, the engine then hits it n times.
+     Each call to [make_msg_size] builds an independent memo (own slot,
+     own scratch buffer): nodes of one simulation must not evict each
+     other's entry between a warm-up and its reuse. *)
+  let make_msg_size () =
+    let memo : (msg * int) option ref = ref None in
+    let scratch = Wire.writer ~cap:256 () in
+    fun (m : msg) ->
+      match !memo with
+      | Some (m', s) when m' == m -> s
+      | _ ->
+        Wire.clear scratch;
+        write_msg scratch m;
+        let s = Wire.length scratch in
+        memo := Some (m, s);
+        s
 
-  let msg_size (m : msg) =
-    match !msg_size_memo with
-    | Some (m', s) when m' == m -> s
-    | _ ->
-      let s = String.length (Storage.encode m) in
-      msg_size_memo := Some (m, s);
-      s
+  (* The engine-facing instance (one per stack value, fed to
+     [Engine.create]); each node additionally carries its own in
+     [t.size]. *)
+  let msg_size = make_msg_size ()
 
   (* ----------------------------------------------------------------- *)
   (* The parameterized node: both the basic protocol (Fig. 2) and the
@@ -115,6 +216,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     hb : Heartbeat.t;
     multi : M.t;
     mh : handles;
+    size : msg -> int; (* this node's own one-slot msg_size memo *)
     mutable agreed : Agreed.t;
     mutable k : int;
     mutable unordered : Payload.t Umap.t;
@@ -174,7 +276,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       if t.mode.incremental then begin
         (* §5.5: log only the new part — one small write per message. *)
         Storage.write t.io.store ~layer ~key:(unordered_item_key p.id)
-          (Storage.encode p);
+          (Wire.to_string Payload.write p);
         Hashtbl.replace t.logged_unordered p.id ()
       end
       else begin
@@ -213,11 +315,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         |> List.iter (fun key ->
                match Storage.read t.io.store key with
                | None -> ()
-               | Some blob ->
-                 let p : Payload.t = Storage.decode blob in
-                 Hashtbl.replace t.logged_unordered p.id ();
-                 if not (Agreed.contains t.agreed p.id) then
-                   unordered_add t p)
+               | Some blob -> (
+                 match Wire.of_string_opt Payload.read blob with
+                 | None -> () (* corrupt log entry: skip, don't crash *)
+                 | Some p ->
+                   Hashtbl.replace t.logged_unordered p.id ();
+                   if not (Agreed.contains t.agreed p.id) then
+                     unordered_add t p))
       else
         match Storage.Slot.get t.unordered_full_slot with
         | None -> ()
@@ -326,7 +430,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       | _ -> Agreed.snapshot t.agreed
     in
     Metrics.add t.io.metrics ~node:t.io.self "state_bytes_sent"
-      (String.length (Storage.encode agreed));
+      (String.length (Wire.to_string Agreed.write_repr agreed));
     Metrics.incr t.io.metrics ~node:t.io.self "state_sent";
     t.io.send dst (State { k = t.k; floor = M.floor t.multi; agreed })
 
@@ -385,7 +489,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
      strategies directly. *)
   let count_gossip t ~copies m =
     Metrics.hadd t.mh.h_gossip_msgs copies;
-    Metrics.hadd t.mh.h_gossip_bytes (copies * msg_size m)
+    Metrics.hadd t.mh.h_gossip_bytes (copies * t.size m)
 
   let rec gossip_loop t =
     t.gossip_tick <- t.gossip_tick + 1;
@@ -556,6 +660,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         hb;
         multi;
         mh;
+        size = make_msg_size ();
         agreed = Agreed.create ();
         k = 0;
         unordered = Umap.empty;
@@ -566,9 +671,12 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         seq = 0;
         pending = Hashtbl.create 32;
         own_props = Hashtbl.create 8;
-        ck_slot = Storage.Slot.make store ~layer ~key:checkpoint_key;
+        ck_slot =
+          Storage.Slot.make ~codec:checkpoint_codec store ~layer
+            ~key:checkpoint_key;
         unordered_full_slot =
-          Storage.Slot.make store ~layer ~key:unordered_slot_key;
+          Storage.Slot.make ~codec:unordered_codec store ~layer
+            ~key:unordered_slot_key;
       }
     in
     tref := Some t;

@@ -29,6 +29,15 @@ type app = { checkpoint : unit -> string; install : string -> unit }
     checkpoint (recovery and state transfer). Shared across all functor
     instantiations. *)
 
+val encode_checkpoint : int * Agreed.repr -> string
+(** Wire encoding of the stable [(k, Agreed)] checkpoint cell — the
+    format every stack instance logs under ["ab/checkpoint"],
+    independent of the consensus implementation. Exposed for harness
+    code that inspects or fabricates checkpoints (Lemmas, tests). *)
+
+val decode_checkpoint : string -> (int * Agreed.repr) option
+(** Inverse of {!encode_checkpoint}; [None] on malformed bytes. *)
+
 module Make (C : Abcast_consensus.Consensus_intf.S) : sig
   module M : module type of Abcast_consensus.Multi.Make (C)
 
@@ -61,10 +70,31 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
 
   val pp_msg : Format.formatter -> msg -> unit
 
+  val write_msg : Abcast_util.Wire.writer -> msg -> unit
+  (** Wire encoding of the whole stack's messages (one leading tag byte,
+      then the constructor's fields — see DESIGN.md "Wire format"). *)
+
+  val read_msg : Abcast_util.Wire.reader -> msg
+  (** @raise Abcast_util.Wire.Error on malformed input. *)
+
+  val encode_msg : msg -> string
+  (** [Wire.to_string write_msg]. *)
+
+  val decode_msg : string -> msg option
+  (** Total decoder for untrusted input (network datagrams): [None] on
+      any malformation, including trailing bytes. *)
+
+  val make_msg_size : unit -> msg -> int
+  (** A fresh size function with its own one-slot memo (keyed by physical
+      equality) and scratch buffer: a multisend re-accounting the same
+      message for every destination serializes it once. Per-consumer so
+      that interleaved nodes of one simulation don't evict each other's
+      slot. *)
+
   val msg_size : msg -> int
-  (** Approximate wire size in bytes, for network accounting. The result
-      is memoized per physical message value, so a multisend re-accounting
-      the same message for every destination marshals it once. *)
+  (** Exact wire size in bytes, for network accounting — a shared
+      [make_msg_size ()] instance for engine-level accounting (one
+      consumer per simulation). *)
 
   (** Operations common to both protocol variants. *)
   module type NODE = sig

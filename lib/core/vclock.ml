@@ -31,6 +31,29 @@ let next_seq t ~origin ~boot =
 
 let streams t = Stream_map.bindings t
 
+let of_streams l =
+  List.fold_left (fun m ((o, b), s) -> Stream_map.add (o, b) s m) empty l
+
+module Wire = Abcast_util.Wire
+
+let write w t =
+  Wire.write_list
+    (fun w ((o, b), s) ->
+      Wire.write_varint w o;
+      Wire.write_varint w b;
+      Wire.write_varint w s)
+    w (streams t)
+
+let read r =
+  Wire.read_list
+    (fun r ->
+      let o = Wire.read_varint r in
+      let b = Wire.read_varint r in
+      let s = Wire.read_varint r in
+      ((o, b), s))
+    r
+  |> of_streams
+
 let pp ppf t =
   Format.fprintf ppf "{";
   List.iter

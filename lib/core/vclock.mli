@@ -28,4 +28,16 @@ val next_seq : t -> origin:int -> boot:int -> int
 val streams : t -> ((int * int) * int) list
 (** [((origin, boot), max_seq)] entries, sorted (for tests/inspection). *)
 
+val of_streams : ((int * int) * int) list -> t
+(** Inverse of {!streams} (wire decoding, test fixtures). Performs no
+    FIFO validation — the entries are trusted to describe per-stream
+    maxima, exactly what {!streams} produced on the encoding side. *)
+
+(** {2 Wire codec} — the {!streams} entries as a list of varint
+    triples. *)
+
+val write : Abcast_util.Wire.writer -> t -> unit
+
+val read : Abcast_util.Wire.reader -> t
+
 val pp : Format.formatter -> t -> unit

@@ -4,6 +4,12 @@ type msg = Beat of { epoch : int }
 
 let pp_msg ppf (Beat { epoch }) = Format.fprintf ppf "beat(e%d)" epoch
 
+module Wire = Abcast_util.Wire
+
+let write_msg w (Beat { epoch }) = Wire.write_varint w epoch
+
+let read_msg r = Beat { epoch = Wire.read_varint r }
+
 type t = {
   io : msg Engine.io;
   period : int;

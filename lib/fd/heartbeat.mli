@@ -15,10 +15,17 @@
     converges to the same good leader, because good processes' epochs stop
     growing while oscillating bad processes' epochs grow without bound. *)
 
-type msg
-(** Wire messages (heartbeats). *)
+type msg = Beat of { epoch : int }
+(** Wire messages (heartbeats) — exposed for white-box tests (codec
+    round-trips) and tracing. *)
 
 val pp_msg : Format.formatter -> msg -> unit
+
+val write_msg : Abcast_util.Wire.writer -> msg -> unit
+(** Wire encoding (one varint: the sender's epoch). *)
+
+val read_msg : Abcast_util.Wire.reader -> msg
+(** @raise Abcast_util.Wire.Error on malformed input. *)
 
 type t
 (** Volatile detector state of one incarnation. *)

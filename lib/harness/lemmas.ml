@@ -16,14 +16,15 @@ type t = {
 let violation t fmt =
   Format.kasprintf (fun s -> t.violations <- s :: t.violations) fmt
 
-(* The checkpoint slot stores a marshalled (k, Agreed.repr); decode just
-   the round. *)
+(* The checkpoint slot stores a wire-encoded (k, Agreed.repr); decode
+   just the round. *)
 let checkpoint_k cluster node =
   match Cluster.read_storage cluster node "ab/checkpoint" with
   | None -> None
-  | Some blob ->
-    let (k, _) : int * Abcast_core.Agreed.repr = Abcast_sim.Storage.decode blob in
-    Some k
+  | Some blob -> (
+    match Abcast_core.Protocol.decode_checkpoint blob with
+    | Some (k, _) -> Some k
+    | None -> None)
 
 let audit_immutable t ~what table ~node ~instance value =
   match Hashtbl.find_opt table (node, instance) with

@@ -3,7 +3,10 @@ module Storage = Abcast_sim.Storage
 module Metrics = Abcast_sim.Metrics
 module Rng = Abcast_util.Rng
 module Heap = Abcast_util.Heap
+module Wire = Abcast_util.Wire
 module Payload = Abcast_core.Payload
+
+type net_stats = { tx_oversize : int; rx_undecodable : int }
 
 (* Monomorphic operations on one process, only ever executed inside that
    process's thread (reached via the mailbox). *)
@@ -12,6 +15,7 @@ type node_ops = {
   op_delivered_count : unit -> int;
   op_delivered_data : unit -> string list;
   op_round : unit -> int;
+  op_net_stats : unit -> net_stats;
 }
 
 type node = {
@@ -41,7 +45,15 @@ let localhost = Unix.inet_addr_loopback
 
 let addr_of t i = Unix.ADDR_INET (localhost, t.base_port + i)
 
-(* Datagram format: 'W' = wake (mailbox poke), 'M' ^ marshal(src, msg). *)
+(* Datagram format: 'W' = wake (mailbox poke),
+   'M' ^ uvarint(src) ^ wire(msg) — see DESIGN.md "Wire format". The
+   receive path treats the bytes as untrusted: anything that fails the
+   bounds-checked decode is counted and dropped, never raised into the
+   event loop. *)
+
+(* Stay under the conventional safe UDP payload ceiling; the receive
+   buffer is sized to match, so an accepted send is never truncated. *)
+let max_datagram = 65_000
 let wake t i =
   try ignore (Unix.sendto t.wake_sock (Bytes.of_string "W") 0 1 [] (addr_of t i))
   with Unix.Unix_error _ -> ()
@@ -155,13 +167,34 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
     in
     let timer_seq = ref 0 in
     let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6) in
+    let h_tx_oversize = Metrics.handle metrics ~node:nd.id "udp_tx_oversize" in
+    let h_rx_undecodable =
+      Metrics.handle metrics ~node:nd.id "udp_rx_undecodable"
+    in
+    let send_buf = Wire.writer ~cap:512 () in
     let send dst (msg : P.msg) =
-      let payload = "M" ^ Marshal.to_string (nd.id, msg) [] in
-      let len = String.length payload in
-      if len <= 65_000 then
+      Wire.clear send_buf;
+      Wire.write_u8 send_buf (Char.code 'M');
+      Wire.write_uvarint send_buf nd.id;
+      P.write_msg send_buf msg;
+      let len = Wire.length send_buf in
+      if len > max_datagram then begin
+        (* The old path let the OS (or the receiver's fixed buffer)
+           truncate such a datagram into garbage. Refuse it here, loudly:
+           the protocol treats it as loss, the counter and stderr line
+           make the cause diagnosable. *)
+        Metrics.hincr h_tx_oversize;
+        Printf.eprintf
+          "abcast-live node %d: dropping oversize datagram to %d (%d bytes > \
+           %d limit)\n\
+           %!"
+          nd.id dst len max_datagram
+      end
+      else
         try
           ignore
-            (Unix.sendto nd.sock (Bytes.of_string payload) 0 len [] (addr_of t dst))
+            (Unix.sendto nd.sock (Wire.unsafe_bytes send_buf) 0 len []
+               (addr_of t dst))
         with Unix.Unix_error _ -> () (* lossy channel *)
     in
     let io : P.msg Engine.io =
@@ -198,9 +231,15 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
             (fun () ->
               List.map (fun (x : Payload.t) -> x.data) (P.delivered_tail p));
           op_round = (fun () -> P.round p);
+          op_net_stats =
+            (fun () ->
+              {
+                tx_oversize = Metrics.hget h_tx_oversize;
+                rx_undecodable = Metrics.hget h_rx_undecodable;
+              });
         };
     Mutex.unlock nd.mutex;
-    let buf = Bytes.create 65536 in
+    let buf = Bytes.create (max_datagram + 1) in
     let keep_going () =
       Mutex.lock nd.mutex;
       let r = nd.running in
@@ -236,15 +275,22 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
       match Unix.select [ nd.sock ] [] [] timeout with
       | [ _ ], _, _ -> (
         match Unix.recvfrom nd.sock buf 0 (Bytes.length buf) [] with
-        | len, _ when len > 0 && Bytes.get buf 0 = 'M' -> (
+        | len, _ when len > 1 && Bytes.get buf 0 = 'M' -> (
+          let decode r =
+            let src = Wire.read_uvarint r in
+            if src >= n then Wire.error "datagram: bad source %d" src;
+            let msg = P.read_msg r in
+            (src, msg)
+          in
           match
-            (Marshal.from_string (Bytes.sub_string buf 1 (len - 1)) 0
-              : int * P.msg)
+            Wire.of_string_opt decode (Bytes.sub_string buf 1 (len - 1))
           with
-          | src, msg when src >= 0 && src < n -> handler ~src msg
-          | _ -> ()
-          | exception _ -> ())
-        | _ -> () (* wake byte or empty *)
+          | Some (src, msg) -> handler ~src msg
+          | None -> Metrics.hincr h_rx_undecodable)
+        | len, _ when len > 0 && Bytes.get buf 0 = 'W' ->
+          () (* wake byte *)
+        | len, _ when len > 0 -> Metrics.hincr h_rx_undecodable
+        | _ -> ()
         | exception Unix.Unix_error _ -> ())
       | _ -> ()
       | exception Unix.Unix_error _ -> ()
@@ -332,6 +378,11 @@ let delivered_data t i =
 
 let round t i =
   match call t i (fun ops -> ops.op_round ()) with Some r -> r | None -> 0
+
+let net_stats t i =
+  match call t i (fun ops -> ops.op_net_stats ()) with
+  | Some s -> s
+  | None -> { tx_oversize = 0; rx_undecodable = 0 }
 
 let shutdown t =
   for i = 0 to t.n - 1 do

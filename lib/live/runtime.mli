@@ -7,9 +7,13 @@
     - each process runs as one OS thread with a single-threaded event
       loop (the protocol code never sees concurrency);
     - channels are UDP datagrams on localhost — genuinely unreliable,
-      unordered and size-limited, exactly the fair-lossy channel of §3.1
-      (oversized datagrams, e.g. huge state transfers, are dropped like
-      any other loss);
+      unordered and size-limited, exactly the fair-lossy channel of §3.1.
+      Messages are framed with the {!Abcast_util.Wire} binary codec, and
+      both failure directions are counted per process ({!net_stats}):
+      oversized encodings (e.g. huge state transfers) are refused at the
+      send site rather than silently truncated in flight, and received
+      bytes that fail the bounds-checked decode are dropped, never raised
+      into the event loop;
     - stable storage is file-backed ({!Abcast_sim.Storage} with a
       directory): process state genuinely survives {!crash}/{!recover},
       including the boot counter that makes message identities unique
@@ -66,6 +70,20 @@ val delivered_data : t -> int -> string list
 (** Payload bytes of the process's explicit delivery tail, in order. *)
 
 val round : t -> int -> int
+
+type net_stats = {
+  tx_oversize : int;
+      (** datagrams refused at the send site because their encoding
+          exceeded the safe UDP payload size — the protocol sees loss, the
+          counter (plus a stderr line) says why *)
+  rx_undecodable : int;
+      (** received datagrams dropped because they failed the
+          bounds-checked wire decode (truncation, garbage, bad source) *)
+}
+
+val net_stats : t -> int -> net_stats
+(** Datagram drop counters of one process's current incarnation (zeros if
+    the process is down). *)
 
 val shutdown : t -> unit
 (** Crash everything and close all sockets. The runtime is unusable

@@ -8,10 +8,22 @@ type t = {
          per-write accounting stops concatenating and hashing full names *)
 }
 
+let hex_digits = "0123456789abcdef"
+
+(* One Bytes of the exact final size, two table lookups per input byte —
+   the Printf.sprintf-per-character version this replaces allocated a
+   format interpreter run and an intermediate string per byte and showed
+   up in the file-backed write path (one filename per log write). *)
 let hex_of_key key =
-  let buf = Buffer.create (2 * String.length key) in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) key;
-  Buffer.contents buf
+  let n = String.length key in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get key i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1)
+      (String.unsafe_get hex_digits (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
 
 let key_of_hex hex =
   let len = String.length hex / 2 in
@@ -133,19 +145,34 @@ let encode v = Marshal.to_string v []
 let decode s = Marshal.from_string s 0
 
 module Slot = struct
-  type 'a slot = { store : t; layer : string; key : string }
+  type 'a slot = {
+    store : t;
+    layer : string;
+    key : string;
+    enc : 'a -> string;
+    dec : string -> 'a option;
+  }
 
-  let make store ~layer ~key = { store; layer; key }
+  let marshal_dec s =
+    match Marshal.from_string s 0 with
+    | v -> Some v
+    | exception (Failure _ | Invalid_argument _) -> None
 
-  let set slot v = write slot.store ~layer:slot.layer ~key:slot.key (encode v)
+  let make ?codec store ~layer ~key =
+    let enc, dec =
+      match codec with Some c -> c | None -> (encode, marshal_dec)
+    in
+    { store; layer; key; enc; dec }
+
+  let set slot v = write slot.store ~layer:slot.layer ~key:slot.key (slot.enc v)
 
   let set_if_changed slot v =
-    write_if_changed slot.store ~layer:slot.layer ~key:slot.key (encode v)
+    write_if_changed slot.store ~layer:slot.layer ~key:slot.key (slot.enc v)
 
   let get slot =
     match read slot.store slot.key with
     | None -> None
-    | Some s -> Some (decode s)
+    | Some s -> slot.dec s
 
   let clear slot = delete slot.store ~layer:slot.layer slot.key
 end

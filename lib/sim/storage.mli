@@ -54,13 +54,27 @@ val retained_keys : t -> int
 val wipe : t -> unit
 (** Clear everything (test helper; never called by protocols). *)
 
-(** Typed single-value cell on top of {!t}, (de)serialized with [Marshal].
-    Only ever instantiate at plain data types (no closures). *)
+val hex_of_key : string -> string
+(** Lowercase hex of a key, used for backing-file names. Exposed for
+    benchmarking ({!Bench} compares it against the naive
+    [Printf.sprintf]-per-byte formulation it replaced). *)
+
+(** Typed single-value cell on top of {!t}. Serialization defaults to
+    [Marshal] (only instantiate at plain data types, no closures) but a
+    slot can carry an explicit codec — protocols use {!Abcast_util.Wire}
+    codecs for their hot cells. *)
 module Slot : sig
   type 'a slot
 
-  val make : t -> layer:string -> key:string -> 'a slot
-  (** A typed view of one key. *)
+  val make :
+    ?codec:(('a -> string) * (string -> 'a option)) ->
+    t ->
+    layer:string ->
+    key:string ->
+    'a slot
+  (** A typed view of one key. [codec] is [(encode, decode)]; the decoder
+      returns [None] on malformed bytes. Defaults to [Marshal] with a
+      decoder that maps deserialization failures to [None]. *)
 
   val set : 'a slot -> 'a -> unit
   (** Durably store a value (one log operation). *)

@@ -104,7 +104,7 @@ let tests =
         check_ok "pre" (Lemmas.report lemmas);
         (* rewind the checkpoint round to 0 *)
         Cluster.corrupt_storage cluster 0 ~key:"ab/checkpoint"
-          (Abcast_sim.Storage.encode
+          (Abcast_core.Protocol.encode_checkpoint
              (0, Abcast_core.Agreed.snapshot (Abcast_core.Agreed.create ())));
         Lemmas.sample_now lemmas;
         Alcotest.(check bool) "detected" true

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "abcast"
     [
       Suite_util.suite;
+      Suite_wire.suite;
       Suite_sim.suite;
       Suite_fd.suite;
       Suite_consensus.suite;
