@@ -1,15 +1,18 @@
 (* `bench/main.exe --json`: machine-readable performance snapshot.
 
-   Writes BENCH_PR2.json in the current directory with
+   Writes BENCH_PR3.json in the current directory with
 
    - the n=5 steady-load workload run once per gossip mode (full set vs
      digest+Need pull): host events/sec, broadcasts-to-quiescence wall
      time, gossip message/byte counts from the [gossip_*_sent] metrics —
-     bytes are now wire-codec sizes, directly comparable against the
+     bytes are wire-codec sizes, directly comparable against the
      Marshal-based figures recorded in BENCH_PR1.json;
    - hand-timed micro-benchmarks (ns/op) for the hot paths, including
      codec-vs-Marshal pairs, and the encoded bytes per value for a
-     representative gossip message.
+     representative gossip message;
+   - the durable-storage section (new in schema 3): append throughput
+     and reopen/recovery time of the segmented WAL vs the file-per-key
+     backend under each fsync policy (the E16 workload, one repetition).
 
    The simulated metrics (counts, bytes, sim time) are seeded and
    bit-reproducible; the wall-clock and ns/op figures are host-dependent
@@ -148,6 +151,64 @@ let micros () =
     ("abcast_10msgs_quiescence_n3", time_ns ~iters:100 quiesce);
   ]
 
+(* Durable storage: append throughput and recovery cost per backend and
+   fsync policy (the machine-readable face of experiment E16). *)
+let storage_bench () =
+  let module Durable = Abcast_store.Durable in
+  let module Storage = Abcast_sim.Storage in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let ops = 2_000 and value = String.make 128 'v' in
+  let run backend policy =
+    let name =
+      Printf.sprintf "%s_%s"
+        (match backend with `Files -> "files" | _ -> "wal")
+        (match policy with
+        | Durable.Always -> "always"
+        | Durable.Every _ -> "every_64_20"
+        | Durable.Never -> "never")
+    in
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abcast-bench-store-%d-%s" (Unix.getpid ()) name)
+    in
+    rm_rf dir;
+    let metrics = Metrics.create () in
+    let store = Storage.create ~dir ~backend ~fsync:policy ~metrics ~node:0 () in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to ops - 1 do
+      Storage.write store ~layer:"bench"
+        ~key:(Printf.sprintf "key%03d" (i mod 64))
+        value
+    done;
+    let appends_per_s = float_of_int ops /. (Unix.gettimeofday () -. t0) in
+    let disk = Storage.disk_bytes store in
+    Storage.close store;
+    let m2 = Metrics.create () in
+    let t1 = Unix.gettimeofday () in
+    let store2 =
+      Storage.create ~dir ~backend ~fsync:policy ~metrics:m2 ~node:0 ()
+    in
+    let recover_ms = (Unix.gettimeofday () -. t1) *. 1_000.0 in
+    Storage.close store2;
+    rm_rf dir;
+    Printf.sprintf
+      {|    "%s": { "ops": %d, "appends_per_sec": %.0f, "disk_bytes": %d, "recover_ms": %.3f }|}
+      name ops appends_per_s disk recover_ms
+  in
+  List.concat_map
+    (fun backend ->
+      List.map (run backend)
+        [ Durable.Always; Durable.Every { ops = 64; ms = 20 }; Durable.Never ])
+    [ `Files; `Wal ]
+
 (* Encoded bytes per value: the other axis of the codec change. *)
 let encoded_bytes () =
   let payloads =
@@ -205,10 +266,11 @@ let run () =
     |> List.map (fun (name, b) -> Printf.sprintf {|    "%s": %d|} name b)
     |> String.concat ",\n"
   in
+  let storage_json = String.concat ",\n" (storage_bench ()) in
   let json =
     Printf.sprintf
       {|{
-  "schema": 2,
+  "schema": 3,
   "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
 %s,
 %s,
@@ -218,16 +280,19 @@ let run () =
   },
   "encoded_bytes_per_value": {
 %s
+  },
+  "durable_storage": {
+%s
   }
 }
 |}
       (steady_json "full_gossip" full)
       (steady_json "delta_gossip" delta)
-      reduction micro_json bytes_json
+      reduction micro_json bytes_json storage_json
   in
-  let oc = open_out "BENCH_PR2.json" in
+  let oc = open_out "BENCH_PR3.json" in
   output_string oc json;
   close_out oc;
   print_string json;
-  Printf.printf "wrote BENCH_PR2.json (gossip bytes reduction: %.2fx)\n"
+  Printf.printf "wrote BENCH_PR3.json (gossip bytes reduction: %.2fx)\n"
     reduction

@@ -130,14 +130,31 @@ let soak_cmd stack consensus n n_bad episodes seed0 =
   Printf.printf "\n%d episodes, %d violations\n" episodes !violations;
   if !violations > 0 then exit 1
 
-let live_cmd stack consensus n msgs base_port =
+let live_cmd stack consensus n msgs base_port backend fsync =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
   let stack_mod = make_stack stack consensus 100_000 3 in
+  let backend =
+    match backend with
+    | "wal" -> `Wal
+    | "files" -> `Files
+    | s ->
+      Printf.eprintf "unknown --backend %S (expected wal|files)\n" s;
+      exit 3
+  in
+  let fsync =
+    match Abcast_store.Durable.policy_of_string fsync with
+    | Ok p -> p
+    | Error msg ->
+      Printf.eprintf "bad --fsync %S: %s\n" fsync msg;
+      exit 3
+  in
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "abcast-live-cli-%d" (Unix.getpid ()))
   in
-  match Abcast_live.Runtime.create stack_mod ~n ~base_port ~dir () with
+  match
+    Abcast_live.Runtime.create stack_mod ~n ~base_port ~dir ~backend ~fsync ()
+  with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot create sockets: %s
 " (Unix.error_message e);
@@ -145,9 +162,13 @@ let live_cmd stack consensus n msgs base_port =
   | live ->
     Fun.protect ~finally:(fun () -> Abcast_live.Runtime.shutdown live)
     @@ fun () ->
-    Printf.printf "%d live processes on udp/127.0.0.1:%d.. (storage: %s)
+    Printf.printf
+      "%d live processes on udp/127.0.0.1:%d.. (storage: %s, backend: %s, \
+       fsync: %s)
 " n
-      base_port dir;
+      base_port dir
+      (match backend with `Wal -> "wal" | `Files -> "files")
+      (Abcast_store.Durable.policy_to_string fsync);
     let t0 = Unix.gettimeofday () in
     for j = 0 to msgs - 1 do
       Abcast_live.Runtime.broadcast live ~node:(j mod n)
@@ -219,7 +240,18 @@ let run_t =
 let live_t =
   let msgs = Arg.(value & opt int 30 & info [ "msgs" ] ~doc:"broadcast count") in
   let port = Arg.(value & opt int 7480 & info [ "port" ] ~doc:"UDP base port") in
-  Term.(const live_cmd $ stack_arg $ consensus_arg $ n_arg $ msgs $ port)
+  let backend =
+    Arg.(value & opt string "wal" & info [ "backend" ] ~doc:"storage backend: wal|files")
+  in
+  let fsync =
+    Arg.(
+      value
+      & opt string "every:64:20"
+      & info [ "fsync" ] ~doc:"durability policy: always|never|every:OPS:MS")
+  in
+  Term.(
+    const live_cmd $ stack_arg $ consensus_arg $ n_arg $ msgs $ port $ backend
+    $ fsync)
 
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in

@@ -30,6 +30,8 @@ type t = {
   is_up : int -> bool;
   retained_bytes : int -> int;
   retained_keys : int -> int;
+  disk_bytes : int -> int;
+  wal_stats : int -> Abcast_store.Wal.stats option;
   read_storage : int -> string -> string option;
   corrupt_storage : int -> key:string -> string -> unit;
   storage_keys : int -> string -> string list;
@@ -39,9 +41,9 @@ type t = {
 }
 
 let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
-    ?(count_bytes = false) () =
+    ?(count_bytes = false) ?storage () =
   let msg_size = if count_bytes then Some P.msg_size else None in
-  let eng = Engine.create ~seed ~n ?net ?msg_size ?trace () in
+  let eng = Engine.create ~seed ~n ?net ?msg_size ?trace ?storage () in
   let nodes = Array.make n None in
   let ever_delivered = Hashtbl.create 256 in
   for i = 0 to n - 1 do
@@ -84,6 +86,8 @@ let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
       (fun i -> Abcast_sim.Storage.retained_bytes (Engine.storage eng i));
     retained_keys =
       (fun i -> Abcast_sim.Storage.retained_keys (Engine.storage eng i));
+    disk_bytes = (fun i -> Abcast_sim.Storage.disk_bytes (Engine.storage eng i));
+    wal_stats = (fun i -> Abcast_sim.Storage.wal_stats (Engine.storage eng i));
     read_storage = (fun i key -> Abcast_sim.Storage.read (Engine.storage eng i) key);
     corrupt_storage =
       (fun i ~key v ->
@@ -139,6 +143,8 @@ let delivery_vc t i = (ops t i).delivery_vc ()
 let unordered_count t i = (ops t i).unordered_count ()
 let retained_bytes t i = t.retained_bytes i
 let retained_keys t i = t.retained_keys i
+let disk_bytes t i = t.disk_bytes i
+let wal_stats t i = t.wal_stats i
 let read_storage t i key = t.read_storage i key
 let corrupt_storage t i ~key v = t.corrupt_storage i ~key v
 let storage_keys t i prefix = t.storage_keys i prefix

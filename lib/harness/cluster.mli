@@ -15,11 +15,13 @@ val create :
   ?net:Abcast_sim.Net.t ->
   ?trace:Abcast_sim.Trace.t ->
   ?count_bytes:bool ->
+  ?storage:(metrics:Abcast_sim.Metrics.t -> node:int -> Abcast_sim.Storage.t) ->
   unit ->
   t
 (** Build the cluster and start every process. [count_bytes] (default
     false) enables per-message byte accounting (slower: serializes every
-    message). *)
+    message). [storage] selects the stable-storage backend per process
+    (default memory-only; see {!Abcast_sim.Engine.create}). *)
 
 val n : t -> int
 val metrics : t -> Abcast_sim.Metrics.t
@@ -54,6 +56,14 @@ val retained_bytes : t -> int -> int
 (** Live stable-storage footprint of a process (experiment E3). *)
 
 val retained_keys : t -> int -> int
+
+val disk_bytes : t -> int -> int
+(** On-disk footprint of a process's storage backend (0 for memory) —
+    what WAL compaction keeps bounded. *)
+
+val wal_stats : t -> int -> Abcast_store.Wal.stats option
+(** WAL backend counters of a process ([None] unless the cluster was
+    created with a [`Wal] storage factory). *)
 
 val read_storage : t -> int -> string -> string option
 (** Peek at a key of a process's stable storage (works whether the

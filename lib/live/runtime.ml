@@ -35,6 +35,8 @@ type t = {
   n : int;
   base_port : int;
   dir : string option;
+  backend : [ `Files | `Wal ];
+  fsync : Abcast_store.Durable.policy;
   nodes : node array;
   wake_sock : Unix.file_descr; (* unbound socket used to poke loops *)
   start_node : int -> unit; (* closes over the protocol's message type *)
@@ -112,7 +114,8 @@ let drain_socket sock =
   in
   go ()
 
-let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
+let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
+    ~on_deliver () =
   let nodes =
     Array.init n (fun id ->
         let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
@@ -138,6 +141,8 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
       n;
       base_port;
       dir;
+      backend;
+      fsync;
       nodes;
       wake_sock;
       start_node;
@@ -151,7 +156,8 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
       | Some d ->
         Storage.create
           ~dir:(Filename.concat d (Printf.sprintf "node%d" nd.id))
-          ~metrics ~node:nd.id ()
+          ~backend:(backend :> [ `Memory | `Files | `Wal ])
+          ~fsync ~metrics ~node:nd.id ()
       | None -> Storage.create ~metrics ~node:nd.id ()
     in
     (* Real boot counter: persisted, so identities survive restarts. *)
@@ -297,7 +303,10 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
     done;
     Mutex.lock nd.mutex;
     nd.ops <- None;
-    Mutex.unlock nd.mutex
+    Mutex.unlock nd.mutex;
+    (* Flush and release the durable backend: a clean shutdown must not
+       lose the tail the fsync policy was still holding back. *)
+    Storage.close store
   and start_node i =
     let nd = nodes.(i) in
     Mutex.lock nd.mutex;
@@ -314,8 +323,10 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~on_deliver () =
   in
   t
 
-let create proto ~n ?(base_port = 7400) ?dir ?(on_deliver = fun _ _ -> ()) () =
-  let t = make proto ~n ~base_port ~dir ~on_deliver () in
+let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
+    ?(fsync = Abcast_store.Durable.Every { ops = 64; ms = 20 })
+    ?(on_deliver = fun _ _ -> ()) () =
+  let t = make proto ~n ~base_port ~dir ~backend ~fsync ~on_deliver () in
   for i = 0 to n - 1 do
     t.start_node i
   done;

@@ -35,14 +35,20 @@ val create :
   n:int ->
   ?base_port:int ->
   ?dir:string ->
+  ?backend:[ `Files | `Wal ] ->
+  ?fsync:Abcast_store.Durable.policy ->
   ?on_deliver:(int -> Abcast_core.Payload.t -> unit) ->
   unit ->
   t
 (** Bind one UDP socket per process on [127.0.0.1:base_port+i] (default
     base port 7400) and start every process. With [dir], process [i]
-    persists its stable storage under [dir/node<i>/] — required for
-    {!recover} to actually recover. [on_deliver] runs in the delivering
-    process's thread; keep it short and synchronize your own data.
+    persists its stable storage under [dir/node<i>/] through [backend]
+    (default [`Wal], the segmented write-ahead log; [`Files] keeps the
+    file-per-key layout) with durability [fsync] (default
+    [Every {ops = 64; ms = 20}]) — required for {!recover} to actually
+    recover. Without [dir] both are ignored and storage is memory-only.
+    [on_deliver] runs in the delivering process's thread; keep it short
+    and synchronize your own data.
 
     @raise Unix.Unix_error if sockets cannot be created (callers may want
     to skip live tests in restricted environments). *)

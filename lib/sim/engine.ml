@@ -75,12 +75,17 @@ let item_cmp a b =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ~seed ~n ?net ?msg_size ?trace () =
+let create ~seed ~n ?net ?msg_size ?trace ?storage () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
   let root = Rng.create seed in
   let metrics = Metrics.create () in
   let net = match net with Some x -> x | None -> Net.create () in
   let trace = match trace with Some x -> x | None -> Trace.create () in
+  let mk_store =
+    match storage with
+    | Some f -> f
+    | None -> fun ~metrics ~node -> Storage.create ~metrics ~node ()
+  in
   let nodes =
     Array.init n (fun id ->
         {
@@ -88,7 +93,7 @@ let create ~seed ~n ?net ?msg_size ?trace () =
           up = false;
           inc = -1;
           handler = None;
-          store = Storage.create ~metrics ~node:id ();
+          store = mk_store ~metrics ~node:id;
           rng = Rng.split root;
         })
   in

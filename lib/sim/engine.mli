@@ -55,11 +55,15 @@ val create :
   ?net:Net.t ->
   ?msg_size:('m -> int) ->
   ?trace:Trace.t ->
+  ?storage:(metrics:Metrics.t -> node:int -> Storage.t) ->
   unit ->
   'm t
 (** [create ~seed ~n ()] builds a simulation of [n] processes over a
     default {!Net} model. [msg_size] enables per-message byte accounting
-    (counter ["net_bytes"]). *)
+    (counter ["net_bytes"]). [storage] overrides how each process's
+    stable storage is built (default: memory-only) — pass a factory
+    closing over a directory to run a simulation against the real
+    file-per-key or WAL backends (the backend-equivalence sweep does). *)
 
 val n : 'm t -> int
 val now : 'm t -> time

@@ -1,8 +1,34 @@
+module Durable = Abcast_store.Durable
+module Wal = Abcast_store.Wal
+
+type files_state = {
+  fdir : string;
+  fpacer : Durable.pacer;
+  (* paths written since the last sync under a batched policy; flushed
+     together so the batched policy means "at most this window is lost",
+     not "whichever file happened to be written last is durable" *)
+  pending : (string, unit) Hashtbl.t;
+  h_file_fsyncs : Metrics.handle;
+}
+
+type wal_state = {
+  wal : Wal.t;
+  mutable last : Wal.stats;
+  h_appends : Metrics.handle;
+  h_fsyncs : Metrics.handle;
+  h_segments : Metrics.handle;
+  h_compactions : Metrics.handle;
+  h_recovered : Metrics.handle;
+  h_torn : Metrics.handle;
+}
+
+type persist = P_none | P_files of files_state | P_wal of wal_state
+
 type t = {
   tbl : (string, string) Hashtbl.t;
   metrics : Metrics.t;
   node : int;
-  dir : string option; (* file backing: one file per key, hex-named *)
+  persist : persist;
   layer_handles : (string, Metrics.handle * Metrics.handle) Hashtbl.t;
       (* layer -> (log_ops.<layer>, log_bytes.<layer>) — interned so the
          per-write accounting stops concatenating and hashing full names *)
@@ -29,11 +55,6 @@ let key_of_hex hex =
   let len = String.length hex / 2 in
   String.init len (fun i -> Char.chr (int_of_string ("0x" ^ String.sub hex (2 * i) 2)))
 
-let path t key =
-  match t.dir with
-  | Some dir -> Some (Filename.concat dir (hex_of_key key))
-  | None -> None
-
 let read_file file =
   let ic = open_in_bin file in
   let len = in_channel_length ic in
@@ -41,41 +62,118 @@ let read_file file =
   close_in ic;
   s
 
-let write_file file contents =
-  let tmp = file ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp file
+(* ---- wal_* counter mirror ----
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
-  end
+   [Wal] cannot depend on [Metrics] (the dependency runs the other way),
+   so it keeps plain counters and the storage layer forwards the deltas
+   after every operation that can move them. [segments] is a gauge, but
+   adding signed deltas keeps the metric equal to its current value. *)
 
-let create ?dir ~metrics ~node () =
-  let t =
+let sync_wal_metrics w =
+  let s = Wal.stats w.wal in
+  let last = w.last in
+  if s.appends <> last.appends then
+    Metrics.hadd w.h_appends (s.appends - last.appends);
+  if s.fsyncs <> last.fsyncs then Metrics.hadd w.h_fsyncs (s.fsyncs - last.fsyncs);
+  if s.segments <> last.segments then
+    Metrics.hadd w.h_segments (s.segments - last.segments);
+  if s.compactions <> last.compactions then
+    Metrics.hadd w.h_compactions (s.compactions - last.compactions);
+  if s.recovered_records <> last.recovered_records then
+    Metrics.hadd w.h_recovered (s.recovered_records - last.recovered_records);
+  if s.torn_records <> last.torn_records then
+    Metrics.hadd w.h_torn (s.torn_records - last.torn_records);
+  w.last <- s
+
+let wal_state ~metrics ~node wal =
+  let h name = Metrics.handle metrics ~node name in
+  let zero =
     {
-      tbl = Hashtbl.create 32;
-      metrics;
-      node;
-      dir;
-      layer_handles = Hashtbl.create 4;
+      Wal.appends = 0;
+      fsyncs = 0;
+      segments = 0;
+      compactions = 0;
+      recovered_records = 0;
+      torn_records = 0;
     }
   in
-  (match dir with
-  | None -> ()
-  | Some d ->
-    mkdir_p d;
-    Array.iter
-      (fun name ->
-        if not (Filename.check_suffix name ".tmp") then
-          match key_of_hex name with
-          | key -> Hashtbl.replace t.tbl key (read_file (Filename.concat d name))
-          | exception _ -> ())
-      (Sys.readdir d));
-  t
+  let w =
+    {
+      wal;
+      last = zero;
+      h_appends = h "wal_appends";
+      h_fsyncs = h "wal_fsyncs";
+      h_segments = h "wal_segments";
+      h_compactions = h "wal_compactions";
+      h_recovered = h "wal_recovered_records";
+      h_torn = h "wal_torn_records";
+    }
+  in
+  sync_wal_metrics w;
+  w
+
+(* ---- file-per-key durability ---- *)
+
+let files_flush fs =
+  Hashtbl.iter (fun path () -> Durable.fsync_path path) fs.pending;
+  Durable.fsync_dir fs.fdir;
+  Metrics.hincr fs.h_file_fsyncs;
+  Hashtbl.reset fs.pending;
+  Durable.note_sync fs.fpacer
+
+let files_after_op fs path =
+  match Durable.policy fs.fpacer with
+  | Durable.Always ->
+    (* write_file already synced file + directory *)
+    Metrics.hincr fs.h_file_fsyncs;
+    ignore (Durable.note_op fs.fpacer);
+    Durable.note_sync fs.fpacer
+  | Durable.Never -> ()
+  | Durable.Every _ ->
+    (match path with
+    | Some p -> Hashtbl.replace fs.pending p ()
+    | None -> ());
+    if Durable.note_op fs.fpacer then files_flush fs
+
+let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
+    ?wal_segment_bytes ?wal_compact_min_bytes ~metrics ~node () =
+  let backend =
+    match (backend, dir) with
+    | Some b, _ -> b
+    | None, Some _ -> `Files
+    | None, None -> `Memory
+  in
+  let tbl = Hashtbl.create 32 in
+  let persist =
+    match (backend, dir) with
+    | `Memory, _ -> P_none
+    | (`Files | `Wal), None ->
+      invalid_arg "Storage.create: file and wal backends need ~dir"
+    | `Files, Some d ->
+      Durable.mkdir_p d;
+      Array.iter
+        (fun name ->
+          if not (Filename.check_suffix name ".tmp") then
+            match key_of_hex name with
+            | key -> Hashtbl.replace tbl key (read_file (Filename.concat d name))
+            | exception _ -> ())
+        (Sys.readdir d);
+      P_files
+        {
+          fdir = d;
+          fpacer = Durable.pacer fsync;
+          pending = Hashtbl.create 8;
+          h_file_fsyncs = Metrics.handle metrics ~node "file_fsyncs";
+        }
+    | `Wal, Some d ->
+      let wal =
+        Wal.open_ ?segment_bytes:wal_segment_bytes
+          ?compact_min_bytes:wal_compact_min_bytes ~fsync ~dir:d ()
+      in
+      Wal.iter wal (fun key value -> Hashtbl.replace tbl key value);
+      P_wal (wal_state ~metrics ~node wal)
+  in
+  { tbl; metrics; node; persist; layer_handles = Hashtbl.create 4 }
 
 let account t ~layer bytes =
   let ops, byt =
@@ -95,7 +193,15 @@ let account t ~layer bytes =
 let write t ~layer ~key v =
   account t ~layer (String.length v);
   Hashtbl.replace t.tbl key v;
-  match path t key with Some file -> write_file file v | None -> ()
+  match t.persist with
+  | P_none -> ()
+  | P_files fs ->
+    let path = Filename.concat fs.fdir (hex_of_key key) in
+    Durable.write_file ~fsync:(Durable.policy fs.fpacer = Durable.Always) path v;
+    files_after_op fs (Some path)
+  | P_wal w ->
+    Wal.put w.wal key v;
+    sync_wal_metrics w
 
 let read t key = Hashtbl.find_opt t.tbl key
 
@@ -112,9 +218,18 @@ let delete t ~layer key =
   if Hashtbl.mem t.tbl key then begin
     account t ~layer 0;
     Hashtbl.remove t.tbl key;
-    match path t key with
-    | Some file -> ( try Sys.remove file with Sys_error _ -> ())
-    | None -> ()
+    match t.persist with
+    | P_none -> ()
+    | P_files fs ->
+      let path = Filename.concat fs.fdir (hex_of_key key) in
+      (try Sys.remove path with Sys_error _ -> ());
+      Hashtbl.remove fs.pending path;
+      if Durable.policy fs.fpacer = Durable.Always then
+        Durable.fsync_dir fs.fdir;
+      files_after_op fs None
+    | P_wal w ->
+      Wal.delete w.wal key;
+      sync_wal_metrics w
   end
 
 let keys_with_prefix t prefix =
@@ -131,13 +246,51 @@ let retained_bytes t =
 
 let retained_keys t = Hashtbl.length t.tbl
 
+let sync t =
+  match t.persist with
+  | P_none -> ()
+  | P_files fs -> files_flush fs
+  | P_wal w ->
+    Wal.sync w.wal;
+    sync_wal_metrics w
+
+let close t =
+  match t.persist with
+  | P_none -> ()
+  | P_files fs -> if Hashtbl.length fs.pending > 0 then files_flush fs
+  | P_wal w ->
+    Wal.close w.wal;
+    sync_wal_metrics w
+
+let wal_stats t =
+  match t.persist with
+  | P_wal w -> Some (Wal.stats w.wal)
+  | P_none | P_files _ -> None
+
+let disk_bytes t =
+  match t.persist with
+  | P_none -> 0
+  | P_wal w -> Wal.disk_bytes w.wal
+  | P_files fs ->
+    Array.fold_left
+      (fun acc name ->
+        match (Unix.stat (Filename.concat fs.fdir name)).Unix.st_size with
+        | size -> acc + size
+        | exception Unix.Unix_error _ -> acc)
+      0 (Sys.readdir fs.fdir)
+
 let wipe t =
-  (match t.dir with
-  | Some d when Sys.file_exists d ->
+  (match t.persist with
+  | P_none -> ()
+  | P_files fs ->
     Array.iter
-      (fun name -> try Sys.remove (Filename.concat d name) with Sys_error _ -> ())
-      (Sys.readdir d)
-  | _ -> ());
+      (fun name ->
+        try Sys.remove (Filename.concat fs.fdir name) with Sys_error _ -> ())
+      (Sys.readdir fs.fdir);
+    Hashtbl.reset fs.pending
+  | P_wal w ->
+    Wal.wipe w.wal;
+    sync_wal_metrics w);
   Hashtbl.reset t.tbl
 
 let encode v = Marshal.to_string v []

@@ -6,20 +6,53 @@
     issuing layer so experiments can check the paper's minimal-logging
     claim: counters ["log_ops.<layer>"] and ["log_bytes.<layer>"] in
     {!Metrics}, plus the currently retained footprint via {!retained_bytes}
-    (used for the log-growth experiment E3). *)
+    (used for the log-growth experiment E3).
+
+    Reads always hit an in-memory table; what differs per {e backend} is
+    how (and whether) that table is made durable:
+
+    - [`Memory] — nothing on disk; "stability" is the simulator's promise.
+    - [`Files] — one file per key (hex-encoded name, atomic tmp+rename
+      write, fsync per the policy). Simple, but every write costs a file
+      create+rename and recovery costs one open per key.
+    - [`Wal] — the segmented write-ahead log of {!Abcast_store.Wal}: every
+      write/delete is one CRC-guarded append, recovery is a sequential
+      replay with torn-tail truncation, and key deletion (the paper's §5
+      checkpoint/trim rule) triggers compaction that keeps the on-disk
+      footprint proportional to the live state. This is what the live
+      runtime uses by default.
+
+    Durable backends mirror their sync activity into {!Metrics}:
+    [`Files] counts ["file_fsyncs"] (sync events, each covering the
+    pending batch), [`Wal] mirrors ["wal_appends"], ["wal_fsyncs"],
+    ["wal_segments"], ["wal_compactions"], ["wal_recovered_records"] and
+    ["wal_torn_records"]. *)
 
 type t
 (** Stable storage of one process. *)
 
-val create : ?dir:string -> metrics:Metrics.t -> node:int -> unit -> t
+val create :
+  ?dir:string ->
+  ?backend:[ `Memory | `Files | `Wal ] ->
+  ?fsync:Abcast_store.Durable.policy ->
+  ?wal_segment_bytes:int ->
+  ?wal_compact_min_bytes:int ->
+  metrics:Metrics.t ->
+  node:int ->
+  unit ->
+  t
 (** Storage for process [node], accounting into [metrics].
 
-    Without [dir] the store is memory-only and "stability" is the
-    simulator's promise (contents survive {e simulated} crashes). With
-    [dir] every key is additionally persisted as one file (hex-encoded
-    name, atomic tmp+rename write) and existing files are loaded at
-    creation — this is what the live runtime uses so that state survives
-    {e real} process restarts. *)
+    [backend] defaults to [`Files] when [dir] is given (compatibility
+    with the original file-per-key store) and [`Memory] otherwise;
+    [`Files] and [`Wal] require [dir] (@raise Invalid_argument without
+    it). [fsync] (default [Every {ops = 64; ms = 20}]) applies to either
+    durable backend. [wal_segment_bytes] / [wal_compact_min_bytes] tune
+    the [`Wal] backend (see {!Abcast_store.Wal.open_}).
+
+    With a durable backend, existing state is loaded/replayed at
+    creation — this is what lets state survive {e real} process
+    restarts in the live runtime. *)
 
 val write : t -> layer:string -> key:string -> string -> unit
 (** [write t ~layer ~key v] durably stores [v] under [key]. Counts one
@@ -50,6 +83,23 @@ val retained_bytes : t -> int
 
 val retained_keys : t -> int
 (** Number of currently stored keys. *)
+
+val sync : t -> unit
+(** Flush outstanding durability work now (pending batched fsyncs),
+    whatever the policy. No-op for [`Memory]. *)
+
+val close : t -> unit
+(** Release the backend's file descriptors after a final {!sync}. The
+    instance must not be written afterwards (the live runtime closes a
+    node's storage when its event loop exits). *)
+
+val wal_stats : t -> Abcast_store.Wal.stats option
+(** The [`Wal] backend's counters ([None] for other backends). *)
+
+val disk_bytes : t -> int
+(** On-disk footprint of the backend: WAL segment bytes, or the summed
+    file sizes for [`Files]; 0 for [`Memory]. The quantity a recovering
+    process must read back, and the thing WAL compaction bounds. *)
 
 val wipe : t -> unit
 (** Clear everything (test helper; never called by protocols). *)

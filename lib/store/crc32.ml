@@ -1,0 +1,37 @@
+(* CRC-32 (IEEE), reflected form, one 256-entry table computed at first
+   use. The checksum lives in an int masked to 32 bits. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := (!c lsr 1) lxor poly else c := !c lsr 1
+         done;
+         !c))
+
+let update_byte table crc b =
+  let idx = (crc lxor b) land 0xff in
+  Array.unsafe_get table idx lxor (crc lsr 8)
+
+let run get len off =
+  let table = Lazy.force table in
+  let crc = ref 0xFFFF_FFFF in
+  for i = off to off + len - 1 do
+    crc := update_byte table !crc (get i)
+  done;
+  !crc lxor 0xFFFF_FFFF
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.string: window outside string";
+  run (fun i -> Char.code (String.unsafe_get s i)) len off
+
+let bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: window outside buffer";
+  run (fun i -> Char.code (Bytes.unsafe_get b i)) len off

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), table-driven.
+
+    Guards every {!Wal} record against torn writes and bit rot: a record
+    whose stored checksum does not match is treated as the end of the
+    log, not as data. The value is kept in an [int] in
+    [\[0, 0xFFFF_FFFF\]] (OCaml ints are 63-bit, so no boxing). *)
+
+val string : ?off:int -> ?len:int -> string -> int
+(** Checksum of [s.[off .. off+len-1]] (defaults: the whole string). *)
+
+val bytes : ?off:int -> ?len:int -> Bytes.t -> int
+(** Same over a byte buffer (used on the write path's scratch buffer). *)

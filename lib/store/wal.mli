@@ -1,0 +1,137 @@
+(** Durable, segmented, append-only write-ahead log.
+
+    The paper's crash-recovery model (§2.1) makes stable storage the
+    only state a process can trust after a crash. This module is the
+    real implementation of that promise: every [put]/[delete] is
+    appended as one CRC-guarded record to the current segment file, and
+    {!open_} rebuilds the live key→value map by replaying all segments
+    in order.
+
+    {2 On-disk format}
+
+    A directory holds segment files [wal-<seq>.log] (ten-digit,
+    zero-padded, strictly increasing). A segment is a plain
+    concatenation of records, each framed with the
+    {!Abcast_util.Wire} codec:
+
+    {v uvarint(len body) | body | crc32(body) as 4 bytes LE v}
+
+    where [body] is one tag byte — [0] Put, [1] Delete, [2] Reset —
+    followed by the length-prefixed key (and value, for Put). [Reset]
+    marks the start of a compaction snapshot: on replay it clears all
+    state accumulated from earlier records, which is what makes
+    crash-interrupted compaction safe (see below). Files ending in
+    [.tmp] are in-flight compaction output; they are ignored and
+    removed on open.
+
+    {2 Torn-tail recovery}
+
+    Replay is total: a record whose length field is truncated, whose
+    body is short, whose checksum mismatches, or whose body fails to
+    decode marks the {e end of the log}. The damaged segment is
+    truncated back to the last whole record and every later segment is
+    deleted, so the recovered state is always the effect of a {e prefix}
+    of the appended operations — never a mangled record, never a gap.
+    (A tail of operations may be lost, bounded by the {!Durable.policy};
+    that is the crash-recovery contract, not a failure.)
+
+    {2 Compaction}
+
+    Deleting keys (the paper's §5 checkpoint/trim rule) leaves dead
+    records behind. When the dead fraction crosses a threshold (or on
+    an explicit {!compact}), the live bindings are rewritten into a
+    fresh segment: [Reset] + one [Put] per live key, written to a
+    [.tmp] file, fsynced, renamed into place as the next segment, and
+    only then are the old segments unlinked. A crash at any point
+    leaves a replayable log: before the rename the snapshot is
+    invisible; after it, the [Reset] record makes surviving stale
+    segments irrelevant regardless of how many of them the unlink loop
+    reached. *)
+
+type t
+
+(** Monotonic counters, kept by every instance since {!open_} (mirrored
+    into [Metrics] as [wal_*] by [Abcast_sim.Storage]). *)
+type stats = {
+  appends : int;  (** records appended (puts + deletes + snapshot writes) *)
+  fsyncs : int;  (** fsync system calls issued *)
+  segments : int;  (** segment files currently on disk *)
+  compactions : int;  (** completed compactions *)
+  recovered_records : int;  (** records replayed by {!open_} *)
+  torn_records : int;
+      (** torn/corrupt tails hit by {!open_} (each truncated the log) *)
+}
+
+val open_ :
+  ?segment_bytes:int ->
+  ?fsync:Durable.policy ->
+  ?compact_min_bytes:int ->
+  ?compact_ratio:float ->
+  ?auto_compact:bool ->
+  dir:string ->
+  unit ->
+  t
+(** Open (creating if needed) the log in [dir] and replay it.
+
+    [segment_bytes] (default 1 MiB) is the roll threshold: a segment
+    that reaches it is sealed and a new one started. [fsync] (default
+    [Every {ops = 64; ms = 20}]) is the durability policy. Compaction
+    triggers automatically (unless [auto_compact] is [false]) when dead
+    bytes exceed [compact_min_bytes] (default 64 KiB) {e and} the dead
+    fraction of the on-disk log exceeds [compact_ratio] (default 0.5). *)
+
+val put : t -> string -> string -> unit
+(** Append a Put record and update the live map. *)
+
+val delete : t -> string -> unit
+(** Append a Delete record (no-op if the key is absent). *)
+
+val find : t -> string -> string option
+
+val mem : t -> string -> bool
+
+val length : t -> int
+(** Number of live keys. *)
+
+val iter : t -> (string -> string -> unit) -> unit
+(** Visit every live binding (undefined order). *)
+
+val sync : t -> unit
+(** Force an fsync of the current segment now, whatever the policy. *)
+
+val compact : t -> unit
+(** Rewrite live bindings into a fresh segment and unlink the old
+    ones, unconditionally (automatic compaction applies the dead-bytes
+    thresholds; an explicit call does not). *)
+
+val disk_bytes : t -> int
+(** Total bytes across all segment files — the footprint a recovering
+    process must replay. Falls back towards the live-record size after
+    compaction. *)
+
+val close : t -> unit
+(** fsync and close the segment fd. Idempotent; the instance is
+    unusable for writes afterwards. *)
+
+val wipe : t -> unit
+(** Delete every segment and restart empty (test helper). *)
+
+val stats : t -> stats
+
+val dir : t -> string
+
+val current_segment : t -> string
+(** Path of the segment currently being appended to (tests use it to
+    truncate/corrupt precise byte ranges). *)
+
+(** {2 Test-only crash injection} *)
+
+exception Injected_crash of string
+
+val failpoint : string option ref
+(** When set to [Some "compact-before-rename"] or
+    [Some "compact-after-rename"], {!compact} raises {!Injected_crash}
+    at that point, simulating a process killed mid-compaction. The
+    instance must then be discarded and the directory re-opened — which
+    is exactly what the crash-fidelity tests assert recovers cleanly.
+    Never set outside tests. *)

@@ -1,0 +1,626 @@
+(* Tests for abcast.store: the segmented WAL, its crash fidelity (torn
+   writes at every byte offset, kill-mid-compaction), and the durable
+   backends of Abcast_sim.Storage built on it — including a sweep that
+   runs the same seeded simulation over all three backends and requires
+   identical outcomes. *)
+
+open Helpers
+module Wal = Abcast_store.Wal
+module Durable = Abcast_store.Durable
+module Factory = Abcast_core.Factory
+
+(* ---- scratch directories ---- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abcast-store-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Durable.mkdir_p d;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let with_dir f =
+  let d = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_raw path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* ---- an operation model for prefix properties ---- *)
+
+type op = Put of string * string | Del of string
+
+let apply w = function
+  | Put (k, v) -> Wal.put w k v
+  | Del k -> Wal.delete w k
+
+let bindings w =
+  let acc = ref [] in
+  Wal.iter w (fun k v -> acc := (k, v) :: !acc);
+  List.sort compare !acc
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let model ops =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Put (k, v) -> Hashtbl.replace tbl k v
+      | Del k -> Hashtbl.remove tbl k)
+    ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let prefix_models ops =
+  List.init (List.length ops + 1) (fun i -> model (take i ops))
+
+let kv_list = Alcotest.(list (pair string string))
+
+(* Replay [ops] into a fresh single-segment log with no automatic
+   compaction and return (dir, per-op end offsets including offset 0). *)
+let build_log d ops =
+  let w = Wal.open_ ~dir:d ~fsync:Durable.Never ~auto_compact:false () in
+  let seg = Wal.current_segment w in
+  let offsets =
+    List.map
+      (fun op ->
+        apply w op;
+        (Unix.stat seg).Unix.st_size)
+      ops
+  in
+  Wal.close w;
+  (seg, 0 :: offsets)
+
+(* ---- WAL unit tests ---- *)
+
+let wal_tests =
+  [
+    test "wal: puts and deletes survive reopen" (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d () in
+            Wal.put w "a" "1";
+            Wal.put w "b" "two";
+            Wal.put w "a" "one";
+            Wal.delete w "b";
+            Wal.put w "c" "";
+            Wal.close w;
+            let w2 = Wal.open_ ~dir:d () in
+            Alcotest.check kv_list "recovered"
+              [ ("a", "one"); ("c", "") ]
+              (bindings w2);
+            Alcotest.(check int) "recovered_records" 5
+              (Wal.stats w2).Wal.recovered_records;
+            Alcotest.(check int) "no tears" 0 (Wal.stats w2).Wal.torn_records;
+            Wal.close w2));
+    test "wal: delete of an absent key appends nothing" (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d () in
+            Wal.delete w "ghost";
+            Alcotest.(check int) "appends" 0 (Wal.stats w).Wal.appends;
+            Wal.close w));
+    test "wal: segments roll at the size threshold" (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~segment_bytes:128 ~fsync:Durable.Never
+                ~auto_compact:false () in
+            for i = 0 to 49 do
+              Wal.put w (Printf.sprintf "key%02d" i) (String.make 16 'v')
+            done;
+            let segs = (Wal.stats w).Wal.segments in
+            Alcotest.(check bool) "rolled" true (segs > 1);
+            let on_disk =
+              Array.to_list (Sys.readdir d)
+              |> List.filter (fun n -> Filename.check_suffix n ".log")
+            in
+            Alcotest.(check int) "files match stats" segs
+              (List.length on_disk);
+            Wal.close w;
+            let w2 = Wal.open_ ~dir:d () in
+            Alcotest.(check int) "all keys back" 50 (Wal.length w2);
+            Alcotest.(check (option string)) "spot check" (Some (String.make 16 'v'))
+              (Wal.find w2 "key07");
+            Wal.close w2));
+    test "wal: overwrites trigger compaction and bound the disk" (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~segment_bytes:4096 ~compact_min_bytes:2048
+                ~compact_ratio:0.5 ~fsync:Durable.Never () in
+            let v = String.make 64 'x' in
+            for _ = 1 to 500 do
+              Wal.put w "hot" v
+            done;
+            Wal.put w "cold" "c";
+            let s = Wal.stats w in
+            Alcotest.(check bool) "compacted" true (s.Wal.compactions >= 1);
+            (* 500 × ~70-byte records ≈ 35 KB appended; compaction must keep
+               the on-disk log near the ~80 live bytes, not the history *)
+            Alcotest.(check bool) "disk bounded" true (Wal.disk_bytes w < 8192);
+            Wal.close w;
+            let w2 = Wal.open_ ~dir:d () in
+            Alcotest.check kv_list "state intact"
+              [ ("cold", "c"); ("hot", v) ]
+              (bindings w2);
+            Wal.close w2));
+    test "wal: explicit compact is unconditional and preserves state"
+      (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~fsync:Durable.Never ~auto_compact:false () in
+            List.iter (apply w)
+              [ Put ("a", "1"); Put ("b", "2"); Del "a"; Put ("c", "3") ];
+            let before = bindings w in
+            let bytes_before = Wal.disk_bytes w in
+            Wal.compact w;
+            Alcotest.check kv_list "live map unchanged" before (bindings w);
+            Alcotest.(check bool) "dead bytes dropped" true
+              (Wal.disk_bytes w < bytes_before);
+            Wal.close w;
+            let w2 = Wal.open_ ~dir:d () in
+            Alcotest.check kv_list "snapshot replays" before (bindings w2);
+            Wal.close w2));
+    test "wal: fsync policies pace the sync calls" (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~fsync:Durable.Always ~auto_compact:false () in
+            for i = 1 to 10 do
+              Wal.put w (string_of_int i) "v"
+            done;
+            Alcotest.(check bool) "always: one sync per op" true
+              ((Wal.stats w).Wal.fsyncs >= 10);
+            Wal.close w);
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~fsync:Durable.Never ~auto_compact:false () in
+            for i = 1 to 10 do
+              Wal.put w (string_of_int i) "v"
+            done;
+            Alcotest.(check int) "never: zero syncs" 0 (Wal.stats w).Wal.fsyncs;
+            Wal.close w);
+        with_dir (fun d ->
+            let w =
+              Wal.open_ ~dir:d
+                ~fsync:(Durable.Every { ops = 5; ms = 10_000 })
+                ~auto_compact:false ()
+            in
+            for i = 1 to 20 do
+              Wal.put w (string_of_int i) "v"
+            done;
+            let s = (Wal.stats w).Wal.fsyncs in
+            Alcotest.(check bool) "every:5 syncs ~4 times" true
+              (s >= 4 && s < 20);
+            Wal.close w));
+    test "wal: wipe empties the log durably" (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~fsync:Durable.Never () in
+            Wal.put w "a" "1";
+            Wal.wipe w;
+            Alcotest.(check int) "empty" 0 (Wal.length w);
+            Wal.put w "b" "2";
+            Wal.close w;
+            let w2 = Wal.open_ ~dir:d () in
+            Alcotest.check kv_list "only post-wipe state" [ ("b", "2") ]
+              (bindings w2);
+            Wal.close w2));
+  ]
+
+(* ---- crash fidelity: torn tails ---- *)
+
+(* A fixed op sequence whose last record we will damage at every byte
+   offset. Values vary in size so the offsets exercise multi-byte
+   regions of the frame (length varint, key, value, CRC). *)
+let fixed_ops =
+  [
+    Put ("alpha", "1");
+    Put ("beta", String.make 40 'b');
+    Del "alpha";
+    Put ("gamma", "ggg");
+    Put ("beta", "2");
+  ]
+
+(* Reopen a copy of [seg_data] cut/mutated by [mutate] and return the
+   recovered bindings. *)
+let recover_mutated mutate seg_data =
+  with_dir (fun d ->
+      write_raw (Filename.concat d "wal-0000000001.log") (mutate seg_data);
+      let w = Wal.open_ ~dir:d () in
+      let got = bindings w in
+      let torn = (Wal.stats w).Wal.torn_records in
+      Wal.close w;
+      (got, torn))
+
+let crash_tests =
+  [
+    test "torn tail: truncation at every offset of the last record"
+      (fun () ->
+        with_dir (fun d ->
+            let seg, offsets = build_log d fixed_ops in
+            let data = read_file seg in
+            let last_start = List.nth offsets (List.length fixed_ops - 1) in
+            let expect = model (take (List.length fixed_ops - 1) fixed_ops) in
+            Alcotest.(check int) "log length" (String.length data)
+              (List.nth offsets (List.length fixed_ops));
+            for cut = last_start to String.length data - 1 do
+              let got, torn =
+                recover_mutated (fun s -> String.sub s 0 cut) data
+              in
+              Alcotest.check kv_list
+                (Printf.sprintf "cut at %d recovers the N-1 prefix" cut)
+                expect got;
+              if cut > last_start then
+                Alcotest.(check int)
+                  (Printf.sprintf "cut at %d counts one tear" cut)
+                  1 torn
+            done));
+    test "torn tail: a flipped byte anywhere in the last record is rejected"
+      (fun () ->
+        with_dir (fun d ->
+            let seg, offsets = build_log d fixed_ops in
+            let data = read_file seg in
+            let last_start = List.nth offsets (List.length fixed_ops - 1) in
+            let expect = model (take (List.length fixed_ops - 1) fixed_ops) in
+            for pos = last_start to String.length data - 1 do
+              let flip s =
+                let b = Bytes.of_string s in
+                Bytes.set b pos
+                  (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+                Bytes.to_string b
+              in
+              let got, torn = recover_mutated flip data in
+              Alcotest.check kv_list
+                (Printf.sprintf "flip at %d recovers the N-1 prefix" pos)
+                expect got;
+              Alcotest.(check int)
+                (Printf.sprintf "flip at %d counts one tear" pos)
+                1 torn
+            done));
+    test "torn tail: damage in a middle segment drops all later segments"
+      (fun () ->
+        with_dir (fun d ->
+            let w = Wal.open_ ~dir:d ~segment_bytes:96 ~fsync:Durable.Never
+                ~auto_compact:false () in
+            let ops =
+              List.init 30 (fun i ->
+                  Put (Printf.sprintf "key%02d" i, String.make 12 'v'))
+            in
+            List.iter (apply w) ops;
+            let segs = (Wal.stats w).Wal.segments in
+            Alcotest.(check bool) "at least 3 segments" true (segs >= 3);
+            Wal.close w;
+            (* corrupt one byte in the middle of the second segment *)
+            let seg_files =
+              Array.to_list (Sys.readdir d)
+              |> List.filter (fun n -> Filename.check_suffix n ".log")
+              |> List.sort compare
+            in
+            let victim = Filename.concat d (List.nth seg_files 1) in
+            let data = Bytes.of_string (read_file victim) in
+            let pos = Bytes.length data / 2 in
+            Bytes.set data pos
+              (Char.chr (Char.code (Bytes.get data pos) lxor 0xff));
+            write_raw victim (Bytes.to_string data);
+            let w2 = Wal.open_ ~dir:d () in
+            (* whatever survives must be the effect of an op prefix *)
+            Alcotest.(check bool) "recovered a prefix" true
+              (List.mem (bindings w2) (prefix_models ops));
+            Alcotest.(check bool) "strictly shorter than the full log" true
+              (Wal.length w2 < 30);
+            Alcotest.(check int) "one tear" 1 (Wal.stats w2).Wal.torn_records;
+            (* the segments after the damaged one must be gone from disk *)
+            let remaining =
+              Array.to_list (Sys.readdir d)
+              |> List.filter (fun n -> Filename.check_suffix n ".log")
+              |> List.sort compare
+            in
+            Alcotest.(check (list string)) "later segments unlinked"
+              (take 2 seg_files) remaining;
+            Wal.close w2));
+  ]
+
+(* ---- crash fidelity: kill mid-compaction ---- *)
+
+let compaction_crash_test point =
+  test (Printf.sprintf "compaction killed at %s recovers cleanly" point)
+    (fun () ->
+      with_dir (fun d ->
+          let w = Wal.open_ ~dir:d ~fsync:Durable.Never ~auto_compact:false () in
+          List.iter (apply w)
+            [
+              Put ("a", "1");
+              Put ("b", String.make 30 'b');
+              Put ("c", "3");
+              Del "b";
+              Put ("a", "one");
+              Del "c";
+            ];
+          let expect = bindings w in
+          Wal.failpoint := Some point;
+          Fun.protect
+            ~finally:(fun () -> Wal.failpoint := None)
+            (fun () ->
+              match Wal.compact w with
+              | () -> Alcotest.fail "failpoint did not fire"
+              | exception Wal.Injected_crash _ -> ());
+          (* the crashed instance is dead; a fresh open is the recovery *)
+          let w2 = Wal.open_ ~dir:d () in
+          Alcotest.check kv_list "state preserved" expect (bindings w2);
+          Alcotest.(check int) "aborted compaction not counted" 0
+            (Wal.stats w2).Wal.compactions;
+          let tmps =
+            Array.to_list (Sys.readdir d)
+            |> List.filter (fun n -> Filename.check_suffix n ".tmp")
+          in
+          Alcotest.(check (list string)) "no tmp debris" [] tmps;
+          (* and the recovered log remains fully usable *)
+          Wal.put w2 "d" "4";
+          Wal.close w2;
+          let w3 = Wal.open_ ~dir:d () in
+          Alcotest.check kv_list "still appendable"
+            (List.sort compare (("d", "4") :: expect))
+            (bindings w3);
+          Wal.close w3))
+
+let failpoint_tests =
+  [
+    compaction_crash_test "compact-before-rename";
+    compaction_crash_test "compact-after-rename";
+  ]
+
+(* ---- randomized prefix properties ---- *)
+
+(* Ops are generated as plain int pairs so QCheck can print
+   counterexamples with its stock printers. *)
+let decode_ops raw =
+  List.map
+    (fun (a, b) ->
+      let key = Printf.sprintf "k%d" (a mod 5) in
+      if a / 5 = 4 then Del key
+      else Put (key, String.make (b mod 50) (Char.chr (65 + (b mod 26)))))
+    raw
+
+let raw_ops =
+  QCheck.(list_of_size (Gen.int_range 1 40) (pair (int_range 0 24) (int_range 0 999)))
+
+(* Damage must hit the raw segment bytes of a log with compaction off:
+   truncating inside a compaction snapshot yields a key subset, not an
+   op prefix (and a real torn write cannot hit the snapshot — it is
+   fully fsynced before the rename makes it visible). *)
+let prefix_property mutate (raw, sel) =
+  let ops = decode_ops raw in
+  with_dir (fun d ->
+      let seg, _ = build_log d ops in
+      let data = read_file seg in
+      match mutate data sel with
+      | None -> true
+      | Some data' ->
+        write_raw seg data';
+        let w = Wal.open_ ~dir:d () in
+        let got = bindings w in
+        Wal.close w;
+        List.mem got (prefix_models ops))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make
+        ~name:"wal: truncation at any point recovers an exact op prefix"
+        ~count:60
+        QCheck.(pair raw_ops (int_range 0 1_000_000))
+        (prefix_property (fun data sel ->
+             Some (String.sub data 0 (sel mod (String.length data + 1)))));
+      QCheck.Test.make
+        ~name:"wal: one corrupt byte anywhere recovers an exact op prefix"
+        ~count:60
+        QCheck.(pair raw_ops (int_range 0 1_000_000))
+        (prefix_property (fun data sel ->
+             if String.length data = 0 then None
+             else begin
+               let b = Bytes.of_string data in
+               let pos = sel mod Bytes.length b in
+               Bytes.set b pos
+                 (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+               Some (Bytes.to_string b)
+             end));
+    ]
+
+(* ---- Storage backends ---- *)
+
+let mk_storage ?dir ?backend ?fsync () =
+  let metrics = Metrics.create () in
+  (Storage.create ?dir ?backend ?fsync ~metrics ~node:0 (), metrics)
+
+let backend_reopen_test name backend =
+  test (name ^ " backend: state survives close and reopen") (fun () ->
+      with_dir (fun d ->
+          let s, _ = mk_storage ~dir:d ~backend ~fsync:Durable.Always () in
+          Storage.write s ~layer:"x" ~key:"a" "1";
+          Storage.write s ~layer:"x" ~key:"b" "two";
+          Storage.write s ~layer:"x" ~key:"a" "one";
+          Storage.delete s ~layer:"x" "b";
+          Alcotest.(check bool) "disk in use" true (Storage.disk_bytes s > 0);
+          Storage.close s;
+          let s2, _ = mk_storage ~dir:d ~backend () in
+          Alcotest.(check (option string)) "a" (Some "one") (Storage.read s2 "a");
+          Alcotest.(check (option string)) "b gone" None (Storage.read s2 "b");
+          Alcotest.(check int) "keys" 1 (Storage.retained_keys s2);
+          Storage.close s2))
+
+let backend_tests =
+  [
+    backend_reopen_test "files" `Files;
+    backend_reopen_test "wal" `Wal;
+    test "wal backend mirrors its counters into metrics" (fun () ->
+        with_dir (fun d ->
+            let s, m = mk_storage ~dir:d ~backend:`Wal ~fsync:Durable.Always () in
+            for i = 1 to 8 do
+              Storage.write s ~layer:"x" ~key:(string_of_int i) "v"
+            done;
+            Storage.delete s ~layer:"x" "3";
+            Alcotest.(check int) "appends" 9 (Metrics.get m ~node:0 "wal_appends");
+            Alcotest.(check bool) "fsyncs" true
+              (Metrics.get m ~node:0 "wal_fsyncs" >= 9);
+            Alcotest.(check int) "segments gauge" 1
+              (Metrics.get m ~node:0 "wal_segments");
+            Storage.close s;
+            (* a reopen mirrors the replay count of the new instance *)
+            let s2, m2 = mk_storage ~dir:d ~backend:`Wal () in
+            Alcotest.(check int) "recovered"
+              9
+              (Metrics.get m2 ~node:0 "wal_recovered_records");
+            (match Storage.wal_stats s2 with
+            | Some st -> Alcotest.(check int) "stats agree" 9 st.Wal.recovered_records
+            | None -> Alcotest.fail "wal_stats missing");
+            Storage.close s2));
+    test "files backend counts its sync events" (fun () ->
+        with_dir (fun d ->
+            let s, m = mk_storage ~dir:d ~backend:`Files ~fsync:Durable.Always () in
+            Storage.write s ~layer:"x" ~key:"a" "1";
+            Storage.write s ~layer:"x" ~key:"b" "2";
+            Alcotest.(check bool) "synced per op" true
+              (Metrics.get m ~node:0 "file_fsyncs" >= 2);
+            Storage.close s);
+        with_dir (fun d ->
+            let s, m =
+              mk_storage ~dir:d ~backend:`Files
+                ~fsync:(Durable.Every { ops = 100; ms = 100_000 }) ()
+            in
+            Storage.write s ~layer:"x" ~key:"a" "1";
+            Alcotest.(check int) "batched: not yet" 0
+              (Metrics.get m ~node:0 "file_fsyncs");
+            Storage.sync s;
+            Alcotest.(check int) "explicit sync flushes" 1
+              (Metrics.get m ~node:0 "file_fsyncs");
+            Storage.close s));
+    test "durable backends require a directory" (fun () ->
+        let metrics = Metrics.create () in
+        List.iter
+          (fun backend ->
+            match Storage.create ~backend ~metrics ~node:0 () with
+            | _ -> Alcotest.fail "accepted a durable backend without ~dir"
+            | exception Invalid_argument _ -> ())
+          [ `Files; `Wal ]);
+  ]
+
+(* ---- backend equivalence sweep (E3 workload on all three) ---- *)
+
+(* The simulator's schedule never depends on how storage persists, so a
+   seeded run must produce bit-identical protocol outcomes on the memory,
+   file-per-key and WAL backends — same deliveries, same log accounting,
+   same retained footprint, same surviving keys. *)
+let sweep_run ?storage () =
+  let stack = Factory.alternative ~checkpoint_period:15_000 ~delta:3 () in
+  let cluster = Cluster.create stack ~seed:17 ~n:3 ?storage () in
+  let rng = Rng.create 23 in
+  let count =
+    Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+      ~stop:60_000 ~mean_gap:1_000 ~size:64 ()
+  in
+  let ok =
+    Cluster.run_until cluster ~until:1_000_000_000
+      ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+      ()
+  in
+  Alcotest.(check bool) "quiesced" true ok;
+  (* settle so idle checkpoints run and truncate the logs *)
+  Cluster.run cluster ~until:(Cluster.now cluster + 400_000);
+  (cluster, count)
+
+let observe cluster =
+  let m = Cluster.metrics cluster in
+  List.map
+    (fun i ->
+      ( Cluster.delivered_count cluster i,
+        ids_of (Cluster.delivered_tail cluster i),
+        Cluster.retained_bytes cluster i,
+        Cluster.retained_keys cluster i,
+        Cluster.storage_keys cluster i "" ))
+    [ 0; 1; 2 ]
+  @ [ (Metrics.sum_prefix m "log_ops.", [], Metrics.sum_prefix m "log_bytes.", 0, []) ]
+
+let sweep_tests =
+  [
+    test "backend equivalence: memory, files and wal agree on a seeded run"
+      (fun () ->
+        with_dir (fun base ->
+            let factory backend ~metrics ~node =
+              Storage.create
+                ~dir:(Filename.concat base (Printf.sprintf "%s%d"
+                        (match backend with `Files -> "f" | _ -> "w") node))
+                ~backend ~fsync:Durable.Never ~wal_compact_min_bytes:2048
+                ~metrics ~node ()
+            in
+            let mem_cluster, count = sweep_run () in
+            let files_cluster, count_f = sweep_run ~storage:(factory `Files) () in
+            let wal_cluster, count_w = sweep_run ~storage:(factory `Wal) () in
+            Alcotest.(check int) "same workload (files)" count count_f;
+            Alcotest.(check int) "same workload (wal)" count count_w;
+            let reference = observe mem_cluster in
+            List.iter
+              (fun (name, cluster) ->
+                let actual = observe cluster in
+                List.iteri
+                  (fun i (dc, ids, rb, rk, keys) ->
+                    let dc', ids', rb', rk', keys' = List.nth actual i in
+                    Alcotest.(check int)
+                      (Printf.sprintf "%s: delivered_count[%d]" name i)
+                      dc dc';
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s: delivery order[%d]" name i)
+                      true (ids = ids');
+                    Alcotest.(check int)
+                      (Printf.sprintf "%s: retained_bytes[%d]" name i)
+                      rb rb';
+                    Alcotest.(check int)
+                      (Printf.sprintf "%s: retained_keys[%d]" name i)
+                      rk rk';
+                    Alcotest.(check (list string))
+                      (Printf.sprintf "%s: stored keys[%d]" name i)
+                      keys keys')
+                  reference)
+              [ ("files", files_cluster); ("wal", wal_cluster) ];
+            (* durable backends actually wrote: both have bytes on disk *)
+            List.iter
+              (fun (name, cluster) ->
+                Alcotest.(check bool) (name ^ " wrote to disk") true
+                  (Cluster.disk_bytes cluster 0 > 0))
+              [ ("files", files_cluster); ("wal", wal_cluster) ];
+            (* the WAL's own replay agrees with the cluster's view: reopen
+               node 0's directory and compare every surviving key *)
+            (match Cluster.wal_stats wal_cluster 0 with
+            | None -> Alcotest.fail "wal cluster has no wal stats"
+            | Some st ->
+              Alcotest.(check bool) "wal appended" true (st.Wal.appends > 0));
+            let w = Wal.open_ ~dir:(Filename.concat base "w0") () in
+            let wal_keys = List.sort compare (List.map fst (bindings w)) in
+            List.iter
+              (fun (k, v) ->
+                Alcotest.(check (option string)) ("replayed " ^ k)
+                  (Cluster.read_storage wal_cluster 0 k)
+                  (Some v))
+              (bindings w);
+            Alcotest.(check (list string)) "replayed key set"
+              (Cluster.storage_keys wal_cluster 0 "")
+              wal_keys;
+            Wal.close w));
+  ]
+
+let suite =
+  ( "store",
+    wal_tests @ crash_tests @ failpoint_tests @ qcheck_tests @ backend_tests
+    @ sweep_tests )

@@ -4,6 +4,7 @@ let () =
       Suite_util.suite;
       Suite_wire.suite;
       Suite_sim.suite;
+      Suite_store.suite;
       Suite_fd.suite;
       Suite_consensus.suite;
       Suite_consensus_unit.suite;
