@@ -1,6 +1,6 @@
 (* `bench/main.exe --json`: machine-readable performance snapshot.
 
-   Writes BENCH_PR3.json in the current directory with
+   Writes BENCH_PR4.json in the current directory with
 
    - the n=5 steady-load workload run once per gossip mode (full set vs
      digest+Need pull): host events/sec, broadcasts-to-quiescence wall
@@ -10,9 +10,14 @@
    - hand-timed micro-benchmarks (ns/op) for the hot paths, including
      codec-vs-Marshal pairs, and the encoded bytes per value for a
      representative gossip message;
-   - the durable-storage section (new in schema 3): append throughput
-     and reopen/recovery time of the segmented WAL vs the file-per-key
-     backend under each fsync policy (the E16 workload, one repetition).
+   - the durable-storage section: append throughput and reopen/recovery
+     time of the segmented WAL vs the file-per-key backend under each
+     fsync policy (the E16 workload, one repetition);
+   - the observability section (new in schema 4): the delta-gossip
+     steady run repeated with lifecycle tracing + spans enabled, the
+     relative overhead against the traced-off run (the < 5% budget of
+     E17), histogram hot-path ns/op, and the stage-latency p50s the
+     instrumentation measured.
 
    The simulated metrics (counts, bytes, sim time) are seeded and
    bit-reproducible; the wall-clock and ns/op figures are host-dependent
@@ -20,6 +25,8 @@
 
 module Rng = Abcast_util.Rng
 module Metrics = Abcast_sim.Metrics
+module Histogram = Abcast_util.Histogram
+module Trace = Abcast_sim.Trace
 module Cluster = Abcast_harness.Cluster
 module Workload = Abcast_harness.Workload
 module Factory = Abcast_core.Factory
@@ -32,15 +39,18 @@ type steady = {
   gossip_msgs : int;
   gossip_bytes : int;
   net_msgs : int;
+  stage_p50 : (string * float) list;
 }
 
 (* The E14 workload: n=5, 400 Poisson broadcasts, mean gap 1.5ms. One
-   warm-up run (allocator, caches), then one timed run. *)
-let steady ~delta_gossip () =
+   warm-up run (allocator, caches), then one timed run. [trace] runs it
+   with lifecycle tracing and spans recording (the E17 overhead axis). *)
+let steady ?(trace = false) ~delta_gossip () =
   let n = 5 and msgs = 400 and mean_gap = 1_500 in
   let go () =
     let stack = Factory.alternative ~delta_gossip () in
-    let cluster = Cluster.create stack ~seed:7 ~n () in
+    let tr = Trace.create ~enabled:trace () in
+    let cluster = Cluster.create stack ~seed:7 ~n ~trace:tr () in
     let rng = Rng.create 91 in
     let count =
       Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id)
@@ -73,6 +83,19 @@ let steady ~delta_gossip () =
   let cluster, count = Option.get !result in
   let wall_s = !best in
   let m = Cluster.metrics cluster in
+  let stage_p50 =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun (s : Histogram.summary) -> (name, s.p50))
+          (Cluster.hist_summary cluster name))
+      [
+        "stage.broadcast_to_propose_us";
+        "stage.propose_to_adeliver_us";
+        "lat_deliver";
+        "cons.propose_to_decide_us";
+      ]
+  in
   {
     count;
     events = Cluster.events_processed cluster;
@@ -81,6 +104,7 @@ let steady ~delta_gossip () =
     gossip_msgs = Metrics.sum m "gossip_msgs_sent";
     gossip_bytes = Metrics.sum m "gossip_bytes_sent";
     net_msgs = Metrics.sum m "msgs_sent";
+    stage_p50;
   }
 
 (* Best of 5 timed repetitions, like the steady runs' best-of-7: the
@@ -148,8 +172,80 @@ let micros () =
     ( "metrics_incr_string",
       time_ns ~iters:2_000_000 (fun () -> Metrics.incr m ~node:0 "rx.gossip") );
     ("metrics_hincr_interned", time_ns ~iters:10_000_000 (fun () -> Metrics.hincr h));
+    ( "histogram_add",
+      let hist = Histogram.create () in
+      let v = ref 1.5 in
+      time_ns ~iters:10_000_000 (fun () ->
+          v := !v *. 1.009;
+          if !v > 1e8 then v := 1.5;
+          Histogram.add hist !v) );
+    ( "histogram_percentile",
+      let hist = Histogram.create () in
+      let rng' = Rng.create 3 in
+      for _ = 1 to 10_000 do
+        Histogram.add hist (float_of_int (1 + Rng.int rng' 1_000_000))
+      done;
+      time_ns ~iters:100_000 (fun () -> ignore (Histogram.percentile hist 95.))
+    );
+    ( "metrics_observe",
+      time_ns ~iters:100_000 (fun () ->
+          Metrics.observe m ~node:0 "bench.obs" 123.4) );
     ("abcast_10msgs_quiescence_n3", time_ns ~iters:100 quiesce);
   ]
+
+(* A short real-UDP run for the net_stats/WAL counters section; [None]
+   when the environment forbids sockets (CI sandboxes). *)
+let live_bench () =
+  let module Live = Abcast_live.Runtime in
+  let msgs = 60 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abcast-bench-live-%d" (Unix.getpid ()))
+  in
+  match Live.create (Factory.basic ()) ~n:3 ~base_port:7541 ~dir () with
+  | exception Unix.Unix_error _ -> None
+  | live ->
+    Fun.protect ~finally:(fun () -> Live.shutdown live) @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    for j = 0 to msgs - 1 do
+      Live.broadcast live ~node:(j mod 3) (Printf.sprintf "b%d" j)
+    done;
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    let all () =
+      List.for_all (fun i -> Live.delivered_count live i >= msgs) [ 0; 1; 2 ]
+    in
+    while (not (all ())) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    if not (all ()) then None
+    else begin
+      let dt = Unix.gettimeofday () -. t0 in
+      let sum_ns f =
+        List.fold_left (fun acc i -> acc + f (Live.net_stats live i)) 0
+          [ 0; 1; 2 ]
+      in
+      let sum_ctr name =
+        List.fold_left
+          (fun acc i ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt name (Live.node_counters live i)))
+          0 [ 0; 1; 2 ]
+      in
+      Some
+        (Printf.sprintf
+           {|{
+    "msgs": %d, "n": 3, "wall_s": %.4f, "msgs_per_sec": %.0f,
+    "net_tx_oversize": %d, "net_rx_undecodable": %d,
+    "wal_appends": %d, "wal_fsyncs": %d, "wal_segments": %d
+  }|}
+           msgs dt
+           (float_of_int msgs /. dt)
+           (sum_ns (fun (s : Live.net_stats) -> s.tx_oversize))
+           (sum_ns (fun (s : Live.net_stats) -> s.rx_undecodable))
+           (sum_ctr "wal_appends") (sum_ctr "wal_fsyncs")
+           (sum_ctr "wal_segments"))
+    end
 
 (* Durable storage: append throughput and recovery cost per backend and
    fsync policy (the machine-readable face of experiment E16). *)
@@ -251,10 +347,14 @@ let steady_json name (s : steady) =
 let run () =
   let full = steady ~delta_gossip:false () in
   let delta = steady ~delta_gossip:true () in
+  let traced = steady ~trace:true ~delta_gossip:true () in
   let micro = micros () in
   let bytes = encoded_bytes () in
   let reduction =
     float_of_int full.gossip_bytes /. float_of_int (max 1 delta.gossip_bytes)
+  in
+  let trace_overhead_pct =
+    (traced.wall_s -. delta.wall_s) /. delta.wall_s *. 100.0
   in
   let micro_json =
     micro
@@ -267,14 +367,31 @@ let run () =
     |> String.concat ",\n"
   in
   let storage_json = String.concat ",\n" (storage_bench ()) in
+  let stage_json =
+    delta.stage_p50
+    |> List.map (fun (name, p50) -> Printf.sprintf {|      "%s": %.1f|} name p50)
+    |> String.concat ",\n"
+  in
+  let live_json =
+    match live_bench () with Some j -> j | None -> "null"
+  in
   let json =
     Printf.sprintf
       {|{
-  "schema": 3,
+  "schema": 4,
   "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
 %s,
 %s,
   "gossip_bytes_reduction_x": %.2f,
+  "observability": {
+    "steady_wall_s_trace_off": %.6f,
+    "steady_wall_s_trace_on": %.6f,
+    "trace_overhead_pct": %.2f,
+    "stage_latency_p50_us": {
+%s
+    }
+  },
+  "live": %s,
   "micro_ns_per_op": {
 %s
   },
@@ -288,11 +405,13 @@ let run () =
 |}
       (steady_json "full_gossip" full)
       (steady_json "delta_gossip" delta)
-      reduction micro_json bytes_json storage_json
+      reduction delta.wall_s traced.wall_s trace_overhead_pct stage_json
+      live_json micro_json bytes_json storage_json
   in
-  let oc = open_out "BENCH_PR3.json" in
+  let oc = open_out "BENCH_PR4.json" in
   output_string oc json;
   close_out oc;
   print_string json;
-  Printf.printf "wrote BENCH_PR3.json (gossip bytes reduction: %.2fx)\n"
-    reduction
+  Printf.printf
+    "wrote BENCH_PR4.json (gossip reduction: %.2fx, trace overhead: %+.2f%%)\n"
+    reduction trace_overhead_pct

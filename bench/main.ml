@@ -8,9 +8,10 @@
      --only E4 [E5 ...]   run only the listed experiments
      --micro              run only the micro-benchmarks
      --quick              shrink workloads (~4x faster, coarser numbers)
-     --json               write BENCH_PR3.json (machine-readable snapshot:
+     --json               write BENCH_PR4.json (machine-readable snapshot:
                           events/sec, quiescence wall time, gossip bytes,
-                          durable-storage throughput, micro ns/op) and exit *)
+                          durable-storage throughput, trace/span overhead,
+                          stage-latency p50s, micro ns/op) and exit *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -25,12 +25,54 @@ let make_stack stack consensus checkpoint_period delta =
   | "ct" -> Abcast_baseline.Ct_abcast.stack ~consensus ()
   | s -> failwith (Printf.sprintf "unknown stack %S (basic|alt|naive|ct)" s)
 
-let run_cmd stack consensus n seed msgs loss dup crashes trace_on check =
+(* Histogram series worth a row in the end-of-run latency table. *)
+let is_latency_series name =
+  List.exists
+    (fun p -> String.starts_with ~prefix:p name)
+    [ "stage."; "cons."; "wal_"; "file_"; "lat_" ]
+
+let parse_fsync s =
+  match Abcast_store.Durable.policy_of_string s with
+  | Ok p -> p
+  | Error msg ->
+    Printf.eprintf "bad --fsync %S: %s\n" s msg;
+    exit 3
+
+let run_cmd stack consensus n seed msgs loss dup crashes trace_on trace_out
+    backend fsync check =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
   let stack_mod = make_stack stack consensus 50_000 4 in
   let net = Net.create ~loss ~dup () in
-  let trace = Trace.create ~enabled:trace_on ~echo:trace_on () in
-  let cluster = Cluster.create stack_mod ~seed ~n ~net ~trace () in
+  let trace =
+    Trace.create ~enabled:(trace_on || trace_out <> None) ~echo:trace_on ()
+  in
+  let fsync = parse_fsync fsync in
+  let storage_dir =
+    (* Durable backends need a scratch directory; memory needs none. *)
+    lazy
+      (let d =
+         Filename.concat (Filename.get_temp_dir_name ())
+           (Printf.sprintf "abcast-sim-run-%d" (Unix.getpid ()))
+       in
+       (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+       d)
+  in
+  let storage =
+    match backend with
+    | "memory" -> None
+    | ("files" | "wal") as b ->
+      let backend = if b = "wal" then `Wal else `Files in
+      Some
+        (fun ~metrics ~node ->
+          Abcast_sim.Storage.create
+            ~dir:(Filename.concat (Lazy.force storage_dir)
+                    (Printf.sprintf "node%d" node))
+            ~backend ~fsync ~metrics ~node ())
+    | s ->
+      Printf.eprintf "unknown --backend %S (expected memory|files|wal)\n" s;
+      exit 3
+  in
+  let cluster = Cluster.create stack_mod ~seed ~n ~net ~trace ?storage () in
   List.iter
     (fun (node, from_, until) ->
       Cluster.at cluster from_ (fun () -> Cluster.crash cluster node);
@@ -80,7 +122,40 @@ let run_cmd stack consensus n seed msgs loss dup crashes trace_on check =
       [ "mean delivery latency µs"; Table.flt (Metrics.mean m "lat_deliver") ];
       [ "crashes"; Table.num (Metrics.sum m "crashes") ];
       [ "state transfers"; Table.num (Metrics.sum m "state_transfers_applied") ];
+      [ "wal appends"; Table.num (Metrics.sum m "wal_appends") ];
+      [ "wal fsyncs"; Table.num (Metrics.sum m "wal_fsyncs") ];
     ];
+  let lat_rows =
+    List.filter_map
+      (fun name ->
+        if not (is_latency_series name) then None
+        else
+          match Metrics.hist_summary m name with
+          | Some (s : Abcast_util.Histogram.summary) when s.count > 0 ->
+            Some
+              [
+                name;
+                Table.num s.count;
+                Table.flt s.p50;
+                Table.flt s.p95;
+                Table.flt s.p99;
+                Table.flt s.max;
+              ]
+          | _ -> None)
+      (Metrics.series_names m)
+  in
+  if lat_rows <> [] then
+    Table.print ~title:"latency histograms (µs unless noted, all processes)"
+      ~header:[ "series"; "count"; "p50"; "p95"; "p99"; "max" ]
+      lat_rows;
+  (match trace_out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Trace.to_chrome_json trace);
+    close_out oc;
+    Printf.printf "chrome trace written to %s (load in chrome://tracing)\n"
+      path
+  | None -> ());
   if check then begin
     match Checks.all ~cluster ~good:(List.init n Fun.id) () with
     | Ok () -> print_endline "properties: OK (validity, integrity, total order, termination)"
@@ -130,7 +205,8 @@ let soak_cmd stack consensus n n_bad episodes seed0 =
   Printf.printf "\n%d episodes, %d violations\n" episodes !violations;
   if !violations > 0 then exit 1
 
-let live_cmd stack consensus n msgs base_port backend fsync =
+let live_cmd stack consensus n msgs base_port backend fsync metrics_port
+    metrics_interval metrics_out =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
   let stack_mod = make_stack stack consensus 100_000 3 in
   let backend =
@@ -141,19 +217,14 @@ let live_cmd stack consensus n msgs base_port backend fsync =
       Printf.eprintf "unknown --backend %S (expected wal|files)\n" s;
       exit 3
   in
-  let fsync =
-    match Abcast_store.Durable.policy_of_string fsync with
-    | Ok p -> p
-    | Error msg ->
-      Printf.eprintf "bad --fsync %S: %s\n" fsync msg;
-      exit 3
-  in
+  let fsync = parse_fsync fsync in
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "abcast-live-cli-%d" (Unix.getpid ()))
   in
   match
-    Abcast_live.Runtime.create stack_mod ~n ~base_port ~dir ~backend ~fsync ()
+    Abcast_live.Runtime.create stack_mod ~n ~base_port ~dir ~backend ~fsync
+      ?metrics_port ~metrics_interval ?metrics_out ()
   with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot create sockets: %s
@@ -169,6 +240,16 @@ let live_cmd stack consensus n msgs base_port backend fsync =
       base_port dir
       (match backend with `Wal -> "wal" | `Files -> "files")
       (Abcast_store.Durable.policy_to_string fsync);
+    (match metrics_port with
+    | Some p ->
+      Printf.printf "metrics: http://127.0.0.1:%d/metrics (Prometheus text)\n"
+        p
+    | None -> ());
+    (match metrics_out with
+    | Some f ->
+      Printf.printf "metrics: JSONL snapshots to %s every %.1fs\n" f
+        metrics_interval
+    | None -> ());
     let t0 = Unix.gettimeofday () in
     for j = 0 to msgs - 1 do
       Abcast_live.Runtime.broadcast live ~node:(j mod n)
@@ -199,6 +280,46 @@ let live_cmd stack consensus n msgs base_port backend fsync =
       msgs n (dt *. 1000.0)
       (float_of_int msgs /. dt)
       agree;
+    (* end-of-run observability summary: network drops + WAL counters *)
+    Table.print ~title:"per-process network and WAL counters"
+      ~header:
+        [ "process"; "tx oversize"; "rx undecodable"; "wal appends"; "wal fsyncs" ]
+      (List.init n (fun i ->
+           let ns = Abcast_live.Runtime.net_stats live i in
+           let ctr name =
+             match
+               List.assoc_opt name (Abcast_live.Runtime.node_counters live i)
+             with
+             | Some v -> Table.num v
+             | None -> "-"
+           in
+           [
+             string_of_int i;
+             Table.num ns.Abcast_live.Runtime.tx_oversize;
+             Table.num ns.Abcast_live.Runtime.rx_undecodable;
+             ctr "wal_appends";
+             ctr "wal_fsyncs";
+           ]));
+    let lat_rows =
+      List.concat_map
+        (fun i ->
+          Abcast_live.Runtime.hist_summaries live i
+          |> List.filter (fun (name, _) -> is_latency_series name)
+          |> List.map (fun (name, (s : Abcast_util.Histogram.summary)) ->
+                 [
+                   string_of_int i;
+                   name;
+                   Table.num s.count;
+                   Table.flt s.p50;
+                   Table.flt s.p95;
+                   Table.flt s.max;
+                 ]))
+        (List.init n Fun.id)
+    in
+    if lat_rows <> [] then
+      Table.print ~title:"latency histograms (µs, per process)"
+        ~header:[ "process"; "series"; "count"; "p50"; "p95"; "max" ]
+        lat_rows;
     if not agree then exit 1
 
 (* ---- cmdliner plumbing ---- *)
@@ -232,10 +353,32 @@ let run_t =
     Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~doc:"NODE:FROM[:UNTIL] fault (repeatable)")
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"echo the protocol trace") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "write a Chrome trace-event JSON of the run to $(docv) (open in \
+             chrome://tracing or Perfetto)"
+          ~docv:"FILE")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt string "memory"
+      & info [ "backend" ] ~doc:"storage backend: memory|files|wal")
+  in
+  let fsync =
+    Arg.(
+      value
+      & opt string "every:64:20"
+      & info [ "fsync" ] ~doc:"durability policy: always|never|every:OPS:MS")
+  in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"verify the four properties at the end") in
   Term.(
     const run_cmd $ stack_arg $ consensus_arg $ n_arg $ seed_arg $ msgs $ loss
-    $ dup $ crashes $ trace $ check)
+    $ dup $ crashes $ trace $ trace_out $ backend $ fsync $ check)
 
 let live_t =
   let msgs = Arg.(value & opt int 30 & info [ "msgs" ] ~doc:"broadcast count") in
@@ -249,9 +392,32 @@ let live_t =
       & opt string "every:64:20"
       & info [ "fsync" ] ~doc:"durability policy: always|never|every:OPS:MS")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ]
+          ~doc:"serve Prometheus text metrics on 127.0.0.1:$(docv)"
+          ~docv:"PORT")
+  in
+  let metrics_interval =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "metrics-interval" ]
+          ~doc:"seconds between JSONL metric snapshots (with --metrics-out)")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:"append one JSON metrics snapshot per interval to $(docv)"
+          ~docv:"FILE")
+  in
   Term.(
     const live_cmd $ stack_arg $ consensus_arg $ n_arg $ msgs $ port $ backend
-    $ fsync)
+    $ fsync $ metrics_port $ metrics_interval $ metrics_out)
 
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in

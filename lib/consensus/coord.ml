@@ -1,5 +1,6 @@
 module Engine = Abcast_sim.Engine
 module Storage = Abcast_sim.Storage
+module Metrics = Abcast_sim.Metrics
 module Rng = Abcast_util.Rng
 open Consensus_intf
 
@@ -85,6 +86,7 @@ type t = {
   mutable proposed_round : value option; (* our round-r proposal, as coord *)
   mutable timer_round : int; (* detects stale round timers *)
   mutable ticking : bool;
+  mutable proposed_at : int; (* sim time of our first propose, -1 if none *)
 }
 
 let majority t = (t.io.n / 2) + 1
@@ -103,6 +105,12 @@ let decide t v =
   | None ->
     t.decided <- Some v;
     Storage.write t.io.store ~layer:Keys.layer ~key:(Keys.decision t.k) v;
+    if t.proposed_at >= 0 then begin
+      Metrics.observe t.io.metrics ~node:t.io.self "cons.propose_to_decide_us"
+        (float_of_int (t.io.now () - t.proposed_at));
+      Metrics.observe t.io.metrics ~node:t.io.self "cons.rounds"
+        (float_of_int (t.round + 1))
+    end;
     t.io.emit (Printf.sprintf "coord[%d]: decide" t.k);
     t.io.multisend (Decide { v });
     t.on_decide v
@@ -150,9 +158,13 @@ let create io ~instance ~leader:_ ~on_decide =
       proposed_round = None;
       timer_round = -1;
       ticking = false;
+      proposed_at = -1;
     }
   in
+  (* A restored proposal counts as proposed "now": the propose→decide
+     clock measures this incarnation's completion cost. *)
   if t.proposal <> None && t.decided = None then begin
+    t.proposed_at <- t.io.now ();
     t.ticking <- true;
     enter_round t t.round
   end;
@@ -163,6 +175,7 @@ let propose t v =
   | Some _ -> ()
   | None ->
     t.proposal <- Some v;
+    if t.proposed_at < 0 then t.proposed_at <- t.io.now ();
     Storage.write t.io.store ~layer:Keys.layer ~key:(Keys.proposal t.k) v);
   if t.decided = None && not t.ticking then begin
     t.ticking <- true;

@@ -1,5 +1,6 @@
 module Engine = Abcast_sim.Engine
 module Storage = Abcast_sim.Storage
+module Metrics = Abcast_sim.Metrics
 open Consensus_intf
 
 let floor_key = "cons.floor"
@@ -40,6 +41,9 @@ module Make (C : Consensus_intf.S) = struct
     on_lag : int -> unit;
     on_behind : src:int -> unit;
     instances : (int, C.t) Hashtbl.t;
+    (* instances whose "consensus" span we opened and must close on
+       decide — volatile, like the instances themselves *)
+    spanned : (int, unit) Hashtbl.t;
     mutable floor : int;
   }
 
@@ -56,22 +60,44 @@ module Make (C : Consensus_intf.S) = struct
       on_lag;
       on_behind;
       instances = Hashtbl.create 16;
+      spanned = Hashtbl.create 8;
       floor;
     }
+
+  let span_key t k = Printf.sprintf "p%d.k%d" t.io.Engine.self k
 
   let instance t k =
     match Hashtbl.find_opt t.instances k with
     | Some c -> c
     | None ->
       let io' = Engine.map_io (fun m -> Inst (k, m)) t.io in
+      let created_at = t.io.now () in
       let c =
         C.create io' ~instance:k ~leader:t.leader
-          ~on_decide:(fun v -> t.on_decide k v)
+          ~on_decide:(fun v ->
+            (* instance lifetime on this node: from first local contact
+               with instance [k] to its decision *)
+            Metrics.observe t.io.metrics ~node:t.io.self "cons.instance_us"
+              (float_of_int (t.io.now () - created_at));
+            if Hashtbl.mem t.spanned k then begin
+              Hashtbl.remove t.spanned k;
+              t.io.span_end ~stage:"consensus" (span_key t k)
+            end;
+            t.on_decide k v)
       in
       Hashtbl.add t.instances k c;
       c
 
-  let propose t k v = if k >= t.floor then C.propose (instance t k) v
+  let propose t k v =
+    if k >= t.floor then begin
+      let c = instance t k in
+      if t.io.trace_on () && C.decision c = None && not (Hashtbl.mem t.spanned k)
+      then begin
+        Hashtbl.add t.spanned k ();
+        t.io.span_begin ~stage:"consensus" (span_key t k)
+      end;
+      C.propose c v
+    end
 
   let proposal t k = Storage.read t.io.store (Keys.proposal k)
 

@@ -1,5 +1,6 @@
 module Engine = Abcast_sim.Engine
 module Storage = Abcast_sim.Storage
+module Metrics = Abcast_sim.Metrics
 module Rng = Abcast_util.Rng
 open Consensus_intf
 
@@ -108,6 +109,7 @@ type t = {
   mutable accepts : int list;
   mutable pushing : value option; (* value of our ongoing phase 2 *)
   mutable ticking : bool;
+  mutable proposed_at : int; (* sim time of our first propose, -1 if none *)
 }
 
 let majority t = (t.io.n / 2) + 1
@@ -125,6 +127,12 @@ let decide t v =
     t.decided <- Some v;
     Storage.write t.io.store ~layer:Keys.layer ~key:(Keys.decision t.k) v;
     t.phase <- Idle;
+    if t.proposed_at >= 0 then begin
+      Metrics.observe t.io.metrics ~node:t.io.self "cons.propose_to_decide_us"
+        (float_of_int (t.io.now () - t.proposed_at));
+      Metrics.observe t.io.metrics ~node:t.io.self "cons.ballots"
+        (float_of_int (max 1 t.round))
+    end;
     t.io.emit (Printf.sprintf "paxos[%d]: decide" t.k);
     t.io.multisend (Decide { v });
     t.on_decide v
@@ -182,9 +190,16 @@ let create io ~instance ~leader ~on_decide =
       accepts = [];
       pushing = None;
       ticking = false;
+      proposed_at = -1;
     }
   in
-  if t.proposal <> None && t.decided = None then ensure_ticking t;
+  (* A proposal restored from the log counts as proposed "now": the
+     propose→decide clock then measures this incarnation's completion
+     cost, not time spent crashed. *)
+  if t.proposal <> None && t.decided = None then begin
+    t.proposed_at <- t.io.now ();
+    ensure_ticking t
+  end;
   t
 
 let propose t v =
@@ -192,6 +207,7 @@ let propose t v =
   | Some _ -> () (* P4: the first logged proposal is the one that counts *)
   | None ->
     t.proposal <- Some v;
+    if t.proposed_at < 0 then t.proposed_at <- t.io.now ();
     Storage.write t.io.store ~layer:Keys.layer ~key:(Keys.proposal t.k) v);
   if t.decided = None then ensure_ticking t
 

@@ -195,6 +195,18 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       app = None;
     }
 
+  (* Lifecycle record of one locally-broadcast message, from A-broadcast
+     to local A-delivery (volatile — lost on crash like [pending] always
+     was). [p_proposed] is -1 until the id first enters one of our
+     proposals; the two stage latencies it splits the lifetime into are
+     observed as [stage.broadcast_to_propose_us] (queueing/batching
+     delay) and [stage.propose_to_adeliver_us] (consensus + delivery). *)
+  type pend = {
+    p_t0 : int;
+    mutable p_proposed : int;
+    p_cb : (Payload.id -> unit) option;
+  }
+
   (* Interned per-node counters for the per-message paths. *)
   type handles = {
     h_delivered : Metrics.handle;
@@ -226,7 +238,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     mutable gossip_k : int;
     mutable gossip_tick : int;
     mutable seq : int; (* local broadcast counter, volatile *)
-    pending : (Payload.id, int * (Payload.id -> unit) option) Hashtbl.t;
+    pending : (Payload.id, pend) Hashtbl.t;
     own_props : (int, Payload.id list) Hashtbl.t;
         (* ids inside our own not-yet-decided proposals (window > 1) *)
     ck_slot : (int * Agreed.repr) Storage.Slot.slot;
@@ -334,14 +346,23 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
   (* --- Delivery ----------------------------------------------------- *)
 
+  let span_key (id : Payload.id) =
+    Printf.sprintf "%d.%d.%d" id.origin id.boot id.seq
+
   let deliver_one t (p : Payload.t) =
     Metrics.hincr t.mh.h_delivered;
     (match Hashtbl.find_opt t.pending p.id with
-    | Some (t0, cb) ->
+    | Some pe ->
       Hashtbl.remove t.pending p.id;
+      let now = t.io.now () in
       Metrics.observe t.io.metrics ~node:t.io.self "lat_deliver"
-        (float_of_int (t.io.now () - t0));
-      (match cb with Some f -> f p.id | None -> ())
+        (float_of_int (now - pe.p_t0));
+      if pe.p_proposed >= 0 then
+        Metrics.observe t.io.metrics ~node:t.io.self
+          "stage.propose_to_adeliver_us"
+          (float_of_int (now - pe.p_proposed));
+      if t.io.trace_on () then t.io.span_end ~stage:"abcast" (span_key p.id);
+      (match pe.p_cb with Some f -> f p.id | None -> ())
     | None -> ());
     unordered_remove t p.id;
     t.on_deliver p
@@ -379,6 +400,20 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
        competing (possibly empty) proposal. Duplicates across instances
        are removed at delivery, as the paper's idempotence requires. *)
     let batch = unordered_list t in
+    (* First time one of our own messages enters a proposal: close the
+       batching-delay stage. The [p_proposed < 0] guard keeps re-proposals
+       into later instances from double-counting. *)
+    let now = t.io.now () in
+    List.iter
+      (fun (p : Payload.t) ->
+        match Hashtbl.find_opt t.pending p.id with
+        | Some pe when pe.p_proposed < 0 ->
+          pe.p_proposed <- now;
+          Metrics.observe t.io.metrics ~node:t.io.self
+            "stage.broadcast_to_propose_us"
+            (float_of_int (now - pe.p_t0))
+        | _ -> ())
+      batch;
     Hashtbl.replace t.own_props j (List.map (fun (p : Payload.t) -> p.id) batch);
     M.propose t.multi j (Batch.encode_sorted batch)
 
@@ -576,7 +611,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     t.seq <- t.seq + 1;
     let p = { Payload.id; data } in
     unordered_add t p;
-    Hashtbl.replace t.pending id (t.io.now (), on_agreed);
+    Hashtbl.replace t.pending id
+      { p_t0 = t.io.now (); p_proposed = -1; p_cb = on_agreed };
+    if t.io.trace_on () then t.io.span_begin ~stage:"abcast" (span_key id);
     Metrics.hincr t.mh.h_broadcasts;
     log_unordered_add t p;
     maybe_propose t;

@@ -104,6 +104,8 @@ let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
 let n t = t.n
 let metrics t = t.metrics
 let trace t = t.trace
+let histogram t name = Abcast_sim.Metrics.histogram t.metrics name
+let hist_summary t name = Abcast_sim.Metrics.hist_summary t.metrics name
 let net t = t.net
 let now t = t.now ()
 let events_processed t = t.events_processed ()

@@ -26,6 +26,16 @@ val create :
 val n : t -> int
 val metrics : t -> Abcast_sim.Metrics.t
 val trace : t -> Abcast_sim.Trace.t
+
+val histogram : t -> string -> Abcast_util.Histogram.t option
+(** Latency/size histogram of an observed series, merged across all
+    processes ([None] if the series was never observed). *)
+
+val hist_summary : t -> string -> Abcast_util.Histogram.summary option
+(** Percentile summary of {!histogram} — the one-call way for a test or
+    experiment to read e.g. [stage.propose_to_adeliver_us]. *)
+
+
 val net : t -> Abcast_sim.Net.t
 val now : t -> int
 val events_processed : t -> int

@@ -1,6 +1,7 @@
 module Engine = Abcast_sim.Engine
 module Storage = Abcast_sim.Storage
 module Metrics = Abcast_sim.Metrics
+module Histogram = Abcast_util.Histogram
 module Rng = Abcast_util.Rng
 module Heap = Abcast_util.Heap
 module Wire = Abcast_util.Wire
@@ -16,6 +17,13 @@ type node_ops = {
   op_delivered_data : unit -> string list;
   op_round : unit -> int;
   op_net_stats : unit -> net_stats;
+  op_metrics :
+    unit -> ((int * string) * int) list * ((int * string) * Histogram.t) list;
+      (* counter and histogram snapshots. Runs inside the node thread
+         like everything else — each node has a private Metrics table
+         and Hashtbl is not safe to read concurrently with writes, so
+         exporters pay one mailbox round-trip per node per scrape
+         instead of racing. The histograms are copies. *)
 }
 
 type node = {
@@ -41,6 +49,11 @@ type t = {
   wake_sock : Unix.file_descr; (* unbound socket used to poke loops *)
   start_node : int -> unit; (* closes over the protocol's message type *)
   epoch : float;
+  (* metrics exporter machinery (threads started by [create] on demand,
+     torn down by [shutdown]) *)
+  mutable metrics_stop : bool;
+  mutable metrics_listen : Unix.file_descr option;
+  mutable metrics_threads : Thread.t list;
 }
 
 let localhost = Unix.inet_addr_loopback
@@ -147,6 +160,9 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
       wake_sock;
       start_node;
       epoch;
+      metrics_stop = false;
+      metrics_listen = None;
+      metrics_threads = [];
     }
   (* The node event loop. Everything protocol-related happens here. *)
   and node_loop nd () =
@@ -223,6 +239,9 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
         rng = Rng.create ((nd.id * 7919) + incarnation);
         metrics;
         emit = (fun _ -> ());
+        trace_on = (fun () -> false);
+        span_begin = (fun ~stage:_ _ -> ());
+        span_end = (fun ~stage:_ _ -> ());
       }
     in
     let p = P.create io ~deliver:(fun pl -> on_deliver nd.id pl) in
@@ -243,6 +262,8 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
                 tx_oversize = Metrics.hget h_tx_oversize;
                 rx_undecodable = Metrics.hget h_rx_undecodable;
               });
+          op_metrics =
+            (fun () -> (Metrics.counters metrics, Metrics.histograms metrics));
         };
     Mutex.unlock nd.mutex;
     let buf = Bytes.create (max_datagram + 1) in
@@ -323,9 +344,232 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
   in
   t
 
+(* ---- metrics export ---- *)
+
+let node_counters t i =
+  match call t i (fun ops -> ops.op_metrics ()) with
+  | Some (ctrs, _) -> List.map (fun ((_, name), v) -> (name, v)) ctrs
+  | None -> []
+
+let hist_summaries t i =
+  match call t i (fun ops -> ops.op_metrics ()) with
+  | Some (_, hists) ->
+    List.filter_map
+      (fun ((_, name), h) ->
+        if Histogram.count h > 0 then Some (name, Histogram.summary h)
+        else None)
+      hists
+  | None -> []
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; the dotted series
+   names map dots (and anything else exotic) to underscores under an
+   [abcast_] prefix. *)
+let prom_name name =
+  "abcast_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+(* Snapshot every up node once and render the Prometheus text format:
+   counters as gauges (recovery can rewind e.g. wal_segments), observed
+   series as cumulative histograms. *)
+let prometheus t =
+  let snaps =
+    List.filter_map
+      (fun i ->
+        Option.map (fun s -> (i, s)) (call t i (fun ops -> ops.op_metrics ())))
+      (List.init t.n Fun.id)
+  in
+  let buf = Buffer.create 8192 in
+  (* group by metric name so # HELP/# TYPE appear once each *)
+  let group extract =
+    let by_name = Hashtbl.create 64 in
+    let names = ref [] in
+    List.iter
+      (fun (i, snap) ->
+        List.iter
+          (fun ((_, name), v) ->
+            if not (Hashtbl.mem by_name name) then names := name :: !names;
+            Hashtbl.replace by_name name
+              ((i, v) :: (try Hashtbl.find by_name name with Not_found -> [])))
+          (extract snap))
+      snaps;
+    List.rev_map (fun n -> (n, List.rev (Hashtbl.find by_name n))) !names
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, cells) ->
+      let pn = prom_name name in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s counter %s\n# TYPE %s gauge\n" pn name pn);
+      List.iter
+        (fun (node, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{node=\"%d\"} %d\n" pn node v))
+        cells)
+    (group fst);
+  List.iter
+    (fun (name, cells) ->
+      let pn = prom_name name in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s histogram of series %s\n# TYPE %s histogram\n"
+           pn name pn);
+      List.iter
+        (fun (node, h) ->
+          let cum = ref 0 in
+          List.iter
+            (fun (bound, count) ->
+              if Float.is_finite bound then begin
+                cum := !cum + count;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{node=\"%d\",le=\"%.6g\"} %d\n" pn
+                     node bound !cum)
+              end)
+            (Histogram.buckets h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{node=\"%d\",le=\"+Inf\"} %d\n" pn node
+               (Histogram.count h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum{node=\"%d\"} %.6f\n" pn node
+               (Histogram.sum h));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count{node=\"%d\"} %d\n" pn node
+               (Histogram.count h)))
+        cells)
+    (group snd);
+  Buffer.contents buf
+
+(* One JSONL snapshot line: counters and histogram summaries per node. *)
+let json_snapshot t =
+  let node_json i =
+    match call t i (fun ops -> ops.op_metrics ()) with
+    | None -> Printf.sprintf {|{"node":%d,"up":false}|} i
+    | Some (ctrs, hists) ->
+      let cjson =
+        ctrs
+        |> List.sort compare
+        |> List.map (fun ((_, name), v) -> Printf.sprintf {|"%s":%d|} name v)
+        |> String.concat ","
+      in
+      let hjson =
+        hists
+        |> List.filter (fun (_, h) -> Histogram.count h > 0)
+        |> List.sort compare
+        |> List.map (fun ((_, name), h) ->
+               let s = Histogram.summary h in
+               Printf.sprintf
+                 {|"%s":{"count":%d,"mean":%.3f,"min":%.3f,"p50":%.3f,"p95":%.3f,"p99":%.3f,"max":%.3f}|}
+                 name s.Histogram.count s.mean s.min s.p50 s.p95 s.p99 s.max)
+        |> String.concat ","
+      in
+      Printf.sprintf
+        {|{"node":%d,"up":true,"counters":{%s},"histograms":{%s}}|} i cjson
+        hjson
+  in
+  Printf.sprintf {|{"ts":%.3f,"nodes":[%s]}|}
+    (Unix.gettimeofday () -. t.epoch)
+    (String.concat "," (List.map node_json (List.init t.n Fun.id)))
+
+(* Blocking single-threaded HTTP/1.0 responder: accept, best-effort read
+   of the request, answer with the full dump, close. Plenty for a
+   scraper on localhost. The loop never parks in accept(2) — closing an
+   fd does not wake a thread already blocked in it on Linux — but in a
+   short select, so it notices [metrics_stop] within a poll period and
+   [shutdown]'s join cannot hang. *)
+let serve_metrics t port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (localhost, port));
+  Unix.listen sock 8;
+  t.metrics_listen <- Some sock;
+  let th =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          if t.metrics_stop then ()
+          else
+            match Unix.select [ sock ] [] [] 0.1 with
+            | exception Unix.Unix_error _ -> () (* listener closed *)
+            | [], _, _ -> loop ()
+            | _ -> (
+              match Unix.accept sock with
+              | exception Unix.Unix_error _ -> () (* listener closed *)
+              | conn, _ -> serve conn)
+        and serve conn =
+            (try
+               let buf = Bytes.create 1024 in
+               (match Unix.select [ conn ] [] [] 1.0 with
+               | [ _ ], _, _ -> (
+                 try ignore (Unix.recv conn buf 0 1024 [])
+                 with Unix.Unix_error _ -> ())
+               | _ -> ());
+               let body = prometheus t in
+               let resp =
+                 Printf.sprintf
+                   "HTTP/1.0 200 OK\r\n\
+                    Content-Type: text/plain; version=0.0.4\r\n\
+                    Content-Length: %d\r\n\
+                    Connection: close\r\n\
+                    \r\n\
+                    %s"
+                   (String.length body) body
+               in
+               let b = Bytes.of_string resp in
+               let rec wr off =
+                 if off < Bytes.length b then
+                   match Unix.write conn b off (Bytes.length b - off) with
+                   | w when w > 0 -> wr (off + w)
+                   | _ -> ()
+               in
+               (try wr 0 with Unix.Unix_error _ -> ())
+             with _ -> ());
+            (try Unix.close conn with Unix.Unix_error _ -> ());
+            if not t.metrics_stop then loop ()
+        in
+        loop ())
+      ()
+  in
+  t.metrics_threads <- th :: t.metrics_threads
+
+let snapshot_loop t interval path =
+  let th =
+    Thread.create
+      (fun () ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        let rec loop () =
+          if not t.metrics_stop then begin
+            let target = Unix.gettimeofday () +. interval in
+            while (not t.metrics_stop) && Unix.gettimeofday () < target do
+              Thread.delay 0.02
+            done;
+            if not t.metrics_stop then begin
+              output_string oc (json_snapshot t);
+              output_char oc '\n';
+              flush oc;
+              loop ()
+            end
+          end
+        in
+        loop ();
+        (* final snapshot at shutdown: [shutdown] joins this thread
+           before crashing the nodes, so the tables are still live and
+           even a run shorter than one interval leaves one line *)
+        (try
+           output_string oc (json_snapshot t);
+           output_char oc '\n'
+         with Sys_error _ -> ());
+        close_out_noerr oc)
+      ()
+  in
+  t.metrics_threads <- th :: t.metrics_threads
+
 let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
     ?(fsync = Abcast_store.Durable.Every { ops = 64; ms = 20 })
-    ?(on_deliver = fun _ _ -> ()) () =
+    ?(on_deliver = fun _ _ -> ()) ?metrics_port ?(metrics_interval = 1.0)
+    ?metrics_out () =
   let t = make proto ~n ~base_port ~dir ~backend ~fsync ~on_deliver () in
   for i = 0 to n - 1 do
     t.start_node i
@@ -338,6 +582,10 @@ let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
         Thread.yield ()
       done)
     t.nodes;
+  (match metrics_port with Some port -> serve_metrics t port | None -> ());
+  (match metrics_out with
+  | Some path -> snapshot_loop t metrics_interval path
+  | None -> ());
   t
 
 let n t = t.n
@@ -396,6 +644,14 @@ let net_stats t i =
   | None -> { tx_oversize = 0; rx_undecodable = 0 }
 
 let shutdown t =
+  t.metrics_stop <- true;
+  (match t.metrics_listen with
+  | Some sock ->
+    t.metrics_listen <- None;
+    (try Unix.close sock with Unix.Unix_error _ -> ())
+  | None -> ());
+  List.iter Thread.join t.metrics_threads;
+  t.metrics_threads <- [];
   for i = 0 to t.n - 1 do
     crash t i
   done;

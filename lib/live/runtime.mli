@@ -38,6 +38,9 @@ val create :
   ?backend:[ `Files | `Wal ] ->
   ?fsync:Abcast_store.Durable.policy ->
   ?on_deliver:(int -> Abcast_core.Payload.t -> unit) ->
+  ?metrics_port:int ->
+  ?metrics_interval:float ->
+  ?metrics_out:string ->
   unit ->
   t
 (** Bind one UDP socket per process on [127.0.0.1:base_port+i] (default
@@ -49,6 +52,13 @@ val create :
     recover. Without [dir] both are ignored and storage is memory-only.
     [on_deliver] runs in the delivering process's thread; keep it short
     and synchronize your own data.
+
+    With [metrics_port], a background thread serves the {!prometheus}
+    dump over HTTP on [127.0.0.1:metrics_port] (one blocking request at
+    a time — built for a scraper, not a crowd). With [metrics_out], a
+    second thread appends one JSON snapshot line to that file every
+    [metrics_interval] seconds (default 1.0). Both threads are joined by
+    {!shutdown}.
 
     @raise Unix.Unix_error if sockets cannot be created (callers may want
     to skip live tests in restricted environments). *)
@@ -90,6 +100,28 @@ type net_stats = {
 val net_stats : t -> int -> net_stats
 (** Datagram drop counters of one process's current incarnation (zeros if
     the process is down). *)
+
+val node_counters : t -> int -> (string * int) list
+(** Counter snapshot of one process's metrics table ([] if down). Like
+    every query, this is answered inside the process's event loop. *)
+
+val hist_summaries : t -> int -> (string * Abcast_util.Histogram.summary) list
+(** Summaries of the process's non-empty latency/size histograms
+    ([] if down): stage latencies, consensus timings, WAL I/O
+    durations — whatever the stack observed. *)
+
+val prometheus : t -> string
+(** Render a Prometheus text-format ([version 0.0.4]) dump of every up
+    process: counters as gauges and observed series as cumulative
+    histograms, all under an [abcast_] prefix with a [node] label (dots
+    in series names become underscores, e.g.
+    [abcast_stage_propose_to_adeliver_us_bucket{node="0",le="..."}]).
+    This is the payload the [metrics_port] endpoint serves. *)
+
+val json_snapshot : t -> string
+(** One snapshot line of the [metrics_out] JSONL stream: a JSON object
+    with the run-relative timestamp and, per node, counters and
+    histogram summaries. *)
 
 val shutdown : t -> unit
 (** Crash everything and close all sockets. The runtime is unusable

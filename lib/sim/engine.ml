@@ -15,6 +15,9 @@ type 'm io = {
   rng : Rng.t;
   metrics : Metrics.t;
   emit : string -> unit;
+  trace_on : unit -> bool;
+  span_begin : stage:string -> string -> unit;
+  span_end : stage:string -> string -> unit;
 }
 
 let map_io wrap io =
@@ -30,6 +33,9 @@ let map_io wrap io =
     rng = io.rng;
     metrics = io.metrics;
     emit = io.emit;
+    trace_on = io.trace_on;
+    span_begin = io.span_begin;
+    span_end = io.span_end;
   }
 
 type 'm behavior = 'm io -> src:int -> 'm -> unit
@@ -165,6 +171,13 @@ let io_of t node =
     rng = node.rng;
     metrics = t.metrics;
     emit = (fun s -> Trace.emit t.trace ~time:t.time ~node:id s);
+    trace_on = (fun () -> Trace.enabled t.trace);
+    span_begin =
+      (fun ~stage key ->
+        Trace.span_begin t.trace ~time:t.time ~node:id ~stage key);
+    span_end =
+      (fun ~stage key ->
+        Trace.span_end t.trace ~time:t.time ~node:id ~stage key);
   }
 
 let set_behavior t i f = t.behaviors.(i) <- Some f

@@ -34,6 +34,14 @@ type 'm io = {
   rng : Abcast_util.Rng.t;  (** this process's private random stream *)
   metrics : Metrics.t;  (** shared measurement registry *)
   emit : string -> unit;  (** trace an event at the current time *)
+  trace_on : unit -> bool;
+      (** whether the trace records; test before building span keys so a
+          disabled trace costs one branch per instrumentation site *)
+  span_begin : stage:string -> string -> unit;
+      (** open a lifecycle span (stage tag + message key) at the current
+          time; no-op when the trace is disabled *)
+  span_end : stage:string -> string -> unit;
+      (** close the matching span at the current time *)
 }
 
 val map_io : ('a -> 'b) -> 'b io -> 'a io

@@ -1,6 +1,14 @@
+module Histogram = Abcast_util.Histogram
+
+(* Each series cell fuses the exact sample list (kept for tests and the
+   exact-percentile API) with a log-bucketed histogram fed on every
+   [observe]. Exporters read the histogram; property tests can compare
+   it against the raw samples. *)
+type cell = { mutable samples : float list; hist : Histogram.t }
+
 type t = {
   counters : (int * string, int ref) Hashtbl.t;
-  series : (int * string, float list ref) Hashtbl.t;
+  series : (int * string, cell) Hashtbl.t;
 }
 
 let create () = { counters = Hashtbl.create 64; series = Hashtbl.create 16 }
@@ -55,14 +63,25 @@ let sum_prefix t prefix =
     (fun (_, n) r acc -> if has_prefix ~prefix n then acc + !r else acc)
     t.counters 0
 
-let observe t ~node name v =
+let cell t node name =
   match Hashtbl.find_opt t.series (node, name) with
-  | Some r -> r := v :: !r
-  | None -> Hashtbl.add t.series (node, name) (ref [ v ])
+  | Some c -> c
+  | None ->
+    let c = { samples = []; hist = Histogram.create () } in
+    Hashtbl.add t.series (node, name) c;
+    c
+
+let observe t ~node name v =
+  let c = cell t node name in
+  c.samples <- v :: c.samples;
+  Histogram.add c.hist v
+
+let hist t ~node name = (cell t node name).hist
 
 let samples t name =
   Hashtbl.fold
-    (fun (_, n) r acc -> if String.equal n name then List.rev_append !r acc else acc)
+    (fun (_, n) c acc ->
+      if String.equal n name then List.rev_append c.samples acc else acc)
     t.series []
 
 let count_samples t name = List.length (samples t name)
@@ -85,10 +104,43 @@ let percentile t name p =
     let frac = rank -. floor rank in
     (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
 
+let histogram t name =
+  let acc = Histogram.create () in
+  let found = ref false in
+  Hashtbl.iter
+    (fun (_, n) c ->
+      if String.equal n name then begin
+        found := true;
+        Histogram.merge_into ~dst:acc c.hist
+      end)
+    t.series;
+  if !found then Some acc else None
+
+let hist_summary t name = Option.map Histogram.summary (histogram t name)
+
+let histograms t =
+  Hashtbl.fold
+    (fun k c acc -> (k, Histogram.copy c.hist) :: acc)
+    t.series []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let series_names t =
+  Hashtbl.fold (fun (_, n) _ acc -> n :: acc) t.series []
+  |> List.sort_uniq compare
+
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort compare
 
+(* Reset zeroes every cell *in place* rather than dropping the tables:
+   interned handles and histogram references resolved before the reset
+   stay attached to live storage, so post-reset increments remain
+   visible through [get]/[sum] (this used to silently count into dead
+   refs). *)
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.series
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter
+    (fun _ c ->
+      c.samples <- [];
+      Histogram.clear c.hist)
+    t.series

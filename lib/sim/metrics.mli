@@ -4,7 +4,10 @@
     counters. Protocol layers use hierarchical dotted names
     (e.g. ["log_ops.abcast"], ["log_ops.consensus"], ["msgs_sent"]) so
     experiments can aggregate by prefix. Observations ([observe]) collect
-    scalar samples, e.g. per-message delivery latencies. *)
+    scalar samples, e.g. per-message delivery latencies; every observed
+    series also feeds a log-bucketed {!Abcast_util.Histogram} (~2%
+    relative error on percentiles) that exporters and summaries read
+    without touching the raw sample lists. *)
 
 type t
 (** A mutable registry. One per simulation run. *)
@@ -22,9 +25,9 @@ type handle
 (** A pre-resolved counter: the hot paths look a counter up once (paying
     the [(node, name)] hashing) and afterwards bump it through the handle
     for free. Handles share storage with the named counter — [get]/[sum]
-    observe updates made through a handle and vice versa. A {!reset}
-    detaches all outstanding handles (they keep counting into dead
-    storage); re-resolve after resetting. *)
+    observe updates made through a handle and vice versa. {!reset} zeroes
+    counters in place, so outstanding handles stay attached: increments
+    made after a reset remain visible through [get]/[sum]. *)
 
 val handle : t -> node:int -> string -> handle
 (** Resolve (creating if needed) the counter [(node, name)]. *)
@@ -49,7 +52,14 @@ val sum_prefix : t -> string -> int
     dotted prefix (["log_ops"] matches ["log_ops.abcast"] etc.). *)
 
 val observe : t -> node:int -> string -> float -> unit
-(** Record one sample in a named series. *)
+(** Record one sample in a named series (raw list + histogram). *)
+
+val hist : t -> node:int -> string -> Abcast_util.Histogram.t
+(** The live histogram backing the series [(node, name)], creating the
+    series if needed. Like {!handle} for counters: resolve once, then
+    [Histogram.add] directly on hot paths — samples added this way are
+    visible to {!histogram}/{!histograms} but not to {!samples}. Stays
+    attached across {!reset}. *)
 
 val samples : t -> string -> float list
 (** All samples of a series across nodes, in recording order per node. *)
@@ -63,8 +73,25 @@ val percentile : t -> string -> float -> float
 val count_samples : t -> string -> int
 (** Number of recorded samples of a series across nodes. *)
 
+val histogram : t -> string -> Abcast_util.Histogram.t option
+(** Fresh histogram merging a series across all nodes; [None] if the
+    series was never observed on any node. *)
+
+val hist_summary : t -> string -> Abcast_util.Histogram.summary option
+(** Summary (count/mean/min/max/p50/p95/p99) of {!histogram}. *)
+
+val histograms : t -> ((int * string) * Abcast_util.Histogram.t) list
+(** Snapshot (copies) of every per-node histogram, sorted by key, for
+    exporters. *)
+
+val series_names : t -> string list
+(** Sorted distinct names of all observed series. *)
+
 val counters : t -> ((int * string) * int) list
 (** Snapshot of all counters, sorted, for debugging and table dumps. *)
 
 val reset : t -> unit
-(** Drop all counters and series. *)
+(** Zero every counter and clear every series {e in place}. Interned
+    {!handle}s and {!hist} references resolved before the reset remain
+    attached — counting through them after a reset is visible to
+    [get]/[sum] (it used to vanish into detached storage). *)

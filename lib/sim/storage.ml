@@ -1,5 +1,6 @@
 module Durable = Abcast_store.Durable
 module Wal = Abcast_store.Wal
+module Histogram = Abcast_util.Histogram
 
 type files_state = {
   fdir : string;
@@ -9,6 +10,7 @@ type files_state = {
      not "whichever file happened to be written last is durable" *)
   pending : (string, unit) Hashtbl.t;
   h_file_fsyncs : Metrics.handle;
+  h_fsync_us : Histogram.t;
 }
 
 type wal_state = {
@@ -115,8 +117,10 @@ let wal_state ~metrics ~node wal =
 (* ---- file-per-key durability ---- *)
 
 let files_flush fs =
+  let t0 = Unix.gettimeofday () in
   Hashtbl.iter (fun path () -> Durable.fsync_path path) fs.pending;
   Durable.fsync_dir fs.fdir;
+  Histogram.add fs.h_fsync_us ((Unix.gettimeofday () -. t0) *. 1e6);
   Metrics.hincr fs.h_file_fsyncs;
   Hashtbl.reset fs.pending;
   Durable.note_sync fs.fpacer
@@ -164,11 +168,23 @@ let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
           fpacer = Durable.pacer fsync;
           pending = Hashtbl.create 8;
           h_file_fsyncs = Metrics.handle metrics ~node "file_fsyncs";
+          h_fsync_us = Metrics.hist metrics ~node "file_fsync_us";
         }
     | `Wal, Some d ->
+      (* Route the WAL's timing tap into the latency histograms before
+         the wal exists — [open_] itself reports the `Recover sample. *)
+      let h_append = Metrics.hist metrics ~node "wal_append_us"
+      and h_fsync = Metrics.hist metrics ~node "wal_fsync_us"
+      and h_recover = Metrics.hist metrics ~node "wal_recover_us" in
+      let on_io op us =
+        match op with
+        | `Append -> Histogram.add h_append us
+        | `Fsync -> Histogram.add h_fsync us
+        | `Recover -> Histogram.add h_recover us
+      in
       let wal =
         Wal.open_ ?segment_bytes:wal_segment_bytes
-          ?compact_min_bytes:wal_compact_min_bytes ~fsync ~dir:d ()
+          ?compact_min_bytes:wal_compact_min_bytes ~fsync ~on_io ~dir:d ()
       in
       Wal.iter wal (fun key value -> Hashtbl.replace tbl key value);
       P_wal (wal_state ~metrics ~node wal)

@@ -26,7 +26,10 @@
     [`Files] counts ["file_fsyncs"] (sync events, each covering the
     pending batch), [`Wal] mirrors ["wal_appends"], ["wal_fsyncs"],
     ["wal_segments"], ["wal_compactions"], ["wal_recovered_records"] and
-    ["wal_torn_records"]. *)
+    ["wal_torn_records"]. Both also feed wall-clock latency histograms
+    (series observed via {!Metrics.hist}): [`Wal] records
+    ["wal_append_us"], ["wal_fsync_us"] and ["wal_recover_us"] (replay
+    cost at open), [`Files] records ["file_fsync_us"] per flush. *)
 
 type t
 (** Stable storage of one process. *)

@@ -1,15 +1,27 @@
 type entry = { time : int; node : int; text : string }
 
+type phase = B | E
+
+type span = {
+  time : int;
+  node : int;
+  phase : phase;
+  stage : string;
+  key : string;
+}
+
 type t = {
   mutable enabled : bool;
   echo : bool;
   mutable entries : entry list; (* reversed *)
+  mutable spans : span list; (* reversed *)
 }
 
 let create ?(enabled = false) ?(echo = false) () =
-  { enabled; echo; entries = [] }
+  { enabled; echo; entries = []; spans = [] }
 
 let enable t b = t.enabled <- b
+let enabled t = t.enabled
 
 let emit t ~time ~node text =
   if t.enabled then begin
@@ -23,13 +35,102 @@ let emitf t ~time ~node fmt =
     Format.kasprintf (fun s -> emit t ~time ~node s) fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
+let span t ~time ~node ~phase ~stage key =
+  if t.enabled then
+    t.spans <- { time; node; phase; stage; key } :: t.spans
+
+let span_begin t ~time ~node ~stage key =
+  span t ~time ~node ~phase:B ~stage key
+
+let span_end t ~time ~node ~stage key = span t ~time ~node ~phase:E ~stage key
+
 let entries t = List.rev t.entries
+let spans t = List.rev t.spans
 
 let find t pred = List.find_opt pred (entries t)
 
 let dump t ppf =
   List.iter
-    (fun e -> Format.fprintf ppf "[%8d] p%d %s@." e.time e.node e.text)
+    (fun (e : entry) ->
+      Format.fprintf ppf "[%8d] p%d %s@." e.time e.node e.text)
     (entries t)
 
-let clear t = t.entries <- []
+let clear t =
+  t.entries <- [];
+  t.spans <- []
+
+(* ---- Chrome trace_event export ----
+
+   One JSON array of events, loadable in chrome://tracing and Perfetto.
+   Spans become *async* events (ph "b"/"e") keyed by id: many messages
+   are in flight per node at once, and chrome's synchronous B/E events
+   require strict stack nesting per thread, which overlapping message
+   lifetimes violate. Plain entries become instant events (ph "i").
+   pid/tid are both the node id, ts is the simulated time in µs (the
+   trace_event unit). *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  let event s =
+    if not !first then Buffer.add_string buf ",\n" else Buffer.add_string buf "\n";
+    first := false;
+    Buffer.add_string buf s
+  in
+  (* Both lists are time-ordered (reversed-on-record, reversed back
+     here); merge so ts is monotone over the whole array. *)
+  let rec go (entries : entry list) (spans : span list) =
+    match (entries, spans) with
+    | [], [] -> ()
+    | e :: es, [] ->
+      event
+        (Printf.sprintf
+           {|  {"name":"%s","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+           (json_escape e.text) e.time e.node e.node);
+      go es []
+    | [], s :: ss ->
+      event
+        (Printf.sprintf
+           {|  {"name":"%s","cat":"%s","ph":"%s","id":"%s","ts":%d,"pid":%d,"tid":%d}|}
+           (json_escape s.stage) (json_escape s.stage)
+           (match s.phase with B -> "b" | E -> "e")
+           (json_escape s.key) s.time s.node s.node);
+      go [] ss
+    | e :: es, s :: ss ->
+      if e.time <= s.time then begin
+        event
+          (Printf.sprintf
+             {|  {"name":"%s","ph":"i","ts":%d,"pid":%d,"tid":%d,"s":"t"}|}
+             (json_escape e.text) e.time e.node e.node);
+        go es (s :: ss)
+      end
+      else begin
+        event
+          (Printf.sprintf
+             {|  {"name":"%s","cat":"%s","ph":"%s","id":"%s","ts":%d,"pid":%d,"tid":%d}|}
+             (json_escape s.stage) (json_escape s.stage)
+             (match s.phase with B -> "b" | E -> "e")
+             (json_escape s.key) s.time s.node s.node);
+        go (e :: es) ss
+      end
+  in
+  go (entries t) (spans t);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,33 +1,71 @@
 (** Timestamped event trace.
 
     Cheap structured logging for simulations: protocols emit one-line
-    events; tests assert over them; examples print them as a timeline.
-    Disabled traces drop events without formatting cost. *)
+    events and stage spans; tests assert over them; examples print them
+    as a timeline; {!to_chrome_json} exports the whole run for
+    chrome://tracing / Perfetto. Disabled traces drop events without
+    formatting or recording cost. *)
 
 type t
 
 type entry = { time : int; node : int; text : string }
+
+type phase = B | E
+
+type span = {
+  time : int;
+  node : int;
+  phase : phase;
+  stage : string;  (** e.g. ["abcast"], ["consensus"] *)
+  key : string;  (** message/instance key, pairs a [B] with its [E] *)
+}
 
 val create : ?enabled:bool -> ?echo:bool -> unit -> t
 (** [echo] additionally prints each entry to stdout as it is emitted. *)
 
 val enable : t -> bool -> unit
 
+val enabled : t -> bool
+(** Instrumentation sites test this before building span keys, so a
+    disabled trace costs one load + branch per site. *)
+
 val emit : t -> time:int -> node:int -> string -> unit
 (** Record an entry (no-op when disabled). *)
 
 val emitf :
   t -> time:int -> node:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the format arguments are only evaluated when the
-    trace is enabled. *)
+(** Formatted variant. When the trace is disabled no formatting is
+    performed and nothing is allocated beyond the closed-over
+    arguments; note OCaml still evaluates the arguments themselves
+    (that is the language's applicative order, not something a library
+    can suppress), so guard any expensive argument computation with
+    {!enabled}. *)
+
+val span_begin : t -> time:int -> node:int -> stage:string -> string -> unit
+(** [span_begin t ~time ~node ~stage key] opens the [stage] span for
+    [key] (no-op when disabled). Every begin should be matched by an
+    {!span_end} with the same stage and key. *)
+
+val span_end : t -> time:int -> node:int -> stage:string -> string -> unit
 
 val entries : t -> entry list
 (** All entries in emission order. *)
+
+val spans : t -> span list
+(** All span events in emission order. *)
 
 val find : t -> (entry -> bool) -> entry option
 (** First entry satisfying the predicate. *)
 
 val dump : t -> Format.formatter -> unit
 (** Print the whole timeline, one entry per line. *)
+
+val to_chrome_json : t -> string
+(** The run as a Chrome [trace_event] JSON array (open in
+    chrome://tracing or Perfetto). Spans export as async begin/end
+    events ([ph] "b"/"e") identified by their key — async because many
+    messages are in flight per node and synchronous B/E events require
+    stack nesting; entries export as instant events ([ph] "i"). [ts] is
+    simulated µs; [pid] and [tid] are the node id. *)
 
 val clear : t -> unit

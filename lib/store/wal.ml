@@ -18,6 +18,8 @@ type stats = {
   torn_records : int;
 }
 
+type io_op = [ `Append | `Fsync | `Recover ]
+
 type t = {
   dir : string;
   segment_bytes : int;
@@ -25,6 +27,12 @@ type t = {
   compact_ratio : float;
   auto_compact : bool;
   pacer : Durable.pacer;
+  (* optional wall-clock timing tap: called with each operation's
+     duration in µs. The store layer feeds these into latency
+     histograms; [None] (the default) costs nothing — not even a
+     gettimeofday. Wal cannot depend on the sim Metrics module (the
+     dependency points the other way), hence a callback. *)
+  on_io : (io_op -> float -> unit) option;
   (* live map: key -> (value, framed record size on disk). The record
      size is what compaction would pay to rewrite the binding; summed it
      gives [live_bytes], the live fraction of the on-disk log. *)
@@ -88,7 +96,12 @@ let encode_frame t =
   Wire.length t.frame
 
 let do_fsync t =
-  Durable.fsync_fd t.fd;
+  (match t.on_io with
+  | None -> Durable.fsync_fd t.fd
+  | Some f ->
+    let t0 = Unix.gettimeofday () in
+    Durable.fsync_fd t.fd;
+    f `Fsync ((Unix.gettimeofday () -. t0) *. 1e6));
   t.fsyncs <- t.fsyncs + 1;
   Durable.note_sync t.pacer
 
@@ -116,7 +129,7 @@ let check_open t op = if t.closed then invalid_arg ("Wal." ^ op ^ ": closed")
 (* Append the already-encoded body as one record; returns the framed
    size. One write syscall per record: the OS can tear it, the CRC
    catches the tear. *)
-let append t =
+let append_record t =
   let flen = encode_frame t in
   Durable.write_all t.fd (Wire.unsafe_bytes t.frame) 0 flen;
   t.seg_size <- t.seg_size + flen;
@@ -125,6 +138,18 @@ let append t =
   if Durable.note_op t.pacer then do_fsync t;
   if t.seg_size >= t.segment_bytes then roll t;
   flen
+
+(* The reported `Append duration covers the whole operation, including
+   any fsync or segment roll it triggers — that is the latency a caller
+   actually pays per record. *)
+let append t =
+  match t.on_io with
+  | None -> append_record t
+  | Some f ->
+    let t0 = Unix.gettimeofday () in
+    let flen = append_record t in
+    f `Append ((Unix.gettimeofday () -. t0) *. 1e6);
+    flen
 
 (* ---- compaction ---- *)
 
@@ -320,9 +345,12 @@ let truncate_file path size =
 
 let open_ ?(segment_bytes = 1 lsl 20)
     ?(fsync = Durable.Every { ops = 64; ms = 20 }) ?(compact_min_bytes = 64_000)
-    ?(compact_ratio = 0.5) ?(auto_compact = true) ~dir () =
+    ?(compact_ratio = 0.5) ?(auto_compact = true) ?on_io ~dir () =
   if segment_bytes <= 0 then invalid_arg "Wal.open_: segment_bytes";
   Durable.mkdir_p dir;
+  let t_recover0 =
+    match on_io with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+  in
   let t =
     {
       dir;
@@ -331,6 +359,7 @@ let open_ ?(segment_bytes = 1 lsl 20)
       compact_ratio;
       auto_compact;
       pacer = Durable.pacer fsync;
+      on_io;
       live = Hashtbl.create 64;
       body = Wire.writer ~cap:256 ();
       frame = Wire.writer ~cap:256 ();
@@ -396,6 +425,9 @@ let open_ ?(segment_bytes = 1 lsl 20)
     open_segment t seq;
     t.seg_size <- size;
     t.sealed <- List.rev_map (fun (s, p, _) -> (s, p)) older);
+  (match on_io with
+  | None -> ()
+  | Some f -> f `Recover ((Unix.gettimeofday () -. t_recover0) *. 1e6));
   t
 
 let wipe t =

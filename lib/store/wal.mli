@@ -62,12 +62,16 @@ type stats = {
       (** torn/corrupt tails hit by {!open_} (each truncated the log) *)
 }
 
+type io_op = [ `Append | `Fsync | `Recover ]
+(** Operations reported through the [on_io] timing tap of {!open_}. *)
+
 val open_ :
   ?segment_bytes:int ->
   ?fsync:Durable.policy ->
   ?compact_min_bytes:int ->
   ?compact_ratio:float ->
   ?auto_compact:bool ->
+  ?on_io:(io_op -> float -> unit) ->
   dir:string ->
   unit ->
   t
@@ -78,7 +82,15 @@ val open_ :
     [Every {ops = 64; ms = 20}]) is the durability policy. Compaction
     triggers automatically (unless [auto_compact] is [false]) when dead
     bytes exceed [compact_min_bytes] (default 64 KiB) {e and} the dead
-    fraction of the on-disk log exceeds [compact_ratio] (default 0.5). *)
+    fraction of the on-disk log exceeds [compact_ratio] (default 0.5).
+
+    [on_io], when given, is called with each operation's wall-clock
+    duration in µs: once per record append ([`Append], covering any
+    fsync or segment roll the append triggers), once per fsync
+    ([`Fsync]), and once at the end of [open_] itself ([`Recover], the
+    full replay cost). Omitted (the default), no clock is read —
+    instrumentation costs nothing. [Abcast_sim.Storage] uses it to feed
+    the [wal_append_us]/[wal_fsync_us]/[wal_recover_us] histograms. *)
 
 val put : t -> string -> string -> unit
 (** Append a Put record and update the live map. *)

@@ -37,6 +37,9 @@ let probe ?(self = 0) ?(n = 3) () =
       rng = Rng.create 1;
       metrics = Metrics.create ();
       emit = ignore;
+      trace_on = (fun () -> false);
+      span_begin = (fun ~stage:_ _ -> ());
+      span_end = (fun ~stage:_ _ -> ());
     }
   in
   { io; sent; timers; store }

@@ -1,0 +1,519 @@
+(* Observability layer tests: log-bucketed histogram accuracy and edge
+   cases, span bookkeeping, Chrome-trace export validity, the
+   instrumented lifecycle stages, and the live Prometheus endpoint. *)
+
+open Helpers
+module Histogram = Abcast_util.Histogram
+module Trace = Abcast_sim.Trace
+module Factory = Abcast_core.Factory
+module Durable = Abcast_store.Durable
+module Live = Abcast_live.Runtime
+
+let of_samples xs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) xs;
+  h
+
+(* Exact nearest-rank percentile of a sample list, the reference the
+   histogram estimate is compared against. *)
+let exact_percentile xs p =
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  if n = 0 then 0.
+  else if p <= 0. then List.hd sorted
+  else if p >= 100. then List.nth sorted (n - 1)
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let rel_err est exact =
+  if exact = 0. then Float.abs est
+  else Float.abs (est -. exact) /. Float.abs exact
+
+(* ---- histogram unit tests ---- *)
+
+let histogram_tests =
+  [
+    test "histogram: empty" (fun () ->
+        let h = Histogram.create () in
+        Alcotest.(check int) "count" 0 (Histogram.count h);
+        Alcotest.(check (float 0.)) "sum" 0. (Histogram.sum h);
+        Alcotest.(check (float 0.)) "mean" 0. (Histogram.mean h);
+        Alcotest.(check (float 0.)) "p50" 0. (Histogram.percentile h 50.);
+        Alcotest.(check (float 0.)) "p0" 0. (Histogram.percentile h 0.);
+        Alcotest.(check (float 0.)) "p100" 0. (Histogram.percentile h 100.);
+        let (s : Histogram.summary) = Histogram.summary h in
+        Alcotest.(check int) "summary count" 0 s.count;
+        Alcotest.(check (list (pair (float 0.) int))) "buckets" []
+          (Histogram.buckets h));
+    test "histogram: single sample is every percentile" (fun () ->
+        let h = of_samples [ 137.5 ] in
+        List.iter
+          (fun p ->
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "p%g" p)
+              137.5
+              (Histogram.percentile h p))
+          [ 0.; 1.; 50.; 99.; 100. ];
+        Alcotest.(check (float 0.)) "mean" 137.5 (Histogram.mean h));
+    test "histogram: p0/p100 are the exact extremes" (fun () ->
+        let h = of_samples [ 3.0; 999.25; 42.0; 17.3 ] in
+        Alcotest.(check (float 0.)) "p0" 3.0 (Histogram.percentile h 0.);
+        Alcotest.(check (float 0.)) "p100" 999.25 (Histogram.percentile h 100.);
+        Alcotest.(check (float 0.)) "min" 3.0 (Histogram.min_value h);
+        Alcotest.(check (float 0.)) "max" 999.25 (Histogram.max_value h));
+    test "histogram: values at and below 1 share bucket 0" (fun () ->
+        let h = of_samples [ 0.0; 0.3; 1.0 ] in
+        (match Histogram.buckets h with
+        | [ (ub, count) ] ->
+          Alcotest.(check (float 0.)) "bound" 1.0 ub;
+          Alcotest.(check int) "count" 3 count
+        | bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs));
+        (* estimates stay clamped inside the true extremes *)
+        let p50 = Histogram.percentile h 50. in
+        Alcotest.(check bool) "clamped" true (p50 >= 0.0 && p50 <= 1.0));
+    test "histogram: bucket boundary neighbours stay within error" (fun () ->
+        (* Samples straddling a bucket edge: each estimate must be within
+           the documented relative error of its own sample. *)
+        let gamma = 1.04 in
+        List.iter
+          (fun b ->
+            let edge = gamma ** float_of_int b in
+            List.iter
+              (fun v ->
+                let h = of_samples [ v ] in
+                Alcotest.(check bool)
+                  (Printf.sprintf "single %.6f" v)
+                  true
+                  (rel_err (Histogram.percentile h 50.) v <= 1e-9))
+              [ edge *. 0.999; edge; edge *. 1.001 ])
+          [ 1; 2; 10; 100; 400 ]);
+    test "histogram: overflow bucket reports infinity and exact max"
+      (fun () ->
+        let huge = 1e12 in
+        let h = of_samples [ 5.0; huge ] in
+        let bounds = List.map fst (Histogram.buckets h) in
+        Alcotest.(check bool) "has +inf bucket" true
+          (List.exists (fun b -> b = infinity) bounds);
+        Alcotest.(check (float 0.)) "p100 exact" huge
+          (Histogram.percentile h 100.);
+        (* interior estimate of the overflow sample clamps to true max *)
+        Alcotest.(check bool) "p75 finite and clamped" true
+          (Histogram.percentile h 75. <= huge));
+    test "histogram: clear empties in place" (fun () ->
+        let h = of_samples [ 1.0; 2.0; 3.0 ] in
+        Histogram.clear h;
+        Alcotest.(check int) "count" 0 (Histogram.count h);
+        Histogram.add h 9.0;
+        Alcotest.(check int) "usable after clear" 1 (Histogram.count h);
+        Alcotest.(check (float 0.)) "fresh min" 9.0 (Histogram.min_value h));
+  ]
+
+(* ---- QCheck properties ---- *)
+
+(* Positive samples spread over six decades; > 1 so every sample is in a
+   geometric bucket where the relative-error bound applies. *)
+let sample_gen =
+  QCheck.Gen.(map (fun e -> 10. ** e) (float_range 0.001 6.0))
+
+let samples_arb n = QCheck.make QCheck.Gen.(list_size (int_range 1 n) sample_gen)
+
+let qcheck_props =
+  [
+    QCheck.Test.make ~name:"histogram: merge equals concatenation" ~count:100
+      (QCheck.pair (samples_arb 200) (samples_arb 200))
+      (fun (xs, ys) ->
+        let a = of_samples xs and b = of_samples ys in
+        let merged = Histogram.merge a b in
+        let concat = of_samples (xs @ ys) in
+        Histogram.buckets merged = Histogram.buckets concat
+        && Histogram.count merged = Histogram.count concat
+        && rel_err (Histogram.sum merged) (Histogram.sum concat) < 1e-9
+        && Histogram.percentile merged 50. = Histogram.percentile concat 50.);
+    QCheck.Test.make ~name:"histogram: merge_into matches merge" ~count:100
+      (QCheck.pair (samples_arb 100) (samples_arb 100))
+      (fun (xs, ys) ->
+        let a = of_samples xs and b = of_samples ys in
+        let m = Histogram.merge a b in
+        let dst = of_samples xs in
+        Histogram.merge_into ~dst b;
+        Histogram.buckets dst = Histogram.buckets m
+        && Histogram.count dst = Histogram.count m);
+    QCheck.Test.make
+      ~name:"histogram: p50/p95 within documented error of exact (10k)"
+      ~count:20
+      (QCheck.make QCheck.Gen.(list_size (return 10_000) sample_gen))
+      (fun xs ->
+        let h = of_samples xs in
+        List.for_all
+          (fun p ->
+            let est = Histogram.percentile h p in
+            let exact = exact_percentile xs p in
+            (* nearest-rank vs bucket-midpoint can differ by one rank on
+               top of the bucket error; allow a small slack above the
+               documented bound *)
+            rel_err est exact <= Histogram.bucket_error +. 0.01)
+          [ 50.; 95. ]);
+    QCheck.Test.make ~name:"histogram: mean and extremes are exact" ~count:100
+      (samples_arb 300)
+      (fun xs ->
+        let h = of_samples xs in
+        let n = List.length xs in
+        let exact_mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+        rel_err (Histogram.mean h) exact_mean < 1e-9
+        && Histogram.min_value h = List.fold_left Float.min infinity xs
+        && Histogram.max_value h = List.fold_left Float.max neg_infinity xs);
+  ]
+
+(* ---- trace spans and emitf cost ---- *)
+
+(* A mini JSON validator: accepts exactly the grammar we emit. Returns
+   the index after the value or raises. *)
+let validate_json s =
+  let n = String.length s in
+  let fail i msg = Alcotest.failf "invalid JSON at %d: %s" i msg in
+  let rec skip_ws i = if i < n && (s.[i] = ' ' || s.[i] = '\n') then skip_ws (i + 1) else i in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then fail i "eof"
+    else
+      match s.[i] with
+      | '{' -> obj (skip_ws (i + 1)) true
+      | '[' -> arr (skip_ws (i + 1)) true
+      | '"' -> string_ (i + 1)
+      | '-' | '0' .. '9' -> number i
+      | 't' -> lit i "true"
+      | 'f' -> lit i "false"
+      | 'n' -> lit i "null"
+      | c -> fail i (Printf.sprintf "unexpected %c" c)
+  and lit i w =
+    if i + String.length w <= n && String.sub s i (String.length w) = w then
+      i + String.length w
+    else fail i w
+  and string_ i =
+    if i >= n then fail i "unterminated string"
+    else if s.[i] = '"' then i + 1
+    else if s.[i] = '\\' then
+      if i + 1 < n then string_ (i + 2) else fail i "bad escape"
+    else string_ (i + 1)
+  and number i =
+    let j = ref i in
+    if !j < n && s.[!j] = '-' then incr j;
+    let digits = ref 0 in
+    while
+      !j < n
+      && (match s.[!j] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false)
+    do
+      incr digits;
+      incr j
+    done;
+    if !digits = 0 then fail i "empty number" else !j
+  and obj i first =
+    let i = skip_ws i in
+    if i < n && s.[i] = '}' then i + 1
+    else
+      let i = if first then i else if i < n && s.[i] = ',' then skip_ws (i + 1) else fail i "expected ,"
+      in
+      if i < n && s.[i] = '"' then begin
+        let i = string_ (i + 1) in
+        let i = skip_ws i in
+        if i < n && s.[i] = ':' then obj_after_value (value (i + 1)) else fail i "expected :"
+      end
+      else fail i "expected key"
+  and obj_after_value i =
+    let i = skip_ws i in
+    if i < n && s.[i] = '}' then i + 1
+    else if i < n && s.[i] = ',' then obj (skip_ws i) false
+    else fail i "expected , or }"
+  and arr i first =
+    let i = skip_ws i in
+    if i < n && s.[i] = ']' then i + 1
+    else
+      let i =
+        if first then i
+        else if i < n && s.[i] = ',' then skip_ws (i + 1)
+        else fail i "expected ,"
+      in
+      arr_after_value (value i)
+  and arr_after_value i =
+    let i = skip_ws i in
+    if i < n && s.[i] = ']' then i + 1
+    else if i < n && s.[i] = ',' then arr (skip_ws i) false
+    else fail i "expected , or ]"
+  in
+  let i = skip_ws (value 0) in
+  if i <> n then fail i "trailing garbage"
+
+let trace_tests =
+  [
+    test "trace: emitf does not format when disabled" (fun () ->
+        let t = Trace.create ~enabled:false () in
+        let invoked = ref false in
+        let pp ppf () =
+          invoked := true;
+          Format.pp_print_string ppf "x"
+        in
+        Trace.emitf t ~time:1 ~node:0 "hello %a %d" pp () 42;
+        Alcotest.(check bool) "formatter not invoked" false !invoked;
+        Alcotest.(check int) "nothing recorded" 0
+          (List.length (Trace.entries t));
+        Trace.enable t true;
+        Trace.emitf t ~time:2 ~node:0 "hello %a %d" pp () 42;
+        Alcotest.(check bool) "formatter invoked when enabled" true !invoked;
+        match Trace.entries t with
+        | [ e ] -> Alcotest.(check string) "text" "hello x 42" e.Trace.text
+        | l -> Alcotest.failf "expected one entry, got %d" (List.length l));
+    test "trace: spans are no-ops when disabled" (fun () ->
+        let t = Trace.create ~enabled:false () in
+        Trace.span_begin t ~time:1 ~node:0 ~stage:"abcast" "k";
+        Trace.span_end t ~time:2 ~node:0 ~stage:"abcast" "k";
+        Alcotest.(check int) "no spans" 0 (List.length (Trace.spans t));
+        Alcotest.(check bool) "enabled is false" false (Trace.enabled t));
+    test "trace: chrome export of a seeded run is valid and well-paired"
+      (fun () ->
+        let trace = Trace.create ~enabled:true () in
+        let cluster =
+          Cluster.create (Factory.basic ()) ~seed:11 ~n:3 ~trace ()
+        in
+        let rng = Rng.create 99 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+            ~stop:20_000 ~mean_gap:1_200 ()
+        in
+        let ok =
+          Cluster.run_until cluster ~until:30_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "quiesced" true ok;
+        let spans = Trace.spans trace in
+        Alcotest.(check bool) "spans recorded" true (spans <> []);
+        (* every begin has exactly one matching end, never end-first *)
+        let open_tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (sp : Trace.span) ->
+            let key = (sp.stage, sp.key) in
+            match sp.phase with
+            | Trace.B ->
+              Alcotest.(check bool)
+                (Printf.sprintf "no double begin %s/%s" sp.stage sp.key)
+                false (Hashtbl.mem open_tbl key);
+              Hashtbl.add open_tbl key sp.time
+            | Trace.E ->
+              (match Hashtbl.find_opt open_tbl key with
+              | None ->
+                Alcotest.failf "end without begin: %s/%s" sp.stage sp.key
+              | Some t0 ->
+                Alcotest.(check bool) "end not before begin" true
+                  (sp.time >= t0);
+                Hashtbl.remove open_tbl key))
+          spans;
+        (* abcast spans all close on a clean run *)
+        Hashtbl.iter
+          (fun (stage, key) _ ->
+            if stage = "abcast" then
+              Alcotest.failf "unclosed abcast span %s" key)
+          open_tbl;
+        let json = Trace.to_chrome_json trace in
+        validate_json json;
+        (* ts values are monotone: scan for every "ts": occurrence *)
+        let last = ref min_int in
+        let i = ref 0 in
+        let len = String.length json in
+        let pat = "\"ts\":" in
+        while
+          !i < len - String.length pat
+          && String.length json - !i >= String.length pat
+        do
+          if String.sub json !i (String.length pat) = pat then begin
+            let j = ref (!i + String.length pat) in
+            let v = ref 0 in
+            while !j < len && json.[!j] >= '0' && json.[!j] <= '9' do
+              v := (!v * 10) + (Char.code json.[!j] - Char.code '0');
+              incr j
+            done;
+            Alcotest.(check bool) "monotone ts" true (!v >= !last);
+            last := !v;
+            i := !j
+          end
+          else incr i
+        done;
+        Alcotest.(check bool) "saw ts values" true (!last > min_int));
+  ]
+
+(* ---- lifecycle instrumentation on a seeded sim run ---- *)
+
+let with_dir f =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abcast-obs-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Unix.mkdir d 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d))))
+    (fun () -> f d)
+
+let stage_tests =
+  [
+    test "stages: seeded run populates lifecycle and WAL histograms"
+      (fun () ->
+        with_dir (fun base ->
+            let storage ~metrics ~node =
+              Storage.create
+                ~dir:(Filename.concat base (Printf.sprintf "n%d" node))
+                ~backend:`Wal ~fsync:Durable.Always ~metrics ~node ()
+            in
+            let cluster =
+              Cluster.create (Factory.basic ()) ~seed:5 ~n:3 ~storage ()
+            in
+            let rng = Rng.create 55 in
+            let count =
+              Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ]
+                ~start:1_000 ~stop:25_000 ~mean_gap:1_500 ()
+            in
+            let ok =
+              Cluster.run_until cluster ~until:30_000_000
+                ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+                ()
+            in
+            Alcotest.(check bool) "quiesced" true ok;
+            List.iter
+              (fun name ->
+                match Cluster.hist_summary cluster name with
+                | None -> Alcotest.failf "series %s never observed" name
+                | Some (s : Histogram.summary) ->
+                  Alcotest.(check bool) (name ^ " has samples") true
+                    (s.count > 0);
+                  Alcotest.(check bool) (name ^ " percentiles ordered") true
+                    (s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max))
+              [
+                "stage.broadcast_to_propose_us";
+                "stage.propose_to_adeliver_us";
+                "lat_deliver";
+                "cons.propose_to_decide_us";
+                "cons.instance_us";
+                "wal_append_us";
+                "wal_fsync_us";
+                "wal_recover_us";
+              ];
+            (* fsync Always: every append fsyncs, so the two counts agree *)
+            let c name =
+              match Cluster.hist_summary cluster name with
+              | Some (s : Histogram.summary) -> s.count
+              | None -> 0
+            in
+            Alcotest.(check int) "append count = fsync count"
+              (c "wal_append_us") (c "wal_fsync_us")));
+  ]
+
+(* ---- live Prometheus endpoint ---- *)
+
+let http_get ~port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec read () =
+        match Unix.read sock chunk 0 4096 with
+        | 0 -> ()
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          read ()
+      in
+      read ();
+      Buffer.contents buf)
+
+(* One Prometheus text line: comment, blank, or name{labels} value. *)
+let prom_line_ok line =
+  line = ""
+  || String.starts_with ~prefix:"# HELP " line
+  || String.starts_with ~prefix:"# TYPE " line
+  ||
+  match String.index_opt line ' ' with
+  | None -> false
+  | Some sp ->
+    let name_part = String.sub line 0 sp in
+    let value_part = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let name_ok =
+      name_part <> ""
+      && String.for_all
+           (fun c ->
+             match c with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | '{' | '}' | '"' | '=' | ',' | '.' | '+' | '-' -> true
+             | _ -> false)
+           name_part
+    in
+    name_ok && float_of_string_opt value_part <> None
+
+let live_tests =
+  [
+    slow_test "live: Prometheus endpoint serves parseable lifecycle metrics"
+      (fun () ->
+        let port = 7461 and mport = 9461 in
+        match
+          Live.create (Factory.basic ()) ~n:3 ~base_port:port
+            ~metrics_port:mport ()
+        with
+        | exception Unix.Unix_error (err, _, _) ->
+          Printf.printf "skipping live metrics test: %s\n"
+            (Unix.error_message err)
+        | live ->
+          Fun.protect ~finally:(fun () -> Live.shutdown live) @@ fun () ->
+          for j = 0 to 9 do
+            Live.broadcast live ~node:(j mod 3) (Printf.sprintf "m%d" j)
+          done;
+          let deadline = Unix.gettimeofday () +. 15.0 in
+          while
+            (not
+               (List.for_all
+                  (fun i -> Live.delivered_count live i >= 10)
+                  [ 0; 1; 2 ]))
+            && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.02
+          done;
+          let body = http_get ~port:mport "/metrics" in
+          (* split headers from body *)
+          let payload =
+            match Astring.String.cut ~sep:"\r\n\r\n" body with
+            | Some (_, b) -> b
+            | None -> Alcotest.fail "no HTTP header/body separator"
+          in
+          Alcotest.(check bool) "HTTP 200" true
+            (String.starts_with ~prefix:"HTTP/1.0 200" body);
+          let lines = String.split_on_char '\n' payload in
+          Alcotest.(check bool) "non-empty dump" true (List.length lines > 10);
+          List.iter
+            (fun line ->
+              if not (prom_line_ok line) then
+                Alcotest.failf "unparseable metrics line: %S" line)
+            lines;
+          (* the lifecycle histograms are present *)
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool) ("contains " ^ needle) true
+                (Astring.String.is_infix ~affix:needle payload))
+            [
+              "abcast_stage_broadcast_to_propose_us_bucket";
+              "abcast_stage_propose_to_adeliver_us_count";
+              "abcast_cons_propose_to_decide_us_sum";
+              "abcast_lat_deliver_bucket";
+              "le=\"+Inf\"";
+            ];
+          (* in-process render agrees with what was served *)
+          let direct = Live.prometheus live in
+          Alcotest.(check bool) "direct render parses too" true
+            (List.for_all prom_line_ok (String.split_on_char '\n' direct)));
+  ]
+
+let suite =
+  ( "observability",
+    histogram_tests @ trace_tests @ stage_tests @ live_tests
+    @ List.map QCheck_alcotest.to_alcotest qcheck_props )

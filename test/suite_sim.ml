@@ -6,6 +6,7 @@
 open Helpers
 module Trace = Abcast_sim.Trace
 module Faults = Abcast_sim.Faults
+module Histogram = Abcast_util.Histogram
 
 let mk_store () =
   let metrics = Metrics.create () in
@@ -208,14 +209,33 @@ let metrics_tests =
         Metrics.hincr h2;
         Alcotest.(check int) "both bumps visible" 2 (Metrics.get m ~node:0 "c");
         Alcotest.(check bool) "same cell" true (h1 == h2));
-    test "reset detaches live handles" (fun () ->
+    test "reset keeps live handles attached" (fun () ->
+        (* Regression: reset used to Hashtbl.reset the table, detaching
+           outstanding handles so their counts silently vanished. Reset
+           now zeroes in place — a handle resolved before the reset keeps
+           feeding the visible counter. *)
         let m = Metrics.create () in
         let h = Metrics.handle m ~node:0 "c" in
         Metrics.hincr h;
-        Metrics.reset m;
         Metrics.hincr h;
-        (* the old cell keeps counting privately; the table is clean *)
-        Alcotest.(check int) "table cleared" 0 (Metrics.get m ~node:0 "c"));
+        Metrics.reset m;
+        Alcotest.(check int) "zeroed" 0 (Metrics.get m ~node:0 "c");
+        Alcotest.(check int) "handle view zeroed" 0 (Metrics.hget h);
+        Metrics.hincr h;
+        Alcotest.(check int) "post-reset bump visible" 1 (Metrics.get m ~node:0 "c");
+        Alcotest.(check bool) "same cell" true (h == Metrics.handle m ~node:0 "c"));
+    test "reset keeps live histograms attached" (fun () ->
+        let m = Metrics.create () in
+        let h = Metrics.hist m ~node:0 "lat" in
+        Histogram.add h 10.0;
+        Metrics.reset m;
+        Alcotest.(check int) "cleared" 0 (Histogram.count h);
+        Histogram.add h 20.0;
+        match Metrics.histogram m "lat" with
+        | None -> Alcotest.fail "series vanished on reset"
+        | Some merged ->
+          Alcotest.(check int) "post-reset sample visible" 1
+            (Histogram.count merged));
   ]
 
 let net_tests =

@@ -17,4 +17,5 @@ let () =
       Suite_baseline.suite;
       Suite_faults.suite;
       Suite_live.suite;
+      Suite_obs.suite;
     ]
