@@ -23,8 +23,8 @@ let scale n = if !quick then max 1 (n / 4) else n
 (* Drive [msgs] Poisson broadcasts on a fresh cluster of the stack and run
    to quiescence. Returns the cluster and the message count. *)
 let steady_run ?(n = 3) ?(seed = 7) ?(msgs = 200) ?(mean_gap = 1_500) ?net
-    ?(size = 32) stack =
-  let cluster = Cluster.create stack ~seed ~n ?net () in
+    ?(size = 32) ?count_bytes stack =
+  let cluster = Cluster.create stack ~seed ~n ?net ?count_bytes () in
   let rng = Rng.create (seed * 13) in
   let count =
     Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id) ~start:1_000
@@ -949,10 +949,76 @@ let e16 () =
           (backend_name backend) always every never)
     [ `Files; `Wal ]
 
+(* ------------------------------------------------------------------ *)
+(* E18 — the throughput ceiling: dissemination topology x pipeline      *)
+(* window draining a saturating burst (every payload offered at once —  *)
+(* an open-loop load would only measure its own arrival rate). Gossip + *)
+(* window=1 is the PR-3/PR-4 configuration; ring+window>=4 matches the  *)
+(* [Factory.throughput] preset, including its repair-only digest tuning.*)
+
+let e18 () =
+  let msgs = scale 2_000 in
+  let row ~n ~dissemination ~window =
+    let stack =
+      match dissemination with
+      | `Ring ->
+        Factory.alternative ~window ~dissemination ~gossip_full_every:32
+          ~gossip_period:10_000 ()
+      | `Gossip -> Factory.alternative ~window ~dissemination ()
+    in
+    let cluster = Cluster.create stack ~seed:53 ~n ~count_bytes:true () in
+    let rng = Rng.create 57 in
+    Workload.burst cluster ~rng ~senders:(List.init n Fun.id) ~at:1_000
+      ~count:msgs ~size:64 ();
+    let t0 = Unix.gettimeofday () in
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count:msgs ())
+        ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    if not ok then failwith "E18: burst did not drain";
+    let m = Cluster.metrics cluster in
+    let drain_s = float_of_int (Cluster.now cluster - 1_000) /. 1_000_000.0 in
+    let rounds = Cluster.round cluster 0 in
+    let net_bytes = Metrics.sum m "net_bytes" in
+    [
+      string_of_int n;
+      (match dissemination with `Gossip -> "gossip" | `Ring -> "ring");
+      Table.num window;
+      Table.flt (float_of_int msgs /. drain_s);
+      Table.flt (float_of_int msgs /. wall_s);
+      Table.num rounds;
+      Table.flt (float_of_int msgs /. float_of_int (max 1 rounds));
+      Table.flt (float_of_int net_bytes /. float_of_int msgs);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun dissemination ->
+            List.map
+              (fun window -> row ~n ~dissemination ~window)
+              [ 1; 4; 8 ])
+          [ `Gossip; `Ring ])
+      [ 5; 9 ]
+  in
+  Table.print
+    ~title:
+      "E18: throughput ceiling — dissemination topology x pipeline window \
+       draining a saturating burst (alt/paxos; window>=4 lifts simulated \
+       drain rate via deeper batching pipelines, ring cuts bytes/payload \
+       and host wall time)"
+    ~header:
+      [ "n"; "topo"; "W"; "msgs/s (sim)"; "msgs/s (host)"; "rounds";
+        "batch"; "net bytes/msg" ]
+    rows
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
     ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
-    ("E15", e15); ("E16", e16);
+    ("E15", e15); ("E16", e16); ("E18", e18);
   ]

@@ -8,7 +8,8 @@
      --only E4 [E5 ...]   run only the listed experiments
      --micro              run only the micro-benchmarks
      --quick              shrink workloads (~4x faster, coarser numbers)
-     --json               write BENCH_PR4.json (machine-readable snapshot:
+     --json               write BENCH_PR6.json (machine-readable snapshot:
+                          throughput sweep gossip-vs-ring x window,
                           events/sec, quiescence wall time, gossip bytes,
                           durable-storage throughput, trace/span overhead,
                           stage-latency p50s, micro ns/op) and exit *)

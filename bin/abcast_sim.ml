@@ -17,13 +17,29 @@ module Checks = Abcast_harness.Checks
 module Workload = Abcast_harness.Workload
 module Table = Abcast_harness.Table
 
-let make_stack stack consensus checkpoint_period delta =
+let parse_topo = function
+  | "gossip" -> `Gossip
+  | "ring" -> `Ring
+  | s ->
+    Printf.eprintf "unknown --topo %S (expected gossip|ring)\n" s;
+    exit 3
+
+(* [window]: [None] keeps each stack's own default (1 for alt, 4 for the
+   throughput preset); naive/ct/basic have no pipeline so the flag is
+   ignored there, as is [--topo] for naive/ct. *)
+let make_stack stack consensus checkpoint_period delta ~window ~topo =
+  let dissemination = parse_topo topo in
   match stack with
-  | "basic" -> Factory.basic ~consensus ()
-  | "alt" -> Factory.alternative ~consensus ~checkpoint_period ~delta ()
+  | "basic" -> Factory.basic ~consensus ~dissemination ()
+  | "alt" ->
+    Factory.alternative ~consensus ~checkpoint_period ~delta ?window
+      ~dissemination ()
+  | "throughput" -> Factory.throughput ~consensus ?window ()
   | "naive" -> Factory.naive ~consensus ()
   | "ct" -> Abcast_baseline.Ct_abcast.stack ~consensus ()
-  | s -> failwith (Printf.sprintf "unknown stack %S (basic|alt|naive|ct)" s)
+  | s ->
+    failwith
+      (Printf.sprintf "unknown stack %S (basic|alt|throughput|naive|ct)" s)
 
 (* Histogram series worth a row in the end-of-run latency table. *)
 let is_latency_series name =
@@ -38,10 +54,10 @@ let parse_fsync s =
     Printf.eprintf "bad --fsync %S: %s\n" s msg;
     exit 3
 
-let run_cmd stack consensus n seed msgs loss dup crashes trace_on trace_out
-    backend fsync check =
+let run_cmd stack consensus window topo n seed msgs loss dup crashes trace_on
+    trace_out backend fsync check =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
-  let stack_mod = make_stack stack consensus 50_000 4 in
+  let stack_mod = make_stack stack consensus 50_000 4 ~window ~topo in
   let net = Net.create ~loss ~dup () in
   let trace =
     Trace.create ~enabled:(trace_on || trace_out <> None) ~echo:trace_on ()
@@ -165,12 +181,12 @@ let run_cmd stack consensus n seed msgs loss dup crashes trace_on trace_out
   end;
   if not ok then exit 2
 
-let soak_cmd stack consensus n n_bad episodes seed0 =
+let soak_cmd stack consensus window topo n n_bad episodes seed0 =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
   let violations = ref 0 in
   for e = 1 to episodes do
     let seed = seed0 + (e * 997) in
-    let stack_mod = make_stack stack consensus 30_000 4 in
+    let stack_mod = make_stack stack consensus 30_000 4 ~window ~topo in
     let cluster = Cluster.create stack_mod ~seed ~n () in
     let lemmas = Abcast_harness.Lemmas.attach cluster () in
     let rng = Rng.create (seed + 31) in
@@ -205,10 +221,10 @@ let soak_cmd stack consensus n n_bad episodes seed0 =
   Printf.printf "\n%d episodes, %d violations\n" episodes !violations;
   if !violations > 0 then exit 1
 
-let live_cmd stack consensus n msgs base_port backend fsync metrics_port
-    metrics_interval metrics_out =
+let live_cmd stack consensus window topo n msgs base_port backend fsync
+    metrics_port metrics_interval metrics_out min_rate =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
-  let stack_mod = make_stack stack consensus 100_000 3 in
+  let stack_mod = make_stack stack consensus 100_000 3 ~window ~topo in
   let backend =
     match backend with
     | "wal" -> `Wal
@@ -270,6 +286,7 @@ let live_cmd stack consensus n msgs base_port backend fsync metrics_port
       exit 2
     end;
     let dt = Unix.gettimeofday () -. t0 in
+    let rate = float_of_int msgs /. dt in
     let seqs =
       List.map (fun i -> Abcast_live.Runtime.delivered_data live i) (List.init n Fun.id)
     in
@@ -277,9 +294,7 @@ let live_cmd stack consensus n msgs base_port backend fsync metrics_port
     Printf.printf
       "%d messages totally ordered at %d processes in %.0f ms (%.0f msg/s);        orders identical: %b
 "
-      msgs n (dt *. 1000.0)
-      (float_of_int msgs /. dt)
-      agree;
+      msgs n (dt *. 1000.0) rate agree;
     (* end-of-run observability summary: network drops + WAL counters *)
     Table.print ~title:"per-process network and WAL counters"
       ~header:
@@ -320,16 +335,43 @@ let live_cmd stack consensus n msgs base_port backend fsync metrics_port
       Table.print ~title:"latency histograms (µs, per process)"
         ~header:[ "process"; "series"; "count"; "p50"; "p95"; "max" ]
         lat_rows;
+    (match min_rate with
+    | Some floor when rate < floor ->
+      Printf.eprintf "throughput %.0f msg/s is below the --min-rate floor %.0f\n"
+        rate floor;
+      exit 1
+    | _ -> ());
     if not agree then exit 1
 
 (* ---- cmdliner plumbing ---- *)
 open Cmdliner
 
 let stack_arg =
-  Arg.(value & opt string "basic" & info [ "stack" ] ~doc:"basic|alt|naive|ct")
+  Arg.(
+    value
+    & opt string "basic"
+    & info [ "stack" ] ~doc:"basic|alt|throughput|naive|ct")
 
 let consensus_arg =
   Arg.(value & opt string "paxos" & info [ "consensus" ] ~doc:"paxos|coord")
+
+let window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ]
+        ~doc:
+          "consensus pipeline depth (alt and throughput stacks; defaults to \
+           the stack's own: 1 for alt, 4 for throughput)")
+
+let topo_arg =
+  Arg.(
+    value
+    & opt string "gossip"
+    & info [ "topo" ]
+        ~doc:
+          "dissemination topology for basic/alt: gossip|ring (the throughput \
+           stack is always ring)")
 
 let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"number of processes")
 
@@ -377,8 +419,9 @@ let run_t =
   in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"verify the four properties at the end") in
   Term.(
-    const run_cmd $ stack_arg $ consensus_arg $ n_arg $ seed_arg $ msgs $ loss
-    $ dup $ crashes $ trace $ trace_out $ backend $ fsync $ check)
+    const run_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg $ n_arg
+    $ seed_arg $ msgs $ loss $ dup $ crashes $ trace $ trace_out $ backend
+    $ fsync $ check)
 
 let live_t =
   let msgs = Arg.(value & opt int 30 & info [ "msgs" ] ~doc:"broadcast count") in
@@ -415,14 +458,27 @@ let live_t =
           ~doc:"append one JSON metrics snapshot per interval to $(docv)"
           ~docv:"FILE")
   in
+  let min_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-rate" ]
+          ~doc:
+            "fail (exit 1) if end-to-end throughput lands below $(docv) \
+             msg/s — a conservative CI floor, not a benchmark"
+          ~docv:"MSG_PER_S")
+  in
   Term.(
-    const live_cmd $ stack_arg $ consensus_arg $ n_arg $ msgs $ port $ backend
-    $ fsync $ metrics_port $ metrics_interval $ metrics_out)
+    const live_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg $ n_arg
+    $ msgs $ port $ backend $ fsync $ metrics_port $ metrics_interval
+    $ metrics_out $ min_rate)
 
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in
   let episodes = Arg.(value & opt int 20 & info [ "episodes" ] ~doc:"number of episodes") in
-  Term.(const soak_cmd $ stack_arg $ consensus_arg $ n_arg $ n_bad $ episodes $ seed_arg)
+  Term.(
+    const soak_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg $ n_arg
+    $ n_bad $ episodes $ seed_arg)
 
 let cmds =
   Cmd.group

@@ -44,6 +44,14 @@ module Make (C : Consensus_intf.S) = struct
     (* instances whose "consensus" span we opened and must close on
        decide — volatile, like the instances themselves *)
     spanned : (int, unit) Hashtbl.t;
+    (* Volatile mirrors of the stable proposal/decision log. [proposal]
+       and [decision] sit on the broadcast layer's commit loop, which
+       under pipelining polls them once per in-flight instance per
+       event; going to [Storage] each time costs a key format + backend
+       lookup. Only [Some] results are cached (a [None] can turn into
+       [Some] at any time), so a hit is always authoritative. *)
+    proposals_cache : (int, value) Hashtbl.t;
+    decisions_cache : (int, value) Hashtbl.t;
     mutable floor : int;
   }
 
@@ -61,6 +69,8 @@ module Make (C : Consensus_intf.S) = struct
       on_behind;
       instances = Hashtbl.create 16;
       spanned = Hashtbl.create 8;
+      proposals_cache = Hashtbl.create 16;
+      decisions_cache = Hashtbl.create 16;
       floor;
     }
 
@@ -83,6 +93,7 @@ module Make (C : Consensus_intf.S) = struct
               Hashtbl.remove t.spanned k;
               t.io.span_end ~stage:"consensus" (span_key t k)
             end;
+            Hashtbl.replace t.decisions_cache k v;
             t.on_decide k v)
       in
       Hashtbl.add t.instances k c;
@@ -99,9 +110,19 @@ module Make (C : Consensus_intf.S) = struct
       C.propose c v
     end
 
-  let proposal t k = Storage.read t.io.store (Keys.proposal k)
+  let cached_read cache store key k =
+    match Hashtbl.find_opt cache k with
+    | Some _ as r -> r
+    | None -> (
+      match Storage.read store key with
+      | Some v as r ->
+        Hashtbl.replace cache k v;
+        r
+      | None -> None)
 
-  let decision t k = Storage.read t.io.store (Keys.decision k)
+  let proposal t k = cached_read t.proposals_cache t.io.store (Keys.proposal k) k
+
+  let decision t k = cached_read t.decisions_cache t.io.store (Keys.decision k) k
 
   let handle t ~src = function
     | Truncated { floor } -> t.on_lag floor
@@ -130,11 +151,61 @@ module Make (C : Consensus_intf.S) = struct
              | Some i when i < k ->
                Storage.delete t.io.store ~layer:truncate_layer key
              | _ -> ());
-      Hashtbl.iter
-        (fun i _ -> if i < k then Hashtbl.remove t.instances i)
-        (Hashtbl.copy t.instances);
+      let prune tbl =
+        Hashtbl.iter (fun i _ -> if i < k then Hashtbl.remove tbl i) (Hashtbl.copy tbl)
+      in
+      prune t.instances;
+      prune t.proposals_cache;
+      prune t.decisions_cache;
       t.floor <- k;
       Storage.write t.io.store ~layer:truncate_layer ~key:floor_key
         (string_of_int k)
     end
+
+  (* The pipelined sequencer: instances [committed .. committed+width)
+     may run concurrently; decisions are buffered as they arrive (in any
+     order) and handed to the broadcast layer strictly in instance order
+     through [ready]/[commit]. The cursor is volatile — on recovery the
+     broadcast layer re-derives it from its checkpoint and replays
+     decisions from the stable log, which [ready] falls back to when the
+     volatile buffer has no entry (e.g. right after recovery). *)
+  module Pipeline = struct
+    type multi = t
+
+    type t = {
+      m : multi;
+      width : int;
+      mutable committed : int;
+      decided : (int, value) Hashtbl.t;
+    }
+
+    let attach m ~width =
+      { m; width = max 1 width; committed = 0; decided = Hashtbl.create 16 }
+
+    let committed p = p.committed
+
+    let width p = p.width
+
+    let limit p = p.committed + p.width
+
+    let note_decided p k v =
+      if k >= p.committed then Hashtbl.replace p.decided k v
+
+    let ready p =
+      match Hashtbl.find_opt p.decided p.committed with
+      | Some _ as r -> r
+      | None -> decision p.m p.committed
+
+    let commit p =
+      Hashtbl.remove p.decided p.committed;
+      p.committed <- p.committed + 1
+
+    let seek p k =
+      if k > p.committed then begin
+        Hashtbl.iter
+          (fun i _ -> if i < k then Hashtbl.remove p.decided i)
+          (Hashtbl.copy p.decided);
+        p.committed <- k
+      end
+  end
 end

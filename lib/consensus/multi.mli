@@ -53,10 +53,12 @@ module Make (C : Consensus_intf.S) : sig
       call — paper §3.2). Ignored below the truncation floor. *)
 
   val proposal : t -> int -> Consensus_intf.value option
-  (** Logged initial value of instance [k], read from stable storage. *)
+  (** Logged initial value of instance [k], read from stable storage
+      (memoized: present values are served from a volatile cache). *)
 
   val decision : t -> int -> Consensus_intf.value option
-  (** Decided value of instance [k], read from stable storage. *)
+  (** Decided value of instance [k], read from stable storage
+      (memoized: present values are served from a volatile cache). *)
 
   val handle : t -> src:int -> msg -> unit
 
@@ -72,4 +74,52 @@ module Make (C : Consensus_intf.S) : sig
   (** Discard all stable consensus state of instances [< k] and raise the
       floor. Only call once the corresponding prefix is covered by a
       durable checkpoint. *)
+
+  (** The pipelined sequencer over this instance manager: up to [width]
+      instances in flight at once, decisions buffered out of order and
+      committed strictly in instance order. The broadcast layer owns the
+      apply side — it calls {!Pipeline.ready}/{!Pipeline.commit} in a
+      drain loop and feeds {!Pipeline.note_decided} from its
+      [on_decide]. The cursor is volatile: recovery re-derives it from
+      the durable checkpoint via {!Pipeline.seek}, and {!Pipeline.ready}
+      falls back to the stable decision log for instances decided before
+      the crash. *)
+  module Pipeline : sig
+    type multi := t
+
+    type t
+
+    val attach : multi -> width:int -> t
+    (** Cursor at instance 0; [width] is clamped to at least 1
+        ([width = 1] is exactly the paper's one-instance-at-a-time
+        sequencer). *)
+
+    val committed : t -> int
+    (** The next instance to commit — the broadcast layer's round
+        counter [k]. Instances below it are applied. *)
+
+    val width : t -> int
+
+    val limit : t -> int
+    (** [committed + width], exclusive upper bound on the instances that
+        may be proposed to right now. *)
+
+    val note_decided : t -> int -> Consensus_intf.value -> unit
+    (** Buffer a decision that arrived (possibly out of order) so the
+        drain loop can commit it without a storage read. Ignored below
+        the cursor. *)
+
+    val ready : t -> Consensus_intf.value option
+    (** The decision of instance [committed], if known — from the
+        volatile buffer or, failing that, the stable decision log. *)
+
+    val commit : t -> unit
+    (** Advance the cursor past [committed] (whose decision the caller
+        just applied). *)
+
+    val seek : t -> int -> unit
+    (** Jump the cursor forward to [k] (state transfer / recovery
+        adopting a checkpoint at round [k]); buffered decisions below
+        [k] are dropped. Never moves backwards. *)
+  end
 end

@@ -27,6 +27,16 @@ let append (t : t) (p : Payload.t) =
     true
   end
 
+let try_append (t : t) (p : Payload.t) =
+  if contains t p.id then `Dup
+  else if not (Vclock.fits t.vc p.id) then `Gap
+  else begin
+    t.vc <- Vclock.add t.vc p.id;
+    t.tail_rev <- p :: t.tail_rev;
+    t.tail_len <- t.tail_len + 1;
+    `Appended
+  end
+
 let total_len (t : t) = t.base_len + t.tail_len
 
 let tail (t : t) = List.rev t.tail_rev

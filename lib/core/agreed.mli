@@ -34,6 +34,14 @@ val append : t -> Payload.t -> bool
 (** Append one message; returns [false] (and does nothing) if already
     contained. Raises if the per-stream FIFO invariant would break. *)
 
+val try_append : t -> Payload.t -> [ `Appended | `Dup | `Gap ]
+(** Like {!append} but never raises: [`Gap] when the message's stream
+    predecessor has not been delivered yet (the message must stay in
+    [Unordered] and be re-proposed later). Pipelined decision batches
+    can legitimately contain gaps — a competing proposal may win an
+    earlier instance without carrying a stream prefix the loser counted
+    on — so appliers skip deterministically instead of asserting. *)
+
 val total_len : t -> int
 (** Length of the whole logical sequence (base + tail). *)
 

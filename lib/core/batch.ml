@@ -35,6 +35,37 @@ let encode payloads : Abcast_consensus.Consensus_intf.value =
 
 let encode_sorted = encode_into
 
+(* Bounded variant for adaptive batching: the batch is the whole sorted
+   backlog, cut at a payload boundary once the encoded bodies exceed
+   [max_bytes]. Bodies go through a second scratch writer so the count
+   prefix (whose varint width depends on how many payloads survive the
+   cut) can be written first in the final assembly. The cut keeps the
+   identity-sorted prefix, so every stream's messages below the cut form
+   a contiguous prefix — exactly the shape [Agreed] can append without
+   gaps when proposer and applier share the same delivered state. At
+   least one payload is always included (a single oversized payload must
+   still be deliverable). *)
+let body_scratch = Wire.writer ~cap:4096 ()
+
+let encode_sorted_bounded ~max_bytes payloads =
+  Wire.clear body_scratch;
+  let rec go n acc = function
+    | [] -> (n, List.rev acc, [])
+    | (p : Payload.t) :: rest ->
+      let mark = Wire.length body_scratch in
+      Payload.write body_scratch p;
+      if n > 0 && Wire.length body_scratch > max_bytes then begin
+        Wire.truncate body_scratch mark;
+        (n, List.rev acc, p :: rest)
+      end
+      else go (n + 1) (p :: acc) rest
+  in
+  let n, included, excluded = go 0 [] payloads in
+  Wire.clear scratch;
+  Wire.write_uvarint scratch n;
+  Wire.append_writer scratch ~src:body_scratch;
+  (Wire.contents scratch, included, excluded)
+
 let decode value : Payload.t list =
   Wire.of_string_exn Payload.read_list value
 

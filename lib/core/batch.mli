@@ -15,6 +15,19 @@ val encode_sorted : Payload.t list -> Abcast_consensus.Consensus_intf.value
     re-sort on the proposal hot path. Encodings are interchangeable with
     {!encode}'s for such inputs. *)
 
+val encode_sorted_bounded :
+  max_bytes:int ->
+  Payload.t list ->
+  Abcast_consensus.Consensus_intf.value * Payload.t list * Payload.t list
+(** [encode_sorted_bounded ~max_bytes payloads] encodes the longest
+    prefix of the (sorted, duplicate-free) list whose payload bodies fit
+    in [max_bytes] — always at least one payload. Returns
+    [(value, included, excluded)]; [excluded] stays in [Unordered] for a
+    later instance. Because the cut respects identity order, [included]
+    carries a contiguous per-stream prefix of the backlog, which is what
+    keeps pipelined decisions appendable in FIFO order. The encoding of
+    a fully-included list is byte-identical to {!encode_sorted}'s. *)
+
 val decode : Abcast_consensus.Consensus_intf.value -> Payload.t list
 (** Inverse of {!encode}; the result is sorted by identity. Only for
     values produced by {!encode} (our own proposals and decisions read

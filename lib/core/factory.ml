@@ -2,12 +2,17 @@ type consensus = [ `Paxos | `Coord ]
 
 type app_factory = int -> Protocol.app * (Payload.t -> unit)
 
+(* Stack names carry the topology so that benches and metrics comparing
+   gossip vs ring dissemination stay distinguishable. *)
+let topology_suffix = function Some `Ring -> "+ring" | Some `Gossip | None -> ""
+
 let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
-    ?gossip_full_every () : Proto.t =
+    ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us () :
+    Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
-      let name = "basic/" ^ C.name
+      let name = "basic" ^ topology_suffix dissemination ^ "/" ^ C.name
 
       type msg = P.msg
 
@@ -24,7 +29,8 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
       type t = P.Basic.t
 
       let create io ~deliver =
-        P.Basic.create ?gossip_period ?delta_gossip ?gossip_full_every io
+        P.Basic.create ?gossip_period ?delta_gossip ?gossip_full_every
+          ?dissemination ?max_batch_bytes ?ring_flush_us io
           ~on_deliver:deliver
 
       let broadcast_blocks = true
@@ -50,12 +56,12 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
 
 let alternative_named label ?(consensus = `Paxos) ?gossip_period
     ?checkpoint_period ?delta ?early_return ?incremental ?paranoid_log
-    ?window ?trim_state ?delta_gossip ?gossip_full_every ?app_factory () :
-    Proto.t =
+    ?window ?trim_state ?delta_gossip ?gossip_full_every ?dissemination
+    ?max_batch_bytes ?ring_flush_us ?app_factory () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
-      let name = label ^ "/" ^ C.name
+      let name = label ^ topology_suffix dissemination ^ "/" ^ C.name
 
       type msg = P.msg
 
@@ -84,7 +90,8 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
         in
         P.Alternative.create ?gossip_period ?checkpoint_period ?delta
           ?early_return ?incremental ?paranoid_log ?window ?trim_state
-          ?delta_gossip ?gossip_full_every ?app io ~on_deliver:deliver
+          ?delta_gossip ?gossip_full_every ?dissemination ?max_batch_bytes
+          ?ring_flush_us ?app io ~on_deliver:deliver
 
       let broadcast_blocks = not (Option.value early_return ~default:true)
 
@@ -109,10 +116,21 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
 
 let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
-    ?gossip_full_every ?app_factory () =
+    ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
+    ?app_factory () =
   alternative_named "alt" ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
-    ?gossip_full_every ?app_factory ()
+    ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
+    ?app_factory ()
+
+(* With ring dissemination the payloads never wait on a gossip tick —
+   digests only repair a torn ring — so the preset slows the gossip task
+   down (10ms instead of the 3ms default): under a heavy backlog every
+   digest exchange costs per-stream scans at each receiver, and at 3ms
+   that bookkeeping was a measurable slice of the per-payload budget. *)
+let throughput ?consensus ?(window = 4) ?(max_batch_bytes = 24_000) () =
+  alternative_named "alt" ?consensus ~window ~dissemination:`Ring
+    ~max_batch_bytes ~gossip_full_every:32 ~gossip_period:10_000 ()
 
 let naive ?(consensus = `Paxos) () =
   alternative_named "naive" ~consensus ~paranoid_log:true ~early_return:true

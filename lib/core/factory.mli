@@ -17,11 +17,18 @@ val basic :
   ?gossip_period:int ->
   ?delta_gossip:bool ->
   ?gossip_full_every:int ->
+  ?dissemination:[ `Gossip | `Ring ] ->
+  ?max_batch_bytes:int ->
+  ?ring_flush_us:int ->
   unit ->
   Proto.t
 (** The basic protocol (Fig. 2). [delta_gossip] (default true) gossips
     digests and pulls missing entries; [false] multisends the full
-    [Unordered] set every period, as the paper's pseudocode reads. *)
+    [Unordered] set every period, as the paper's pseudocode reads.
+    [dissemination:`Ring] forwards payload batches around the successor
+    ring instead of relying on gossip pulls (the stack name gains a
+    ["+ring"] suffix); [max_batch_bytes] bounds one proposal's payload
+    bytes. *)
 
 val alternative :
   ?consensus:consensus ->
@@ -35,11 +42,28 @@ val alternative :
   ?trim_state:bool ->
   ?delta_gossip:bool ->
   ?gossip_full_every:int ->
+  ?dissemination:[ `Gossip | `Ring ] ->
+  ?max_batch_bytes:int ->
+  ?ring_flush_us:int ->
   ?app_factory:app_factory ->
   unit ->
   Proto.t
 (** The alternative protocol (Figs. 3–5); defaults as in
-    {!Protocol.Make.Alternative.create}. *)
+    {!Protocol.Make.Alternative.create}. [window > 1] pipelines that many
+    consensus instances; [dissemination:`Ring] adds successor-ring
+    payload forwarding. *)
+
+val throughput :
+  ?consensus:consensus ->
+  ?window:int ->
+  ?max_batch_bytes:int ->
+  unit ->
+  Proto.t
+(** The throughput-tuned preset behind E18 and the live smoke: the
+    alternative protocol with ring dissemination, a pipelined window
+    (default 4), adaptive batching at [max_batch_bytes] (default 24_000)
+    and a rarer full-gossip belt ([gossip_full_every = 32] — the ring
+    carries the payloads, the digests only repair). *)
 
 val naive : ?consensus:consensus -> unit -> Proto.t
 (** The naive-logging strawman for ablations E1/E6: alternative protocol

@@ -12,6 +12,19 @@ let[@inline] compare_id a b =
 
 let equal_id a b = compare_id a b = 0
 
+(* Id-keyed hash tables: every per-message table (Unordered, pending,
+   logged keys, proposal coverage) keys on an identity, and the generic
+   [Hashtbl] pays a [caml_hash] structure walk plus a polymorphic
+   comparison per probe. Three-int mixing and int-only equality keep the
+   probe entirely in straight-line code. *)
+module Id_tbl = Hashtbl.Make (struct
+  type t = id
+
+  let equal a b = a.origin = b.origin && a.boot = b.boot && a.seq = b.seq
+
+  let hash { origin; boot; seq } = ((((seq * 31) + boot) * 31) + origin) land max_int
+end)
+
 let pp_id ppf { origin; boot; seq } =
   Format.fprintf ppf "p%d.%d.%d" origin boot seq
 

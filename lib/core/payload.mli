@@ -15,6 +15,10 @@ val compare_id : id -> id -> int
 
 val equal_id : id -> id -> bool
 
+module Id_tbl : Hashtbl.S with type key = id
+(** Hash tables keyed by identity, with int-only hashing and equality —
+    the per-message tables probe these on every add/deliver/pull. *)
+
 val pp_id : Format.formatter -> id -> unit
 (** Rendered as ["p<origin>.<boot>.<seq>"]. *)
 

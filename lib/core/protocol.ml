@@ -5,6 +5,7 @@ module Heartbeat = Abcast_fd.Heartbeat
 module Omega = Abcast_fd.Omega
 
 module Wire = Abcast_util.Wire
+module Ptbl = Payload.Id_tbl
 
 let layer = "abcast"
 
@@ -12,20 +13,26 @@ let checkpoint_key = "ab/checkpoint"
 
 let unordered_slot_key = "ab/unordered"
 
+(* Built by concatenation, not [sprintf]: one of these is materialized
+   per logged payload, and the format interpreter showed up in profiles. *)
 let unordered_item_key (id : Payload.id) =
-  Printf.sprintf "ab/u/%d.%d.%d" id.origin id.boot id.seq
+  String.concat ""
+    [
+      "ab/u/"; string_of_int id.origin; "."; string_of_int id.boot; ".";
+      string_of_int id.seq;
+    ]
 
 (* Application-level checkpoint hooks (§5.2, Fig. 5). Shared by every
    functor instantiation so that generic harness code can build them. *)
 type app = { checkpoint : unit -> string; install : string -> unit }
 
-(* The Unordered set, kept sorted by identity at all times so the hot
-   paths (proposing, gossiping, full re-logs) never fold-and-sort. *)
-module Umap = Map.Make (struct
-  type t = Payload.id
-
-  let compare = Payload.compare_id
-end)
+(* The Unordered set. Most operations on it are point lookups, adds and
+   removes — one of each per payload per process — so it lives in a
+   Hashtbl; the identity-sorted list view the batching and full-gossip
+   paths want is materialized on demand and memoized between mutations.
+   (An always-sorted functional map made every add/remove pay a
+   log-rebalance plus allocation; the profile showed that tax dwarfing
+   the occasional sort.) *)
 
 (* --- Stable-storage codecs ------------------------------------------- *)
 (* Shared across every functor instantiation (none of these types depend
@@ -61,6 +68,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     | State of { k : int; floor : int; agreed : Agreed.repr }
     | Cons of M.msg
     | Fd of Heartbeat.msg
+    | Ring of { k : int; len : int; entries : (int * Payload.t) list }
+        (** payload batch travelling around the ring; each entry carries
+            its remaining hop count *)
 
   let pp_msg ppf = function
     | Gossip { k; len; unordered } ->
@@ -71,6 +81,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     | State { k; _ } -> Format.fprintf ppf "state(k%d)" k
     | Cons m -> M.pp_msg ppf m
     | Fd m -> Heartbeat.pp_msg ppf m
+    | Ring { k; len; entries } ->
+      Format.fprintf ppf "ring(k%d,len%d,|E|=%d)" k len (List.length entries)
 
   (* --- Wire codec --------------------------------------------------- *)
 
@@ -110,6 +122,15 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     | Fd m ->
       Wire.write_u8 w 5;
       Heartbeat.write_msg w m
+    | Ring { k; len; entries } ->
+      Wire.write_u8 w 6;
+      Wire.write_varint w k;
+      Wire.write_varint w len;
+      Wire.write_list
+        (fun w (hops, p) ->
+          Wire.write_uvarint w hops;
+          Payload.write w p)
+        w entries
 
   let read_msg r =
     match Wire.read_u8 r with
@@ -131,6 +152,18 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       State { k; floor; agreed }
     | 4 -> Cons (M.read_msg r)
     | 5 -> Fd (Heartbeat.read_msg r)
+    | 6 ->
+      let k = Wire.read_varint r in
+      let len = Wire.read_varint r in
+      let entries =
+        Wire.read_list
+          (fun r ->
+            let hops = Wire.read_uvarint r in
+            let p = Payload.read r in
+            (hops, p))
+          r
+      in
+      Ring { k; len; entries }
     | t -> Wire.error "protocol: bad message tag %d" t
 
   let encode_msg m = Wire.to_string write_msg m
@@ -177,6 +210,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     trim_state : bool; (* ship only the suffix the recipient lacks (§5.3) *)
     delta_gossip : bool; (* gossip digests, pull missing entries (vs Fig. 3 full sets) *)
     gossip_full_every : int; (* every Nth tick still ships the full set (liveness belt) *)
+    dissemination : [ `Gossip | `Ring ];
+        (* how payloads spread before consensus: all-to-all gossip (the
+           paper's §4.2) or successor-ring forwarding with the digest/pull
+           path as repair fallback *)
+    max_batch_bytes : int;
+        (* bytes budget for one proposal's payload bodies: the adaptive
+           batch is the whole backlog, cut at this bound *)
+    ring_flush_us : int; (* coalescing delay before forwarding ring entries *)
     app : app option;
   }
 
@@ -192,6 +233,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       trim_state = false;
       delta_gossip = true;
       gossip_full_every = 8;
+      dissemination = `Gossip;
+      max_batch_bytes = 24_000;
+      ring_flush_us = 400;
       app = None;
     }
 
@@ -217,8 +261,12 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     h_rx_state : Metrics.handle;
     h_rx_cons : Metrics.handle;
     h_rx_fd : Metrics.handle;
+    h_rx_ring : Metrics.handle;
     h_gossip_msgs : Metrics.handle;
     h_gossip_bytes : Metrics.handle;
+    s_lat_deliver : Metrics.series;
+    s_stage_b2p : Metrics.series;
+    s_stage_p2d : Metrics.series;
   }
 
   type node = {
@@ -229,57 +277,124 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     multi : M.t;
     mh : handles;
     size : msg -> int; (* this node's own one-slot msg_size memo *)
+    pipe : M.Pipeline.t; (* in-order commit cursor over the instance window *)
     mutable agreed : Agreed.t;
-    mutable k : int;
-    mutable unordered : Payload.t Umap.t;
+    unordered : Payload.t Ptbl.t;
     mutable unordered_cache : Payload.t list option;
-        (* the sorted list view, memoized between mutations *)
-    logged_unordered : (Payload.id, unit) Hashtbl.t; (* keys on stable storage *)
+        (* memoized sorted view; exact when [unordered_cache_len] still
+           equals the table size, a superset after removals (deliveries),
+           stale only after an add *)
+    mutable unordered_cache_len : int;
+    logged_unordered : unit Ptbl.t; (* keys on stable storage *)
     mutable gossip_k : int;
     mutable gossip_tick : int;
     mutable seq : int; (* local broadcast counter, volatile *)
-    pending : (Payload.id, pend) Hashtbl.t;
+    pending : pend Ptbl.t;
     own_props : (int, Payload.id list) Hashtbl.t;
+    covered_ids : unit Ptbl.t;
+        (* union of [own_props]' id lists, maintained incrementally so
+           the window walk never rebuilds it per proposal opportunity *)
         (* ids inside our own not-yet-decided proposals (window > 1) *)
+    mutable ring_pending : (int * Payload.t) list;
+        (* entries awaiting the next coalesced forward to our successor,
+           in reverse arrival order *)
+    mutable ring_armed : bool; (* a flush timer is outstanding *)
+    stream_contig : (int * int, int) Hashtbl.t;
+        (* per (origin, boot): highest seq s such that every seq <= s is
+           covered — delivered (in Agreed) or held in Unordered. Coverage
+           is monotone within an incarnation (removal from Unordered only
+           happens for ids already in Agreed), so the watermark never has
+           to move backwards. It lets the digest receiver skip the
+           already-covered prefix instead of probing every seq. *)
+    stream_maxseen : (int * int, int) Hashtbl.t;
+        (* per (origin, boot): highest seq ever admitted to Unordered this
+           incarnation — the digest we advertise, maintained in O(1) per
+           add instead of folding the whole set on every gossip tick. *)
     ck_slot : (int * Agreed.repr) Storage.Slot.slot;
     unordered_full_slot : Payload.t list Storage.Slot.slot;
   }
 
-  let unordered_mem t id = Umap.mem id t.unordered
+  (* The round counter [k] of the paper is the pipeline's commit cursor:
+     the next instance whose decision we will apply. *)
+  let committed t = M.Pipeline.committed t.pipe
+
+  let unordered_mem t id = Ptbl.mem t.unordered id
+
+  (* Advance the covered watermark of a stream as far as its contiguous
+     delivered-or-held prefix reaches, and return it. The walk resumes
+     where the last one stopped (or at the delivery frontier, whichever
+     is higher), so each seq of a stream is stepped over at most once per
+     incarnation: O(1) amortized per payload. *)
+  let contig_advance t ~origin ~boot =
+    let key = (origin, boot) in
+    let ns = Vclock.next_seq (Agreed.vc t.agreed) ~origin ~boot in
+    let start =
+      match Hashtbl.find_opt t.stream_contig key with
+      | Some c -> max c (ns - 1)
+      | None -> ns - 1
+    in
+    let covered s =
+      s < ns || unordered_mem t { Payload.origin; boot; seq = s }
+    in
+    let rec adv c = if covered (c + 1) then adv (c + 1) else c in
+    let c = adv start in
+    if c <> start || not (Hashtbl.mem t.stream_contig key) then
+      Hashtbl.replace t.stream_contig key c;
+    c
 
   let unordered_add t (p : Payload.t) =
-    if not (Umap.mem p.id t.unordered) then begin
-      t.unordered <- Umap.add p.id p t.unordered;
-      t.unordered_cache <- None
+    if not (Ptbl.mem t.unordered p.id) then begin
+      Ptbl.replace t.unordered p.id p;
+      t.unordered_cache <- None;
+      let key = (p.id.origin, p.id.boot) in
+      (match Hashtbl.find_opt t.stream_maxseen key with
+      | Some m when m >= p.id.seq -> ()
+      | _ -> Hashtbl.replace t.stream_maxseen key p.id.seq);
+      ignore (contig_advance t ~origin:p.id.origin ~boot:p.id.boot)
     end
 
   let unordered_remove t id =
-    if Umap.mem id t.unordered then begin
-      t.unordered <- Umap.remove id t.unordered;
-      t.unordered_cache <- None
+    if Ptbl.mem t.unordered id then begin
+      Ptbl.remove t.unordered id
+      (* the memoized list view survives removals: consumers re-filter
+         it against the table (no re-sort), see [unordered_list] *)
     end
 
-  let unordered_count t = Umap.cardinal t.unordered
+  let unordered_count t = Ptbl.length t.unordered
 
+  (* The identity-sorted view. A full rebuild (fold + sort) happens only
+     after an add invalidated the memo; removals — the per-delivery case —
+     degrade the memo to a superset that one membership-filter pass
+     restores, with no re-sort. *)
   let unordered_list t =
+    let live = Ptbl.length t.unordered in
     match t.unordered_cache with
-    | Some l -> l
-    | None ->
-      let l = List.rev (Umap.fold (fun _ p acc -> p :: acc) t.unordered []) in
+    | Some l when t.unordered_cache_len = live -> l
+    | Some l ->
+      let l = List.filter (fun (p : Payload.t) -> Ptbl.mem t.unordered p.id) l in
       t.unordered_cache <- Some l;
+      t.unordered_cache_len <- live;
+      l
+    | None ->
+      let l =
+        Payload.sort_batch (Ptbl.fold (fun _ p acc -> p :: acc) t.unordered [])
+      in
+      t.unordered_cache <- Some l;
+      t.unordered_cache_len <- live;
       l
 
-  (* Per-(origin, boot) maximum sequence number present in Unordered —
-     the digest advertised instead of the payloads. The map iterates in
-     identity order, so within a stream the last seq seen is the max. *)
+  (* Per-(origin, boot) maximum sequence number admitted to Unordered —
+     the digest advertised instead of the payloads. This deliberately
+     over-approximates the live set (a seq delivered since it was added
+     stays advertised): a receiver that pulls such a seq gets no reply —
+     [on_need] serves only what is still held — and obtains it through
+     its own commits or a state transfer instead, exactly as it would
+     have before the digest named it. The payoff is an O(streams) digest
+     instead of an O(|Unordered|) fold on every gossip tick. *)
   let unordered_summary t =
-    Umap.fold
-      (fun (id : Payload.id) _ acc ->
-        match acc with
-        | (o, b, _) :: rest when o = id.origin && b = id.boot ->
-          (o, b, id.seq) :: rest
-        | _ -> (id.origin, id.boot, id.seq) :: acc)
-      t.unordered []
+    Hashtbl.fold
+      (fun (origin, boot) smax acc -> (origin, boot, smax) :: acc)
+      t.stream_maxseen []
 
   (* --- Unordered-set durability (alternative protocol, §5.4/§5.5) --- *)
 
@@ -289,19 +404,19 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         (* §5.5: log only the new part — one small write per message. *)
         Storage.write t.io.store ~layer ~key:(unordered_item_key p.id)
           (Wire.to_string Payload.write p);
-        Hashtbl.replace t.logged_unordered p.id ()
+        Ptbl.replace t.logged_unordered p.id ()
       end
       else begin
         (* Full re-log of the whole set on every change. *)
         Storage.Slot.set t.unordered_full_slot (unordered_list t);
-        Hashtbl.replace t.logged_unordered p.id ()
+        Ptbl.replace t.logged_unordered p.id ()
       end
 
   let cleanup_unordered_log t =
     if t.mode.early_return then
       if t.mode.incremental then begin
         let stale =
-          Hashtbl.fold
+          Ptbl.fold
             (fun id () acc ->
               if not (unordered_mem t id) then id :: acc else acc)
             t.logged_unordered []
@@ -309,14 +424,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         List.iter
           (fun id ->
             Storage.delete t.io.store ~layer (unordered_item_key id);
-            Hashtbl.remove t.logged_unordered id)
+            Ptbl.remove t.logged_unordered id)
           stale
       end
-      else if Hashtbl.length t.logged_unordered > unordered_count t
+      else if Ptbl.length t.logged_unordered > unordered_count t
       then begin
         Storage.Slot.set t.unordered_full_slot (unordered_list t);
-        Hashtbl.reset t.logged_unordered;
-        Umap.iter (fun id _ -> Hashtbl.replace t.logged_unordered id ())
+        Ptbl.reset t.logged_unordered;
+        Ptbl.iter (fun id _ -> Ptbl.replace t.logged_unordered id ())
           t.unordered
       end
 
@@ -331,7 +446,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
                  match Wire.of_string_opt Payload.read blob with
                  | None -> () (* corrupt log entry: skip, don't crash *)
                  | Some p ->
-                   Hashtbl.replace t.logged_unordered p.id ();
+                   Ptbl.replace t.logged_unordered p.id ();
                    if not (Agreed.contains t.agreed p.id) then
                      unordered_add t p))
       else
@@ -340,7 +455,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         | Some ps ->
           List.iter
             (fun (p : Payload.t) ->
-              Hashtbl.replace t.logged_unordered p.id ();
+              Ptbl.replace t.logged_unordered p.id ();
               if not (Agreed.contains t.agreed p.id) then unordered_add t p)
             ps
 
@@ -351,15 +466,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
   let deliver_one t (p : Payload.t) =
     Metrics.hincr t.mh.h_delivered;
-    (match Hashtbl.find_opt t.pending p.id with
+    (match Ptbl.find_opt t.pending p.id with
     | Some pe ->
-      Hashtbl.remove t.pending p.id;
+      Ptbl.remove t.pending p.id;
       let now = t.io.now () in
-      Metrics.observe t.io.metrics ~node:t.io.self "lat_deliver"
-        (float_of_int (now - pe.p_t0));
+      Metrics.sobserve t.mh.s_lat_deliver (float_of_int (now - pe.p_t0));
       if pe.p_proposed >= 0 then
-        Metrics.observe t.io.metrics ~node:t.io.self
-          "stage.propose_to_adeliver_us"
+        Metrics.sobserve t.mh.s_stage_p2d
           (float_of_int (now - pe.p_proposed));
       if t.io.trace_on () then t.io.span_end ~stage:"abcast" (span_key p.id);
       (match pe.p_cb with Some f -> f p.id | None -> ())
@@ -373,81 +486,116 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     (match t.mode.app with
     | Some app -> Agreed.compact t.agreed ~app_blob:(app.checkpoint ())
     | None -> ());
-    Storage.Slot.set t.ck_slot (t.k, Agreed.snapshot t.agreed);
-    M.truncate_below t.multi t.k;
+    Storage.Slot.set t.ck_slot (committed t, Agreed.snapshot t.agreed);
+    M.truncate_below t.multi (committed t);
     cleanup_unordered_log t;
     t.io.emit
-      (Printf.sprintf "checkpoint at k=%d (len %d)" t.k
+      (Printf.sprintf "checkpoint at k=%d (len %d)" (committed t)
          (Agreed.total_len t.agreed))
 
   (* --- Sequencer (Fig. 2; windowed extension) ------------------------ *)
 
-  (* Is some unordered message absent from every outstanding proposal of
-     ours?  Opening a further instance is only useful then. *)
-  let has_uncovered t =
-    let covered = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun _ ids -> List.iter (fun id -> Hashtbl.replace covered id ()) ids)
-      t.own_props;
-    Umap.fold
-      (fun id _ acc -> acc || not (Hashtbl.mem covered id))
-      t.unordered false
+  (* [own_props] and its id-set mirror [covered_ids] change together:
+     every mutation goes through this pair. Removing an instance's entry
+     re-exposes its ids to [uncovered_list] — exactly what a losing or
+     committed proposal needs. *)
+  let own_props_set t j ids =
+    Hashtbl.replace t.own_props j ids;
+    List.iter (fun id -> Ptbl.replace t.covered_ids id ()) ids
 
-  let propose_at t j =
-    (* Always propose the FULL Unordered set: every proposal then carries
-       complete per-stream prefixes, which keeps delivery FIFO per stream
-       even when a later instance decides while an earlier one chose a
-       competing (possibly empty) proposal. Duplicates across instances
-       are removed at delivery, as the paper's idempotence requires. *)
-    let batch = unordered_list t in
+  let own_props_del t j =
+    match Hashtbl.find_opt t.own_props j with
+    | None -> ()
+    | Some ids ->
+      Hashtbl.remove t.own_props j;
+      List.iter (Ptbl.remove t.covered_ids) ids
+
+  (* The part of the Unordered backlog not already covered by one of our
+     outstanding (uncommitted) proposals. Pipelined instances each
+     propose a disjoint slice of the backlog: re-proposing a covered
+     entry at a later instance would only decide a duplicate batch and
+     waste a round's worth of bytes — the deduplication at delivery makes
+     it harmless, so this is purely the throughput-side of the window. *)
+  let uncovered_list t =
+    if Ptbl.length t.covered_ids = 0 then unordered_list t
+    else
+      List.filter
+        (fun (p : Payload.t) -> not (Ptbl.mem t.covered_ids p.id))
+        (unordered_list t)
+
+  let propose_at t j backlog =
+    (* Propose [backlog] as one batch, cut at the bytes budget. The cut
+       keeps the identity-sorted prefix, so every proposal carries
+       contiguous per-stream prefixes of the backlog — which keeps
+       delivery FIFO per stream even when a later instance decides while
+       an earlier one chose a competing (possibly empty) proposal; the
+       deterministic gap-skip at delivery covers the losing-proposal
+       case. Duplicates across instances are removed at delivery, as the
+       paper's idempotence requires; the excluded suffix stays in
+       [Unordered] for the next instance of the window. *)
+    let value, batch, _excluded =
+      Batch.encode_sorted_bounded ~max_bytes:t.mode.max_batch_bytes backlog
+    in
     (* First time one of our own messages enters a proposal: close the
        batching-delay stage. The [p_proposed < 0] guard keeps re-proposals
        into later instances from double-counting. *)
     let now = t.io.now () in
     List.iter
       (fun (p : Payload.t) ->
-        match Hashtbl.find_opt t.pending p.id with
+        match Ptbl.find_opt t.pending p.id with
         | Some pe when pe.p_proposed < 0 ->
           pe.p_proposed <- now;
-          Metrics.observe t.io.metrics ~node:t.io.self
-            "stage.broadcast_to_propose_us"
-            (float_of_int (now - pe.p_t0))
+          Metrics.sobserve t.mh.s_stage_b2p (float_of_int (now - pe.p_t0))
         | _ -> ())
       batch;
-    Hashtbl.replace t.own_props j (List.map (fun (p : Payload.t) -> p.id) batch);
-    M.propose t.multi j (Batch.encode_sorted batch)
+    own_props_set t j (List.map (fun (p : Payload.t) -> p.id) batch);
+    M.propose t.multi j value
 
   let maybe_propose t =
     (* Walk the window: instances are opened strictly in order (the first
        locally unproposed, undecided instance), so no instance is ever
-       skipped and every one eventually runs a consensus. *)
+       skipped and every one eventually runs a consensus. A backlog wider
+       than the bytes budget keeps the walk going: each further instance
+       gets the still-uncovered suffix (pipelining). *)
+    let k = committed t in
     let rec walk j =
-      if j < t.k + t.mode.window then
+      if j < M.Pipeline.limit t.pipe then
         match (M.decision t.multi j, M.proposal t.multi j) with
         | Some _, _ | None, Some _ -> walk (j + 1)
         | None, None ->
-          let trigger =
-            if j = t.k then
-              not (Umap.is_empty t.unordered) || t.gossip_k > t.k
-            else (not (Umap.is_empty t.unordered)) && has_uncovered t
-          in
-          if trigger then propose_at t j
+          (* Each instance proposes the still-uncovered slice of the
+             backlog (recomputed after the previous [propose_at] extended
+             the coverage), so pipelined proposals are disjoint. *)
+          let backlog = uncovered_list t in
+          let trigger = backlog <> [] || (j = k && t.gossip_k > k) in
+          if trigger then begin
+            propose_at t j backlog;
+            walk (j + 1)
+          end
     in
-    walk t.k
+    walk k
 
   let apply_decision t v =
     let batch = Batch.decode v in
     List.iter
       (fun (p : Payload.t) ->
-        if Agreed.append t.agreed p then deliver_one t p
-        else unordered_remove t p.id)
+        (* A decided batch can carry a payload whose stream predecessor
+           we have not delivered yet only in degenerate schedules (e.g. a
+           re-proposal surviving a crash that also lost Unordered items);
+           every applier of this instance shares our Agreed state, so the
+           skip is deterministic and the payload — still in [Unordered]
+           somewhere — gets re-proposed and delivered later. *)
+        match Agreed.try_append t.agreed p with
+        | `Appended -> deliver_one t p
+        | `Dup -> unordered_remove t p.id
+        | `Gap -> Metrics.incr t.io.metrics ~node:t.io.self "ab_gap_skips")
       batch;
-    Hashtbl.remove t.own_props t.k;
-    t.k <- t.k + 1;
+    own_props_del t (committed t);
+    M.Pipeline.commit t.pipe;
     if t.mode.paranoid_log then do_checkpoint t
 
   let rec drain_decisions t =
-    match M.decision t.multi t.k with
+    match M.Pipeline.ready t.pipe with
     | Some v ->
       apply_decision t v;
       drain_decisions t
@@ -467,7 +615,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     Metrics.add t.io.metrics ~node:t.io.self "state_bytes_sent"
       (String.length (Wire.to_string Agreed.write_repr agreed));
     Metrics.incr t.io.metrics ~node:t.io.self "state_sent";
-    t.io.send dst (State { k = t.k; floor = M.floor t.multi; agreed })
+    t.io.send dst (State { k = committed t; floor = M.floor t.multi; agreed })
 
   let on_state t ~src:_ ks ~floor (repr : Agreed.repr) =
     (* Adopt when the de-synchronization exceeds the tuning knob, or
@@ -476,17 +624,17 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
        there, so state transfer is the only way forward (§5.3). *)
     match t.mode.delta with
     | Some delta
-      when t.k < ks
-           && (t.k < ks - delta || t.k < floor)
+      when committed t < ks
+           && (committed t < ks - delta || committed t < floor)
            (* A trimmed repr (no app blob, synthetic base) is only usable
               if our sequence still covers its base — it carries no
               prefix. A crash after we advertised [len] can put us below;
               skip, the donor re-sends against our fresher len. *)
            && (repr.base_app <> None
               || Agreed.total_len t.agreed >= repr.base_len) ->
-      t.io.emit (Printf.sprintf "state transfer: k %d -> %d" t.k ks);
+      t.io.emit (Printf.sprintf "state transfer: k %d -> %d" (committed t) ks);
       (* "Terminate task sequencer": in-flight decisions below [ks] are
-         ignored from now on because [t.k] jumps past them. *)
+         ignored from now on because the commit cursor jumps past them. *)
       (match Agreed.adopt t.agreed repr with
       | `Deliver ps -> List.iter (deliver_one t) ps
       | `Install (blob, ps) ->
@@ -496,26 +644,31 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         | None, Some _ ->
           invalid_arg "state transfer: checkpointed donor but no app hook");
         List.iter (deliver_one t) ps);
-      t.k <- ks;
+      M.Pipeline.seek t.pipe ks;
       let stale_props =
         Hashtbl.fold
           (fun j _ acc -> if j < ks then j :: acc else acc)
           t.own_props []
       in
-      List.iter (Hashtbl.remove t.own_props) stale_props;
-      (* [t.unordered] is immutable underneath — filter in place without
-         the defensive whole-table copy a Hashtbl needed. *)
-      t.unordered <-
-        Umap.filter (fun id _ -> not (Agreed.contains t.agreed id)) t.unordered;
-      t.unordered_cache <- None;
+      List.iter (own_props_del t) stale_props;
+      (* Drop everything the adopted prefix already ordered. Collect
+         before removing: mutating a Hashtbl mid-iteration is
+         unspecified. *)
+      let ordered =
+        Ptbl.fold
+          (fun id _ acc ->
+            if Agreed.contains t.agreed id then id :: acc else acc)
+          t.unordered []
+      in
+      List.iter (Ptbl.remove t.unordered) ordered;
       (* Persist the jump: replay must not restart below the donor's
          floor, whose consensus state may be truncated. *)
-      Storage.Slot.set t.ck_slot (t.k, Agreed.snapshot t.agreed);
+      Storage.Slot.set t.ck_slot (committed t, Agreed.snapshot t.agreed);
       Metrics.incr t.io.metrics ~node:t.io.self "state_transfers_applied";
       drain_decisions t
     | _ ->
       (* Small de-synchronization: treat like a gossip round hint. *)
-      if ks > t.k then t.gossip_k <- max t.gossip_k ks
+      if ks > committed t then t.gossip_k <- max t.gossip_k ks
 
   (* --- Gossip task (§4.2; digest/pull optimization) ------------------ *)
 
@@ -526,6 +679,50 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     Metrics.hadd t.mh.h_gossip_msgs copies;
     Metrics.hadd t.mh.h_gossip_bytes (copies * t.size m)
 
+  (* --- Ring dissemination -------------------------------------------- *)
+
+  (* Payloads travel around the ring once: the origin enqueues n-1 hops,
+     every receiver forwards with one hop less. Entries are coalesced for
+     [ring_flush_us] before the (single) send to our successor, and split
+     into messages that respect the bytes budget. Crashed successors tear
+     the ring — the digest/pull gossip keeps running underneath as the
+     repair path, so liveness never depends on an intact ring. *)
+  let ring_entry_cost (p : Payload.t) = String.length p.data + 16
+
+  let rec ring_flush t =
+    t.ring_armed <- false;
+    let entries = List.rev t.ring_pending in
+    t.ring_pending <- [];
+    if entries <> [] then begin
+      let succ = (t.io.self + 1) mod t.io.n in
+      let k = committed t and len = Agreed.total_len t.agreed in
+      let send chunk =
+        let m = Ring { k; len; entries = List.rev chunk } in
+        count_gossip t ~copies:1 m;
+        t.io.send succ m
+      in
+      let rec chunked cost acc = function
+        | [] -> if acc <> [] then send acc
+        | ((_, p) as e) :: rest ->
+          let c = ring_entry_cost p in
+          if acc <> [] && cost + c > t.mode.max_batch_bytes then begin
+            send acc;
+            chunked c [ e ] rest
+          end
+          else chunked (cost + c) (e :: acc) rest
+      in
+      chunked 0 [] entries
+    end
+
+  and ring_enqueue t hops (p : Payload.t) =
+    if t.mode.dissemination = `Ring && hops > 0 && t.io.n > 1 then begin
+      t.ring_pending <- (hops, p) :: t.ring_pending;
+      if not t.ring_armed then begin
+        t.ring_armed <- true;
+        t.io.after t.mode.ring_flush_us (fun () -> ring_flush t)
+      end
+    end
+
   let rec gossip_loop t =
     t.gossip_tick <- t.gossip_tick + 1;
     let full =
@@ -535,11 +732,15 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     let m =
       if full then
         Gossip
-          { k = t.k; len = Agreed.total_len t.agreed; unordered = unordered_list t }
+          {
+            k = committed t;
+            len = Agreed.total_len t.agreed;
+            unordered = unordered_list t;
+          }
       else
         Digest
           {
-            k = t.k;
+            k = committed t;
             len = Agreed.total_len t.agreed;
             summary = unordered_summary t;
           }
@@ -553,29 +754,60 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       (fun (p : Payload.t) ->
         if not (Agreed.contains t.agreed p.id) then unordered_add t p)
       uq;
-    if kq > t.k then t.gossip_k <- max t.gossip_k kq;
+    if kq > committed t then t.gossip_k <- max t.gossip_k kq;
     (match t.mode.delta with
-    | Some delta when t.k > kq + delta -> send_state ~for_len:len_q t src
+    | Some delta when committed t > kq + delta -> send_state ~for_len:len_q t src
     | _ -> ());
     drain_decisions t
 
-  (* A digest names, per stream, the highest seq the sender holds
+  let on_ring t ~src kq ~len_q entries =
+    List.iter
+      (fun (hops, (p : Payload.t)) ->
+        if not (Agreed.contains t.agreed p.id) then begin
+          unordered_add t p;
+          ring_enqueue t (hops - 1) p
+        end)
+      entries;
+    if kq > committed t then t.gossip_k <- max t.gossip_k kq;
+    (match t.mode.delta with
+    | Some delta when committed t > kq + delta -> send_state ~for_len:len_q t src
+    | _ -> ());
+    drain_decisions t
+
+  (* A digest names, per stream, the highest seq the sender has held
      unordered. Everything below it that we neither delivered nor hold is
      a candidate gap: pull exactly those. The sender replies with the
-     subset it actually has, as a regular payload gossip. *)
+     subset it actually has, as a regular payload gossip.
+
+     The pull is flow-controlled: at most [need_cap] ids per digest. An
+     uncapped pull turns the first digest of a large burst into a storm —
+     every receiver asks every peer for the whole backlog that the
+     primary dissemination path (ring or full gossip) is already
+     carrying, and each peer answers with a duplicate copy. Anything
+     past the cap is simply pulled on a later tick, so repair throughput
+     stays bounded but positive. *)
+  let need_cap = 128
+
   let on_digest t ~src kq ~len_q summary =
+    let budget = ref need_cap in
     let missing =
       List.fold_left
         (fun acc (origin, boot, smax) ->
-          let vc = Agreed.vc t.agreed in
+          (* Probing every seq from the delivery frontier is O(backlog)
+             per digest; the covered watermark jumps the scan past the
+             contiguous delivered-or-held prefix, leaving only genuine
+             holes to probe. *)
           let rec collect s acc =
-            if s > smax then acc
+            if s > smax || !budget = 0 then acc
             else
               let id = { Payload.origin; boot; seq = s } in
-              collect (s + 1)
-                (if unordered_mem t id then acc else id :: acc)
+              if unordered_mem t id then collect (s + 1) acc
+              else begin
+                decr budget;
+                collect (s + 1) (id :: acc)
+              end
           in
-          collect (Vclock.next_seq vc ~origin ~boot) acc)
+          collect (contig_advance t ~origin ~boot + 1) acc)
         [] summary
     in
     if missing <> [] then begin
@@ -583,19 +815,19 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       count_gossip t ~copies:1 m;
       t.io.send src m
     end;
-    if kq > t.k then t.gossip_k <- max t.gossip_k kq;
+    if kq > committed t then t.gossip_k <- max t.gossip_k kq;
     (match t.mode.delta with
-    | Some delta when t.k > kq + delta -> send_state ~for_len:len_q t src
+    | Some delta when committed t > kq + delta -> send_state ~for_len:len_q t src
     | _ -> ());
     drain_decisions t
 
   let on_need t ~src ids =
-    let ps = List.filter_map (fun id -> Umap.find_opt id t.unordered) ids in
+    let ps = List.filter_map (Ptbl.find_opt t.unordered) ids in
     if ps <> [] then begin
       let m =
         Gossip
           {
-            k = t.k;
+            k = committed t;
             len = Agreed.total_len t.agreed;
             unordered = List.sort Payload.compare ps;
           }
@@ -611,11 +843,12 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     t.seq <- t.seq + 1;
     let p = { Payload.id; data } in
     unordered_add t p;
-    Hashtbl.replace t.pending id
+    Ptbl.replace t.pending id
       { p_t0 = t.io.now (); p_proposed = -1; p_cb = on_agreed };
     if t.io.trace_on () then t.io.span_begin ~stage:"abcast" (span_key id);
     Metrics.hincr t.mh.h_broadcasts;
     log_unordered_add t p;
+    ring_enqueue t (t.io.n - 1) p;
     maybe_propose t;
     id
 
@@ -624,7 +857,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   let recover t =
     (match Storage.Slot.get t.ck_slot with
     | Some (k, repr) ->
-      t.k <- k;
+      M.Pipeline.seek t.pipe k;
       t.agreed <- Agreed.restore repr;
       (match (t.mode.app, repr.base_app) with
       | Some app, Some blob -> app.install blob
@@ -634,9 +867,11 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       List.iter (deliver_one t) (Agreed.tail t.agreed)
     | None -> ());
     restore_unordered t;
-    (* Replay: walk the consensus log upward from the checkpoint. *)
+    (* Replay: walk the consensus log upward from the checkpoint.
+       [Pipeline.ready] falls back to the stable decision log exactly for
+       this — the volatile decide buffer died with the crash. *)
     let rec replay () =
-      match M.decision t.multi t.k with
+      match M.Pipeline.ready t.pipe with
       | Some v ->
         apply_decision t v;
         Metrics.incr t.io.metrics ~node:t.io.self "replay_rounds";
@@ -649,10 +884,10 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
        volatile record of what they contain. *)
     List.iter
       (fun j ->
-        if j >= t.k && M.decision t.multi j = None then
+        if j >= committed t && M.decision t.multi j = None then
           match M.proposal t.multi j with
           | Some v ->
-            Hashtbl.replace t.own_props j
+            own_props_set t j
               (List.map (fun (p : Payload.t) -> p.id) (Batch.decode v));
             M.propose t.multi j v
           | None -> ())
@@ -666,9 +901,15 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       M.create
         (Engine.map_io (fun m -> Cons m) io)
         ~leader:(Omega.of_heartbeat hb)
-        ~on_decide:(fun k _v -> with_t (fun t -> if k = t.k then drain_decisions t))
+        ~on_decide:(fun k v ->
+          with_t (fun t ->
+              (* Buffer out-of-order decisions; only a decision at the
+                 cursor lets the drain loop make progress. *)
+              M.Pipeline.note_decided t.pipe k v;
+              if k = committed t then drain_decisions t))
         ~on_lag:(fun floor ->
-          with_t (fun t -> if floor > t.k then t.gossip_k <- max t.gossip_k floor))
+          with_t (fun t ->
+              if floor > committed t then t.gossip_k <- max t.gossip_k floor))
         ~on_behind:(fun ~src -> with_t (fun t -> send_state t src))
     in
     let store = io.Engine.store in
@@ -685,8 +926,16 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         h_rx_state = h "rx.state";
         h_rx_cons = h "rx.consensus";
         h_rx_fd = h "rx.fd";
+        h_rx_ring = h "rx.ring";
         h_gossip_msgs = h "gossip_msgs_sent";
         h_gossip_bytes = h "gossip_bytes_sent";
+        s_lat_deliver = Metrics.series_handle metrics ~node:self "lat_deliver";
+        s_stage_b2p =
+          Metrics.series_handle metrics ~node:self
+            "stage.broadcast_to_propose_us";
+        s_stage_p2d =
+          Metrics.series_handle metrics ~node:self
+            "stage.propose_to_adeliver_us";
       }
     in
     let t =
@@ -698,16 +947,22 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         multi;
         mh;
         size = make_msg_size ();
+        pipe = M.Pipeline.attach multi ~width:mode.window;
         agreed = Agreed.create ();
-        k = 0;
-        unordered = Umap.empty;
+        unordered = Ptbl.create 64;
         unordered_cache = None;
-        logged_unordered = Hashtbl.create 32;
+        unordered_cache_len = 0;
+        logged_unordered = Ptbl.create 32;
         gossip_k = 0;
         gossip_tick = 0;
         seq = 0;
-        pending = Hashtbl.create 32;
+        pending = Ptbl.create 32;
         own_props = Hashtbl.create 8;
+        covered_ids = Ptbl.create 64;
+        ring_pending = [];
+        ring_armed = false;
+        stream_contig = Hashtbl.create 16;
+        stream_maxseen = Hashtbl.create 16;
         ck_slot =
           Storage.Slot.make ~codec:checkpoint_codec store ~layer
             ~key:checkpoint_key;
@@ -750,6 +1005,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     | Fd m ->
       Metrics.hincr t.mh.h_rx_fd;
       Heartbeat.handle t.hb ~src m
+    | Ring { k; len; entries } ->
+      Metrics.hincr t.mh.h_rx_ring;
+      on_ring t ~src k ~len_q:len entries
 
   module type NODE = sig
     type t
@@ -778,7 +1036,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
     let broadcast = broadcast
 
-    let round t = t.k
+    let round t = committed t
 
     let unordered_count t = unordered_count t
 
@@ -795,11 +1053,22 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     include Node_ops
 
     let create ?(gossip_period = 3_000) ?(delta_gossip = true)
-        ?(gossip_full_every = 8) io ~on_deliver =
+        ?(gossip_full_every = 8) ?(dissemination = `Gossip)
+        ?(max_batch_bytes = 24_000) ?(ring_flush_us = 400) io ~on_deliver =
       if gossip_full_every < 1 then
         invalid_arg "Basic.create: gossip_full_every must be >= 1";
+      if max_batch_bytes < 1 then
+        invalid_arg "Basic.create: max_batch_bytes must be >= 1";
       create_node io
-        { basic_mode with gossip_period; delta_gossip; gossip_full_every }
+        {
+          basic_mode with
+          gossip_period;
+          delta_gossip;
+          gossip_full_every;
+          dissemination;
+          max_batch_bytes;
+          ring_flush_us;
+        }
         ~on_deliver
   end
 
@@ -814,10 +1083,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     let create ?(gossip_period = 3_000) ?(checkpoint_period = 50_000)
         ?(delta = 4) ?(early_return = true) ?(incremental = true)
         ?(paranoid_log = false) ?(window = 1) ?(trim_state = true)
-        ?(delta_gossip = true) ?(gossip_full_every = 8) ?app io ~on_deliver =
+        ?(delta_gossip = true) ?(gossip_full_every = 8)
+        ?(dissemination = `Gossip) ?(max_batch_bytes = 24_000)
+        ?(ring_flush_us = 400) ?app io ~on_deliver =
       if window < 1 then invalid_arg "Alternative.create: window must be >= 1";
       if gossip_full_every < 1 then
         invalid_arg "Alternative.create: gossip_full_every must be >= 1";
+      if max_batch_bytes < 1 then
+        invalid_arg "Alternative.create: max_batch_bytes must be >= 1";
       create_node io
         {
           gossip_period;
@@ -830,6 +1103,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           trim_state;
           delta_gossip;
           gossip_full_every;
+          dissemination;
+          max_batch_bytes;
+          ring_flush_us;
           app;
         }
         ~on_deliver

@@ -67,6 +67,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
             instances it is missing can no longer be re-run *)
     | Cons of M.msg  (** consensus instance traffic *)
     | Fd of Abcast_fd.Heartbeat.msg  (** failure-detector heartbeats *)
+    | Ring of { k : int; len : int; entries : (int * Payload.t) list }
+        (** ring dissemination: payload batch forwarded to the successor
+            process; each entry carries its remaining hop count (the
+            origin starts at [n-1], so a payload circles the ring at most
+            once). [k]/[len] piggyback the same round/length hints as
+            {!Gossip}. A torn ring (crashed successor) degrades to the
+            digest/pull gossip underneath — see DESIGN.md "Dissemination
+            topologies". *)
 
   val pp_msg : Format.formatter -> msg -> unit
 
@@ -140,6 +148,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?gossip_period:int ->
       ?delta_gossip:bool ->
       ?gossip_full_every:int ->
+      ?dissemination:[ `Gossip | `Ring ] ->
+      ?max_batch_bytes:int ->
+      ?ring_flush_us:int ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
       t
@@ -154,7 +165,15 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         set every period; every [gossip_full_every]'th tick (default 8)
         still ships the full set, so the paper's literal §4.2 liveness
         argument applies unchanged to that subsequence of gossips.
-        [delta_gossip = false] restores Fig. 2/3 verbatim. *)
+        [delta_gossip = false] restores Fig. 2/3 verbatim.
+
+        [dissemination] (default [`Gossip]) selects the payload
+        dissemination topology: [`Ring] forwards payload batches to the
+        successor process only (coalesced for [ring_flush_us], default
+        400 µs), with the digest/pull gossip retained as the repair path
+        after crashes. [max_batch_bytes] (default 24_000) bounds one
+        consensus proposal's payload bytes — the adaptive batch is the
+        whole backlog, cut at this budget. *)
   end
 
   (** The alternative protocol (Figs. 3–5). *)
@@ -177,6 +196,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?trim_state:bool ->
       ?delta_gossip:bool ->
       ?gossip_full_every:int ->
+      ?dissemination:[ `Gossip | `Ring ] ->
+      ?max_batch_bytes:int ->
+      ?ring_flush_us:int ->
       ?app:app ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
@@ -202,11 +224,19 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
 
         [window] (default 1 — the paper's strictly sequential sequencer)
         is an extension: up to [window] consensus instances may run
-        concurrently. Instances are opened in order and each proposal
-        carries the full current [Unordered] set, which preserves the
-        per-stream FIFO delivery invariant (a later instance can decide a
-        superset of an earlier instance's losing proposal, never a
-        gap). Deliveries still happen strictly in instance order. *)
+        concurrently as a pipeline. Instances are opened in order; each
+        proposal carries a disjoint identity-sorted slice of the
+        [Unordered] backlog — only payloads not already covered by an
+        earlier in-flight proposal — cut at [max_batch_bytes], so
+        concurrent instances decide mostly-distinct batches instead of
+        re-deciding the same prefix [window] times. Decisions may arrive
+        out of order (they are buffered); deliveries still happen
+        strictly in instance order, and a batch entry whose stream
+        predecessor is missing is skipped deterministically and
+        re-proposed rather than breaking the FIFO invariant.
+
+        [dissemination]/[max_batch_bytes]/[ring_flush_us]: as in
+        {!Basic.create}. *)
 
     val checkpoint_now : t -> unit
     (** Force a checkpoint immediately (tests and examples). *)

@@ -13,6 +13,10 @@ let contains t (id : Payload.id) =
   | Some s -> id.seq <= s
   | None -> false
 
+let fits t (id : Payload.id) =
+  id.seq = Stream_map.(
+    match find_opt (id.origin, id.boot) t with Some s -> s + 1 | None -> 0)
+
 let add t (id : Payload.id) =
   let key = (id.origin, id.boot) in
   let expected =

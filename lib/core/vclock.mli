@@ -15,6 +15,12 @@ val empty : t
 val contains : t -> Payload.id -> bool
 (** Whether the identified message is covered by the clock. *)
 
+val fits : t -> Payload.id -> bool
+(** Whether [add] would succeed: the id is exactly the next sequence
+    number of its stream. [false] both for already-covered ids and for
+    ids that would leave a gap — callers that need to tell the two apart
+    combine with {!contains}. *)
+
 val add : t -> Payload.id -> t
 (** Record a delivery. Raises [Invalid_argument] if it would run a stream
     backwards or leave a gap (protocol-invariant violation). *)

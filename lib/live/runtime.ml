@@ -60,17 +60,39 @@ let localhost = Unix.inet_addr_loopback
 
 let addr_of t i = Unix.ADDR_INET (localhost, t.base_port + i)
 
-(* Datagram format: 'W' = wake (mailbox poke),
-   'M' ^ uvarint(src) ^ wire(msg) — see DESIGN.md "Wire format". The
-   receive path treats the bytes as untrusted: anything that fails the
-   bounds-checked decode is counted and dropped, never raised into the
-   event loop. *)
+(* Datagram formats: 'W' = wake (mailbox poke),
+   'M' ^ uvarint(src) ^ wire(msg) — one message per datagram (legacy,
+   still decoded), and
+   'B' ^ uvarint(src) ^ (uvarint(len) ^ wire(msg))* — a batch of frames
+   coalesced into one datagram (what the send path emits) — see
+   DESIGN.md "Wire format". The receive path treats the bytes as
+   untrusted: anything that fails the bounds-checked decode is counted
+   and dropped, never raised into the event loop. *)
 
 (* Stay under the conventional safe UDP payload ceiling; the receive
    buffer is sized to match, so an accepted send is never truncated. *)
 let max_datagram = 65_000
+
+(* Batched-datagram framing over pooled writers. Exposed (see the mli)
+   so the allocation-regression test and benches can drive the exact
+   send-path encoding without sockets. *)
+module Frame = struct
+  let start w ~src =
+    Wire.clear w;
+    Wire.write_u8 w (Char.code 'B');
+    Wire.write_uvarint w src
+
+  let add w ~msg =
+    Wire.write_uvarint w (Wire.length msg);
+    Wire.append_writer w ~src:msg
+end
+
+(* The wake byte is a shared constant: [Unix.sendto] only reads it, and
+   every waker sends the same single 'W'. *)
+let wake_byte = Bytes.make 1 'W'
+
 let wake t i =
-  try ignore (Unix.sendto t.wake_sock (Bytes.of_string "W") 0 1 [] (addr_of t i))
+  try ignore (Unix.sendto t.wake_sock wake_byte 0 1 [] (addr_of t i))
   with Unix.Unix_error _ -> ()
 
 let enqueue t i fn =
@@ -193,32 +215,68 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
     let h_rx_undecodable =
       Metrics.handle metrics ~node:nd.id "udp_rx_undecodable"
     in
-    let send_buf = Wire.writer ~cap:512 () in
-    let send dst (msg : P.msg) =
-      Wire.clear send_buf;
-      Wire.write_u8 send_buf (Char.code 'M');
-      Wire.write_uvarint send_buf nd.id;
-      P.write_msg send_buf msg;
-      let len = Wire.length send_buf in
-      if len > max_datagram then begin
-        (* The old path let the OS (or the receiver's fixed buffer)
-           truncate such a datagram into garbage. Refuse it here, loudly:
-           the protocol treats it as loss, the counter and stderr line
-           make the cause diagnosable. *)
+    let h_tx_datagrams = Metrics.handle metrics ~node:nd.id "udp_tx_datagrams" in
+    let h_tx_frames = Metrics.handle metrics ~node:nd.id "udp_tx_frames" in
+    (* The allocation-free send path: one scratch writer holds the
+       current message's encoding (produced exactly once, even for a
+       multisend), per-destination pooled writers accumulate frames, and
+       the sockaddrs are precomputed. A steady-state send touches the
+       minor heap not at all: every buffer is reused at its
+       high-water-mark capacity and [sendto] reads the writer's bytes in
+       place. Buffers are flushed once per event-loop pass (or earlier
+       when the next frame would overflow the datagram), which also
+       coalesces several protocol messages into a single syscall. *)
+    let addrs = Array.init n (fun i -> Unix.ADDR_INET (localhost, base_port + i)) in
+    let msg_buf = Wire.writer ~cap:512 () in
+    let dest_bufs = Array.init n (fun _ -> Wire.writer ~cap:4096 ()) in
+    let hdr_len =
+      Frame.start dest_bufs.(0) ~src:nd.id;
+      Wire.length dest_bufs.(0)
+    in
+    Array.iter (fun w -> Frame.start w ~src:nd.id) dest_bufs;
+    let flush_dst dst =
+      let w = dest_bufs.(dst) in
+      let len = Wire.length w in
+      if len > hdr_len then begin
+        (try ignore (Unix.sendto nd.sock (Wire.unsafe_bytes w) 0 len [] addrs.(dst))
+         with Unix.Unix_error _ -> () (* lossy channel *));
+        Metrics.hincr h_tx_datagrams;
+        Frame.start w ~src:nd.id
+      end
+    in
+    let flush_all () =
+      for dst = 0 to n - 1 do
+        flush_dst dst
+      done
+    in
+    (* Worst-case frame overhead: the length prefix (uvarint of a value
+       <= 65_000 takes at most 3 bytes). *)
+    let frame_overhead = 3 in
+    let push dst =
+      let w = dest_bufs.(dst) in
+      if Wire.length w + Wire.length msg_buf + frame_overhead > max_datagram
+      then flush_dst dst;
+      Frame.add dest_bufs.(dst) ~msg:msg_buf;
+      Metrics.hincr h_tx_frames
+    in
+    (* Encode once into [msg_buf]; false (and a loud drop) if the message
+       can never fit a datagram even alone. The protocol treats the drop
+       as loss; the counter and stderr line make the cause diagnosable. *)
+    let encode_current (msg : P.msg) =
+      Wire.clear msg_buf;
+      P.write_msg msg_buf msg;
+      if Wire.length msg_buf + hdr_len + frame_overhead > max_datagram then begin
         Metrics.hincr h_tx_oversize;
         Printf.eprintf
-          "abcast-live node %d: dropping oversize datagram to %d (%d bytes > \
-           %d limit)\n\
+          "abcast-live node %d: dropping oversize message (%d bytes > %d \
+           limit)\n\
            %!"
-          nd.id dst len max_datagram
+          nd.id (Wire.length msg_buf) max_datagram;
+        false
       end
-      else
-        try
-          ignore
-            (Unix.sendto nd.sock (Wire.unsafe_bytes send_buf) 0 len []
-               (addr_of t dst))
-        with Unix.Unix_error _ -> () (* lossy channel *)
+      else true
     in
+    let send dst (msg : P.msg) = if encode_current msg then push dst in
     let io : P.msg Engine.io =
       {
         self = nd.id;
@@ -228,9 +286,10 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
         send;
         multisend =
           (fun m ->
-            for dst = 0 to n - 1 do
-              send dst m
-            done);
+            if encode_current m then
+              for dst = 0 to n - 1 do
+                push dst
+              done);
         after =
           (fun delay fn ->
             incr timer_seq;
@@ -266,7 +325,74 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
             (fun () -> (Metrics.counters metrics, Metrics.histograms metrics));
         };
     Mutex.unlock nd.mutex;
+    (* The allocation-free receive path: the socket is non-blocking so a
+       single wakeup drains a bounded burst of datagrams; each datagram
+       is decoded in place through a pooled reader over the (unsafely
+       string-viewed) receive buffer. The view is sound because the
+       buffer is only mutated by the next [recvfrom], after decoding is
+       done. *)
     let buf = Bytes.create (max_datagram + 1) in
+    let buf_view = Bytes.unsafe_to_string buf in
+    Unix.set_nonblock nd.sock;
+    let rd = Wire.reader "" in
+    let frame_rd = Wire.reader "" in
+    let decode_single len =
+      (* legacy 'M' framing: one message per datagram *)
+      Wire.reader_reset rd ~pos:1 ~len:(len - 1) buf_view;
+      match
+        let src = Wire.read_uvarint rd in
+        if src >= n then Wire.error "datagram: bad source %d" src;
+        let msg = P.read_msg rd in
+        Wire.expect_end rd;
+        (src, msg)
+      with
+      | src, msg -> handler ~src msg
+      | exception Wire.Error _ -> Metrics.hincr h_rx_undecodable
+    in
+    let decode_batch len =
+      (* 'B' framing: uvarint source, then length-prefixed frames *)
+      Wire.reader_reset rd ~pos:1 ~len:(len - 1) buf_view;
+      (* Decoded messages copy their strings out of the buffer, so each
+         frame's handler can run before the next frame is parsed — no
+         per-datagram message list. A malformed tail loses only the
+         remaining frames (counted once), exactly like datagram loss. *)
+      match
+        let src = Wire.read_uvarint rd in
+        if src >= n then Wire.error "datagram: bad source %d" src;
+        while not (Wire.at_end rd) do
+          let flen = Wire.read_uvarint rd in
+          let pos = Wire.unsafe_pos rd in
+          if flen > Wire.remaining rd then
+            Wire.error "datagram: frame overruns (%d bytes)" flen;
+          Wire.reader_reset frame_rd ~pos ~len:flen buf_view;
+          let msg = P.read_msg frame_rd in
+          Wire.expect_end frame_rd;
+          Wire.unsafe_seek rd (pos + flen);
+          handler ~src msg
+        done
+      with
+      | () -> ()
+      | exception Wire.Error _ -> Metrics.hincr h_rx_undecodable
+    in
+    let recv_budget = 128 in
+    let rec drain_ready budget =
+      if budget > 0 then
+        match Unix.recvfrom nd.sock buf 0 (Bytes.length buf) [] with
+        | len, _ when len > 1 && Bytes.get buf 0 = 'B' ->
+          decode_batch len;
+          drain_ready (budget - 1)
+        | len, _ when len > 1 && Bytes.get buf 0 = 'M' ->
+          decode_single len;
+          drain_ready (budget - 1)
+        | len, _ when len > 0 && Bytes.get buf 0 = 'W' ->
+          drain_ready (budget - 1) (* wake byte *)
+        | len, _ when len > 0 ->
+          Metrics.hincr h_rx_undecodable;
+          drain_ready (budget - 1)
+        | _ -> drain_ready (budget - 1)
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error _ -> ()
+    in
     let keep_going () =
       Mutex.lock nd.mutex;
       let r = nd.running in
@@ -292,6 +418,9 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
       done;
       Mutex.unlock nd.mutex;
       List.iter (fun job -> job ()) (List.rev !jobs);
+      (* Ship everything the timers/mailbox/handlers produced this pass:
+         one coalesced datagram per destination with pending frames. *)
+      flush_all ();
       (* wait for traffic or the next timer *)
       let timeout =
         match Heap.peek timers with
@@ -299,29 +428,16 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
           Float.max 0.0 (Float.min 0.05 (float_of_int (at - now_us ()) /. 1e6))
         | None -> 0.05
       in
-      match Unix.select [ nd.sock ] [] [] timeout with
-      | [ _ ], _, _ -> (
-        match Unix.recvfrom nd.sock buf 0 (Bytes.length buf) [] with
-        | len, _ when len > 1 && Bytes.get buf 0 = 'M' -> (
-          let decode r =
-            let src = Wire.read_uvarint r in
-            if src >= n then Wire.error "datagram: bad source %d" src;
-            let msg = P.read_msg r in
-            (src, msg)
-          in
-          match
-            Wire.of_string_opt decode (Bytes.sub_string buf 1 (len - 1))
-          with
-          | Some (src, msg) -> handler ~src msg
-          | None -> Metrics.hincr h_rx_undecodable)
-        | len, _ when len > 0 && Bytes.get buf 0 = 'W' ->
-          () (* wake byte *)
-        | len, _ when len > 0 -> Metrics.hincr h_rx_undecodable
-        | _ -> ()
-        | exception Unix.Unix_error _ -> ())
+      (match Unix.select [ nd.sock ] [] [] timeout with
+      | [ _ ], _, _ ->
+        drain_ready recv_budget;
+        (* replies produced by the handlers must not wait out the next
+           select timeout *)
+        flush_all ()
       | _ -> ()
-      | exception Unix.Unix_error _ -> ()
+      | exception Unix.Unix_error _ -> ())
     done;
+    flush_all ();
     Mutex.lock nd.mutex;
     nd.ops <- None;
     Mutex.unlock nd.mutex;

@@ -30,6 +30,24 @@
 
 type t
 
+val max_datagram : int
+(** Largest datagram the runtime will send or accept (safe UDP payload
+    bound on loopback). *)
+
+(** The batched datagram format of the send path: one ['B'] datagram
+    carries the source id followed by any number of length-prefixed
+    protocol frames, so the event loop can coalesce several messages per
+    [sendto]. Exposed for tests that exercise the encoder's pooled,
+    allocation-free steady state. *)
+module Frame : sig
+  val start : Abcast_util.Wire.writer -> src:int -> unit
+  (** Reset [w] and write the ['B'] header for source [src]. *)
+
+  val add : Abcast_util.Wire.writer -> msg:Abcast_util.Wire.writer -> unit
+  (** Append one already-encoded frame (length prefix + bytes of
+      [msg]). *)
+end
+
 val create :
   Abcast_core.Proto.t ->
   n:int ->

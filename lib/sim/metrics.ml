@@ -76,6 +76,20 @@ let observe t ~node name v =
   c.samples <- v :: c.samples;
   Histogram.add c.hist v
 
+(* Interned series handles, the [observe] analogue of counter [handle]s:
+   per-message paths resolve the cell once and then record samples
+   without the (node, name) tuple allocation and string hashing. Samples
+   recorded through a handle are indistinguishable from [observe]d ones
+   ([samples], [mean], [percentile] and the histogram all see them). *)
+
+type series = cell
+
+let series_handle t ~node name = cell t node name
+
+let sobserve (c : series) v =
+  c.samples <- v :: c.samples;
+  Histogram.add c.hist v
+
 let hist t ~node name = (cell t node name).hist
 
 let samples t name =

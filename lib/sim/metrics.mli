@@ -54,6 +54,19 @@ val sum_prefix : t -> string -> int
 val observe : t -> node:int -> string -> float -> unit
 (** Record one sample in a named series (raw list + histogram). *)
 
+type series
+(** A pre-resolved series: like {!handle} but for {!observe}. Hot paths
+    resolve the [(node, name)] cell once and record samples through it
+    without per-sample hashing. Samples recorded this way are fully
+    visible to {!samples}, {!mean}, {!percentile} and the histogram
+    readers, and the cell stays attached across {!reset}. *)
+
+val series_handle : t -> node:int -> string -> series
+(** Resolve (creating if needed) the series [(node, name)]. *)
+
+val sobserve : series -> float -> unit
+(** Record one sample through a handle. *)
+
 val hist : t -> node:int -> string -> Abcast_util.Histogram.t
 (** The live histogram backing the series [(node, name)], creating the
     series if needed. Like {!handle} for counters: resolve once, then

@@ -29,6 +29,15 @@ let length w = w.pos
 let contents w = Bytes.sub_string w.bytes 0 w.pos
 let unsafe_bytes w = w.bytes
 
+let truncate w pos =
+  if pos < 0 || pos > w.pos then invalid_arg "Wire.truncate: bad position";
+  w.pos <- pos
+
+let append_writer dst ~src =
+  reserve dst src.pos;
+  Bytes.blit src.bytes 0 dst.bytes dst.pos src.pos;
+  dst.pos <- dst.pos + src.pos
+
 let[@inline] unsafe_reserve w n =
   reserve w n;
   w.bytes
@@ -87,21 +96,46 @@ let write_option f w = function
     write_u8 w 1;
     f w x
 
+(* Fully-applied top-level recursion instead of [List.iter (f w)]: the
+   partial application would allocate a closure on every call, and this
+   runs on the live runtime's zero-allocation send path. *)
+let rec iter_write f w = function
+  | [] -> ()
+  | x :: tl ->
+    f w x;
+    iter_write f w tl
+
 let write_list f w l =
   write_uvarint w (List.length l);
-  List.iter (f w) l
+  iter_write f w l
 
 (* --- Reading ------------------------------------------------------- *)
 
-type reader = { buf : string; mutable pos : int; limit : int }
+type reader = { mutable buf : string; mutable pos : int; mutable limit : int }
+
+let[@inline] check_window buf pos limit =
+  if pos < 0 || limit > String.length buf || pos > limit then
+    invalid_arg "Wire.reader: window outside the string"
 
 let reader ?(pos = 0) ?len buf =
   let limit =
     match len with Some l -> pos + l | None -> String.length buf
   in
-  if pos < 0 || limit > String.length buf || pos > limit then
-    invalid_arg "Wire.reader: window outside the string";
+  check_window buf pos limit;
   { buf; pos; limit }
+
+(* Re-aim a pooled reader at a new window without allocating. The live
+   runtime's recv loop keeps one reader per socket and resets it over
+   [Bytes.unsafe_to_string] of the (reused) datagram buffer — decoding a
+   frame then touches the minor heap only for the decoded value itself. *)
+let reader_reset r ?(pos = 0) ?len buf =
+  let limit =
+    match len with Some l -> pos + l | None -> String.length buf
+  in
+  check_window buf pos limit;
+  r.buf <- buf;
+  r.pos <- pos;
+  r.limit <- limit
 
 let remaining r = r.limit - r.pos
 

@@ -59,6 +59,18 @@ val unsafe_bytes : writer -> Bytes.t
     reallocate or overwrite it. For zero-copy handoff to [Unix.sendto]
     and friends — do not retain across writes. *)
 
+val truncate : writer -> int -> unit
+(** Roll the cursor back to an earlier {!length} mark, discarding the
+    bytes written since — how the bounded batch encoder un-writes the
+    payload that overflowed its byte budget.
+    @raise Invalid_argument if the mark is negative or past the cursor. *)
+
+val append_writer : writer -> src:writer -> unit
+(** Append [src]'s written bytes to the destination in one blit.
+    Encode-once-send-many paths (live multisend, ring forwarding) encode
+    into a scratch writer and blit it into each per-destination buffer
+    instead of re-running the codec per recipient. *)
+
 (** {2 Expert writer primitives}
 
     For fused codec fast paths (see [Payload.write]): reserve the worst
@@ -104,6 +116,11 @@ type reader
 
 val reader : ?pos:int -> ?len:int -> string -> reader
 (** Read window over [s.[pos .. pos+len-1]] (defaults: whole string).
+    @raise Invalid_argument if the window lies outside the string. *)
+
+val reader_reset : reader -> ?pos:int -> ?len:int -> string -> unit
+(** Re-aim an existing reader at a new window, allocating nothing — for
+    pooled per-socket readers on the live receive path.
     @raise Invalid_argument if the window lies outside the string. *)
 
 val remaining : reader -> int

@@ -367,11 +367,46 @@ let keys_props =
         && Intf.Keys.field_of_key key = Some field);
   ]
 
+(* --- E9 adversarial schedules over the pipelined sequencer --------- *)
+
+(* The full-stack safety net of experiment E9, re-run with the consensus
+   pipeline open (window > 1): randomized crash/recovery plans, every
+   property and lemma checked by [Suite_faults.episode]. A decided-but-
+   uncommitted instance buffered out of order must never let a later
+   batch deliver early — Checks.all's total-order comparison across the
+   good processes is exactly that assertion. *)
+let pipelined_adversarial_tests =
+  let module Factory = Abcast_core.Factory in
+  [
+    slow_test "E9 adversarial schedules with window=4 pipeline" (fun () ->
+        List.iter
+          (fun seed ->
+            ignore
+              (Suite_faults.episode
+                 ~stack:(Factory.alternative ~window:4 ())
+                 ~seed ~n:5 ~n_bad:2 ()))
+          [ 1101; 1102; 1103 ]);
+    slow_test "E9 adversarial schedules with window=8 + ring" (fun () ->
+        List.iter
+          (fun seed ->
+            ignore
+              (Suite_faults.episode
+                 ~stack:
+                   (Factory.alternative ~window:8 ~dissemination:`Ring ())
+                 ~seed ~n:5 ~n_bad:2 ()))
+          [ 2201; 2202; 2203 ]);
+    slow_test "E9 partition churn over the throughput preset" (fun () ->
+        ignore
+          (Suite_faults.episode ~partition_churn:true
+             ~stack:(Factory.throughput ())
+             ~seed:3301 ~n:5 ~n_bad:1 ()));
+  ]
+
 let suite =
   ( "consensus",
     Paxos_rig.tests "paxos" @ Coord_rig.tests "coord"
     @ Paxos_adv.tests "paxos" @ Coord_adv.tests "coord" @ multi_tests
-    @ keys_tests
+    @ pipelined_adversarial_tests @ keys_tests
     @ List.map QCheck_alcotest.to_alcotest
         (keys_props
         @ [

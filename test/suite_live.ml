@@ -112,6 +112,61 @@ let tests =
             Live.recover live 2;
             let phase2 () = Live.delivered_count live 2 >= 10 in
             Alcotest.(check bool) "caught up" true (await phase2)));
+    test "live: pooled frame encoder allocates nothing in steady state"
+      (fun () ->
+        (* The send path's inner loop: encode a message into the pooled
+           scratch writer, append it as a frame to the pooled destination
+           buffer, restart the buffer when full. After warm-up (writer
+           growth to the high-water mark) this must not touch the minor
+           heap at all — the regression this guards is any per-send
+           [Bytes]/closure allocation creeping back into [Wire] or the
+           message writers. *)
+        let module P = Abcast_core.Protocol.Make (Abcast_consensus.Paxos) in
+        let module Wire = Abcast_util.Wire in
+        let payloads =
+          List.init 8 (fun i ->
+              {
+                Payload.id = { origin = i mod 3; boot = 0; seq = i };
+                data = String.make 64 'x';
+              })
+        in
+        let msg = P.Gossip { k = 5; len = 9; unordered = payloads } in
+        let dest = Wire.writer ~cap:(Live.max_datagram + 16) () in
+        let scratch = Wire.writer ~cap:4096 () in
+        let send () =
+          Wire.clear scratch;
+          P.write_msg scratch msg;
+          if Wire.length dest + Wire.length scratch + 3 > Live.max_datagram
+          then Live.Frame.start dest ~src:0;
+          Live.Frame.add dest ~msg:scratch
+        in
+        Live.Frame.start dest ~src:0;
+        for _ = 1 to 1_000 do
+          send ()
+        done;
+        let iters = 10_000 in
+        let w0 = Gc.minor_words () in
+        for _ = 1 to iters do
+          send ()
+        done;
+        let per_send = (Gc.minor_words () -. w0) /. float_of_int iters in
+        if per_send > 0.01 then
+          Alcotest.failf "send allocates %.3f minor words" per_send);
+    slow_test "live: ring dissemination with a pipelined window" (fun () ->
+        let stack = Factory.throughput ~window:4 () in
+        with_live ~base_port:7461 stack (fun live ->
+            for j = 0 to 19 do
+              Live.broadcast live ~node:(j mod 3) (Printf.sprintf "r%d" j)
+            done;
+            let done_ () =
+              List.for_all
+                (fun i -> Live.delivered_count live i >= 20)
+                [ 0; 1; 2 ]
+            in
+            Alcotest.(check bool) "all delivered" true (await done_);
+            let seq i = Live.delivered_data live i in
+            Alcotest.(check (list string)) "0=1" (seq 0) (seq 1);
+            Alcotest.(check (list string)) "1=2" (seq 1) (seq 2)));
     slow_test "live: lifecycle robustness" (fun () ->
         with_live ~base_port:7451 (Factory.basic ()) (fun live ->
             Alcotest.(check int) "n" 3 (Live.n live);

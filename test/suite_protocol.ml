@@ -688,7 +688,102 @@ let delta_gossip_tests =
         done);
   ]
 
+(* Like [delta_equiv_run] but varying the dissemination topology: the
+   ring must deliver exactly what gossip delivers under the same lossy,
+   duplicating, crash-recovering schedule — the topology only changes how
+   payloads travel, never what gets ordered. *)
+let ring_equiv_run ~dissemination ~seed =
+  let net = Net.create ~loss:0.12 ~dup:0.05 () in
+  let stack = Factory.alternative ~dissemination ~window:2 () in
+  let cluster = Cluster.create stack ~seed ~n:3 ~net () in
+  let rng = Rng.create (seed + 9191) in
+  Cluster.at cluster 12_000 (fun () -> Cluster.crash cluster 1);
+  Cluster.at cluster 30_000 (fun () -> Cluster.recover cluster 1);
+  let count =
+    Workload.open_loop cluster ~rng ~senders:[ 0; 2 ] ~start:1_000 ~stop:40_000
+      ~mean_gap:900 ()
+  in
+  let ok =
+    Cluster.run_until cluster ~until:400_000_000
+      ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+      ()
+  in
+  if not ok then
+    Alcotest.failf "seed %d (%s): did not quiesce" seed
+      (match dissemination with `Gossip -> "gossip" | `Ring -> "ring");
+  check_ok
+    (Printf.sprintf "properties (seed %d, %s)" seed
+       (match dissemination with `Gossip -> "gossip" | `Ring -> "ring"))
+    (Checks.all ~cluster ~good:[ 0; 1; 2 ] ());
+  ( Cluster.delivered_count cluster 0,
+    Abcast_core.Vclock.streams (Cluster.delivery_vc cluster 0) )
+
+let ring_tests =
+  [
+    test "ring: payloads travel the ring, not the gossip pull" (fun () ->
+        let cluster, count =
+          run_workload ~seed:71 ~msgs:12
+            (Factory.alternative ~dissemination:`Ring ())
+        in
+        Alcotest.(check bool) "delivered" true
+          (Cluster.delivered_count cluster 0 >= count);
+        let m = Cluster.metrics cluster in
+        Alcotest.(check bool) "ring batches flowed" true
+          (Metrics.sum m "rx.ring" > 0));
+    test "ring: a payload circles at most once (hop bound)" (fun () ->
+        (* n=4, single broadcast, lossless net: the origin sends hops=3,
+           each forward decrements, so at most n-1 = 3 ring sends carry
+           this payload. With the coalesced flush there is exactly one
+           ring message per hop here. *)
+        let cluster =
+          Cluster.create
+            (Factory.alternative ~dissemination:`Ring ())
+            ~seed:72 ~n:4 ()
+        in
+        Cluster.at cluster 1_000 (fun () ->
+            ignore (Cluster.broadcast cluster ~node:0 "once-around"));
+        Cluster.run cluster ~until:10_000;
+        let rx_ring = Metrics.sum (Cluster.metrics cluster) "rx.ring" in
+        Alcotest.(check bool)
+          (Printf.sprintf "ring receives bounded (saw %d)" rx_ring)
+          true
+          (rx_ring > 0 && rx_ring <= 3));
+    test "ring: torn ring repaired by the digest/pull fallback" (fun () ->
+        (* Crash node 1 — node 0's successor — so ring forwarding from 0
+           is cut. Nodes 2..4 must still learn node 0's payloads through
+           the retained gossip path, and order them (majority 0,2,3,4 is
+           up). *)
+        let cluster =
+          Cluster.create
+            (Factory.alternative ~dissemination:`Ring ())
+            ~seed:73 ~n:5 ()
+        in
+        Cluster.at cluster 500 (fun () -> Cluster.crash cluster 1);
+        Cluster.at cluster 1_000 (fun () ->
+            ignore (Cluster.broadcast cluster ~node:0 "around-the-tear"));
+        let ok =
+          Cluster.run_until cluster ~until:10_000_000
+            ~pred:(fun () ->
+              List.for_all
+                (fun i -> Cluster.delivered_count cluster i >= 1)
+                [ 0; 2; 3; 4 ])
+            ()
+        in
+        Alcotest.(check bool) "survivors deliver past the tear" true ok;
+        check_ok "props" (Checks.all ~cluster ~good:[ 0; 2; 3; 4 ] ()));
+    test "ring ≡ gossip: delivered sets match across 20 seeds" (fun () ->
+        for seed = 1 to 20 do
+          let gossip = ring_equiv_run ~dissemination:`Gossip ~seed in
+          let ring = ring_equiv_run ~dissemination:`Ring ~seed in
+          if gossip <> ring then
+            Alcotest.failf
+              "seed %d: delivered sets diverge (gossip %d, ring %d)" seed
+              (fst gossip) (fst ring)
+        done);
+  ]
+
 let suite =
   ( "protocol",
     basic_tests @ alternative_tests @ window_tests @ direct_api_tests
-    @ determinism_tests @ edge_tests @ delta_gossip_tests @ metrics_tests )
+    @ determinism_tests @ edge_tests @ delta_gossip_tests @ ring_tests
+    @ metrics_tests )
