@@ -1015,10 +1015,93 @@ let e18 () =
         "batch"; "net bytes/msg" ]
     rows
 
+(* E19 — shard scaling: S independent broadcast groups multiplexed per  *)
+(* process (one socket, one WAL), each group offered the same burst —   *)
+(* weak scaling, so the aggregate drain rate should grow ~linearly in S *)
+(* while each group's delivery p95 stays at the single-group figure.    *)
+(* (A fixed total split S ways would only measure per-group latency.)   *)
+
+type e19_row = {
+  s_shards : int;
+  s_msgs : int;      (* aggregate payload count = shards x per_group *)
+  s_rate : float;    (* aggregate drained msgs per simulated second *)
+  s_wall_s : float;  (* host wall time to quiescence *)
+  s_p95_us : float;  (* worst per-group lat_deliver p95 *)
+}
+
+let e19_run ~per_group shards =
+  let n = 5 in
+  let stack = Factory.sharded ~shards (Factory.throughput ()) in
+  let cluster = Cluster.create stack ~seed:61 ~n () in
+  let rng = Rng.create 67 in
+  let msgs = per_group * shards in
+  for g = 0 to shards - 1 do
+    Cluster.at cluster 1_000 (fun () ->
+        for j = 0 to per_group - 1 do
+          ignore
+            (Cluster.broadcast cluster ~group:g ~node:(j mod n)
+               (Workload.payload rng ~size:64))
+        done)
+  done;
+  let t0 = Unix.gettimeofday () in
+  let ok =
+    Cluster.run_until cluster ~until:1_000_000_000
+      ~pred:(fun () -> Cluster.all_caught_up cluster ~count:msgs ())
+      ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if not ok then failwith "E19: burst did not drain";
+  let m = Cluster.metrics cluster in
+  let drain_s = float_of_int (Cluster.now cluster - 1_000) /. 1_000_000.0 in
+  let p95 =
+    List.fold_left
+      (fun acc g ->
+        let series =
+          if shards = 1 then "lat_deliver"
+          else Printf.sprintf "g%d/lat_deliver" g
+        in
+        Float.max acc (Metrics.percentile m series 95.0))
+      0.0 (List.init shards Fun.id)
+  in
+  {
+    s_shards = shards;
+    s_msgs = msgs;
+    s_rate = float_of_int msgs /. drain_s;
+    s_wall_s = wall_s;
+    s_p95_us = p95;
+  }
+
+let e19_rows ~per_group = List.map (e19_run ~per_group) [ 1; 2; 4; 8 ]
+
+let e19 () =
+  let per_group = scale 800 in
+  let rows = e19_rows ~per_group in
+  let base = List.hd rows in
+  Table.print
+    ~title:
+      "E19: shard scaling — S broadcast groups per process \
+       (throughput preset, n=5), same burst per group; aggregate \
+       simulated drain rate vs the worst group's delivery p95"
+    ~header:
+      [ "S"; "msgs"; "agg msgs/s (sim)"; "speedup"; "wall s (host)";
+        "worst p95 µs"; "p95 vs S=1" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.s_shards;
+           Table.num r.s_msgs;
+           Table.flt r.s_rate;
+           Table.flt (r.s_rate /. base.s_rate);
+           Table.flt r.s_wall_s;
+           Table.flt r.s_p95_us;
+           Table.flt (r.s_p95_us /. base.s_p95_us);
+         ])
+       rows)
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
     ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
-    ("E15", e15); ("E16", e16); ("E18", e18);
+    ("E15", e15); ("E16", e16); ("E18", e18); ("E19", e19);
   ]

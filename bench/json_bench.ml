@@ -1,6 +1,12 @@
 (* `bench/main.exe --json`: machine-readable performance snapshot.
 
-   Writes BENCH_PR6.json in the current directory with
+   Writes BENCH_PR7.json in the current directory with
+
+   - the shard-scaling section (new in schema 7): the E19 weak-scaling
+     sweep — S in {1, 2, 4, 8} broadcast groups multiplexed per process
+     (throughput preset, n=5), each group offered the same burst;
+     aggregate simulated drain rate, speedup vs S=1, and the worst
+     per-group delivery p95 with its ratio to the single-group figure;
 
    - the throughput section (new in schema 6): the E18 sweep — host
      ops/sec and wire bytes per delivered payload at n in {5, 9} for
@@ -543,6 +549,39 @@ let steady_json name (s : steady) =
     (float_of_int s.gossip_bytes /. float_of_int (max 1 s.count))
     s.net_msgs
 
+(* The E19 weak-scaling sweep, reused from the experiment harness so the
+   table and the JSON always agree. *)
+let shard_scaling_json () =
+  let rows = Experiments.e19_rows ~per_group:800 in
+  let base = List.hd rows in
+  let rows_json =
+    rows
+    |> List.map (fun (r : Experiments.e19_row) ->
+           Printf.sprintf
+             {|      { "shards": %d, "msgs": %d, "agg_sim_msgs_per_sec": %.0f, "speedup_vs_s1": %.2f, "wall_s": %.6f, "worst_group_p95_us": %.0f, "p95_ratio_vs_s1": %.2f }|}
+             r.s_shards r.s_msgs r.s_rate
+             (r.s_rate /. base.s_rate)
+             r.s_wall_s r.s_p95_us
+             (r.s_p95_us /. base.s_p95_us))
+    |> String.concat ",\n"
+  in
+  let find s = List.find (fun (r : Experiments.e19_row) -> r.s_shards = s) rows in
+  let s4 = find 4 in
+  let speedup_s4 = s4.s_rate /. base.s_rate in
+  let p95_ratio_s4 = s4.s_p95_us /. base.s_p95_us in
+  ( Printf.sprintf
+      {|  "shard_scaling": {
+    "workload": { "stack": "throughput/x S", "n": 5, "burst_per_group": 800, "size": 64, "seed": 61 },
+    "rows": [
+%s
+    ],
+    "speedup_s4_vs_s1": %.2f,
+    "p95_ratio_s4_vs_s1": %.2f
+  }|}
+      rows_json speedup_s4 p95_ratio_s4,
+    speedup_s4,
+    p95_ratio_s4 )
+
 let run () =
   let full = steady ~delta_gossip:false () in
   let delta = steady ~delta_gossip:true () in
@@ -575,11 +614,13 @@ let run () =
     match live_bench () with Some j -> j | None -> "null"
   in
   let thr_json, speedup, speedup_vs_pr4, p95_ratio = throughput_json () in
+  let shard_json, shard_speedup_s4, shard_p95_ratio_s4 = shard_scaling_json () in
   let json =
     Printf.sprintf
       {|{
-  "schema": 6,
+  "schema": 7,
   "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
+%s,
 %s,
 %s,
 %s,
@@ -606,15 +647,17 @@ let run () =
 |}
       (steady_json "full_gossip" full)
       (steady_json "delta_gossip" delta)
-      thr_json reduction delta.wall_s traced.wall_s trace_overhead_pct
-      stage_json live_json micro_json bytes_json storage_json
+      thr_json shard_json reduction delta.wall_s traced.wall_s
+      trace_overhead_pct stage_json live_json micro_json bytes_json
+      storage_json
   in
-  let oc = open_out "BENCH_PR6.json" in
+  let oc = open_out "BENCH_PR7.json" in
   output_string oc json;
   close_out oc;
   print_string json;
   Printf.printf
-    "wrote BENCH_PR6.json (ring+W4 at n=5: %.2fx vs same-binary gossip+W1, \
-     %.2fx vs the recorded PR-4 rate, p95 ratio: %.2fx, trace overhead: \
-     %+.2f%%)\n"
+    "wrote BENCH_PR7.json (shards: %.2fx aggregate at S=4, p95 ratio %.2fx; \
+     ring+W4 at n=5: %.2fx vs same-binary gossip+W1, %.2fx vs the recorded \
+     PR-4 rate, p95 ratio: %.2fx, trace overhead: %+.2f%%)\n"
+    shard_speedup_s4 shard_p95_ratio_s4
     speedup speedup_vs_pr4 p95_ratio trace_overhead_pct

@@ -16,6 +16,8 @@ module Cluster = Abcast_harness.Cluster
 module Checks = Abcast_harness.Checks
 module Workload = Abcast_harness.Workload
 module Table = Abcast_harness.Table
+module Kv = Abcast_apps.Kv
+module Partitioned_kv = Abcast_apps.Partitioned_kv
 
 let parse_topo = function
   | "gossip" -> `Gossip
@@ -27,19 +29,23 @@ let parse_topo = function
 (* [window]: [None] keeps each stack's own default (1 for alt, 4 for the
    throughput preset); naive/ct/basic have no pipeline so the flag is
    ignored there, as is [--topo] for naive/ct. *)
-let make_stack stack consensus checkpoint_period delta ~window ~topo =
+let make_stack stack consensus checkpoint_period delta ~window ~topo ~shards =
   let dissemination = parse_topo topo in
-  match stack with
-  | "basic" -> Factory.basic ~consensus ~dissemination ()
-  | "alt" ->
-    Factory.alternative ~consensus ~checkpoint_period ~delta ?window
-      ~dissemination ()
-  | "throughput" -> Factory.throughput ~consensus ?window ()
-  | "naive" -> Factory.naive ~consensus ()
-  | "ct" -> Abcast_baseline.Ct_abcast.stack ~consensus ()
-  | s ->
-    failwith
-      (Printf.sprintf "unknown stack %S (basic|alt|throughput|naive|ct)" s)
+  let base =
+    match stack with
+    | "basic" -> Factory.basic ~consensus ~dissemination ()
+    | "alt" ->
+      Factory.alternative ~consensus ~checkpoint_period ~delta ?window
+        ~dissemination ()
+    | "throughput" -> Factory.throughput ~consensus ?window ()
+    | "naive" -> Factory.naive ~consensus ()
+    | "ct" -> Abcast_baseline.Ct_abcast.stack ~consensus ()
+    | s ->
+      failwith
+        (Printf.sprintf "unknown stack %S (basic|alt|throughput|naive|ct)" s)
+  in
+  if shards < 1 then failwith "--shards must be >= 1"
+  else Factory.sharded ~shards base
 
 (* Histogram series worth a row in the end-of-run latency table. *)
 let is_latency_series name =
@@ -54,10 +60,10 @@ let parse_fsync s =
     Printf.eprintf "bad --fsync %S: %s\n" s msg;
     exit 3
 
-let run_cmd stack consensus window topo n seed msgs loss dup crashes trace_on
-    trace_out backend fsync check =
+let run_cmd stack consensus window topo shards partitioned_kv n seed msgs loss
+    dup crashes trace_on trace_out backend fsync check =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
-  let stack_mod = make_stack stack consensus 50_000 4 ~window ~topo in
+  let stack_mod = make_stack stack consensus 50_000 4 ~window ~topo ~shards in
   let net = Net.create ~loss ~dup () in
   let trace =
     Trace.create ~enabled:(trace_on || trace_out <> None) ~echo:trace_on ()
@@ -98,8 +104,30 @@ let run_cmd stack consensus window topo n seed msgs loss dup crashes trace_on
   let rng = Rng.create (seed + 1) in
   let stop = 1_000 + (msgs * 1_500) in
   let count =
-    Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id) ~start:1_000
-      ~stop ~mean_gap:1_500 ()
+    if partitioned_kv then begin
+      (* KV-command workload: each command is pinned to the group that
+         owns its key, so per-key order survives the sharding. *)
+      let t = ref 1_000 in
+      let c = ref 0 in
+      while !t < stop do
+        let key = Printf.sprintf "k%d" (Rng.int rng 200) in
+        let cmd =
+          if Rng.int rng 10 = 0 then Kv.del_cmd ~key
+          else Kv.set_cmd ~key ~value:(Printf.sprintf "v%d" !c)
+        in
+        let group = Partitioned_kv.shard_of_key ~shards key in
+        let node = Rng.int rng n in
+        let at = !t in
+        Cluster.at cluster at (fun () ->
+            ignore (Cluster.broadcast cluster ~group ~node cmd));
+        incr c;
+        t := !t + 1 + int_of_float (Rng.exponential rng ~mean:1_500.0)
+      done;
+      !c
+    end
+    else
+      Workload.open_loop cluster ~rng ~senders:(List.init n Fun.id)
+        ~start:1_000 ~stop ~mean_gap:1_500 ~groups:shards ()
   in
   let ok =
     Cluster.run_until cluster ~until:2_000_000_000
@@ -129,6 +157,13 @@ let run_cmd stack consensus window topo n seed msgs loss dup crashes trace_on
            Table.num (Cluster.unordered_count cluster i);
            Table.num (Cluster.retained_bytes cluster i);
          ]));
+  if shards > 1 then
+    Table.print ~title:"per-group delivered"
+      ~header:("process" :: List.init shards (fun g -> Printf.sprintf "g%d" g))
+      (List.init n (fun i ->
+           string_of_int i
+           :: List.init shards (fun g ->
+                  Table.num (Cluster.delivered_count ~group:g cluster i))));
   Table.print ~title:"run totals"
     ~header:[ "metric"; "value" ]
     [
@@ -172,6 +207,33 @@ let run_cmd stack consensus window topo n seed msgs loss dup crashes trace_on
     Printf.printf "chrome trace written to %s (load in chrome://tracing)\n"
       path
   | None -> ());
+  if partitioned_kv then begin
+    (* Rebuild a partitioned replica per process from its group-wise
+       delivery tails; equal digests witness partition-wise convergence. *)
+    let up = List.filter (Cluster.is_up cluster) (List.init n Fun.id) in
+    let digests =
+      List.map
+        (fun i ->
+          let pkv = Partitioned_kv.create ~shards in
+          for g = 0 to shards - 1 do
+            List.iter
+              (fun pl -> Partitioned_kv.deliver pkv ~group:g pl)
+              (Cluster.delivered_tail ~group:g cluster i)
+          done;
+          (Partitioned_kv.digest pkv, Partitioned_kv.size pkv,
+           Partitioned_kv.applied pkv))
+        up
+    in
+    match digests with
+    | [] -> ()
+    | (d0, sz, ap) :: _ ->
+      let agree = List.for_all (fun (d, _, _) -> d = d0) digests in
+      Printf.printf
+        "partitioned kv: %d commands applied over %d partitions, %d keys, \
+         replicas convergent: %b\n"
+        ap shards sz agree;
+      if not agree then exit 1
+  end;
   if check then begin
     match Checks.all ~cluster ~good:(List.init n Fun.id) () with
     | Ok () -> print_endline "properties: OK (validity, integrity, total order, termination)"
@@ -186,7 +248,7 @@ let soak_cmd stack consensus window topo n n_bad episodes seed0 =
   let violations = ref 0 in
   for e = 1 to episodes do
     let seed = seed0 + (e * 997) in
-    let stack_mod = make_stack stack consensus 30_000 4 ~window ~topo in
+    let stack_mod = make_stack stack consensus 30_000 4 ~window ~topo ~shards:1 in
     let cluster = Cluster.create stack_mod ~seed ~n () in
     let lemmas = Abcast_harness.Lemmas.attach cluster () in
     let rng = Rng.create (seed + 31) in
@@ -221,10 +283,10 @@ let soak_cmd stack consensus window topo n n_bad episodes seed0 =
   Printf.printf "\n%d episodes, %d violations\n" episodes !violations;
   if !violations > 0 then exit 1
 
-let live_cmd stack consensus window topo n msgs base_port backend fsync
-    metrics_port metrics_interval metrics_out min_rate =
+let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
+    backend fsync metrics_port metrics_interval metrics_out min_rate =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
-  let stack_mod = make_stack stack consensus 100_000 3 ~window ~topo in
+  let stack_mod = make_stack stack consensus 100_000 3 ~window ~topo ~shards in
   let backend =
     match backend with
     | "wal" -> `Wal
@@ -238,9 +300,22 @@ let live_cmd stack consensus window topo n msgs base_port backend fsync
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "abcast-live-cli-%d" (Unix.getpid ()))
   in
+  (* Per-node partitioned replicas, fed from the group-aware A-deliver
+     upcall in each node's own thread; read only after convergence. *)
+  let pkvs =
+    if partitioned_kv then
+      Some (Array.init n (fun _ -> Partitioned_kv.create ~shards))
+    else None
+  in
+  let on_deliver =
+    match pkvs with
+    | Some arr ->
+      fun ~node ~group pl -> Partitioned_kv.deliver arr.(node) ~group pl
+    | None -> fun ~node:_ ~group:_ _ -> ()
+  in
   match
     Abcast_live.Runtime.create stack_mod ~n ~base_port ~dir ~backend ~fsync
-      ?metrics_port ~metrics_interval ?metrics_out ()
+      ~on_deliver ?metrics_port ~metrics_interval ?metrics_out ()
   with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot create sockets: %s
@@ -268,8 +343,16 @@ let live_cmd stack consensus window topo n msgs base_port backend fsync
     | None -> ());
     let t0 = Unix.gettimeofday () in
     for j = 0 to msgs - 1 do
-      Abcast_live.Runtime.broadcast live ~node:(j mod n)
-        (Printf.sprintf "m%d" j)
+      if partitioned_kv then begin
+        let key = Printf.sprintf "k%d" (j mod 97) in
+        Abcast_live.Runtime.broadcast live
+          ~group:(Partitioned_kv.shard_of_key ~shards key)
+          ~node:(j mod n)
+          (Kv.set_cmd ~key ~value:(Printf.sprintf "v%d" j))
+      end
+      else
+        Abcast_live.Runtime.broadcast live ~node:(j mod n)
+          (Printf.sprintf "m%d" j)
     done;
     let deadline = Unix.gettimeofday () +. 30.0 in
     let all () =
@@ -295,6 +378,25 @@ let live_cmd stack consensus window topo n msgs base_port backend fsync
       "%d messages totally ordered at %d processes in %.0f ms (%.0f msg/s);        orders identical: %b
 "
       msgs n (dt *. 1000.0) rate agree;
+    if shards > 1 then
+      Table.print ~title:"per-group delivered"
+        ~header:
+          ("process" :: List.init shards (fun g -> Printf.sprintf "g%d" g))
+        (List.init n (fun i ->
+             string_of_int i
+             :: List.init shards (fun g ->
+                    Table.num
+                      (Abcast_live.Runtime.delivered_count ~group:g live i))));
+    (match pkvs with
+    | Some arr ->
+      let digests = Array.to_list (Array.map Partitioned_kv.digest arr) in
+      let convergent = List.for_all (fun d -> d = List.hd digests) digests in
+      Printf.printf
+        "partitioned kv: %d keys per replica, replicas convergent: %b\n"
+        (Partitioned_kv.size arr.(0))
+        convergent;
+      if not convergent then exit 1
+    | None -> ());
     (* end-of-run observability summary: network drops + WAL counters *)
     Table.print ~title:"per-process network and WAL counters"
       ~header:
@@ -373,6 +475,27 @@ let topo_arg =
           "dissemination topology for basic/alt: gossip|ring (the throughput \
            stack is always ring)")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "multiplex $(docv) independent broadcast groups over the stack \
+           (one socket and one WAL per process; per-group total order, \
+           near-linear aggregate throughput)"
+        ~docv:"S")
+
+let partitioned_kv_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "partitioned-kv" ]
+        ~doc:
+          "drive a hash-partitioned replicated key-value store: commands \
+           route to the group owning their key, and replica convergence is \
+           checked partition-wise at the end")
+
 let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"number of processes")
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"root RNG seed")
@@ -419,9 +542,9 @@ let run_t =
   in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"verify the four properties at the end") in
   Term.(
-    const run_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg $ n_arg
-    $ seed_arg $ msgs $ loss $ dup $ crashes $ trace $ trace_out $ backend
-    $ fsync $ check)
+    const run_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg
+    $ shards_arg $ partitioned_kv_arg $ n_arg $ seed_arg $ msgs $ loss $ dup
+    $ crashes $ trace $ trace_out $ backend $ fsync $ check)
 
 let live_t =
   let msgs = Arg.(value & opt int 30 & info [ "msgs" ] ~doc:"broadcast count") in
@@ -469,9 +592,9 @@ let live_t =
           ~docv:"MSG_PER_S")
   in
   Term.(
-    const live_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg $ n_arg
-    $ msgs $ port $ backend $ fsync $ metrics_port $ metrics_interval
-    $ metrics_out $ min_rate)
+    const live_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg
+    $ shards_arg $ partitioned_kv_arg $ n_arg $ msgs $ port $ backend $ fsync
+    $ metrics_port $ metrics_interval $ metrics_out $ min_rate)
 
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in

@@ -10,6 +10,13 @@ let set_cmd ~key ~value = encode_cmd (Set (key, value))
 
 let del_cmd ~key = encode_cmd (Del key)
 
+let decode_cmd data =
+  match (Abcast_sim.Storage.decode data : cmd) with
+  | c -> Some c
+  | exception _ -> None
+
+let cmd_key = function Set (k, _) -> k | Del k -> k
+
 module Machine = struct
   type nonrec state = state
 

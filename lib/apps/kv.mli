@@ -15,11 +15,23 @@ module Machine : Smr.MACHINE with type state = state
 module Replica : module type of Smr.Make (Machine)
 (** Ready-made SMR replica of the store. *)
 
+type cmd = Set of string * string | Del of string
+(** The two commands of the store, exposed so routers (e.g.
+    {!Partitioned_kv}) can inspect a command's key without applying
+    it. *)
+
 val set_cmd : key:string -> value:string -> string
 (** Command writing [value] under [key]. *)
 
 val del_cmd : key:string -> string
 (** Command removing [key]. *)
+
+val decode_cmd : string -> cmd option
+(** Decode an encoded command; [None] for foreign bytes (which
+    {!Machine.apply} would ignore). *)
+
+val cmd_key : cmd -> string
+(** The key a command touches. *)
 
 val get : state -> string -> string option
 

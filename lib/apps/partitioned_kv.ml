@@ -1,0 +1,56 @@
+(* Hash-partitioned replicated KV over a sharded broadcast stack: the
+   keyspace is split across the stack's groups, each partition is an
+   independent Kv.Replica applied in its own group's delivery order.
+   Correctness rests on two invariants the caller wires together:
+   - every command for key k is broadcast to [route t cmd] — so all of
+     k's updates share one totally ordered group;
+   - [deliver] is called from the group-aware A-deliver upcall, so each
+     partition sees exactly its group's sequence, exactly once. *)
+
+type t = { shards : int; replicas : Kv.Replica.t array }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Partitioned_kv.create: shards must be >= 1";
+  { shards; replicas = Array.init shards (fun _ -> Kv.Replica.create ()) }
+
+let shards t = t.shards
+
+(* Hashtbl.hash is non-negative, deterministic across processes for
+   strings, and independent of Rng state — every replica and every
+   client computes the same partition for a key. *)
+let shard_of_key ~shards key = Hashtbl.hash key mod shards
+
+let route t data =
+  match Kv.decode_cmd data with
+  | Some c -> shard_of_key ~shards:t.shards (Kv.cmd_key c)
+  | None -> 0
+
+let check_group t group what =
+  if group < 0 || group >= t.shards then
+    invalid_arg
+      (Printf.sprintf "Partitioned_kv.%s: group %d out of [0,%d)" what group
+         t.shards)
+
+let deliver t ~group pl =
+  check_group t group "deliver";
+  Kv.Replica.deliver t.replicas.(group) pl
+
+let partition t group =
+  check_group t group "partition";
+  Kv.Replica.state t.replicas.(group)
+
+let get t key =
+  Kv.get
+    (Kv.Replica.state t.replicas.(shard_of_key ~shards:t.shards key))
+    key
+
+let size t =
+  Array.fold_left (fun acc r -> acc + Kv.size (Kv.Replica.state r)) 0 t.replicas
+
+let applied t =
+  Array.fold_left (fun acc r -> acc + Kv.Replica.applied r) 0 t.replicas
+
+let digest t =
+  String.concat "|"
+    (Array.to_list
+       (Array.map (fun r -> Kv.digest (Kv.Replica.state r)) t.replicas))

@@ -1,0 +1,55 @@
+(** Hash-partitioned replicated key-value store for sharded stacks.
+
+    The keyspace is split over the [shards] broadcast groups of a
+    {!Abcast_core.Factory.sharded} stack by key hash; each partition is
+    an independent {!Kv.Replica} applied in its own group's delivery
+    order. Cross-partition total order is deliberately given up — that
+    is where the aggregate throughput comes from — but per-key
+    operations stay totally ordered because one key always maps to one
+    group.
+
+    Protocol for users: encode commands with {!Kv.set_cmd}/{!Kv.del_cmd},
+    broadcast each to the group {!route} picks, and wire {!deliver} to
+    the group-aware A-deliver upcall of every replica. Replicas
+    converge partition-wise: equal {!digest}s witness convergence of the
+    whole store. *)
+
+type t
+(** One process's partitioned replica set (volatile, like
+    {!Smr.Make.t}). *)
+
+val create : shards:int -> t
+(** [shards] independent partitions — use the stack's
+    {!Abcast_core.Proto.S.shards}. @raise Invalid_argument if
+    [shards < 1]. *)
+
+val shards : t -> int
+
+val shard_of_key : shards:int -> string -> int
+(** The partition (= broadcast group) owning a key: a deterministic,
+    process-independent hash in [\[0, shards)]. *)
+
+val route : t -> string -> int
+(** The group an encoded command must be broadcast to ([shard_of_key] of
+    its key; group [0] for bytes that do not decode as a command). *)
+
+val deliver : t -> group:int -> Abcast_core.Payload.t -> unit
+(** Apply one delivered command to partition [group]. Wire this as the
+    group-aware A-deliver upcall. @raise Invalid_argument on a group
+    outside [\[0, shards)]. *)
+
+val partition : t -> int -> Kv.state
+(** One partition's store contents. *)
+
+val get : t -> string -> string option
+(** Read a key from its owning partition. *)
+
+val size : t -> int
+(** Total bindings across partitions. *)
+
+val applied : t -> int
+(** Total commands applied across partitions. *)
+
+val digest : t -> string
+(** Concatenated per-partition digests; equal digests across replicas
+    witness convergence of every partition. *)

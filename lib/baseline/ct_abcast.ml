@@ -27,10 +27,13 @@ let stack ?(consensus = `Paxos) ?gossip_period () : Abcast_core.Proto.t =
 
       let decode_msg = P.decode_msg
 
+      let msg_group _ = 0
+
       type t = P.Basic.t
 
       let create io ~deliver =
-        P.Basic.create ?gossip_period (volatile_io io) ~on_deliver:deliver
+        P.Basic.create ?gossip_period (volatile_io io)
+          ~on_deliver:(fun p -> deliver ~group:0 p)
 
       let broadcast_blocks = true
 
@@ -47,6 +50,17 @@ let stack ?(consensus = `Paxos) ?gossip_period () : Abcast_core.Proto.t =
       let delivery_vc = P.Basic.delivery_vc
 
       let unordered_count = P.Basic.unordered_count
+
+      include Abcast_core.Proto.Single_group (struct
+        type nonrec t = t
+
+        let broadcast = broadcast
+        let round = round
+        let delivered_count = delivered_count
+        let delivered_tail = delivered_tail
+        let delivery_vc = delivery_vc
+        let unordered_count = unordered_count
+      end)
     end : Abcast_core.Proto.S)
   in
   match consensus with

@@ -7,8 +7,8 @@ type app_factory = int -> Protocol.app * (Payload.t -> unit)
 let topology_suffix = function Some `Ring -> "+ring" | Some `Gossip | None -> ""
 
 let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
-    ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us () :
-    Proto.t =
+    ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
+    ?need_cap () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -26,12 +26,14 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
 
       let decode_msg = P.decode_msg
 
+      let msg_group _ = 0
+
       type t = P.Basic.t
 
       let create io ~deliver =
         P.Basic.create ?gossip_period ?delta_gossip ?gossip_full_every
-          ?dissemination ?max_batch_bytes ?ring_flush_us io
-          ~on_deliver:deliver
+          ?dissemination ?max_batch_bytes ?ring_flush_us ?need_cap io
+          ~on_deliver:(fun p -> deliver ~group:0 p)
 
       let broadcast_blocks = true
 
@@ -48,6 +50,17 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
       let delivery_vc = P.Basic.delivery_vc
 
       let unordered_count = P.Basic.unordered_count
+
+      include Proto.Single_group (struct
+        type nonrec t = t
+
+        let broadcast = broadcast
+        let round = round
+        let delivered_count = delivered_count
+        let delivered_tail = delivered_tail
+        let delivery_vc = delivery_vc
+        let unordered_count = unordered_count
+      end)
     end : Proto.S)
   in
   match consensus with
@@ -57,7 +70,7 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
 let alternative_named label ?(consensus = `Paxos) ?gossip_period
     ?checkpoint_period ?delta ?early_return ?incremental ?paranoid_log
     ?window ?trim_state ?delta_gossip ?gossip_full_every ?dissemination
-    ?max_batch_bytes ?ring_flush_us ?app_factory () : Proto.t =
+    ?max_batch_bytes ?ring_flush_us ?need_cap ?app_factory () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -75,9 +88,12 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
 
       let decode_msg = P.decode_msg
 
+      let msg_group _ = 0
+
       type t = P.Alternative.t
 
       let create io ~deliver =
+        let deliver p = deliver ~group:0 p in
         let app, deliver =
           match app_factory with
           | None -> (None, deliver)
@@ -91,7 +107,7 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
         P.Alternative.create ?gossip_period ?checkpoint_period ?delta
           ?early_return ?incremental ?paranoid_log ?window ?trim_state
           ?delta_gossip ?gossip_full_every ?dissemination ?max_batch_bytes
-          ?ring_flush_us ?app io ~on_deliver:deliver
+          ?ring_flush_us ?need_cap ?app io ~on_deliver:deliver
 
       let broadcast_blocks = not (Option.value early_return ~default:true)
 
@@ -108,6 +124,17 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
       let delivery_vc = P.Alternative.delivery_vc
 
       let unordered_count = P.Alternative.unordered_count
+
+      include Proto.Single_group (struct
+        type nonrec t = t
+
+        let broadcast = broadcast
+        let round = round
+        let delivered_count = delivered_count
+        let delivered_tail = delivered_tail
+        let delivery_vc = delivery_vc
+        let unordered_count = unordered_count
+      end)
     end : Proto.S)
   in
   match consensus with
@@ -117,21 +144,27 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
 let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?app_factory () =
+    ?need_cap ?app_factory () =
   alternative_named "alt" ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?app_factory ()
+    ?need_cap ?app_factory ()
 
 (* With ring dissemination the payloads never wait on a gossip tick —
    digests only repair a torn ring — so the preset slows the gossip task
    down (10ms instead of the 3ms default): under a heavy backlog every
    digest exchange costs per-stream scans at each receiver, and at 3ms
-   that bookkeeping was a measurable slice of the per-payload budget. *)
-let throughput ?consensus ?(window = 4) ?(max_batch_bytes = 24_000) () =
+   that bookkeeping was a measurable slice of the per-payload budget.
+   [repair_period] / [repair_full_every] / [need_cap] expose that repair
+   cadence and the Need-pull flow-control cap for per-shard tuning. *)
+let throughput ?consensus ?(window = 4) ?(max_batch_bytes = 24_000)
+    ?(repair_period = 10_000) ?(repair_full_every = 32) ?need_cap () =
   alternative_named "alt" ?consensus ~window ~dissemination:`Ring
-    ~max_batch_bytes ~gossip_full_every:32 ~gossip_period:10_000 ()
+    ~max_batch_bytes ~gossip_full_every:repair_full_every
+    ~gossip_period:repair_period ?need_cap ()
 
 let naive ?(consensus = `Paxos) () =
   alternative_named "naive" ~consensus ~paranoid_log:true ~early_return:true
     ~incremental:false ()
+
+let sharded ?route ~shards stack = Shard.mux ?route ~shards stack

@@ -20,6 +20,7 @@ val basic :
   ?dissemination:[ `Gossip | `Ring ] ->
   ?max_batch_bytes:int ->
   ?ring_flush_us:int ->
+  ?need_cap:int ->
   unit ->
   Proto.t
 (** The basic protocol (Fig. 2). [delta_gossip] (default true) gossips
@@ -45,27 +46,47 @@ val alternative :
   ?dissemination:[ `Gossip | `Ring ] ->
   ?max_batch_bytes:int ->
   ?ring_flush_us:int ->
+  ?need_cap:int ->
   ?app_factory:app_factory ->
   unit ->
   Proto.t
 (** The alternative protocol (Figs. 3–5); defaults as in
     {!Protocol.Make.Alternative.create}. [window > 1] pipelines that many
     consensus instances; [dissemination:`Ring] adds successor-ring
-    payload forwarding. *)
+    payload forwarding. [need_cap] (default 128) bounds how many missing
+    payload ids one digest exchange will pull. *)
 
 val throughput :
   ?consensus:consensus ->
   ?window:int ->
   ?max_batch_bytes:int ->
+  ?repair_period:int ->
+  ?repair_full_every:int ->
+  ?need_cap:int ->
   unit ->
   Proto.t
 (** The throughput-tuned preset behind E18 and the live smoke: the
     alternative protocol with ring dissemination, a pipelined window
     (default 4), adaptive batching at [max_batch_bytes] (default 24_000)
-    and a rarer full-gossip belt ([gossip_full_every = 32] — the ring
-    carries the payloads, the digests only repair). *)
+    and a rarer full-gossip belt — the ring carries the payloads, the
+    digests only repair. The repair path is tunable per shard:
+    [repair_period] (default 10_000 µs) is the digest gossip cadence,
+    [repair_full_every] (default 32) sends a full digest every that many
+    ticks, and [need_cap] (default 128) caps ids pulled per exchange. *)
 
 val naive : ?consensus:consensus -> unit -> Proto.t
 (** The naive-logging strawman for ablations E1/E6: alternative protocol
     with a checkpoint after {e every} round and full (non-incremental)
     [Unordered] re-logging on every broadcast. *)
+
+val sharded : ?route:(string -> int) -> shards:int -> Proto.t -> Proto.t
+(** [sharded ~shards stack] multiplexes [shards] independent instances
+    of a single-group [stack] on every process — one consensus pipeline,
+    gossip/ring task and [Unordered]/[Agreed] state per group, behind
+    one wire type tagged with a uvarint group id (see {!Shard.mux}).
+    Storage is scoped to group-tagged keys in the shared store/WAL and
+    every metrics series gains a ["g<g>/"] label. [route] maps payload
+    data to a group for plain {!Proto.S.broadcast} (default: data hash);
+    [Proto.S.broadcast_to] pins the group explicitly. [shards = 1]
+    returns [stack] unchanged — names, keys and series stay exactly as
+    before. *)

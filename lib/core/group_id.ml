@@ -1,0 +1,24 @@
+(* Identity of one independent broadcast group (shard). Groups are dense
+   small integers [0 .. shards-1]; everything group-scoped — wire frames,
+   storage keys, metrics series — derives its tag from this module so the
+   conventions stay in one place. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Format.pp_print_int
+let to_string = string_of_int
+
+let prefix = Abcast_sim.Metrics.group_prefix
+(* ["g<g>/"] — shared with the metrics/storage scoping convention. *)
+
+(* Wire form: one LEB128 uvarint prefixed to the inner message, so group
+   0 of a sharded stack costs a single extra byte per frame. *)
+
+let write = Abcast_util.Wire.write_uvarint
+let read = Abcast_util.Wire.read_uvarint
+
+let size g =
+  let rec go n v = if v < 0x80 then n else go (n + 1) (v lsr 7) in
+  go 1 g

@@ -32,18 +32,37 @@ module type S = sig
   val decode_msg : string -> msg option
   (** Total whole-value decode: [None] on any malformation. *)
 
+  val shards : int
+  (** Number of independent broadcast groups this stack multiplexes.
+      [1] for every plain stack; [> 1] only for {!Factory.sharded}
+      stacks, whose per-group surface is the [group_*] family below. *)
+
+  val msg_group : msg -> int
+  (** Which group a wire message belongs to ([0] on single-group
+      stacks). Lets harnesses inject group-targeted faults — drop every
+      frame of one group and watch the others keep delivering. *)
+
   type t
   (** Per-process protocol state (one value per incarnation). *)
 
   val create :
-    msg Abcast_sim.Engine.io -> deliver:(Payload.t -> unit) -> t
-  (** Boot or recover the process; [deliver] is the A-deliver upcall. *)
+    msg Abcast_sim.Engine.io -> deliver:(group:int -> Payload.t -> unit) -> t
+  (** Boot or recover the process; [deliver] is the A-deliver upcall,
+      tagged with the delivering group ([~group:0] always on
+      single-group stacks). *)
 
   val handler : t -> src:int -> msg -> unit
   (** Incoming-message dispatcher (the engine behaviour). *)
 
   val broadcast : t -> ?on_agreed:(Payload.id -> unit) -> string -> Payload.id
-  (** [A-broadcast]. *)
+  (** [A-broadcast]. On sharded stacks the payload is routed to a group
+      by the stack's route function (hash of the data by default);
+      {!broadcast_to} pins the group explicitly. *)
+
+  val broadcast_to :
+    t -> ?on_agreed:(Payload.id -> unit) -> group:int -> string -> Payload.id
+  (** [A-broadcast] into one specific group.
+      @raise Invalid_argument if [group] is out of range. *)
 
   val broadcast_blocks : bool
   (** Whether [A-broadcast] conceptually blocks its caller until the
@@ -53,16 +72,84 @@ module type S = sig
       use this to model when a closed-loop client may continue. *)
 
   val round : t -> int
+  (** Consensus rounds executed (summed over groups when [shards > 1]). *)
 
   val delivered_count : t -> int
+  (** Payloads A-delivered (summed over groups when [shards > 1]). *)
 
   val delivered_tail : t -> Payload.t list
+  (** Uncompacted delivered suffix; for sharded stacks, the per-group
+      tails concatenated in group order (use {!group_delivered_tail} for
+      one group's sequence — ids collide across groups). *)
 
   val delivery_vc : t -> Vclock.t
+  (** Compaction-proof delivery summary. Streams are keyed by
+      [(origin, boot)], which collides across groups — on sharded stacks
+      this is group 0's clock and {!group_delivery_vc} is the meaningful
+      per-group reading. *)
 
   val unordered_count : t -> int
+
+  (** {2 Per-group accessors}
+
+      The [group_*] family indexes one broadcast group; on single-group
+      stacks only group [0] exists and each is the plain accessor.
+      All raise [Invalid_argument] on an out-of-range group. *)
+
+  val group_round : t -> int -> int
+  val group_delivered_count : t -> int -> int
+  val group_delivered_tail : t -> int -> Payload.t list
+  val group_delivery_vc : t -> int -> Vclock.t
+  val group_unordered_count : t -> int -> int
 end
 
 type t = (module S)
 
 let name (module P : S) = P.name
+
+(** Derive the group-indexed surface of {!S} for a single-group stack:
+    [shards = 1], [broadcast_to ~group:0] is [broadcast], and each
+    [group_*] accessor bounds-checks and delegates. Implementors
+    [include] this after defining the plain accessors. *)
+module Single_group (P : sig
+  type t
+
+  val broadcast : t -> ?on_agreed:(Payload.id -> unit) -> string -> Payload.id
+  val round : t -> int
+  val delivered_count : t -> int
+  val delivered_tail : t -> Payload.t list
+  val delivery_vc : t -> Vclock.t
+  val unordered_count : t -> int
+end) =
+struct
+  let shards = 1
+
+  let check g =
+    if g <> 0 then
+      invalid_arg
+        (Printf.sprintf "group %d out of range on a single-group stack" g)
+
+  let broadcast_to t ?on_agreed ~group data =
+    check group;
+    P.broadcast t ?on_agreed data
+
+  let group_round t g =
+    check g;
+    P.round t
+
+  let group_delivered_count t g =
+    check g;
+    P.delivered_count t
+
+  let group_delivered_tail t g =
+    check g;
+    P.delivered_tail t
+
+  let group_delivery_vc t g =
+    check g;
+    P.delivery_vc t
+
+  let group_unordered_count t g =
+    check g;
+    P.unordered_count t
+end

@@ -218,6 +218,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         (* bytes budget for one proposal's payload bodies: the adaptive
            batch is the whole backlog, cut at this bound *)
     ring_flush_us : int; (* coalescing delay before forwarding ring entries *)
+    need_cap : int; (* max missing ids pulled per digest exchange *)
     app : app option;
   }
 
@@ -236,6 +237,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       dissemination = `Gossip;
       max_batch_bytes = 24_000;
       ring_flush_us = 400;
+      need_cap = 128;
       app = None;
     }
 
@@ -779,17 +781,16 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
      a candidate gap: pull exactly those. The sender replies with the
      subset it actually has, as a regular payload gossip.
 
-     The pull is flow-controlled: at most [need_cap] ids per digest. An
-     uncapped pull turns the first digest of a large burst into a storm —
-     every receiver asks every peer for the whole backlog that the
-     primary dissemination path (ring or full gossip) is already
-     carrying, and each peer answers with a duplicate copy. Anything
-     past the cap is simply pulled on a later tick, so repair throughput
-     stays bounded but positive. *)
-  let need_cap = 128
+     The pull is flow-controlled: at most [mode.need_cap] ids per digest
+     (default 128, a {!Factory} knob). An uncapped pull turns the first
+     digest of a large burst into a storm — every receiver asks every
+     peer for the whole backlog that the primary dissemination path
+     (ring or full gossip) is already carrying, and each peer answers
+     with a duplicate copy. Anything past the cap is simply pulled on a
+     later tick, so repair throughput stays bounded but positive. *)
 
   let on_digest t ~src kq ~len_q summary =
-    let budget = ref need_cap in
+    let budget = ref t.mode.need_cap in
     let missing =
       List.fold_left
         (fun acc (origin, boot, smax) ->
@@ -1054,11 +1055,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
     let create ?(gossip_period = 3_000) ?(delta_gossip = true)
         ?(gossip_full_every = 8) ?(dissemination = `Gossip)
-        ?(max_batch_bytes = 24_000) ?(ring_flush_us = 400) io ~on_deliver =
+        ?(max_batch_bytes = 24_000) ?(ring_flush_us = 400) ?(need_cap = 128)
+        io ~on_deliver =
       if gossip_full_every < 1 then
         invalid_arg "Basic.create: gossip_full_every must be >= 1";
       if max_batch_bytes < 1 then
         invalid_arg "Basic.create: max_batch_bytes must be >= 1";
+      if need_cap < 0 then invalid_arg "Basic.create: need_cap must be >= 0";
       create_node io
         {
           basic_mode with
@@ -1068,6 +1071,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           dissemination;
           max_batch_bytes;
           ring_flush_us;
+          need_cap;
         }
         ~on_deliver
   end
@@ -1085,12 +1089,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         ?(paranoid_log = false) ?(window = 1) ?(trim_state = true)
         ?(delta_gossip = true) ?(gossip_full_every = 8)
         ?(dissemination = `Gossip) ?(max_batch_bytes = 24_000)
-        ?(ring_flush_us = 400) ?app io ~on_deliver =
+        ?(ring_flush_us = 400) ?(need_cap = 128) ?app io ~on_deliver =
       if window < 1 then invalid_arg "Alternative.create: window must be >= 1";
       if gossip_full_every < 1 then
         invalid_arg "Alternative.create: gossip_full_every must be >= 1";
       if max_batch_bytes < 1 then
         invalid_arg "Alternative.create: max_batch_bytes must be >= 1";
+      if need_cap < 0 then
+        invalid_arg "Alternative.create: need_cap must be >= 0";
       create_node io
         {
           gossip_period;
@@ -1106,6 +1112,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           dissemination;
           max_batch_bytes;
           ring_flush_us;
+          need_cap;
           app;
         }
         ~on_deliver

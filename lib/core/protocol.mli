@@ -151,6 +151,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?dissemination:[ `Gossip | `Ring ] ->
       ?max_batch_bytes:int ->
       ?ring_flush_us:int ->
+      ?need_cap:int ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
       t
@@ -173,7 +174,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         400 µs), with the digest/pull gossip retained as the repair path
         after crashes. [max_batch_bytes] (default 24_000) bounds one
         consensus proposal's payload bytes — the adaptive batch is the
-        whole backlog, cut at this budget. *)
+        whole backlog, cut at this budget. [need_cap] (default 128)
+        bounds how many missing ids one digest exchange will pull — the
+        repair path's flow control. *)
   end
 
   (** The alternative protocol (Figs. 3–5). *)
@@ -199,6 +202,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?dissemination:[ `Gossip | `Ring ] ->
       ?max_batch_bytes:int ->
       ?ring_flush_us:int ->
+      ?need_cap:int ->
       ?app:app ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
@@ -235,8 +239,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         predecessor is missing is skipped deterministically and
         re-proposed rather than breaking the FIFO invariant.
 
-        [dissemination]/[max_batch_bytes]/[ring_flush_us]: as in
-        {!Basic.create}. *)
+        [dissemination]/[max_batch_bytes]/[ring_flush_us]/[need_cap]: as
+        in {!Basic.create}. *)
 
     val checkpoint_now : t -> unit
     (** Force a checkpoint immediately (tests and examples). *)

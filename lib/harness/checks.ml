@@ -95,17 +95,42 @@ let termination ~completed ~good_sequences =
          "termination: %a delivered at some good process but not all"
          Payload.pp_id id)
 
-let obligations cluster ~good =
-  let sent = Cluster.sent cluster in
+(* Per-group framing: every property below quantifies over ONE broadcast
+   group's ids and sequences — ids are per-stream counters and collide
+   across groups, and total order only holds within a group. [all] and
+   [all_compacted] iterate the groups; single-group stacks have exactly
+   group 0 and behave as before. *)
+
+let obligations cluster ~good ~group =
+  let sent = Cluster.sent_in cluster ~group in
   List.filter_map
     (fun ((id : Payload.id), c) ->
       if c && List.mem id.origin good then Some id else None)
     sent
-  @ Cluster.ever_delivered cluster
+  @ Cluster.ever_delivered_in cluster ~group
 
-let all_compacted ~cluster ~good () =
+let each_group ~cluster check =
+  let shards = Cluster.shards cluster in
+  let rec go g =
+    if g >= shards then Ok ()
+    else
+      let r =
+        if shards = 1 then check g
+        else
+          Result.map_error
+            (fun e -> Printf.sprintf "group %d: %s" g e)
+            (check g)
+      in
+      let* () = r in
+      go (g + 1)
+  in
+  go 0
+
+let compacted_group ~cluster ~good ~group () =
   let module Vclock = Abcast_core.Vclock in
-  let clocks = List.map (fun i -> (i, Cluster.delivery_vc cluster i)) good in
+  let clocks =
+    List.map (fun i -> (i, Cluster.delivery_vc ~group cluster i)) good
+  in
   (* termination: every obligation is contained in every good clock *)
   let rec check_terminated = function
     | [] -> Ok ()
@@ -117,7 +142,7 @@ let all_compacted ~cluster ~good () =
           (Format.asprintf "termination: %a missing at a good process"
              Payload.pp_id id)
   in
-  let* () = check_terminated (obligations cluster ~good) in
+  let* () = check_terminated (obligations cluster ~good ~group) in
   (* validity: clocks never exceed what was actually broadcast *)
   let sent_max = Hashtbl.create 64 in
   List.iter
@@ -126,7 +151,7 @@ let all_compacted ~cluster ~good () =
       match Hashtbl.find_opt sent_max key with
       | Some s when s >= id.seq -> ()
       | _ -> Hashtbl.replace sent_max key id.seq)
-    (Cluster.sent cluster);
+    (Cluster.sent_in cluster ~group);
   let rec check_valid = function
     | [] -> Ok ()
     | (i, vc) :: rest ->
@@ -151,11 +176,11 @@ let all_compacted ~cluster ~good () =
   match clocks with
   | [] -> Ok ()
   | (first, vc0) :: rest ->
-    let c0 = Cluster.delivered_count cluster first in
+    let c0 = Cluster.delivered_count ~group cluster first in
     let rec check_agree = function
       | [] -> Ok ()
       | (i, vc) :: tl ->
-        if Cluster.delivered_count cluster i <> c0 then
+        if Cluster.delivered_count ~group cluster i <> c0 then
           Error
             (Printf.sprintf "agreement: p%d and p%d quiesced at different counts"
                first i)
@@ -167,9 +192,12 @@ let all_compacted ~cluster ~good () =
     in
     check_agree rest
 
-let all ~cluster ~good () =
-  let seqs = List.map (fun i -> Cluster.delivered_tail cluster i) good in
-  let sent = Cluster.sent cluster in
+let all_compacted ~cluster ~good () =
+  each_group ~cluster (fun group -> compacted_group ~cluster ~good ~group ())
+
+let group_checks ~cluster ~good ~group () =
+  let seqs = List.map (fun i -> Cluster.delivered_tail ~group cluster i) good in
+  let sent = Cluster.sent_in cluster ~group in
   let known id = List.exists (fun (i, _) -> Payload.equal_id i id) sent in
   (* Obligations: clause (1) — completed broadcasts of good senders;
      clause (2) — anything any process ever delivered (uniformity). *)
@@ -178,7 +206,7 @@ let all ~cluster ~good () =
       (fun ((id : Payload.id), c) ->
         if c && List.mem id.origin good then Some id else None)
       sent
-    @ Cluster.ever_delivered cluster
+    @ Cluster.ever_delivered_in cluster ~group
   in
   let rec per_seq = function
     | [] -> Ok ()
@@ -190,3 +218,9 @@ let all ~cluster ~good () =
   let* () = per_seq seqs in
   let* () = total_order seqs in
   termination ~completed ~good_sequences:seqs
+
+let all ?group ~cluster ~good () =
+  match group with
+  | Some group -> group_checks ~cluster ~good ~group ()
+  | None ->
+    each_group ~cluster (fun group -> group_checks ~cluster ~good ~group ())

@@ -31,11 +31,18 @@ val termination :
     process's sequence (at quiescence the two sets coincide). *)
 
 val all :
-  cluster:Cluster.t -> good:int list -> unit -> (unit, string) result
+  ?group:int -> cluster:Cluster.t -> good:int list -> unit ->
+  (unit, string) result
 (** Run the four checks over a finished cluster run: integrity and
     validity per good process, total order and termination across them.
     Termination is checked against broadcasts injected via
-    {!Cluster.broadcast} whose completion fired. *)
+    {!Cluster.broadcast} whose completion fired.
+
+    Each property is quantified {e per broadcast group} (ids collide
+    across groups and total order only holds within one): by default
+    every group of a sharded stack is checked in turn (failures are
+    prefixed ["group g:"]); [?group] restricts to one. Single-group
+    stacks have exactly group 0 — unchanged behaviour. *)
 
 val all_compacted :
   cluster:Cluster.t -> good:int list -> unit -> (unit, string) result
@@ -54,4 +61,7 @@ val all_compacted :
       the deterministic batch rule, which the non-compacted scenarios and
       the storage-level lemma monitors verify directly);
     - integrity — guaranteed internally ({!Abcast_core.Vclock.add} refuses
-      duplicates); nothing further to check here. *)
+      duplicates); nothing further to check here.
+
+    Like {!all}, quantified per broadcast group over every group of a
+    sharded stack. *)

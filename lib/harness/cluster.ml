@@ -1,15 +1,22 @@
 module Engine = Abcast_sim.Engine
 module Payload = Abcast_core.Payload
 
-(* Monomorphic view over one process of the (existential) protocol. *)
+(* Monomorphic view over one process of the (existential) protocol. The
+   [group_*] fields index one broadcast group of a sharded stack (only
+   group 0 exists otherwise); the plain fields aggregate. *)
 type node_ops = {
-  broadcast :
-    ?on_agreed:(Payload.id -> unit) -> string -> Payload.id;
+  broadcast_to :
+    ?on_agreed:(Payload.id -> unit) -> group:int -> string -> Payload.id;
   round : unit -> int;
   delivered_count : unit -> int;
   delivered_tail : unit -> Payload.t list;
   delivery_vc : unit -> Abcast_core.Vclock.t;
   unordered_count : unit -> int;
+  group_round : int -> int;
+  group_delivered_count : int -> int;
+  group_delivered_tail : int -> Payload.t list;
+  group_delivery_vc : int -> Abcast_core.Vclock.t;
+  group_unordered_count : int -> int;
 }
 
 type t = {
@@ -35,9 +42,12 @@ type t = {
   read_storage : int -> string -> string option;
   corrupt_storage : int -> key:string -> string -> unit;
   storage_keys : int -> string -> string list;
-  ever_delivered : (Payload.id, unit) Hashtbl.t;
+  ever_delivered : (int * Payload.id, unit) Hashtbl.t;
+      (* keyed (group, id): payload ids are per-stream counters and
+         collide across groups of a sharded stack *)
   broadcast_blocks : bool;
-  mutable sent : (Payload.id * bool ref) list;
+  shards : int;
+  mutable sent : (int * Payload.id * bool ref) list;
 }
 
 let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
@@ -49,18 +59,25 @@ let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
   for i = 0 to n - 1 do
     Engine.set_behavior eng i (fun io ->
         let p =
-          P.create io ~deliver:(fun pl ->
-              Hashtbl.replace ever_delivered pl.Payload.id ())
+          P.create io ~deliver:(fun ~group pl ->
+              Hashtbl.replace ever_delivered (group, pl.Payload.id) ())
         in
         nodes.(i) <-
           Some
             {
-              broadcast = (fun ?on_agreed data -> P.broadcast p ?on_agreed data);
+              broadcast_to =
+                (fun ?on_agreed ~group data ->
+                  P.broadcast_to p ?on_agreed ~group data);
               round = (fun () -> P.round p);
               delivered_count = (fun () -> P.delivered_count p);
               delivered_tail = (fun () -> P.delivered_tail p);
               delivery_vc = (fun () -> P.delivery_vc p);
               unordered_count = (fun () -> P.unordered_count p);
+              group_round = (fun g -> P.group_round p g);
+              group_delivered_count = (fun g -> P.group_delivered_count p g);
+              group_delivered_tail = (fun g -> P.group_delivered_tail p g);
+              group_delivery_vc = (fun g -> P.group_delivery_vc p g);
+              group_unordered_count = (fun g -> P.group_unordered_count p g);
             };
         P.handler p)
   done;
@@ -98,6 +115,7 @@ let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
         Abcast_sim.Storage.keys_with_prefix (Engine.storage eng i) prefix);
     ever_delivered;
     broadcast_blocks = P.broadcast_blocks;
+    shards = P.shards;
     sent = [];
   }
 
@@ -125,7 +143,7 @@ let ops t i =
   | Some ops -> ops
   | None -> invalid_arg "Cluster: process was never started"
 
-let broadcast t ?on_agreed ~node data =
+let broadcast t ?on_agreed ?(group = 0) ~node data =
   if not (t.is_up node) then None
   else begin
     let agreed = ref false in
@@ -133,16 +151,33 @@ let broadcast t ?on_agreed ~node data =
       agreed := true;
       match on_agreed with Some f -> f id | None -> ()
     in
-    let id = (ops t node).broadcast ~on_agreed:cb data in
-    t.sent <- (id, agreed) :: t.sent;
+    let id = (ops t node).broadcast_to ~on_agreed:cb ~group data in
+    t.sent <- (group, id, agreed) :: t.sent;
     Some id
   end
 
-let round t i = (ops t i).round ()
-let delivered_count t i = (ops t i).delivered_count ()
-let delivered_tail t i = (ops t i).delivered_tail ()
-let delivery_vc t i = (ops t i).delivery_vc ()
-let unordered_count t i = (ops t i).unordered_count ()
+let round ?group t i =
+  match group with None -> (ops t i).round () | Some g -> (ops t i).group_round g
+
+let delivered_count ?group t i =
+  match group with
+  | None -> (ops t i).delivered_count ()
+  | Some g -> (ops t i).group_delivered_count g
+
+let delivered_tail ?group t i =
+  match group with
+  | None -> (ops t i).delivered_tail ()
+  | Some g -> (ops t i).group_delivered_tail g
+
+let delivery_vc ?group t i =
+  match group with
+  | None -> (ops t i).delivery_vc ()
+  | Some g -> (ops t i).group_delivery_vc g
+
+let unordered_count ?group t i =
+  match group with
+  | None -> (ops t i).unordered_count ()
+  | Some g -> (ops t i).group_unordered_count g
 let retained_bytes t i = t.retained_bytes i
 let retained_keys t i = t.retained_keys i
 let disk_bytes t i = t.disk_bytes i
@@ -151,12 +186,25 @@ let read_storage t i key = t.read_storage i key
 let corrupt_storage t i ~key v = t.corrupt_storage i ~key v
 let storage_keys t i prefix = t.storage_keys i prefix
 
-let sent t = List.rev_map (fun (id, flag) -> (id, !flag)) t.sent
+let sent t = List.rev_map (fun (_, id, flag) -> (id, !flag)) t.sent
 
-let ever_delivered t = Hashtbl.fold (fun id () acc -> id :: acc) t.ever_delivered []
+let sent_in t ~group =
+  List.rev
+    (List.filter_map
+       (fun (g, id, flag) -> if g = group then Some (id, !flag) else None)
+       t.sent)
+
+let ever_delivered t =
+  Hashtbl.fold (fun (_, id) () acc -> id :: acc) t.ever_delivered []
+
+let ever_delivered_in t ~group =
+  Hashtbl.fold
+    (fun (g, id) () acc -> if g = group then id :: acc else acc)
+    t.ever_delivered []
 
 let broadcast_blocks t = t.broadcast_blocks
+let shards t = t.shards
 
-let all_caught_up t ?among ~count () =
+let all_caught_up t ?group ?among ~count () =
   let ids = match among with Some l -> l | None -> List.init t.n Fun.id in
-  List.for_all (fun i -> (ops t i).delivered_count () >= count) ids
+  List.for_all (fun i -> delivered_count ?group t i >= count) ids

@@ -52,16 +52,23 @@ val recover : t -> int -> unit
 val is_up : t -> int -> bool
 
 val broadcast :
-  t -> ?on_agreed:(Abcast_core.Payload.id -> unit) -> node:int -> string ->
-  Abcast_core.Payload.id option
-(** Inject an [A-broadcast] at a process; [None] if it is down. The id and
-    its completion are recorded for the property checks. *)
+  t -> ?on_agreed:(Abcast_core.Payload.id -> unit) -> ?group:int ->
+  node:int -> string -> Abcast_core.Payload.id option
+(** Inject an [A-broadcast] at a process; [None] if it is down. The id
+    and its completion are recorded — tagged with [group] (default 0) —
+    for the property checks. On a sharded stack the caller picks the
+    group (e.g. via {!Partitioned_kv} routing); the harness never hash
+    routes, so the checks always know which group owns each id. *)
 
-val round : t -> int -> int
-val delivered_count : t -> int -> int
-val delivered_tail : t -> int -> Abcast_core.Payload.t list
-val delivery_vc : t -> int -> Abcast_core.Vclock.t
-val unordered_count : t -> int -> int
+(** The accessors below read one broadcast group when [?group] is given
+    and the whole stack otherwise (identical on single-group stacks —
+    all existing call sites read group 0's aggregate). *)
+
+val round : ?group:int -> t -> int -> int
+val delivered_count : ?group:int -> t -> int -> int
+val delivered_tail : ?group:int -> t -> int -> Abcast_core.Payload.t list
+val delivery_vc : ?group:int -> t -> int -> Abcast_core.Vclock.t
+val unordered_count : ?group:int -> t -> int -> int
 val retained_bytes : t -> int -> int
 (** Live stable-storage footprint of a process (experiment E3). *)
 
@@ -92,6 +99,9 @@ val sent : t -> (Abcast_core.Payload.id * bool) list
 (** Every id injected through {!broadcast}, with whether its completion
     callback has fired at the origin ("the A-broadcast returned"). *)
 
+val sent_in : t -> group:int -> (Abcast_core.Payload.id * bool) list
+(** {!sent} restricted to the ids injected into one broadcast group. *)
+
 val broadcast_blocks : t -> bool
 (** Whether this stack's [A-broadcast] blocks until local agreement
     (basic protocol) or returns at log time (early-return alternative) —
@@ -100,8 +110,17 @@ val broadcast_blocks : t -> bool
 val ever_delivered : t -> Abcast_core.Payload.id list
 (** Every id that was A-delivered by any process at any point of the run
     (including by processes that later crashed) — the obligation set of
-    the uniform termination property's clause (2). *)
+    the uniform termination property's clause (2). Spans all groups; ids
+    of distinct groups may collide. *)
 
-val all_caught_up : t -> ?among:int list -> count:int -> unit -> bool
+val ever_delivered_in : t -> group:int -> Abcast_core.Payload.id list
+(** {!ever_delivered} restricted to one broadcast group. *)
+
+val shards : t -> int
+(** Number of broadcast groups of the running stack (1 unless built by
+    {!Abcast_core.Factory.sharded}). *)
+
+val all_caught_up : t -> ?group:int -> ?among:int list -> count:int -> unit -> bool
 (** Whether every listed (default: all) process has delivered at least
-    [count] messages. *)
+    [count] messages (in one group when [?group] is given, in total
+    otherwise). *)

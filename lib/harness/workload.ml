@@ -3,7 +3,13 @@ module Rng = Abcast_util.Rng
 let payload rng ~size =
   String.init size (fun _ -> Char.chr (32 + Rng.int rng 95))
 
-let open_loop cluster ~rng ~senders ~start ~stop ~mean_gap ?(size = 32) () =
+(* Sharded clusters spread load uniformly over the stack's groups; the
+   default [groups = 1] pins everything to group 0, which on a
+   single-group stack is the old behaviour exactly. *)
+let pick_group rng groups = if groups <= 1 then 0 else Rng.int rng groups
+
+let open_loop cluster ~rng ~senders ~start ~stop ~mean_gap ?(size = 32)
+    ?(groups = 1) () =
   let senders = Array.of_list senders in
   let count = ref 0 in
   let t = ref start in
@@ -11,20 +17,22 @@ let open_loop cluster ~rng ~senders ~start ~stop ~mean_gap ?(size = 32) () =
   t := !t + gap ();
   while !t < stop do
     let node = Rng.pick rng senders in
+    let group = pick_group rng groups in
     let data = payload rng ~size in
     Cluster.at cluster !t (fun () ->
-        ignore (Cluster.broadcast cluster ~node data));
+        ignore (Cluster.broadcast cluster ~group ~node data));
     incr count;
     t := !t + gap ()
   done;
   !count
 
-let burst cluster ~rng ~senders ~at ~count ?(size = 32) () =
+let burst cluster ~rng ~senders ~at ~count ?(size = 32) ?(groups = 1) () =
   let senders = Array.of_list senders in
   Cluster.at cluster at (fun () ->
       for _ = 1 to count do
         let node = Rng.pick rng senders in
-        ignore (Cluster.broadcast cluster ~node (payload rng ~size))
+        let group = pick_group rng groups in
+        ignore (Cluster.broadcast cluster ~group ~node (payload rng ~size))
       done)
 
 let closed_loop cluster ~rng ~node ~total ?(pipeline = 1) ?(think = 200)

@@ -16,13 +16,15 @@ val open_loop :
   stop:int ->
   mean_gap:int ->
   ?size:int ->
+  ?groups:int ->
   unit ->
   int
 (** Poisson arrivals: between [start] and [stop] simulated µs, schedule
     broadcasts whose inter-arrival times are exponential with mean
     [mean_gap]; each sender is drawn uniformly from [senders]. [size]
-    (default 32) is the payload size. Returns the number of broadcasts
-    scheduled. *)
+    (default 32) is the payload size; [groups] (default 1) spreads each
+    broadcast uniformly over that many groups of a sharded stack.
+    Returns the number of broadcasts scheduled. *)
 
 val burst :
   Cluster.t ->
@@ -31,11 +33,13 @@ val burst :
   at:int ->
   count:int ->
   ?size:int ->
+  ?groups:int ->
   unit ->
   unit
 (** Inject [count] broadcasts in the same simulated instant at [at],
-    spread uniformly over [senders] — the worst case for a sequencer,
-    the best case for batching (E5b). *)
+    spread uniformly over [senders] (and over [groups] groups, default
+    1) — the worst case for a sequencer, the best case for batching
+    (E5b). *)
 
 val closed_loop :
   Cluster.t ->

@@ -13,8 +13,11 @@ type net_stats = { tx_oversize : int; rx_undecodable : int }
    process's thread (reached via the mailbox). *)
 type node_ops = {
   op_broadcast : string -> unit;
+  op_broadcast_to : int -> string -> unit;
   op_delivered_count : unit -> int;
   op_delivered_data : unit -> string list;
+  op_group_delivered_count : int -> int;
+  op_group_delivered_data : int -> string list;
   op_round : unit -> int;
   op_net_stats : unit -> net_stats;
   op_metrics :
@@ -41,6 +44,7 @@ type node = {
 
 type t = {
   n : int;
+  shards : int;
   base_port : int;
   dir : string option;
   backend : [ `Files | `Wal ];
@@ -174,6 +178,7 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
   let rec t =
     {
       n;
+      shards = P.shards;
       base_port;
       dir;
       backend;
@@ -281,6 +286,7 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
       {
         self = nd.id;
         n;
+        group = 0;
         incarnation;
         now = now_us;
         send;
@@ -303,17 +309,27 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
         span_end = (fun ~stage:_ _ -> ());
       }
     in
-    let p = P.create io ~deliver:(fun pl -> on_deliver nd.id pl) in
+    let p =
+      P.create io ~deliver:(fun ~group pl -> on_deliver ~node:nd.id ~group pl)
+    in
     let handler = P.handler p in
     Mutex.lock nd.mutex;
     nd.ops <-
       Some
         {
           op_broadcast = (fun data -> ignore (P.broadcast p data));
+          op_broadcast_to =
+            (fun group data -> ignore (P.broadcast_to p ~group data));
           op_delivered_count = (fun () -> P.delivered_count p);
           op_delivered_data =
             (fun () ->
               List.map (fun (x : Payload.t) -> x.data) (P.delivered_tail p));
+          op_group_delivered_count = (fun g -> P.group_delivered_count p g);
+          op_group_delivered_data =
+            (fun g ->
+              List.map
+                (fun (x : Payload.t) -> x.data)
+                (P.group_delivered_tail p g));
           op_round = (fun () -> P.round p);
           op_net_stats =
             (fun () ->
@@ -500,7 +516,17 @@ let prometheus t =
       (List.init t.n Fun.id)
   in
   let buf = Buffer.create 8192 in
-  (* group by metric name so # HELP/# TYPE appear once each *)
+  (* Sharded stacks intern their series under a "g<g>/" name prefix; the
+     export strips the prefix back out of the metric name and carries the
+     group as a label instead, so one # HELP/# TYPE covers all groups.
+     Single-group stacks have bare names — no group label, byte-identical
+     output to the unsharded exporter. *)
+  let labels node g =
+    if t.shards > 1 then Printf.sprintf "node=\"%d\",group=\"%d\"" node g
+    else Printf.sprintf "node=\"%d\"" node
+  in
+  (* group by base metric name so # HELP/# TYPE appear once each; cells
+     are (group, node, value) *)
   let group extract =
     let by_name = Hashtbl.create 64 in
     let names = ref [] in
@@ -508,9 +534,11 @@ let prometheus t =
       (fun (i, snap) ->
         List.iter
           (fun ((_, name), v) ->
-            if not (Hashtbl.mem by_name name) then names := name :: !names;
-            Hashtbl.replace by_name name
-              ((i, v) :: (try Hashtbl.find by_name name with Not_found -> [])))
+            let g, base = Metrics.split_group name in
+            if not (Hashtbl.mem by_name base) then names := base :: !names;
+            Hashtbl.replace by_name base
+              ((g, i, v)
+              :: (try Hashtbl.find by_name base with Not_found -> [])))
           (extract snap))
       snaps;
     List.rev_map (fun n -> (n, List.rev (Hashtbl.find by_name n))) !names
@@ -522,9 +550,9 @@ let prometheus t =
       Buffer.add_string buf
         (Printf.sprintf "# HELP %s counter %s\n# TYPE %s gauge\n" pn name pn);
       List.iter
-        (fun (node, v) ->
+        (fun (g, node, v) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s{node=\"%d\"} %d\n" pn node v))
+            (Printf.sprintf "%s{%s} %d\n" pn (labels node g) v))
         cells)
     (group fst);
   List.iter
@@ -534,26 +562,25 @@ let prometheus t =
         (Printf.sprintf "# HELP %s histogram of series %s\n# TYPE %s histogram\n"
            pn name pn);
       List.iter
-        (fun (node, h) ->
+        (fun (g, node, h) ->
+          let lbl = labels node g in
           let cum = ref 0 in
           List.iter
             (fun (bound, count) ->
               if Float.is_finite bound then begin
                 cum := !cum + count;
                 Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{node=\"%d\",le=\"%.6g\"} %d\n" pn
-                     node bound !cum)
+                  (Printf.sprintf "%s_bucket{%s,le=\"%.6g\"} %d\n" pn lbl bound
+                     !cum)
               end)
             (Histogram.buckets h);
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{node=\"%d\",le=\"+Inf\"} %d\n" pn node
+            (Printf.sprintf "%s_bucket{%s,le=\"+Inf\"} %d\n" pn lbl
                (Histogram.count h));
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum{node=\"%d\"} %.6f\n" pn node
-               (Histogram.sum h));
+            (Printf.sprintf "%s_sum{%s} %.6f\n" pn lbl (Histogram.sum h));
           Buffer.add_string buf
-            (Printf.sprintf "%s_count{node=\"%d\"} %d\n" pn node
-               (Histogram.count h)))
+            (Printf.sprintf "%s_count{%s} %d\n" pn lbl (Histogram.count h)))
         cells)
     (group snd);
   Buffer.contents buf
@@ -684,7 +711,8 @@ let snapshot_loop t interval path =
 
 let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
     ?(fsync = Abcast_store.Durable.Every { ops = 64; ms = 20 })
-    ?(on_deliver = fun _ _ -> ()) ?metrics_port ?(metrics_interval = 1.0)
+    ?(on_deliver = fun ~node:_ ~group:_ _ -> ()) ?metrics_port
+    ?(metrics_interval = 1.0)
     ?metrics_out () =
   let t = make proto ~n ~base_port ~dir ~backend ~fsync ~on_deliver () in
   for i = 0 to n - 1 do
@@ -705,6 +733,7 @@ let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
   t
 
 let n t = t.n
+let shards t = t.shards
 
 let is_up t i =
   let nd = t.nodes.(i) in
@@ -735,21 +764,31 @@ let recover t i =
     done
   end
 
-let broadcast t ~node data =
-  if is_up t node then enqueue t node (fun () ->
-      match t.nodes.(node).ops with
-      | Some ops -> ops.op_broadcast data
-      | None -> ())
+let broadcast ?group t ~node data =
+  if is_up t node then
+    enqueue t node (fun () ->
+        match t.nodes.(node).ops with
+        | Some ops -> (
+          match group with
+          | None -> ops.op_broadcast data
+          | Some g -> ops.op_broadcast_to g data)
+        | None -> ())
 
-let delivered_count t i =
-  match call t i (fun ops -> ops.op_delivered_count ()) with
-  | Some c -> c
-  | None -> 0
+let delivered_count ?group t i =
+  let get ops =
+    match group with
+    | None -> ops.op_delivered_count ()
+    | Some g -> ops.op_group_delivered_count g
+  in
+  match call t i get with Some c -> c | None -> 0
 
-let delivered_data t i =
-  match call t i (fun ops -> ops.op_delivered_data ()) with
-  | Some l -> l
-  | None -> []
+let delivered_data ?group t i =
+  let get ops =
+    match group with
+    | None -> ops.op_delivered_data ()
+    | Some g -> ops.op_group_delivered_data g
+  in
+  match call t i get with Some l -> l | None -> []
 
 let round t i =
   match call t i (fun ops -> ops.op_round ()) with Some r -> r | None -> 0

@@ -55,7 +55,7 @@ val create :
   ?dir:string ->
   ?backend:[ `Files | `Wal ] ->
   ?fsync:Abcast_store.Durable.policy ->
-  ?on_deliver:(int -> Abcast_core.Payload.t -> unit) ->
+  ?on_deliver:(node:int -> group:int -> Abcast_core.Payload.t -> unit) ->
   ?metrics_port:int ->
   ?metrics_interval:float ->
   ?metrics_out:string ->
@@ -68,8 +68,9 @@ val create :
     file-per-key layout) with durability [fsync] (default
     [Every {ops = 64; ms = 20}]) — required for {!recover} to actually
     recover. Without [dir] both are ignored and storage is memory-only.
-    [on_deliver] runs in the delivering process's thread; keep it short
-    and synchronize your own data.
+    [on_deliver] runs in the delivering process's thread with the
+    delivering node, the broadcast group ([0] on a single-group stack)
+    and the payload; keep it short and synchronize your own data.
 
     With [metrics_port], a background thread serves the {!prometheus}
     dump over HTTP on [127.0.0.1:metrics_port] (one blocking request at
@@ -83,6 +84,10 @@ val create :
 
 val n : t -> int
 
+val shards : t -> int
+(** Number of broadcast groups the stack multiplexes
+    ({!Abcast_core.Proto.S.shards}); [1] for any unsharded stack. *)
+
 val is_up : t -> int -> bool
 
 val crash : t -> int -> unit
@@ -93,15 +98,20 @@ val recover : t -> int -> unit
 (** Restart a crashed process: a fresh incarnation re-reads its files and
     runs the protocol's recovery procedure, for real. *)
 
-val broadcast : t -> node:int -> string -> unit
-(** Inject an [A-broadcast] at an up process (no-op if down). *)
+val broadcast : ?group:int -> t -> node:int -> string -> unit
+(** Inject an [A-broadcast] at an up process (no-op if down). Without
+    [group] the stack routes by payload hash (group [0] on a
+    single-group stack); with it, the broadcast is pinned to that group
+    of a sharded stack. *)
 
-val delivered_count : t -> int -> int
+val delivered_count : ?group:int -> t -> int -> int
 (** Length of the process's delivery sequence (synchronous query into its
-    thread; 0 if the process is down). *)
+    thread; 0 if the process is down). Without [group], the sum across
+    all groups; with it, one group's count. *)
 
-val delivered_data : t -> int -> string list
-(** Payload bytes of the process's explicit delivery tail, in order. *)
+val delivered_data : ?group:int -> t -> int -> string list
+(** Payload bytes of the process's explicit delivery tail, in order
+    (per group with [group]; otherwise concatenated group by group). *)
 
 val round : t -> int -> int
 
@@ -134,6 +144,9 @@ val prometheus : t -> string
     histograms, all under an [abcast_] prefix with a [node] label (dots
     in series names become underscores, e.g.
     [abcast_stage_propose_to_adeliver_us_bucket{node="0",le="..."}]).
+    On a sharded stack the per-group ["g<g>/"] name prefixes are lifted
+    into a [group] label ([{node="0",group="2"}]) so each base series
+    keeps one [# HELP]/[# TYPE]; single-group output is unchanged.
     This is the payload the [metrics_port] endpoint serves. *)
 
 val json_snapshot : t -> string

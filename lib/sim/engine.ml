@@ -6,6 +6,10 @@ type time = int
 type 'm io = {
   self : int;
   n : int;
+  group : int;
+      (* broadcast group (shard) this io serves; 0 outside sharded
+         stacks. The shard mux rebinds it — with scoped store/metrics
+         views — for each inner group instance. *)
   incarnation : int;
   now : unit -> time;
   send : int -> 'm -> unit;
@@ -24,6 +28,7 @@ let map_io wrap io =
   {
     self = io.self;
     n = io.n;
+    group = io.group;
     incarnation = io.incarnation;
     now = io.now;
     send = (fun dst m -> io.send dst (wrap m));
@@ -154,6 +159,7 @@ let io_of t node =
   {
     self = id;
     n = t.n;
+    group = 0;
     incarnation = inc;
     now = (fun () -> t.time);
     send = (fun dst m -> if node.up && node.inc = inc then transmit t ~src:id ~dst m);

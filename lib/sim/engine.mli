@@ -23,6 +23,10 @@ type time = int
 type 'm io = {
   self : int;  (** this process's identity, [0 .. n-1] *)
   n : int;  (** number of processes in the system *)
+  group : int;
+      (** broadcast group (shard) this environment serves; the engine
+          always hands out group 0, and the shard mux rebinds it (with
+          {!Storage.scoped} / {!Metrics.scoped} views) per inner group *)
   incarnation : int;  (** 0 on first boot, +1 per recovery *)
   now : unit -> time;  (** current simulated time *)
   send : int -> 'm -> unit;  (** unreliable point-to-point send (§3.1) *)

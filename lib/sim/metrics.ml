@@ -7,13 +7,49 @@ module Histogram = Abcast_util.Histogram
 type cell = { mutable samples : float list; hist : Histogram.t }
 
 type t = {
+  scope : string;
+      (* name prefix stamped on every counter/series registered through
+         this view; [""] for the root registry. Sharded stacks hand each
+         group a view scoped to ["g<id>/"] so one registry holds all
+         groups' series side by side. *)
   counters : (int * string, int ref) Hashtbl.t;
   series : (int * string, cell) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 64; series = Hashtbl.create 16 }
+let create () =
+  { scope = ""; counters = Hashtbl.create 64; series = Hashtbl.create 16 }
+
+let scoped t prefix = { t with scope = t.scope ^ prefix }
+let scope t = t.scope
+
+(* Group scoping convention: a series registered through a view scoped
+   with {!scoped} [(group_prefix g)] is stored under ["g<g>/<name>"].
+   Readers below treat the group prefix as a label, not part of the
+   identity: querying ["lat_deliver"] aggregates every group's series,
+   querying ["g2/lat_deliver"] reads exactly one. *)
+
+let group_prefix g = "g" ^ string_of_int g ^ "/"
+
+let split_group n =
+  let len = String.length n in
+  if len > 2 && n.[0] = 'g' then begin
+    let i = ref 1 in
+    while !i < len && n.[!i] >= '0' && n.[!i] <= '9' do
+      incr i
+    done;
+    if !i > 1 && !i < len && n.[!i] = '/' then
+      (int_of_string (String.sub n 1 (!i - 1)),
+       String.sub n (!i + 1) (len - !i - 1))
+    else (0, n)
+  end
+  else (0, n)
+
+let base_name n = snd (split_group n)
+let matches ~query n = String.equal n query || String.equal (base_name n) query
+let full t name = if t.scope = "" then name else t.scope ^ name
 
 let counter t node name =
+  let name = full t name in
   match Hashtbl.find_opt t.counters (node, name) with
   | Some r -> r
   | None ->
@@ -43,13 +79,14 @@ let hadd (h : handle) v = h := !h + v
 let hget (h : handle) = !h
 
 let get t ~node name =
-  match Hashtbl.find_opt t.counters (node, name) with
+  match Hashtbl.find_opt t.counters (node, full t name) with
   | Some r -> !r
   | None -> 0
 
 let sum t name =
+  let query = full t name in
   Hashtbl.fold
-    (fun (_, n) r acc -> if String.equal n name then acc + !r else acc)
+    (fun (_, n) r acc -> if matches ~query n then acc + !r else acc)
     t.counters 0
 
 let has_prefix ~prefix s =
@@ -59,11 +96,16 @@ let has_prefix ~prefix s =
       && s.[String.length prefix] = '.')
 
 let sum_prefix t prefix =
+  let prefix = full t prefix in
   Hashtbl.fold
-    (fun (_, n) r acc -> if has_prefix ~prefix n then acc + !r else acc)
+    (fun (_, n) r acc ->
+      if has_prefix ~prefix n || has_prefix ~prefix (base_name n) then
+        acc + !r
+      else acc)
     t.counters 0
 
 let cell t node name =
+  let name = full t name in
   match Hashtbl.find_opt t.series (node, name) with
   | Some c -> c
   | None ->
@@ -93,9 +135,10 @@ let sobserve (c : series) v =
 let hist t ~node name = (cell t node name).hist
 
 let samples t name =
+  let query = full t name in
   Hashtbl.fold
     (fun (_, n) c acc ->
-      if String.equal n name then List.rev_append c.samples acc else acc)
+      if matches ~query n then List.rev_append c.samples acc else acc)
     t.series []
 
 let count_samples t name = List.length (samples t name)
@@ -119,11 +162,12 @@ let percentile t name p =
     (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
 
 let histogram t name =
+  let query = full t name in
   let acc = Histogram.create () in
   let found = ref false in
   Hashtbl.iter
     (fun (_, n) c ->
-      if String.equal n name then begin
+      if matches ~query n then begin
         found := true;
         Histogram.merge_into ~dst:acc c.hist
       end)

@@ -13,7 +13,29 @@ type t
 (** A mutable registry. One per simulation run. *)
 
 val create : unit -> t
-(** Fresh, empty registry. *)
+(** Fresh, empty registry (root scope). *)
+
+val scoped : t -> string -> t
+(** [scoped t prefix] is a view of the same registry that stamps [prefix]
+    onto every counter and series name it registers or reads. Views share
+    storage with [t]: a counter bumped through a scoped view is visible
+    to the root registry under its full (prefixed) name. Scopes nest —
+    [scoped (scoped t a) b] prefixes [a ^ b]. *)
+
+val scope : t -> string
+(** The accumulated name prefix of this view ([""] for the root). *)
+
+val group_prefix : int -> string
+(** ["g<g>/"] — the conventional scope prefix for broadcast group [g].
+    Aggregating readers ({!sum}, {!samples}, {!histogram}, ...) treat
+    this prefix as a label: querying a bare name from the root registry
+    sums every group's series, while querying the full ["g<g>/name"]
+    reads exactly one group. *)
+
+val split_group : string -> int * string
+(** Parse a (possibly group-prefixed) series name into
+    [(group, base_name)]; names without a ["g<digits>/"] prefix are
+    group [0]. *)
 
 val incr : t -> node:int -> string -> unit
 (** Add 1 to a counter. *)

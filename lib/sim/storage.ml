@@ -30,6 +30,11 @@ type t = {
   tbl : (string, string) Hashtbl.t;
   metrics : Metrics.t;
   node : int;
+  prefix : string;
+      (* key prefix stamped on every access through this view; [""] for
+         the root store. Sharded stacks give each broadcast group a view
+         prefixed ["g<id>/"], so one WAL holds group-tagged records for
+         every group and recovers them all in one pass. *)
   persist : persist;
   layer_handles : (string, Metrics.handle * Metrics.handle) Hashtbl.t;
       (* layer -> (log_ops.<layer>, log_bytes.<layer>) — interned so the
@@ -189,7 +194,16 @@ let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
       Wal.iter wal (fun key value -> Hashtbl.replace tbl key value);
       P_wal (wal_state ~metrics ~node wal)
   in
-  { tbl; metrics; node; persist; layer_handles = Hashtbl.create 4 }
+  { tbl; metrics; node; prefix = ""; persist; layer_handles = Hashtbl.create 4 }
+
+(* A scoped view shares everything — table, backend, pacer, metric
+   handles — and only rewrites keys. [sync]/[close]/[wipe]/[wal_stats]
+   and the byte accounting remain whole-store operations: one physical
+   log backs every view. *)
+let scoped t ~prefix = { t with prefix = t.prefix ^ prefix }
+
+let scope t = t.prefix
+let full_key t key = if t.prefix = "" then key else t.prefix ^ key
 
 let account t ~layer bytes =
   let ops, byt =
@@ -207,6 +221,7 @@ let account t ~layer bytes =
   Metrics.hadd byt bytes
 
 let write t ~layer ~key v =
+  let key = full_key t key in
   account t ~layer (String.length v);
   Hashtbl.replace t.tbl key v;
   match t.persist with
@@ -219,7 +234,7 @@ let write t ~layer ~key v =
     Wal.put w.wal key v;
     sync_wal_metrics w
 
-let read t key = Hashtbl.find_opt t.tbl key
+let read t key = Hashtbl.find_opt t.tbl (full_key t key)
 
 let write_if_changed t ~layer ~key v =
   match read t key with
@@ -228,9 +243,10 @@ let write_if_changed t ~layer ~key v =
     write t ~layer ~key v;
     true
 
-let mem t key = Hashtbl.mem t.tbl key
+let mem t key = Hashtbl.mem t.tbl (full_key t key)
 
 let delete t ~layer key =
+  let key = full_key t key in
   if Hashtbl.mem t.tbl key then begin
     account t ~layer 0;
     Hashtbl.remove t.tbl key;
@@ -249,10 +265,15 @@ let delete t ~layer key =
   end
 
 let keys_with_prefix t prefix =
+  let prefix = full_key t prefix in
   let plen = String.length prefix in
+  let skip = String.length t.prefix in
   Hashtbl.fold
     (fun k _ acc ->
-      if String.length k >= plen && String.sub k 0 plen = prefix then k :: acc
+      if String.length k >= plen && String.sub k 0 plen = prefix then
+        (* return keys in the view's namespace, so a scoped reader can
+           feed them straight back into [read]/[delete] *)
+        String.sub k skip (String.length k - skip) :: acc
       else acc)
     t.tbl []
   |> List.sort compare

@@ -57,6 +57,21 @@ val create :
     creation — this is what lets state survive {e real} process
     restarts in the live runtime. *)
 
+val scoped : t -> prefix:string -> t
+(** [scoped t ~prefix] is a view of the same physical store that stamps
+    [prefix] onto every key it reads or writes ({!keys_with_prefix}
+    returns keys with the prefix stripped, so a scoped reader round-trips
+    cleanly). Views share the backend: one WAL/file-set holds the
+    group-tagged records of every view and recovers them all in one
+    replay. Whole-store operations ({!sync}, {!close}, {!wipe},
+    {!retained_bytes}, {!wal_stats}, the byte accounting) act on the
+    physical store regardless of which view they are called through.
+    Scopes nest. Sharded stacks scope each broadcast group to
+    ["g<id>/"]. *)
+
+val scope : t -> string
+(** The accumulated key prefix of this view ([""] for the root). *)
+
 val write : t -> layer:string -> key:string -> string -> unit
 (** [write t ~layer ~key v] durably stores [v] under [key]. Counts one
     log operation and [String.length v] bytes for [layer].

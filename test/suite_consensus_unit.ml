@@ -24,6 +24,7 @@ let probe ?(self = 0) ?(n = 3) () =
     {
       self;
       n;
+      group = 0;
       incarnation = 0;
       now = (fun () -> 0);
       send = (fun dst m -> sent := (dst, m) :: !sent);
