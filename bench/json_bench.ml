@@ -1,6 +1,15 @@
 (* `bench/main.exe --json`: machine-readable performance snapshot.
 
-   Writes BENCH_PR7.json in the current directory with
+   Writes BENCH_PR8.json in the current directory with
+
+   - the service section (new in schema 8): the E20 live SLO sweep —
+     open-loop client sessions on the real-socket runtime (n=3, WAL),
+     read mode in {broadcast, read-index} x S in {1, 4} shard groups x
+     client count; completed ops/sec against the offered rate, per-class
+     write/linearizable-read latency percentiles, and the p50 cost ratio
+     of a broadcast-round-trip linearizable read against the read-index
+     lease check. Every row passed the exactly-once audit (acked <=
+     applied <= issued per client counter) or the bench aborts;
 
    - the shard-scaling section (new in schema 7): the E19 weak-scaling
      sweep — S in {1, 2, 4, 8} broadcast groups multiplexed per process
@@ -582,6 +591,59 @@ let shard_scaling_json () =
     speedup_s4,
     p95_ratio_s4 )
 
+(* The E20 live service sweep, reused from the experiment harness so the
+   table and the JSON always agree. [None] when the environment forbids
+   sockets (the section then reads "null", like "live"). *)
+let service_json () =
+  match Experiments.e20_rows () with
+  | exception Unix.Unix_error _ -> (None, None)
+  | rows ->
+    let hist_json prefix (s : Histogram.summary) =
+      Printf.sprintf
+        {|"%s_p50_us": %.1f, "%s_p95_us": %.1f, "%s_p99_us": %.1f|} prefix
+        s.p50 prefix s.p95 prefix s.p99
+    in
+    let rows_json =
+      rows
+      |> List.map (fun (r : Experiments.e20_row) ->
+             let rep = r.v_report in
+             Printf.sprintf
+               {|      { "shards": %d, "read_mode": "%s", "clients": %d, "offered_per_sec": %.0f, "completed_per_sec": %.0f, %s, %s, "not_ready": %d, "retries": %d, "failed": %d }|}
+               r.v_shards
+               (Abcast_service.Service.read_mode_to_string r.v_mode)
+               r.v_clients r.v_offered
+               (float_of_int rep.Abcast_service.Loadgen.completed /. rep.wall)
+               (hist_json "write" rep.write)
+               (hist_json "lin" rep.lin)
+               rep.not_ready rep.retries rep.failed)
+      |> String.concat ",\n"
+    in
+    let lin_p50 mode =
+      let r =
+        List.find
+          (fun (r : Experiments.e20_row) ->
+            r.v_shards = 1 && r.v_clients = 200 && r.v_mode = mode)
+          rows
+      in
+      r.v_report.Abcast_service.Loadgen.lin.p50
+    in
+    let speedup =
+      lin_p50 Abcast_service.Service.Broadcast
+      /. Float.max 1e-9 (lin_p50 Abcast_service.Service.Read_index)
+    in
+    ( Some
+        (Printf.sprintf
+           {|  "service": {
+    "workload": { "n": 3, "write_pct": 40, "lin_pct": 40, "duration_s": 2.5, "per_client_rate": 2.5, "rate_cap": 2000, "timeout_s": 0.5, "backend": "wal", "fsync": "every:64:20" },
+    "rows": [
+%s
+    ],
+    "lin_read_p50_broadcast_over_read_index_s1_c200": %.1f,
+    "exactly_once_audit": "passed"
+  }|}
+           rows_json speedup),
+      Some speedup )
+
 let run () =
   let full = steady ~delta_gossip:false () in
   let delta = steady ~delta_gossip:true () in
@@ -615,11 +677,16 @@ let run () =
   in
   let thr_json, speedup, speedup_vs_pr4, p95_ratio = throughput_json () in
   let shard_json, shard_speedup_s4, shard_p95_ratio_s4 = shard_scaling_json () in
+  let service_sec, service_speedup = service_json () in
+  let service_json_str =
+    match service_sec with Some j -> j | None -> {|  "service": null|}
+  in
   let json =
     Printf.sprintf
       {|{
-  "schema": 7,
+  "schema": 8,
   "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
+%s,
 %s,
 %s,
 %s,
@@ -647,17 +714,21 @@ let run () =
 |}
       (steady_json "full_gossip" full)
       (steady_json "delta_gossip" delta)
-      thr_json shard_json reduction delta.wall_s traced.wall_s
-      trace_overhead_pct stage_json live_json micro_json bytes_json
-      storage_json
+      thr_json shard_json service_json_str reduction delta.wall_s
+      traced.wall_s trace_overhead_pct stage_json live_json micro_json
+      bytes_json storage_json
   in
-  let oc = open_out "BENCH_PR7.json" in
+  let oc = open_out "BENCH_PR8.json" in
   output_string oc json;
   close_out oc;
   print_string json;
   Printf.printf
-    "wrote BENCH_PR7.json (shards: %.2fx aggregate at S=4, p95 ratio %.2fx; \
+    "wrote BENCH_PR8.json (service: lin-read p50 %s broadcast/read-index at \
+     S=1/200 clients; shards: %.2fx aggregate at S=4, p95 ratio %.2fx; \
      ring+W4 at n=5: %.2fx vs same-binary gossip+W1, %.2fx vs the recorded \
      PR-4 rate, p95 ratio: %.2fx, trace overhead: %+.2f%%)\n"
+    (match service_speedup with
+    | Some s -> Printf.sprintf "%.0fx cheaper" s
+    | None -> "skipped")
     shard_speedup_s4 shard_p95_ratio_s4
     speedup speedup_vs_pr4 p95_ratio trace_overhead_pct

@@ -8,10 +8,11 @@
      --only E4 [E5 ...]   run only the listed experiments
      --micro              run only the micro-benchmarks
      --quick              shrink workloads (~4x faster, coarser numbers)
-     --json               write BENCH_PR7.json (machine-readable snapshot:
-                          shard-scaling sweep S in {1,2,4,8}, throughput
-                          sweep gossip-vs-ring x window, events/sec,
-                          quiescence wall time, gossip bytes,
+     --json               write BENCH_PR8.json (machine-readable snapshot:
+                          live service SLO sweep read-mode x shards x
+                          clients, shard-scaling sweep S in {1,2,4,8},
+                          throughput sweep gossip-vs-ring x window,
+                          events/sec, quiescence wall time, gossip bytes,
                           durable-storage throughput, trace/span overhead,
                           stage-latency p50s, micro ns/op) and exit *)
 

@@ -1,10 +1,16 @@
 (* abcast-sim — command-line driver for the simulator.
 
-   `abcast-sim run`  : one workload on one configured stack, with optional
-                       fault injection and a full protocol trace.
-   `abcast-sim soak` : many randomized crash/recovery episodes with the
-                       correctness properties checked after each (E9-style
-                       soak testing from the shell). *)
+   `abcast-sim run`     : one workload on one configured stack, with
+                          optional fault injection and a full protocol
+                          trace.
+   `abcast-sim soak`    : many randomized crash/recovery episodes with the
+                          correctness properties checked after each
+                          (E9-style soak testing from the shell).
+   `abcast-sim live`    : the same stacks over real UDP sockets and files.
+   `abcast-sim service` : the client service layer under open-loop load —
+                          exactly-once sessions, lease reads, SLO tables,
+                          optional mid-run kill/restart with an
+                          exactly-once audit at the end. *)
 
 module Rng = Abcast_util.Rng
 module Net = Abcast_sim.Net
@@ -445,6 +451,182 @@ let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
     | _ -> ());
     if not agree then exit 1
 
+let service_cmd n shards read_mode clients rate duration write_pct lin_pct
+    lease_ms timeout base_port backend fsync kills seed min_rate =
+  let module Service = Abcast_service.Service in
+  let module Loadgen = Abcast_service.Loadgen in
+  let module Runtime = Abcast_live.Runtime in
+  let read_mode =
+    match Service.read_mode_of_string read_mode with
+    | Some m -> m
+    | None ->
+      Printf.eprintf
+        "unknown --read-mode %S (expected broadcast|read-index|stale)\n"
+        read_mode;
+      exit 3
+  in
+  let backend =
+    match backend with
+    | "wal" -> `Wal
+    | "files" -> `Files
+    | s ->
+      Printf.eprintf "unknown --backend %S (expected wal|files)\n" s;
+      exit 3
+  in
+  let fsync = parse_fsync fsync in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "abcast-service-cli-%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Service.default_config with
+      n;
+      shards;
+      read_mode;
+      lease_ms;
+      max_sessions = max 4096 (2 * clients);
+    }
+  in
+  match Service.create ~base_port ~dir ~backend ~fsync cfg with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "cannot create sockets: %s\n" (Unix.error_message e);
+    exit 3
+  | svc ->
+    Fun.protect ~finally:(fun () -> Service.shutdown svc)
+    @@ fun () ->
+    let rt = Service.runtime svc in
+    Service.start svc;
+    Printf.printf
+      "service: %d processes, %d group(s), reads=%s, %d clients at %.0f \
+       ops/s for %.1fs (storage: %s)\n%!"
+      n shards
+      (Service.read_mode_to_string read_mode)
+      clients rate duration dir;
+    (* fault schedule: one timer thread walks the kill/recover events *)
+    let events =
+      List.concat_map
+        (fun (node, at, recover_at) ->
+          (at, `Crash node)
+          :: (if recover_at > at then [ (recover_at, `Recover node) ] else []))
+        kills
+      |> List.sort compare
+    in
+    let t0 = Unix.gettimeofday () in
+    let killer =
+      Thread.create
+        (fun () ->
+          List.iter
+            (fun (at, ev) ->
+              let d = t0 +. at -. Unix.gettimeofday () in
+              if d > 0. then Thread.delay d;
+              match ev with
+              | `Crash node ->
+                Printf.printf "[%.2fs] killing node %d\n%!" at node;
+                Runtime.crash rt node;
+                (* failover: hand the lease role to the next live node *)
+                if read_mode = Service.Read_index
+                   && Service.claimant svc = node
+                then begin
+                  let next = ref ((node + 1) mod n) in
+                  while not (Runtime.is_up rt !next) && !next <> node do
+                    next := (!next + 1) mod n
+                  done;
+                  Printf.printf "[%.2fs] claimant -> node %d\n%!" at !next;
+                  Service.claim svc ~node:!next
+                end
+              | `Recover node ->
+                Printf.printf "[%.2fs] recovering node %d\n%!" at node;
+                Runtime.recover rt node)
+            events)
+        ()
+    in
+    let lcfg =
+      { Loadgen.clients; rate; duration; write_pct; lin_pct; timeout; seed }
+    in
+    let report = Loadgen.run svc lcfg in
+    Thread.join killer;
+    (* stop the lease marker stream, then wait for the live replicas to
+       converge before auditing *)
+    Service.stop_maintenance svc;
+    let live () = List.filter (Runtime.is_up rt) (List.init n Fun.id) in
+    let converged () =
+      match live () with
+      | [] -> false
+      | l ->
+        let ds = List.map (fun i -> Service.digest svc ~node:i) l in
+        List.for_all (fun d -> d = List.hd ds) ds
+    in
+    let deadline = Unix.gettimeofday () +. 30. in
+    let stable = ref false in
+    while (not !stable) && Unix.gettimeofday () < deadline do
+      if converged () then begin
+        let d0 = Service.digest svc ~node:(List.hd (live ())) in
+        Thread.delay 0.3;
+        if converged () && Service.digest svc ~node:(List.hd (live ())) = d0
+        then stable := true
+      end
+      else Thread.delay 0.1
+    done;
+    let cls name (s : Abcast_util.Histogram.summary) =
+      [
+        name;
+        Table.num s.count;
+        Printf.sprintf "%.0f" (float_of_int s.count /. report.Loadgen.wall);
+        Table.flt s.p50;
+        Table.flt s.p95;
+        Table.flt s.p99;
+        Table.flt s.max;
+      ]
+    in
+    Table.print ~title:"service SLOs (latency µs)"
+      ~header:[ "class"; "count"; "ops/s"; "p50"; "p95"; "p99"; "max" ]
+      [
+        cls "write" report.Loadgen.write;
+        cls "lin read" report.Loadgen.lin;
+        cls "stale read" report.Loadgen.stale;
+      ];
+    Table.print ~title:"run totals"
+      ~header:[ "metric"; "value" ]
+      [
+        [ "issued"; Table.num report.Loadgen.issued ];
+        [ "completed"; Table.num report.Loadgen.completed ];
+        [ "retries"; Table.num report.Loadgen.retries ];
+        [ "shed (all clients busy)"; Table.num report.Loadgen.shed ];
+        [ "lease reads bounced"; Table.num report.Loadgen.not_ready ];
+        [ "failed (drain expired)"; Table.num report.Loadgen.failed ];
+        [ "wall seconds"; Printf.sprintf "%.2f" report.Loadgen.wall ];
+      ];
+    if not !stable then begin
+      Printf.eprintf "replicas did not converge within 30s of the run end\n";
+      exit 2
+    end;
+    let audit_node = List.hd (live ()) in
+    let violations = Loadgen.check_exactly_once svc report ~node:audit_node in
+    let digests =
+      List.map (fun i -> (i, Service.digest svc ~node:i)) (live ())
+    in
+    let agree =
+      List.for_all (fun (_, d) -> d = snd (List.hd digests)) digests
+    in
+    Printf.printf
+      "exactly-once audit at node %d: %d violations; %d live replicas \
+       convergent: %b\n"
+      audit_node (List.length violations)
+      (List.length digests) agree;
+    List.iter (fun v -> Printf.eprintf "VIOLATION: %s\n" v) violations;
+    if violations <> [] || not agree then exit 1;
+    (match min_rate with
+    | Some floor ->
+      let rate = float_of_int report.Loadgen.completed /. report.Loadgen.wall in
+      if rate < floor then begin
+        Printf.eprintf
+          "completed rate %.0f ops/s is below the --min-rate floor %.0f\n"
+          rate floor;
+        exit 1
+      end
+    | None -> ())
+
 (* ---- cmdliner plumbing ---- *)
 open Cmdliner
 
@@ -596,6 +778,89 @@ let live_t =
     $ shards_arg $ partitioned_kv_arg $ n_arg $ msgs $ port $ backend $ fsync
     $ metrics_port $ metrics_interval $ metrics_out $ min_rate)
 
+let service_t =
+  let clients =
+    Arg.(value & opt int 200 & info [ "clients" ] ~doc:"concurrent client sessions")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float 500.
+      & info [ "rate" ] ~doc:"target aggregate arrival rate, ops/s (open loop)")
+  in
+  let duration =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~doc:"seconds of load")
+  in
+  let read_mode =
+    Arg.(
+      value
+      & opt string "broadcast"
+      & info [ "read-mode" ]
+          ~doc:
+            "how linearizable reads are served: broadcast (a Get through \
+             the total order), read-index (local read under a leader \
+             lease), stale (local read, no guarantee)")
+  in
+  let write_pct =
+    Arg.(value & opt int 50 & info [ "write-pct" ] ~doc:"percent of ops that are writes")
+  in
+  let lin_pct =
+    Arg.(
+      value
+      & opt int 30
+      & info [ "lin-pct" ]
+          ~doc:"percent of ops that are linearizable reads (rest are stale)")
+  in
+  let lease_ms =
+    Arg.(value & opt float 200. & info [ "lease-ms" ] ~doc:"read-index lease window, ms")
+  in
+  let timeout =
+    Arg.(value & opt float 0.5 & info [ "timeout" ] ~doc:"per-attempt retry deadline, s")
+  in
+  let port = Arg.(value & opt int 7520 & info [ "port" ] ~doc:"UDP base port") in
+  let backend =
+    Arg.(value & opt string "wal" & info [ "backend" ] ~doc:"storage backend: wal|files")
+  in
+  let fsync =
+    Arg.(
+      value
+      & opt string "every:64:20"
+      & info [ "fsync" ] ~doc:"durability policy: always|never|every:OPS:MS")
+  in
+  let kill_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ a; b; c ] ->
+        Ok (int_of_string a, float_of_string b, float_of_string c)
+      | [ a; b ] -> Ok (int_of_string a, float_of_string b, -1.)
+      | _ -> Error (`Msg "expected NODE:AT[:RECOVER] in seconds")
+      | exception _ -> Error (`Msg "expected NODE:AT[:RECOVER] in seconds")
+    in
+    let print ppf (a, b, c) = Format.fprintf ppf "%d:%g:%g" a b c in
+    Arg.conv (parse, print)
+  in
+  let kills =
+    Arg.(
+      value
+      & opt_all kill_conv []
+      & info [ "kill" ]
+          ~doc:
+            "kill node NODE AT seconds into the run, optionally RECOVER it \
+             later (repeatable); the lease role fails over automatically")
+  in
+  let min_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-rate" ]
+          ~doc:"fail (exit 1) if the completed-op rate lands below $(docv)"
+          ~docv:"OPS_PER_S")
+  in
+  Term.(
+    const service_cmd $ n_arg $ shards_arg $ read_mode $ clients $ rate
+    $ duration $ write_pct $ lin_pct $ lease_ms $ timeout $ port $ backend
+    $ fsync $ kills $ seed_arg $ min_rate)
+
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in
   let episodes = Arg.(value & opt int 20 & info [ "episodes" ] ~doc:"number of episodes") in
@@ -613,6 +878,12 @@ let cmds =
         (Cmd.info "live"
            ~doc:"run the stack over real UDP sockets and file storage")
         live_t;
+      Cmd.v
+        (Cmd.info "service"
+           ~doc:
+             "drive the client service layer (exactly-once sessions, lease \
+              reads) under open-loop load on a live cluster")
+        service_t;
     ]
 
 let () = exit (Cmd.eval cmds)

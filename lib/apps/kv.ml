@@ -2,7 +2,11 @@ module Smap = Map.Make (String)
 
 type state = string Smap.t
 
-type cmd = Set of string * string | Del of string
+type cmd =
+  | Set of string * string
+  | Del of string
+  | Get of string
+  | Incr of string
 
 let encode_cmd (c : cmd) = Abcast_sim.Storage.encode c
 
@@ -10,12 +14,32 @@ let set_cmd ~key ~value = encode_cmd (Set (key, value))
 
 let del_cmd ~key = encode_cmd (Del key)
 
+let get_cmd ~key = encode_cmd (Get key)
+
+let incr_cmd ~key = encode_cmd (Incr key)
+
 let decode_cmd data =
   match (Abcast_sim.Storage.decode data : cmd) with
   | c -> Some c
   | exception _ -> None
 
-let cmd_key = function Set (k, _) -> k | Del k -> k
+let cmd_key = function Set (k, _) -> k | Del k -> k | Get k -> k | Incr k -> k
+
+(* Counter cells created by [Incr] store decimal strings; a non-numeric
+   value under the key restarts the count deterministically at 0. *)
+let int_of_cell = function
+  | None -> 0
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
+
+let eval state data =
+  match (Abcast_sim.Storage.decode data : cmd) with
+  | Set (k, v) -> (Smap.add k v state, "")
+  | Del k -> (Smap.remove k state, "")
+  | Get k -> (state, Option.value (Smap.find_opt k state) ~default:"")
+  | Incr k ->
+    let n = int_of_cell (Smap.find_opt k state) + 1 in
+    (Smap.add k (string_of_int n) state, string_of_int n)
+  | exception _ -> (state, "") (* foreign command: ignore deterministically *)
 
 module Machine = struct
   type nonrec state = state
@@ -24,12 +48,27 @@ module Machine = struct
 
   let initial = Smap.empty
 
-  let apply state data =
-    match (Abcast_sim.Storage.decode data : cmd) with
-    | Set (k, v) -> Smap.add k v state
-    | Del k -> Smap.remove k state
-    | exception _ -> state (* foreign command: ignore deterministically *)
+  let apply state data = fst (eval state data)
 end
+
+(* Wire codec of the store contents for service-layer checkpoints:
+   sorted bindings, so equal states encode to equal bytes on every
+   replica. *)
+let write_state w (s : state) =
+  Abcast_util.Wire.write_list
+    (fun w (k, v) ->
+      Abcast_util.Wire.write_string w k;
+      Abcast_util.Wire.write_string w v)
+    w (Smap.bindings s)
+
+let read_state r =
+  Abcast_util.Wire.read_list
+    (fun r ->
+      let k = Abcast_util.Wire.read_string r in
+      let v = Abcast_util.Wire.read_string r in
+      (k, v))
+    r
+  |> List.fold_left (fun acc (k, v) -> Smap.add k v acc) Smap.empty
 
 module Replica = Smr.Make (Machine)
 

@@ -1,0 +1,109 @@
+(* Service command envelope: the bytes a client-facing front-end wraps
+   around application commands before handing them to [A-broadcast].
+
+   Every variant is Wire-encoded behind a one-byte magic ('S') so that a
+   replica's apply loop can tell service traffic from foreign payloads
+   (raw experiment strings, bare Kv commands) with one byte compare —
+   foreign bytes simply decode to [None] and bypass the session layer.
+
+   The envelope is deliberately tiny: requests carry the client's session
+   id and per-session sequence number (the exactly-once key) plus the
+   opaque inner command; lease/claim markers carry the asserting node and
+   a stamp the origin uses to match the marker's delivery back to the
+   wall-clock time it recorded at broadcast. Replies never travel over
+   the broadcast channel — they are returned to the locally attached
+   client — but they are persisted inside the replicated session table's
+   checkpoint, so they get a total, bounds-checked codec too. *)
+
+module Wire = Abcast_util.Wire
+
+let magic = 'S'
+
+type req = { session : int; seq : int; cmd : string }
+
+type t =
+  | Request of req
+  | Claim of { node : int; stamp : int }
+  | Lease of { node : int; stamp : int }
+
+(* Outcome of a request at the replicated session table, as cached in the
+   reply slot and handed back to clients. *)
+type status = Applied | Cached | Gap
+
+type reply = { r_session : int; r_seq : int; status : status; data : string }
+
+(* --- request/marker codec ------------------------------------------- *)
+
+let tag_request = 0
+let tag_claim = 1
+let tag_lease = 2
+
+let write w = function
+  | Request { session; seq; cmd } ->
+    Wire.write_u8 w (Char.code magic);
+    Wire.write_u8 w tag_request;
+    Wire.write_varint w session;
+    Wire.write_varint w seq;
+    Wire.write_string w cmd
+  | Claim { node; stamp } ->
+    Wire.write_u8 w (Char.code magic);
+    Wire.write_u8 w tag_claim;
+    Wire.write_varint w node;
+    Wire.write_varint w stamp
+  | Lease { node; stamp } ->
+    Wire.write_u8 w (Char.code magic);
+    Wire.write_u8 w tag_lease;
+    Wire.write_varint w node;
+    Wire.write_varint w stamp
+
+let read r =
+  let m = Wire.read_u8 r in
+  if m <> Char.code magic then Wire.error "envelope: bad magic byte %d" m;
+  match Wire.read_u8 r with
+  | 0 ->
+    let session = Wire.read_varint r in
+    let seq = Wire.read_varint r in
+    let cmd = Wire.read_string r in
+    Request { session; seq; cmd }
+  | 1 ->
+    let node = Wire.read_varint r in
+    let stamp = Wire.read_varint r in
+    Claim { node; stamp }
+  | 2 ->
+    let node = Wire.read_varint r in
+    let stamp = Wire.read_varint r in
+    Lease { node; stamp }
+  | t -> Wire.error "envelope: bad tag %d" t
+
+let encode v = Wire.to_string write v
+
+let decode s = Wire.of_string_opt read s
+
+let is_service s = String.length s > 0 && s.[0] = magic
+
+(* --- reply codec ----------------------------------------------------- *)
+
+let status_tag = function Applied -> 0 | Cached -> 1 | Gap -> 2
+
+let write_reply w { r_session; r_seq; status; data } =
+  Wire.write_varint w r_session;
+  Wire.write_varint w r_seq;
+  Wire.write_u8 w (status_tag status);
+  Wire.write_string w data
+
+let read_reply r =
+  let r_session = Wire.read_varint r in
+  let r_seq = Wire.read_varint r in
+  let status =
+    match Wire.read_u8 r with
+    | 0 -> Applied
+    | 1 -> Cached
+    | 2 -> Gap
+    | t -> Wire.error "reply: bad status tag %d" t
+  in
+  let data = Wire.read_string r in
+  { r_session; r_seq; status; data }
+
+let encode_reply v = Wire.to_string write_reply v
+
+let decode_reply s = Wire.of_string_opt read_reply s

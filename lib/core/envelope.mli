@@ -1,0 +1,41 @@
+(** Service command envelope.
+
+    Client-facing front-ends wrap application commands in this envelope
+    before A-broadcasting them, carrying the (session, seq) exactly-once
+    key and the lease/claim markers used by the read-index protocol. The
+    codec is total: [decode] returns [None] on any malformed input, and
+    payloads that do not start with the service magic byte are foreign
+    (bare app commands, experiment strings) and must bypass the session
+    layer. *)
+
+type req = { session : int; seq : int; cmd : string }
+
+type t =
+  | Request of req
+      (** A client command: [cmd] is the opaque inner app command,
+          deduplicated by [(session, seq)]. *)
+  | Claim of { node : int; stamp : int }
+      (** Leadership claim by [node]; applied in total order it makes
+          [node] the leader for subsequent read-index grants. *)
+  | Lease of { node : int; stamp : int }
+      (** Lease renewal: grants [node] a read lease only if [node] is
+          already the leader at the marker's position in the order. *)
+
+(** Outcome of a request at the replicated session table. *)
+type status =
+  | Applied  (** first time seen: inner command was applied *)
+  | Cached  (** duplicate: reply served from the cache, no re-apply *)
+  | Gap
+      (** seq is below the session floor and its reply was truncated —
+          the client must not retry it *)
+
+type reply = { r_session : int; r_seq : int; status : status; data : string }
+
+val encode : t -> string
+val decode : string -> t option
+
+val is_service : string -> bool
+(** One-byte test: does this payload carry a service envelope? *)
+
+val encode_reply : reply -> string
+val decode_reply : string -> reply option

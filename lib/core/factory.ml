@@ -2,6 +2,9 @@ type consensus = [ `Paxos | `Coord ]
 
 type app_factory = int -> Protocol.app * (Payload.t -> unit)
 
+type group_app_factory =
+  node:int -> group:int -> Protocol.app * (Payload.t -> unit)
+
 (* Stack names carry the topology so that benches and metrics comparing
    gossip vs ring dissemination stay distinguishable. *)
 let topology_suffix = function Some `Ring -> "+ring" | Some `Gossip | None -> ""
@@ -70,7 +73,8 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
 let alternative_named label ?(consensus = `Paxos) ?gossip_period
     ?checkpoint_period ?delta ?early_return ?incremental ?paranoid_log
     ?window ?trim_state ?delta_gossip ?gossip_full_every ?dissemination
-    ?max_batch_bytes ?ring_flush_us ?need_cap ?app_factory () : Proto.t =
+    ?max_batch_bytes ?ring_flush_us ?need_cap ?app_factory ?group_app_factory
+    () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -100,6 +104,41 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
           | Some f ->
             let app, app_deliver = f io.Abcast_sim.Engine.self in
             ( Some app,
+              fun p ->
+                app_deliver p;
+                deliver p )
+        in
+        (* The group-aware hook sees the io the shard mux rebinds per
+           group, so one factory serves every group of a sharded stack
+           and its checkpoints land under that group's scoped keys. *)
+        let app, deliver =
+          match group_app_factory with
+          | None -> (app, deliver)
+          | Some f ->
+            let gapp, app_deliver =
+              f ~node:io.Abcast_sim.Engine.self ~group:io.Abcast_sim.Engine.group
+            in
+            let app =
+              match app with
+              | None -> Some gapp
+              | Some a ->
+                Some
+                  Protocol.
+                    {
+                      checkpoint =
+                        (fun () ->
+                          let wr = Abcast_util.Wire.writer () in
+                          Abcast_util.Wire.write_string wr (a.checkpoint ());
+                          Abcast_util.Wire.write_string wr (gapp.checkpoint ());
+                          Abcast_util.Wire.contents wr);
+                      install =
+                        (fun blob ->
+                          let rd = Abcast_util.Wire.reader blob in
+                          a.install (Abcast_util.Wire.read_string rd);
+                          gapp.install (Abcast_util.Wire.read_string rd));
+                    }
+            in
+            ( app,
               fun p ->
                 app_deliver p;
                 deliver p )
@@ -144,11 +183,11 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
 let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?need_cap ?app_factory () =
+    ?need_cap ?app_factory ?group_app_factory () =
   alternative_named "alt" ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?need_cap ?app_factory ()
+    ?need_cap ?app_factory ?group_app_factory ()
 
 (* With ring dissemination the payloads never wait on a gossip tick —
    digests only repair a torn ring — so the preset slows the gossip task
@@ -158,10 +197,11 @@ let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
    [repair_period] / [repair_full_every] / [need_cap] expose that repair
    cadence and the Need-pull flow-control cap for per-shard tuning. *)
 let throughput ?consensus ?(window = 4) ?(max_batch_bytes = 24_000)
-    ?(repair_period = 10_000) ?(repair_full_every = 32) ?need_cap () =
+    ?(repair_period = 10_000) ?(repair_full_every = 32) ?need_cap
+    ?group_app_factory () =
   alternative_named "alt" ?consensus ~window ~dissemination:`Ring
     ~max_batch_bytes ~gossip_full_every:repair_full_every
-    ~gossip_period:repair_period ?need_cap ()
+    ~gossip_period:repair_period ?need_cap ?group_app_factory ()
 
 let naive ?(consensus = `Paxos) () =
   alternative_named "naive" ~consensus ~paranoid_log:true ~early_return:true

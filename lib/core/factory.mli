@@ -12,6 +12,15 @@ type app_factory = int -> Protocol.app * (Payload.t -> unit)
     [A-checkpoint]/install hooks and the application's own deliver
     upcall (composed with the harness's instrumentation). *)
 
+type group_app_factory =
+  node:int -> group:int -> Protocol.app * (Payload.t -> unit)
+(** Group-aware variant of {!app_factory}: under {!sharded} the factory
+    runs once per (process, group) — the shard mux rebinds the engine io
+    per inner group before stack creation, so each group's hooks
+    checkpoint into that group's scoped storage keys and survive
+    compaction independently. When both factories are given, the plain
+    one's checkpoint rides first in a composite blob. *)
+
 val basic :
   ?consensus:consensus ->
   ?gossip_period:int ->
@@ -48,6 +57,7 @@ val alternative :
   ?ring_flush_us:int ->
   ?need_cap:int ->
   ?app_factory:app_factory ->
+  ?group_app_factory:group_app_factory ->
   unit ->
   Proto.t
 (** The alternative protocol (Figs. 3–5); defaults as in
@@ -63,6 +73,7 @@ val throughput :
   ?repair_period:int ->
   ?repair_full_every:int ->
   ?need_cap:int ->
+  ?group_app_factory:group_app_factory ->
   unit ->
   Proto.t
 (** The throughput-tuned preset behind E18 and the live smoke: the

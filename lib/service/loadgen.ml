@@ -1,0 +1,362 @@
+(* Open-loop load generator for the service layer.
+
+   Arrivals are a Poisson process at the target aggregate rate: the
+   driver draws exponential inter-arrival gaps and issues every op whose
+   arrival time has passed, regardless of how many are still in flight —
+   unlike a closed loop, a slow server does not slow the offered load,
+   it grows the latency tail (the coordinated-omission point Ring Paxos
+   makes against closed-loop echo tests). Each op is bound to one client
+   session; sessions are strictly sequential (seq n+1 is issued only
+   after n completed or was abandoned), so an arrival landing on a busy
+   client picks the next idle one, and sheds only when all are busy.
+
+   Completions fire in node threads; everything mutable here is guarded
+   by one generator lock, taken briefly on both sides. Latencies are
+   recorded in microseconds into one histogram per op class. *)
+
+module Histogram = Abcast_util.Histogram
+module Envelope = Abcast_core.Envelope
+module Kv = Abcast_apps.Kv
+
+type config = {
+  clients : int;
+  rate : float;  (* target aggregate arrivals per second *)
+  duration : float;  (* seconds of open-loop issue *)
+  write_pct : int;  (* % of ops that are writes (Incr on own key) *)
+  lin_pct : int;  (* % that are linearizable reads; rest are stale *)
+  timeout : float;  (* per-attempt retry deadline, seconds *)
+  seed : int;
+}
+
+let default_config =
+  {
+    clients = 200;
+    rate = 500.;
+    duration = 5.;
+    write_pct = 50;
+    lin_pct = 30;
+    timeout = 0.5;
+    seed = 7;
+  }
+
+type report = {
+  wall : float;
+  issued : int;
+  completed : int;
+  retries : int;
+  shed : int;
+  not_ready : int;
+  failed : int;
+  write : Histogram.summary;
+  lin : Histogram.summary;
+  stale : Histogram.summary;
+  writes_issued : int array;  (* per client *)
+  writes_acked : int array;
+}
+
+let client_key i = "c" ^ string_of_int i
+
+type op_kind =
+  | Write
+  | Lin_submit  (* linearizable read via broadcast (Get through session) *)
+  | Lin_local  (* linearizable read via read-index, may retry locally *)
+
+type client = {
+  id : int;
+  mutable seq : int;  (* last issued session seq *)
+  mutable busy : bool;
+  mutable op : int;  (* issue counter: stale completions are ignored *)
+  mutable kind : op_kind;
+  mutable rkey : string;  (* key of the in-flight read *)
+  mutable issue_t : float;
+  mutable deadline : float;
+  mutable target : int;
+}
+
+type gen = {
+  svc : Service.t;
+  cfg : config;
+  lm : Mutex.t;
+  rng : Random.State.t;
+  clients : client array;
+  hw : Histogram.t;
+  hl : Histogram.t;
+  hs : Histogram.t;
+  mutable issued : int;
+  mutable completed : int;
+  mutable retries : int;
+  mutable shed : int;
+  mutable not_ready : int;
+  mutable failed : int;
+  writes_issued : int array;
+  writes_acked : int array;
+}
+
+let up_node g =
+  let rt = Service.runtime g.svc in
+  let n = Abcast_live.Runtime.n rt in
+  let start = Random.State.int g.rng n in
+  let rec go i =
+    if i = n then start (* all down: broadcast will no-op, retry covers *)
+    else
+      let cand = (start + i) mod n in
+      if Abcast_live.Runtime.is_up rt cand then cand else go (i + 1)
+  in
+  go 0
+
+(* Writes and broadcast reads go through sessions; in read-index mode
+   only the leaseholder acks them, so they must target the claimant. *)
+let pick_target g =
+  match (Service.config g.svc).read_mode with
+  | Service.Read_index -> Service.claimant g.svc
+  | Service.Broadcast | Service.Stale -> up_node g
+
+let record g c status =
+  ignore status;
+  let lat_us = (Unix.gettimeofday () -. c.issue_t) *. 1e6 in
+  let h =
+    match c.kind with Write -> g.hw | Lin_submit -> g.hl | Lin_local -> g.hl
+  in
+  Histogram.add h lat_us;
+  g.completed <- g.completed + 1;
+  if c.kind = Write then g.writes_acked.(c.id) <- g.writes_acked.(c.id) + 1;
+  c.busy <- false
+
+let completion g c op status _reply =
+  Mutex.lock g.lm;
+  if c.busy && c.op = op then record g c status;
+  Mutex.unlock g.lm
+
+(* g.lm held *)
+let submit_current g c =
+  let cmd =
+    match c.kind with
+    | Write -> Kv.incr_cmd ~key:(client_key c.id)
+    | Lin_submit -> Kv.get_cmd ~key:c.rkey
+    | Lin_local -> assert false
+  in
+  let op = c.op in
+  Service.submit g.svc ~node:c.target ~session:c.id ~seq:c.seq ~cmd
+    (completion g c op)
+
+(* g.lm held. Returns [true] if the read completed. *)
+let try_lin_local g c =
+  match Service.read_index g.svc ~node:(Service.claimant g.svc) ~key:c.rkey with
+  | Service.Value _ ->
+    record g c Envelope.Applied;
+    true
+  | Service.Not_ready ->
+    g.not_ready <- g.not_ready + 1;
+    false
+
+let issue g now =
+  (* find an idle client, scanning from a random start *)
+  let nclients = Array.length g.clients in
+  let start = Random.State.int g.rng nclients in
+  let rec find i =
+    if i = nclients then None
+    else
+      let c = g.clients.((start + i) mod nclients) in
+      if c.busy then find (i + 1) else Some c
+  in
+  match find 0 with
+  | None -> g.shed <- g.shed + 1
+  | Some c ->
+    g.issued <- g.issued + 1;
+    c.busy <- true;
+    c.op <- c.op + 1;
+    c.issue_t <- now;
+    c.deadline <- now +. g.cfg.timeout;
+    c.target <- pick_target g;
+    let r = Random.State.int g.rng 100 in
+    if r < g.cfg.write_pct then begin
+      c.kind <- Write;
+      c.seq <- c.seq + 1;
+      g.writes_issued.(c.id) <- g.writes_issued.(c.id) + 1;
+      submit_current g c
+    end
+    else begin
+      c.rkey <- client_key (Random.State.int g.rng (Array.length g.clients));
+      if r < g.cfg.write_pct + g.cfg.lin_pct then begin
+        match (Service.config g.svc).read_mode with
+        | Service.Broadcast ->
+          c.kind <- Lin_submit;
+          c.seq <- c.seq + 1;
+          submit_current g c
+        | Service.Read_index ->
+          c.kind <- Lin_local;
+          ignore (try_lin_local g c : bool)
+        | Service.Stale ->
+          (* the whole service runs stale reads: serve locally but
+             still account the op as a linearizable-class read *)
+          c.kind <- Lin_local;
+          (match Service.read_stale g.svc ~node:(up_node g) ~key:c.rkey with
+          | Service.Value _ -> record g c Envelope.Applied
+          | Service.Not_ready -> assert false)
+      end
+      else begin
+        (* stale read: local, completes immediately *)
+        c.kind <- Lin_local;
+        (match Service.read_stale g.svc ~node:(up_node g) ~key:c.rkey with
+        | Service.Value _ ->
+          let lat_us = (Unix.gettimeofday () -. now) *. 1e6 in
+          Histogram.add g.hs lat_us;
+          g.completed <- g.completed + 1;
+          c.busy <- false
+        | Service.Not_ready -> assert false)
+      end
+    end
+
+(* g.lm held: retry every in-flight op past its deadline, and poll
+   pending read-index reads. *)
+let reap g now =
+  Array.iter
+    (fun c ->
+      if c.busy then
+        match c.kind with
+        | Lin_local ->
+          if try_lin_local g c then ()
+          else if now > c.deadline then begin
+            g.retries <- g.retries + 1;
+            c.deadline <- now +. g.cfg.timeout
+          end
+        | Write | Lin_submit ->
+          if now > c.deadline then begin
+            g.retries <- g.retries + 1;
+            Service.abandon g.svc ~node:c.target ~session:c.id ~seq:c.seq
+              ~key:
+                (match c.kind with Write -> client_key c.id | _ -> c.rkey);
+            c.target <- pick_target g;
+            c.deadline <- now +. g.cfg.timeout;
+            submit_current g c
+          end)
+    g.clients
+
+let run svc (cfg : config) =
+  if cfg.clients < 1 then invalid_arg "Loadgen.run: clients >= 1";
+  if cfg.rate <= 0. then invalid_arg "Loadgen.run: rate > 0";
+  let g =
+    {
+      svc;
+      cfg;
+      lm = Mutex.create ();
+      rng = Random.State.make [| cfg.seed |];
+      clients =
+        Array.init cfg.clients (fun id ->
+            {
+              id;
+              seq = 0;
+              busy = false;
+              op = 0;
+              kind = Write;
+              rkey = "";
+              issue_t = 0.;
+              deadline = 0.;
+              target = 0;
+            });
+      hw = Histogram.create ();
+      hl = Histogram.create ();
+      hs = Histogram.create ();
+      issued = 0;
+      completed = 0;
+      retries = 0;
+      shed = 0;
+      not_ready = 0;
+      failed = 0;
+      writes_issued = Array.make cfg.clients 0;
+      writes_acked = Array.make cfg.clients 0;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let stop_at = t0 +. cfg.duration in
+  let next = ref t0 in
+  let gap () = -.log (1. -. Random.State.float g.rng 1.) /. cfg.rate in
+  let last_reap = ref t0 in
+  while Unix.gettimeofday () < stop_at do
+    let now = Unix.gettimeofday () in
+    Mutex.lock g.lm;
+    (* issue every arrival whose time has come (open loop: no waiting
+       on completions) *)
+    while !next <= now do
+      issue g now;
+      next := !next +. gap ()
+    done;
+    if now -. !last_reap > 0.002 then begin
+      last_reap := now;
+      reap g now
+    end;
+    Mutex.unlock g.lm;
+    let sleep = min (!next -. Unix.gettimeofday ()) 0.001 in
+    if sleep > 0. then Thread.delay sleep
+  done;
+  (* drain: no new arrivals, keep retrying until idle or grace expires *)
+  let grace = stop_at +. (3. *. cfg.timeout) +. 1. in
+  let busy () =
+    Mutex.lock g.lm;
+    let b = Array.exists (fun c -> c.busy) g.clients in
+    Mutex.unlock g.lm;
+    b
+  in
+  while busy () && Unix.gettimeofday () < grace do
+    Mutex.lock g.lm;
+    reap g (Unix.gettimeofday ());
+    Mutex.unlock g.lm;
+    Thread.delay 0.005
+  done;
+  Mutex.lock g.lm;
+  Array.iter
+    (fun c ->
+      if c.busy then begin
+        g.failed <- g.failed + 1;
+        c.busy <- false
+      end)
+    g.clients;
+  let report =
+    {
+      wall = Unix.gettimeofday () -. t0;
+      issued = g.issued;
+      completed = g.completed;
+      retries = g.retries;
+      shed = g.shed;
+      not_ready = g.not_ready;
+      failed = g.failed;
+      write = Histogram.summary g.hw;
+      lin = Histogram.summary g.hl;
+      stale = Histogram.summary g.hs;
+      writes_issued = g.writes_issued;
+      writes_acked = g.writes_acked;
+    }
+  in
+  Mutex.unlock g.lm;
+  report
+
+(* Exactly-once audit against a quiesced replica: client i only ever
+   increments its own key, so the counter cell must sit between the acks
+   it received and the requests it issued — below the acks means a lost
+   acked write, above the issues means a duplicate apply. *)
+let check_exactly_once svc (report : report) ~node =
+  let violations = ref [] in
+  Array.iteri
+    (fun i issued ->
+      let acked = report.writes_acked.(i) in
+      let v =
+        match
+          int_of_string_opt (Service.value svc ~node ~key:(client_key i))
+        with
+        | Some n -> n
+        | None -> 0
+      in
+      if v < acked then
+        violations :=
+          Printf.sprintf
+            "client %d: %d acked writes but counter=%d (lost acked write)" i
+            acked v
+          :: !violations;
+      if v > issued then
+        violations :=
+          Printf.sprintf
+            "client %d: counter=%d exceeds %d issued writes (duplicate apply)"
+            i v issued
+          :: !violations)
+    report.writes_issued;
+  List.rev !violations

@@ -1,0 +1,53 @@
+(** Open-loop load generator for the service layer.
+
+    Poisson arrivals at a target aggregate rate over thousands of client
+    sessions (each session strictly sequential, so the exactly-once
+    [(session, seq)] discipline holds), three op classes — writes
+    ([Incr] on the client's own key), linearizable reads and stale
+    reads — with per-class latency histograms, retry-on-deadline with
+    the {e same} (session, seq), and a final exactly-once audit built on
+    the non-idempotence of [Incr]. *)
+
+type config = {
+  clients : int;
+  rate : float;  (** target aggregate arrivals per second *)
+  duration : float;  (** seconds of open-loop issue *)
+  write_pct : int;  (** % of ops that are writes *)
+  lin_pct : int;  (** % that are linearizable reads; rest stale *)
+  timeout : float;  (** per-attempt retry deadline, seconds *)
+  seed : int;
+}
+
+val default_config : config
+(** 200 clients, 500 ops/s for 5 s, 50% writes / 30% lin / 20% stale,
+    0.5 s retry deadline. *)
+
+type report = {
+  wall : float;
+  issued : int;
+  completed : int;
+  retries : int;
+  shed : int;  (** arrivals dropped because every client was busy *)
+  not_ready : int;  (** read-index attempts bounced for lack of a lease *)
+  failed : int;  (** ops still incomplete when the drain grace expired *)
+  write : Abcast_util.Histogram.summary;  (** latencies, µs *)
+  lin : Abcast_util.Histogram.summary;
+  stale : Abcast_util.Histogram.summary;
+  writes_issued : int array;  (** per client *)
+  writes_acked : int array;
+}
+
+val client_key : int -> string
+(** The key client [i] increments — [c<i>]. *)
+
+val run : Service.t -> config -> report
+(** Drive the service from the calling thread for [duration] seconds,
+    then drain in-flight ops (retrying) for up to [3 * timeout + 1]
+    more. The service must be {!Service.start}ed. Safe to run while the
+    harness crashes/recovers nodes. *)
+
+val check_exactly_once : Service.t -> report -> node:int -> string list
+(** Audit a (quiesced) replica at [node] against the run: for every
+    client, the counter cell must satisfy
+    [acked <= value <= issued] — returns one violation string per
+    breach, [[]] when exactly-once held. *)

@@ -1,0 +1,379 @@
+(* Client-facing service front on the live runtime.
+
+   One [front] per (node, group) pair owns that replica's session
+   machine, the waiters of locally submitted requests, and the node's
+   read-lease state for the group. Session machines are (re)created by
+   the group-aware app factory at every incarnation, so a recovered node
+   reinstalls its table from the WAL checkpoint and replays only the
+   Agreed tail — while its volatile lease state is deliberately dropped:
+   a fresh incarnation can never serve a read-index read before a new
+   claim runs the full quarantine gate.
+
+   Locking: each front has one mutex; completion callbacks fire outside
+   it. The only cross-front state (the marker stamp counter, the
+   claimant id) sits behind the service-wide lock. Lock order:
+   service lock, then front lock — never the reverse. *)
+
+module Runtime = Abcast_live.Runtime
+module Envelope = Abcast_core.Envelope
+module Kv = Abcast_apps.Kv
+module Pkv = Abcast_apps.Partitioned_kv
+
+type read_mode = Broadcast | Read_index | Stale
+
+let read_mode_of_string = function
+  | "broadcast" -> Some Broadcast
+  | "read-index" -> Some Read_index
+  | "stale" -> Some Stale
+  | _ -> None
+
+let read_mode_to_string = function
+  | Broadcast -> "broadcast"
+  | Read_index -> "read-index"
+  | Stale -> "stale"
+
+type config = {
+  n : int;
+  shards : int;
+  read_mode : read_mode;
+  lease_ms : float;
+  max_sessions : int;
+  window : int;
+}
+
+let default_config =
+  {
+    n = 3;
+    shards = 1;
+    read_mode = Broadcast;
+    lease_ms = 200.;
+    max_sessions = 4096;
+    window = 4;
+  }
+
+type read_result = Value of string | Not_ready
+
+type front = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable machine : Session.t;
+  waiters : (int * int, Envelope.status -> string -> unit) Hashtbl.t;
+  pending : (int, float) Hashtbl.t;  (* our stamp -> wall time pre-send *)
+  mutable lease_until : float;  (* wall clock; 0. = no lease *)
+  mutable gate_until : float;  (* claim quarantine: serve only after *)
+  mutable confirmed : int;  (* apply index at our last granted marker *)
+}
+
+type t = {
+  cfg : config;
+  rt : Runtime.t;
+  fronts : front array array;  (* node -> group *)
+  lease_s : float;
+  sm : Mutex.t;
+  mutable claimant : int;
+  mutable stamp_ctr : int;
+  mutable stopping : bool;
+  mutable maint : Thread.t option;
+}
+
+(* Slack added to the claim quarantine: covers the (shared-clock harness:
+   zero) inter-node clock skew plus the gettimeofday granularity. *)
+let gate_epsilon = 0.005
+
+let mk_front () =
+  {
+    fm = Mutex.create ();
+    fc = Condition.create ();
+    machine = Session.create ();
+    waiters = Hashtbl.create 64;
+    pending = Hashtbl.create 8;
+    lease_until = 0.;
+    gate_until = 0.;
+    confirmed = 0;
+  }
+
+let group_of_key ~shards key =
+  if shards <= 1 then 0 else Pkv.shard_of_key ~shards key
+
+let group_of_cmd ~shards cmd =
+  match Kv.decode_cmd cmd with
+  | Some c -> group_of_key ~shards (Kv.cmd_key c)
+  | None -> 0
+
+(* Runs in the delivering node's thread for every A-delivered payload of
+   (node, group): advance the machine, then act on the event. *)
+let on_payload cfg fronts ~node ~group (pl : Abcast_core.Payload.t) =
+  let fr = fronts.(node).(group) in
+  Mutex.lock fr.fm;
+  let ev = Session.apply fr.machine pl.data in
+  let fire =
+    match ev with
+    | Session.Request_done { session; seq; status; reply; _ } ->
+      (* Read-index mode acks a request only while this node is the
+         leader in view at the request's apply point: a non-leader's ack
+         could race a leader's lease read that has not yet applied the
+         request (see DESIGN.md, "Service layer"). *)
+      let ack =
+        match cfg.read_mode with
+        | Read_index -> Session.leader fr.machine = node
+        | Broadcast | Stale -> true
+      in
+      if ack then (
+        match Hashtbl.find_opt fr.waiters (session, seq) with
+        | Some k ->
+          Hashtbl.remove fr.waiters (session, seq);
+          Some (k, status, reply)
+        | None -> None)
+      else None
+    | Session.Marker { kind; node = mn; stamp; granted; index } ->
+      (if mn = node then (
+         (match Hashtbl.find_opt fr.pending stamp with
+         | Some t0 when granted ->
+           (* t0 was stamped before the broadcast left, so
+              t0 + lease underestimates the true window *)
+           fr.lease_until <- t0 +. cfg.lease_ms /. 1000.;
+           fr.confirmed <- index;
+           if kind = `Claim then
+             (* quarantine: an earlier leader's lease expires at most
+                lease after the wall time it broadcast its last granted
+                marker, which precedes this apply on every clock *)
+             fr.gate_until <-
+               Unix.gettimeofday () +. (cfg.lease_ms /. 1000.) +. gate_epsilon
+         | _ -> ());
+         Hashtbl.remove fr.pending stamp)
+       else if kind = `Claim then
+         (* someone else claimed: our lease (if any) is void *)
+         fr.lease_until <- 0.);
+      Condition.broadcast fr.fc;
+      None
+    | Session.Foreign _ -> None
+  in
+  Mutex.unlock fr.fm;
+  match fire with Some (k, status, reply) -> k status reply | None -> ()
+
+let create ?base_port ?dir ?backend ?fsync (cfg : config) =
+  if cfg.n < 1 then invalid_arg "Service.create: n >= 1";
+  if cfg.shards < 1 then invalid_arg "Service.create: shards >= 1";
+  let fronts =
+    Array.init cfg.n (fun _ -> Array.init cfg.shards (fun _ -> mk_front ()))
+  in
+  let group_app_factory ~node ~group =
+    let fr = fronts.(node).(group) in
+    let machine = Session.create ~max_sessions:cfg.max_sessions () in
+    Mutex.lock fr.fm;
+    fr.machine <- machine;
+    (* fresh incarnation: waiters of the previous incarnation can never
+       complete here, and volatile lease state must not survive *)
+    Hashtbl.reset fr.waiters;
+    Hashtbl.reset fr.pending;
+    fr.lease_until <- 0.;
+    fr.gate_until <- 0.;
+    fr.confirmed <- 0;
+    Mutex.unlock fr.fm;
+    let hooks = Session.hooks machine in
+    let hooks =
+      {
+        Abcast_core.Protocol.checkpoint =
+          (fun () ->
+            Mutex.lock fr.fm;
+            let s = hooks.checkpoint () in
+            Mutex.unlock fr.fm;
+            s);
+        install =
+          (fun blob ->
+            Mutex.lock fr.fm;
+            hooks.install blob;
+            Mutex.unlock fr.fm);
+      }
+    in
+    (hooks, fun _pl -> ())
+  in
+  let stack =
+    let inner = Abcast_core.Factory.throughput ~window:cfg.window ~group_app_factory () in
+    if cfg.shards = 1 then inner
+    else Abcast_core.Factory.sharded ~shards:cfg.shards inner
+  in
+  let rt =
+    Runtime.create stack ~n:cfg.n ?base_port ?dir ?backend ?fsync
+      ~on_deliver:(fun ~node ~group pl -> on_payload cfg fronts ~node ~group pl)
+      ()
+  in
+  {
+    cfg;
+    rt;
+    fronts;
+    lease_s = cfg.lease_ms /. 1000.;
+    sm = Mutex.create ();
+    claimant = 0;
+    stamp_ctr = 0;
+    stopping = false;
+    maint = None;
+  }
+
+let runtime t = t.rt
+let config t = t.cfg
+
+let claimant t =
+  Mutex.lock t.sm;
+  let c = t.claimant in
+  Mutex.unlock t.sm;
+  c
+
+let next_stamp t =
+  Mutex.lock t.sm;
+  t.stamp_ctr <- t.stamp_ctr + 1;
+  let s = t.stamp_ctr in
+  Mutex.unlock t.sm;
+  s
+
+(* Drop pending stamps whose marker evidently got lost — bounds the
+   table; a grant arriving after this is simply ignored (conservative:
+   we only ever fail to take a lease we could have taken). *)
+let prune_pending t fr now =
+  Hashtbl.iter
+    (fun stamp t0 ->
+      if now -. t0 > 10. *. t.lease_s then Hashtbl.remove fr.pending stamp)
+    (Hashtbl.copy fr.pending)
+
+let send_marker t ~node ~group kind =
+  let stamp = next_stamp t in
+  let fr = t.fronts.(node).(group) in
+  let now = Unix.gettimeofday () in
+  Mutex.lock fr.fm;
+  prune_pending t fr now;
+  Hashtbl.replace fr.pending stamp now;
+  Mutex.unlock fr.fm;
+  let env =
+    match kind with
+    | `Claim -> Envelope.Claim { node; stamp }
+    | `Lease -> Envelope.Lease { node; stamp }
+  in
+  Runtime.broadcast ~group t.rt ~node (Envelope.encode env)
+
+let claim t ~node =
+  Mutex.lock t.sm;
+  t.claimant <- node;
+  Mutex.unlock t.sm;
+  for g = 0 to t.cfg.shards - 1 do
+    send_marker t ~node ~group:g `Claim
+  done
+
+(* Lease maintenance: the claimant renews each group's lease every
+   quarter window — Lease while it leads, Claim to (re)take the floor. *)
+let maintenance_loop t =
+  while not t.stopping do
+    Thread.delay (t.lease_s /. 4.);
+    if not t.stopping then begin
+      let c = claimant t in
+      if Runtime.is_up t.rt c then
+        for g = 0 to t.cfg.shards - 1 do
+          let fr = t.fronts.(c).(g) in
+          Mutex.lock fr.fm;
+          let leads = Session.leader fr.machine = c in
+          Mutex.unlock fr.fm;
+          send_marker t ~node:c ~group:g (if leads then `Lease else `Claim)
+        done
+    end
+  done
+
+let start t =
+  if t.cfg.read_mode = Read_index && t.maint = None then begin
+    t.stopping <- false;
+    claim t ~node:(claimant t);
+    t.maint <- Some (Thread.create maintenance_loop t)
+  end
+
+let stop_maintenance t =
+  t.stopping <- true;
+  (match t.maint with Some th -> Thread.join th | None -> ());
+  t.maint <- None
+
+let submit t ~node ~session ~seq ~cmd k =
+  let group = group_of_cmd ~shards:t.cfg.shards cmd in
+  let fr = t.fronts.(node).(group) in
+  Mutex.lock fr.fm;
+  Hashtbl.replace fr.waiters (session, seq) k;
+  Mutex.unlock fr.fm;
+  Runtime.broadcast ~group t.rt ~node
+    (Envelope.encode (Envelope.Request { session; seq; cmd }))
+
+let abandon t ~node ~session ~seq ~key =
+  let group = group_of_key ~shards:t.cfg.shards key in
+  let fr = t.fronts.(node).(group) in
+  Mutex.lock fr.fm;
+  Hashtbl.remove fr.waiters (session, seq);
+  Mutex.unlock fr.fm
+
+let read_stale t ~node ~key =
+  let fr = t.fronts.(node).(group_of_key ~shards:t.cfg.shards key) in
+  Mutex.lock fr.fm;
+  let v = Session.get fr.machine key in
+  Mutex.unlock fr.fm;
+  Value (Option.value v ~default:"")
+
+(* Linearizable read without a broadcast: serve locally iff this node
+   holds a live lease for the key's group, is past the claim quarantine,
+   and has applied at least up to the lease's confirmation index. *)
+let read_index t ~node ~key =
+  let fr = t.fronts.(node).(group_of_key ~shards:t.cfg.shards key) in
+  let now = Unix.gettimeofday () in
+  Mutex.lock fr.fm;
+  let ok =
+    Session.leader fr.machine = node
+    && now < fr.lease_until
+    && now >= fr.gate_until
+    && Session.applied fr.machine >= fr.confirmed
+  in
+  let v = if ok then Some (Session.get fr.machine key) else None in
+  Mutex.unlock fr.fm;
+  match v with
+  | Some v -> Value (Option.value v ~default:"")
+  | None -> Not_ready
+
+let holds_lease t ~node ~group =
+  let fr = t.fronts.(node).(group) in
+  let now = Unix.gettimeofday () in
+  Mutex.lock fr.fm;
+  let ok =
+    Session.leader fr.machine = node
+    && now < fr.lease_until
+    && now >= fr.gate_until
+  in
+  Mutex.unlock fr.fm;
+  ok
+
+(* --- verification accessors (quiesced cluster) ----------------------- *)
+
+let value t ~node ~key =
+  match read_stale t ~node ~key with Value v -> v | Not_ready -> ""
+
+let floor t ~node ~session ~key =
+  let fr = t.fronts.(node).(group_of_key ~shards:t.cfg.shards key) in
+  Mutex.lock fr.fm;
+  let f = Session.floor fr.machine session in
+  Mutex.unlock fr.fm;
+  f
+
+let applied t ~node =
+  Array.fold_left
+    (fun acc fr ->
+      Mutex.lock fr.fm;
+      let a = Session.applied fr.machine in
+      Mutex.unlock fr.fm;
+      acc + a)
+    0 t.fronts.(node)
+
+let digest t ~node =
+  String.concat "|"
+    (Array.to_list
+       (Array.map
+          (fun fr ->
+            Mutex.lock fr.fm;
+            let d = Session.digest fr.machine in
+            Mutex.unlock fr.fm;
+            d)
+          t.fronts.(node)))
+
+let shutdown t =
+  stop_maintenance t;
+  Runtime.shutdown t.rt

@@ -1,0 +1,112 @@
+(** Client-facing service front on the live runtime.
+
+    Wraps a {!Abcast_live.Runtime} cluster with the session layer: every
+    node runs one {!Session} machine per broadcast group (registered as
+    protocol app state, so it is checkpointed into the WAL, survives
+    Agreed-prefix compaction and rides state transfer), and this module
+    adds the volatile per-node front: waiters keyed by [(session, seq)],
+    and the read-lease state of the read-index protocol. Group routing is
+    {!Abcast_apps.Partitioned_kv.shard_of_key} of the command's key, so a
+    sharded service partitions the keyspace exactly like the PR-7
+    partitioned store. *)
+
+type t
+
+type read_mode = Broadcast | Read_index | Stale
+
+val read_mode_of_string : string -> read_mode option
+val read_mode_to_string : read_mode -> string
+
+type config = {
+  n : int;  (** processes *)
+  shards : int;  (** broadcast groups (1 = unsharded) *)
+  read_mode : read_mode;  (** how linearizable reads are served *)
+  lease_ms : float;  (** read-index lease window *)
+  max_sessions : int;  (** session-table cap per group replica *)
+  window : int;  (** consensus pipeline window of the stack *)
+}
+
+val default_config : config
+(** [n = 3], [shards = 1], [Broadcast] reads, 200 ms lease, 4096
+    sessions, window 4. *)
+
+type read_result = Value of string | Not_ready
+
+val create :
+  ?base_port:int ->
+  ?dir:string ->
+  ?backend:[ `Files | `Wal ] ->
+  ?fsync:Abcast_store.Durable.policy ->
+  config ->
+  t
+(** Build the throughput stack (sharded when [shards > 1]) with the
+    session machines wired in as group app state, and start the live
+    cluster. [dir]/[backend]/[fsync] as in {!Abcast_live.Runtime.create}.
+    Call {!start} afterwards to begin lease maintenance (read-index
+    mode only). *)
+
+val start : t -> unit
+(** In read-index mode: claim leadership for the current claimant
+    (default node 0) on every group and start the renewal thread
+    (a Lease — or Claim, when leadership was lost — per group every
+    quarter lease window). No-op otherwise. *)
+
+val submit :
+  t ->
+  node:int ->
+  session:int ->
+  seq:int ->
+  cmd:string ->
+  (Abcast_core.Envelope.status -> string -> unit) ->
+  unit
+(** Asynchronously submit one encoded {!Abcast_apps.Kv} command through
+    the session layer at [node] (no-op if down — the caller's retry
+    deadline covers it). The callback fires in the delivering node's
+    thread when the request is applied {e and} ackable (in read-index
+    mode only the leader in view acks); keep it short and non-blocking.
+    Re-submitting the same [(session, seq)] replaces the waiter — the
+    table dedups, so a retry of an applied request acks with the cached
+    reply and is never applied twice. *)
+
+val abandon : t -> node:int -> session:int -> seq:int -> key:string -> unit
+(** Drop the waiter of a request being retried elsewhere. *)
+
+val read_stale : t -> node:int -> key:string -> read_result
+(** Local read of [node]'s replica — no ordering guarantee. Always
+    [Value] (missing keys read as [""]). *)
+
+val read_index : t -> node:int -> key:string -> read_result
+(** Linearizable read without a broadcast: [Value] iff [node] holds a
+    live, quarantine-cleared lease for the key's group and its applied
+    index has reached the lease's confirmation point; [Not_ready]
+    otherwise (caller redirects to the claimant or retries). *)
+
+val holds_lease : t -> node:int -> group:int -> bool
+
+val claim : t -> node:int -> unit
+(** Make [node] the claimant and broadcast a Claim on every group —
+    call on failover after crashing the previous claimant. The new
+    leaseholder serves reads only after a full lease window has passed
+    from the claim's apply (the quarantine gate). *)
+
+val claimant : t -> int
+
+val stop_maintenance : t -> unit
+(** Stop the lease renewal thread (markers stop flowing — required
+    before comparing replica digests, which include the apply index).
+    {!start} restarts it. *)
+
+val runtime : t -> Abcast_live.Runtime.t
+(** The underlying cluster, for crash/recover/metrics. *)
+
+val config : t -> config
+
+(** {2 Verification accessors} — meaningful on a quiesced cluster. *)
+
+val value : t -> node:int -> key:string -> string
+val floor : t -> node:int -> session:int -> key:string -> int option
+val applied : t -> node:int -> int
+val digest : t -> node:int -> string
+
+val shutdown : t -> unit
+(** Stop lease maintenance and the whole cluster. *)

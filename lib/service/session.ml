@@ -1,0 +1,184 @@
+(* Replicated session/reply table: the deterministic state machine the
+   service layer applies in total order, wrapping the Kv store.
+
+   Every replica of a group applies the same payload sequence to an
+   instance of this machine, so dedup decisions, reply caching, session
+   eviction and leader-view transitions are identical everywhere —
+   including a replica that recovers from its WAL checkpoint and replays
+   only the Agreed tail. Nothing here reads a clock or an RNG. *)
+
+module Envelope = Abcast_core.Envelope
+module Kv = Abcast_apps.Kv
+module Wire = Abcast_util.Wire
+
+type entry = {
+  mutable floor : int;  (* highest applied seq of the session *)
+  mutable reply : string;  (* cached reply of [floor] *)
+  mutable touched : int;  (* apply index of the last touch, for LRU *)
+}
+
+type t = {
+  mutable kv : Kv.state;
+  sessions : (int, entry) Hashtbl.t;
+  mutable applied : int;  (* payloads applied, the service apply index *)
+  mutable leader : int;  (* leader view; -1 = none yet *)
+  max_sessions : int;
+}
+
+type event =
+  | Request_done of {
+      session : int;
+      seq : int;
+      status : Envelope.status;
+      reply : string;
+      index : int;
+    }
+  | Marker of {
+      kind : [ `Claim | `Lease ];
+      node : int;
+      stamp : int;
+      granted : bool;
+      index : int;
+    }
+  | Foreign of { index : int }
+
+let create ?(max_sessions = 4096) () =
+  if max_sessions < 1 then invalid_arg "Session.create: max_sessions >= 1";
+  {
+    kv = Kv.Machine.initial;
+    sessions = Hashtbl.create 64;
+    applied = 0;
+    leader = -1;
+    max_sessions;
+  }
+
+(* LRU by apply index — deterministic because the index is a function of
+   the (identical) delivery sequence; ties broken by the smaller id. *)
+let evict_excess t =
+  while Hashtbl.length t.sessions > t.max_sessions do
+    let victim =
+      Hashtbl.fold
+        (fun id e acc ->
+          match acc with
+          | Some (bid, be)
+            when be.touched < e.touched
+                 || (be.touched = e.touched && bid < id) ->
+            acc
+          | _ -> Some (id, e))
+        t.sessions None
+    in
+    match victim with
+    | Some (id, _) -> Hashtbl.remove t.sessions id
+    | None -> ()
+  done
+
+let apply t data =
+  t.applied <- t.applied + 1;
+  let index = t.applied in
+  match Envelope.decode data with
+  | Some (Request { session; seq; cmd }) -> (
+    match Hashtbl.find_opt t.sessions session with
+    | Some e when seq < e.floor ->
+      (* below the floor: the reply was truncated with the floor move —
+         a correct sequential client never retries this seq *)
+      e.touched <- index;
+      Request_done { session; seq; status = Gap; reply = ""; index }
+    | Some e when seq = e.floor ->
+      e.touched <- index;
+      Request_done { session; seq; status = Cached; reply = e.reply; index }
+    | e ->
+      let kv, reply = Kv.eval t.kv cmd in
+      t.kv <- kv;
+      (match e with
+      | Some e ->
+        e.floor <- seq;
+        e.reply <- reply;
+        e.touched <- index
+      | None ->
+        Hashtbl.replace t.sessions session { floor = seq; reply; touched = index };
+        evict_excess t);
+      Request_done { session; seq; status = Applied; reply; index })
+  | Some (Claim { node; stamp }) ->
+    t.leader <- node;
+    Marker { kind = `Claim; node; stamp; granted = true; index }
+  | Some (Lease { node; stamp }) ->
+    (* renewal extends an existing reign only: it is granted iff [node]
+       is already the leader at this point of the total order *)
+    Marker { kind = `Lease; node; stamp; granted = t.leader = node; index }
+  | None ->
+    (* foreign payload (bare Kv command, experiment bytes): apply it to
+       the store the way an unsessioned replica would *)
+    t.kv <- Kv.Machine.apply t.kv data;
+    Foreign { index }
+
+let kv t = t.kv
+
+let get t key = Kv.get t.kv key
+
+let leader t = t.leader
+
+let applied t = t.applied
+
+let floor t session =
+  Option.map (fun e -> e.floor) (Hashtbl.find_opt t.sessions session)
+
+let cached_reply t session =
+  Option.map (fun e -> e.reply) (Hashtbl.find_opt t.sessions session)
+
+let session_count t = Hashtbl.length t.sessions
+
+let sessions t =
+  Hashtbl.fold (fun id e acc -> (id, e.floor) :: acc) t.sessions []
+  |> List.sort compare
+
+(* --- checkpoint codec ------------------------------------------------ *)
+
+let version = 1
+
+let write w t =
+  Wire.write_u8 w version;
+  Wire.write_varint w t.applied;
+  Wire.write_varint w t.leader;
+  let ss =
+    Hashtbl.fold (fun id e acc -> (id, e) :: acc) t.sessions []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Wire.write_list
+    (fun w (id, e) ->
+      Wire.write_varint w id;
+      Wire.write_varint w e.floor;
+      Wire.write_string w e.reply;
+      Wire.write_varint w e.touched)
+    w ss;
+  Kv.write_state w t.kv
+
+let read_into t r =
+  let v = Wire.read_u8 r in
+  if v <> version then Wire.error "session checkpoint: bad version %d" v;
+  t.applied <- Wire.read_varint r;
+  t.leader <- Wire.read_varint r;
+  Hashtbl.reset t.sessions;
+  let ss =
+    Wire.read_list
+      (fun r ->
+        let id = Wire.read_varint r in
+        let floor = Wire.read_varint r in
+        let reply = Wire.read_string r in
+        let touched = Wire.read_varint r in
+        (id, { floor; reply; touched }))
+      r
+  in
+  List.iter (fun (id, e) -> Hashtbl.replace t.sessions id e) ss;
+  t.kv <- Kv.read_state r
+
+let encode t = Wire.to_string ~cap:256 (fun w () -> write w t) ()
+
+let install t blob = ignore (Wire.of_string_exn (fun r -> read_into t r) blob)
+
+let hooks t =
+  {
+    Abcast_core.Protocol.checkpoint = (fun () -> encode t);
+    install = (fun blob -> install t blob);
+  }
+
+let digest t = string_of_int (Hashtbl.hash (encode t))

@@ -173,6 +173,60 @@ let roundtrip_props =
         | None -> false);
   ]
 
+(* --- Service envelope codecs (PR 8) ---------------------------------- *)
+
+module Envelope = Abcast_core.Envelope
+
+let envelope_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun session seq cmd -> Envelope.Request { session; seq; cmd })
+          nat_gen int_gen data_gen;
+        map2 (fun node stamp -> Envelope.Claim { node; stamp }) nat_gen int_gen;
+        map2 (fun node stamp -> Envelope.Lease { node; stamp }) nat_gen int_gen;
+      ])
+
+let reply_gen =
+  QCheck.Gen.(
+    map
+      (fun (r_session, r_seq, st, data) ->
+        let status =
+          match st with
+          | 0 -> Envelope.Applied
+          | 1 -> Envelope.Cached
+          | _ -> Envelope.Gap
+        in
+        { Envelope.r_session; r_seq; status; data })
+      (quad nat_gen int_gen (int_bound 2) data_gen))
+
+let envelope_props =
+  [
+    prop "service envelope roundtrips" envelope_gen (fun e ->
+        Envelope.decode (Envelope.encode e) = Some e);
+    prop "service reply roundtrips" reply_gen (fun r ->
+        Envelope.decode_reply (Envelope.encode_reply r) = Some r);
+    prop "every strict prefix of an envelope is rejected" envelope_gen
+      (fun e ->
+        let s = Envelope.encode e in
+        let ok = ref true in
+        for len = 0 to String.length s - 1 do
+          if Envelope.decode (String.sub s 0 len) <> None then ok := false
+        done;
+        !ok);
+    prop "envelope trailing garbage is rejected" envelope_gen (fun e ->
+        Envelope.decode (Envelope.encode e ^ "\x00") = None);
+    prop "envelope decode of arbitrary bytes never raises"
+      QCheck.Gen.(string_size (int_bound 64))
+      (fun s ->
+        match Envelope.decode s with
+        | Some _ | None -> Envelope.decode_reply s = Envelope.decode_reply s);
+    prop "bare kv commands are not service envelopes" data_gen (fun key ->
+        let cmd = Abcast_apps.Kv.set_cmd ~key ~value:"v" in
+        (not (Envelope.is_service cmd)) && Envelope.decode cmd = None);
+  ]
+
 (* --- Rejection: truncation, garbage, hostile input ------------------- *)
 
 (* Every encoding is prefix-free at the top level (length/count prefixes +
@@ -356,5 +410,5 @@ let equivalence_tests =
 let suite =
   ( "wire",
     rejection_tests @ equivalence_tests
-    @ List.map QCheck_alcotest.to_alcotest (roundtrip_props @ truncation_props)
-  )
+    @ List.map QCheck_alcotest.to_alcotest
+        (roundtrip_props @ envelope_props @ truncation_props) )

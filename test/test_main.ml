@@ -12,6 +12,7 @@ let () =
       Suite_protocol.suite;
       Suite_shard.suite;
       Suite_apps.suite;
+      Suite_service.suite;
       Suite_quorum.suite;
       Suite_harness.suite;
       Suite_lemmas.suite;
