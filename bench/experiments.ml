@@ -758,10 +758,9 @@ let e15 () =
   let module Vclock = Abcast_core.Vclock in
   let module P = Abcast_core.Protocol.Make (Paxos) in
   let payload i =
-    {
-      Payload.id = { origin = i mod 5; boot = 0; seq = i / 5 };
-      data = String.make 32 'x';
-    }
+    Payload.make
+    { origin = i mod 5; boot = 0; seq = i / 5 }
+    (String.make 32 'x')
   in
   let payloads n = List.init n payload in
   let vc =
@@ -1256,10 +1255,100 @@ let e20 () =
            ])
          rows)
 
+(* ------------------------------------------------------------------ *)
+(* E21 — causal tracing cost: the per-payload trace context on the     *)
+(* drain-rate ceiling. An unsampled payload carries zero trace bytes   *)
+(* (the traced flag rides the low bit of the data-length uvarint, so   *)
+(* only data >= 64 bytes pays one wider length byte), hence the trace  *)
+(* pair's cost must track the sampled fraction: sweep sampling off /   *)
+(* 1-in-100 / 1-in-10 / every broadcast over the E18 saturating burst  *)
+(* and compare drain wall time and wire bytes per payload.             *)
+
+type e21_row = {
+  tr_sample : int;  (* 0 = tracing off, k = every k-th A-broadcast *)
+  tr_msgs : int;
+  tr_wall_s : float;  (* host wall time to drain, best of 5 *)
+  tr_rate : float;  (* drained msgs per simulated second *)
+  tr_bytes_per_msg : float;  (* wire bytes per delivered payload *)
+}
+
+let e21_run ~msgs sample =
+  let n = 5 in
+  let stack () =
+    match sample with
+    | 0 -> Factory.throughput ()
+    | k -> Factory.throughput ~trace_sample:k ()
+  in
+  let go () =
+    let cluster = Cluster.create (stack ()) ~seed:53 ~n ~count_bytes:true () in
+    let rng = Rng.create 57 in
+    Workload.burst cluster ~rng ~senders:(List.init n Fun.id) ~at:1_000
+      ~count:msgs ~size:64 ();
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count:msgs ())
+        ()
+    in
+    if not ok then failwith "E21: burst did not drain";
+    cluster
+  in
+  ignore (go ());
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    let c = go () in
+    let w = Unix.gettimeofday () -. t0 in
+    if w < !best then begin
+      best := w;
+      result := Some c
+    end
+  done;
+  let cluster = Option.get !result in
+  let m = Cluster.metrics cluster in
+  {
+    tr_sample = sample;
+    tr_msgs = msgs;
+    tr_wall_s = !best;
+    tr_rate =
+      float_of_int msgs /. (float_of_int (Cluster.now cluster - 1_000) /. 1e6);
+    tr_bytes_per_msg =
+      float_of_int (Metrics.sum m "net_bytes") /. float_of_int (max 1 msgs);
+  }
+
+let e21_rows ~msgs = List.map (e21_run ~msgs) [ 0; 100; 10; 1 ]
+
+let e21 () =
+  let msgs = scale 2_000 in
+  let rows = e21_rows ~msgs in
+  let base = List.hd rows in
+  Table.print
+    ~title:
+      "E21: causal tracing cost — the E18 saturating burst (throughput \
+       preset, n=5) with the per-payload trace context sampled every \
+       k-th A-broadcast; unsampled payloads carry zero trace bytes, so \
+       cost tracks only the sampled fraction"
+    ~header:
+      [ "sample"; "msgs"; "wall s (host)"; "sim msgs/s"; "bytes/msg";
+        "wall vs off" ]
+    (List.map
+       (fun r ->
+         [
+           (if r.tr_sample = 0 then "off"
+            else Printf.sprintf "1/%d" r.tr_sample);
+           Table.num r.tr_msgs;
+           Table.flt r.tr_wall_s;
+           Table.flt r.tr_rate;
+           Table.flt r.tr_bytes_per_msg;
+           Table.flt (r.tr_wall_s /. base.tr_wall_s);
+         ])
+       rows)
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
     ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
     ("E15", e15); ("E16", e16); ("E18", e18); ("E19", e19); ("E20", e20);
+    ("E21", e21);
   ]

@@ -1,6 +1,16 @@
 (* `bench/main.exe --json`: machine-readable performance snapshot.
 
-   Writes BENCH_PR8.json in the current directory with
+   Writes BENCH_PR9.json in the current directory with
+
+   - the tracing section (new in schema 9): the E21 sweep — the E18
+     saturating burst with the per-payload causal trace context sampled
+     every k-th A-broadcast, k in {off, 100, 10, 1}; drain wall time,
+     simulated drain rate and wire bytes per payload per cell, plus the
+     1%-sampling overhead against tracing-off. An unsampled payload
+     carries zero trace bytes (only the stolen length-uvarint bit, one
+     wider byte for data >= 64B) and the [minor_words_per_send] figure
+     (still in the throughput section) guards the allocation-free
+     unsampled send path;
 
    - the service section (new in schema 8): the E20 live SLO sweep —
      open-loop client sessions on the real-socket runtime (n=3, WAL),
@@ -240,10 +250,9 @@ let minor_words_per_send () =
   let module Wire = Abcast_util.Wire in
   let payloads =
     List.init 8 (fun i ->
-        {
-          Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
-          data = String.make 64 'x';
-        })
+        Abcast_core.Payload.make
+          { origin = i mod 3; boot = 0; seq = i }
+          (String.make 64 'x'))
   in
   let msg = P.Gossip { k = 5; len = 9; unordered = payloads } in
   let dest = Wire.writer ~cap:(Live.max_datagram + 16) () in
@@ -340,10 +349,9 @@ let micros () =
   let rng = Rng.create 1 in
   let payloads =
     List.init 32 (fun i ->
-        {
-          Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
-          data = String.make 32 'x';
-        })
+        Abcast_core.Payload.make
+          { origin = i mod 3; boot = 0; seq = i }
+          (String.make 32 'x'))
   in
   let m = Metrics.create () in
   let h = Metrics.handle m ~node:0 "rx.gossip" in
@@ -523,10 +531,9 @@ let storage_bench () =
 let encoded_bytes () =
   let payloads =
     List.init 32 (fun i ->
-        {
-          Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
-          data = String.make 32 'x';
-        })
+        Abcast_core.Payload.make
+          { origin = i mod 3; boot = 0; seq = i }
+          (String.make 32 'x'))
   in
   let module P = Abcast_core.Protocol.Make (Abcast_consensus.Paxos) in
   let gossip = P.Gossip { k = 12; len = 40; unordered = payloads } in
@@ -644,6 +651,41 @@ let service_json () =
            rows_json speedup),
       Some speedup )
 
+(* The E21 tracing-cost sweep, reused from the experiment harness so the
+   table and the JSON always agree. *)
+let tracing_json () =
+  let rows = Experiments.e21_rows ~msgs:2_000 in
+  let base = List.hd rows in
+  let find s = List.find (fun (r : Experiments.e21_row) -> r.tr_sample = s) rows in
+  let pct = find 100 in
+  let overhead_1pct =
+    (pct.tr_wall_s -. base.tr_wall_s) /. base.tr_wall_s *. 100.0
+  in
+  let rows_json =
+    rows
+    |> List.map (fun (r : Experiments.e21_row) ->
+           Printf.sprintf
+             {|      { "sample": "%s", "msgs": %d, "wall_s": %.6f, "ops_per_sec": %.0f, "sim_msgs_per_sec": %.0f, "net_bytes_per_payload": %.1f }|}
+             (if r.tr_sample = 0 then "off"
+              else Printf.sprintf "1/%d" r.tr_sample)
+             r.tr_msgs r.tr_wall_s
+             (float_of_int r.tr_msgs /. r.tr_wall_s)
+             r.tr_rate r.tr_bytes_per_msg)
+    |> String.concat ",\n"
+  in
+  ( Printf.sprintf
+      {|  "tracing": {
+    "workload": { "stack": "throughput", "n": 5, "burst_msgs": 2000, "size": 64, "seed": 53 },
+    "rows": [
+%s
+    ],
+    "overhead_1pct_sampling_wall_pct": %.2f,
+    "bytes_per_msg_delta_1pct": %.2f
+  }|}
+      rows_json overhead_1pct
+      (pct.tr_bytes_per_msg -. base.tr_bytes_per_msg),
+    overhead_1pct )
+
 let run () =
   let full = steady ~delta_gossip:false () in
   let delta = steady ~delta_gossip:true () in
@@ -677,6 +719,7 @@ let run () =
   in
   let thr_json, speedup, speedup_vs_pr4, p95_ratio = throughput_json () in
   let shard_json, shard_speedup_s4, shard_p95_ratio_s4 = shard_scaling_json () in
+  let trace_json, trace_1pct_overhead = tracing_json () in
   let service_sec, service_speedup = service_json () in
   let service_json_str =
     match service_sec with Some j -> j | None -> {|  "service": null|}
@@ -684,8 +727,9 @@ let run () =
   let json =
     Printf.sprintf
       {|{
-  "schema": 8,
+  "schema": 9,
   "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
+%s,
 %s,
 %s,
 %s,
@@ -714,19 +758,21 @@ let run () =
 |}
       (steady_json "full_gossip" full)
       (steady_json "delta_gossip" delta)
-      thr_json shard_json service_json_str reduction delta.wall_s
+      thr_json shard_json trace_json service_json_str reduction delta.wall_s
       traced.wall_s trace_overhead_pct stage_json live_json micro_json
       bytes_json storage_json
   in
-  let oc = open_out "BENCH_PR8.json" in
+  let oc = open_out "BENCH_PR9.json" in
   output_string oc json;
   close_out oc;
   print_string json;
   Printf.printf
-    "wrote BENCH_PR8.json (service: lin-read p50 %s broadcast/read-index at \
+    "wrote BENCH_PR9.json (causal tracing at 1%% sampling: %+.2f%% drain \
+     wall vs off; service: lin-read p50 %s broadcast/read-index at \
      S=1/200 clients; shards: %.2fx aggregate at S=4, p95 ratio %.2fx; \
      ring+W4 at n=5: %.2fx vs same-binary gossip+W1, %.2fx vs the recorded \
      PR-4 rate, p95 ratio: %.2fx, trace overhead: %+.2f%%)\n"
+    trace_1pct_overhead
     (match service_speedup with
     | Some s -> Printf.sprintf "%.0fx cheaper" s
     | None -> "skipped")

@@ -58,10 +58,9 @@ let protocol_round_bench =
 
 let bench_payloads =
   List.init 32 (fun i ->
-      {
-        Abcast_core.Payload.id = { origin = i mod 3; boot = 0; seq = i };
-        data = String.make 32 'x';
-      })
+      Abcast_core.Payload.make
+        { origin = i mod 3; boot = 0; seq = i }
+        (String.make 32 'x'))
 
 let batch_bench =
   Test.make ~name:"batch encode/decode, wire codec (32 msgs)"

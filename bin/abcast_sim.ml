@@ -10,7 +10,12 @@
    `abcast-sim service` : the client service layer under open-loop load —
                           exactly-once sessions, lease reads, SLO tables,
                           optional mid-run kill/restart with an
-                          exactly-once audit at the end. *)
+                          exactly-once audit at the end.
+   `abcast-sim doctor`  : offline analysis of a live run directory —
+                          merge the per-node crash flight recorders and
+                          metrics snapshots into causal per-trace
+                          timelines, a stage-latency table and anomaly
+                          flags; exits nonzero on anomaly (CI guard). *)
 
 module Rng = Abcast_util.Rng
 module Net = Abcast_sim.Net
@@ -35,15 +40,16 @@ let parse_topo = function
 (* [window]: [None] keeps each stack's own default (1 for alt, 4 for the
    throughput preset); naive/ct/basic have no pipeline so the flag is
    ignored there, as is [--topo] for naive/ct. *)
-let make_stack stack consensus checkpoint_period delta ~window ~topo ~shards =
+let make_stack stack consensus checkpoint_period delta ~window ~topo ~shards
+    ?trace_sample () =
   let dissemination = parse_topo topo in
   let base =
     match stack with
-    | "basic" -> Factory.basic ~consensus ~dissemination ()
+    | "basic" -> Factory.basic ~consensus ~dissemination ?trace_sample ()
     | "alt" ->
       Factory.alternative ~consensus ~checkpoint_period ~delta ?window
-        ~dissemination ()
-    | "throughput" -> Factory.throughput ~consensus ?window ()
+        ~dissemination ?trace_sample ()
+    | "throughput" -> Factory.throughput ~consensus ?window ?trace_sample ()
     | "naive" -> Factory.naive ~consensus ()
     | "ct" -> Abcast_baseline.Ct_abcast.stack ~consensus ()
     | s ->
@@ -69,7 +75,9 @@ let parse_fsync s =
 let run_cmd stack consensus window topo shards partitioned_kv n seed msgs loss
     dup crashes trace_on trace_out backend fsync check =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
-  let stack_mod = make_stack stack consensus 50_000 4 ~window ~topo ~shards in
+  let stack_mod =
+    make_stack stack consensus 50_000 4 ~window ~topo ~shards ()
+  in
   let net = Net.create ~loss ~dup () in
   let trace =
     Trace.create ~enabled:(trace_on || trace_out <> None) ~echo:trace_on ()
@@ -254,7 +262,9 @@ let soak_cmd stack consensus window topo n n_bad episodes seed0 =
   let violations = ref 0 in
   for e = 1 to episodes do
     let seed = seed0 + (e * 997) in
-    let stack_mod = make_stack stack consensus 30_000 4 ~window ~topo ~shards:1 in
+    let stack_mod =
+      make_stack stack consensus 30_000 4 ~window ~topo ~shards:1 ()
+    in
     let cluster = Cluster.create stack_mod ~seed ~n () in
     let lemmas = Abcast_harness.Lemmas.attach cluster () in
     let rng = Rng.create (seed + 31) in
@@ -289,10 +299,37 @@ let soak_cmd stack consensus window topo n n_bad episodes seed0 =
   Printf.printf "\n%d episodes, %d violations\n" episodes !violations;
   if !violations > 0 then exit 1
 
+(* SIGUSR1 = "dump your black box now": persist every node's flight
+   recorder and (when snapshots are being written) append one extra JSONL
+   metrics line, so an operator can interrogate a live cluster without
+   stopping it. *)
+let install_sigusr1 rt metrics_out =
+  if Sys.os_type = "Unix" then
+    ignore
+      (Sys.signal Sys.sigusr1
+         (Sys.Signal_handle
+            (fun _ ->
+              Abcast_live.Runtime.request_dump rt;
+              match metrics_out with
+              | Some path ->
+                (try
+                   let oc =
+                     open_out_gen [ Open_append; Open_creat ] 0o644 path
+                   in
+                   output_string oc (Abcast_live.Runtime.json_snapshot rt);
+                   output_char oc '\n';
+                   close_out_noerr oc
+                 with Sys_error _ -> ())
+              | None -> ())))
+
 let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
-    backend fsync metrics_port metrics_interval metrics_out min_rate =
+    backend fsync metrics_port metrics_interval metrics_out trace_sample
+    dir_opt min_rate =
   let consensus = if consensus = "coord" then `Coord else `Paxos in
-  let stack_mod = make_stack stack consensus 100_000 3 ~window ~topo ~shards in
+  let trace_sample = if trace_sample > 0 then Some trace_sample else None in
+  let stack_mod =
+    make_stack stack consensus 100_000 3 ~window ~topo ~shards ?trace_sample ()
+  in
   let backend =
     match backend with
     | "wal" -> `Wal
@@ -303,8 +340,11 @@ let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
   in
   let fsync = parse_fsync fsync in
   let dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "abcast-live-cli-%d" (Unix.getpid ()))
+    match dir_opt with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abcast-live-cli-%d" (Unix.getpid ()))
   in
   (* Per-node partitioned replicas, fed from the group-aware A-deliver
      upcall in each node's own thread; read only after convergence. *)
@@ -328,6 +368,7 @@ let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
 " (Unix.error_message e);
     exit 3
   | live ->
+    install_sigusr1 live metrics_out;
     Fun.protect ~finally:(fun () -> Abcast_live.Runtime.shutdown live)
     @@ fun () ->
     Printf.printf
@@ -452,7 +493,8 @@ let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
     if not agree then exit 1
 
 let service_cmd n shards read_mode clients rate duration write_pct lin_pct
-    lease_ms timeout base_port backend fsync kills seed min_rate =
+    lease_ms timeout base_port backend fsync kills seed trace_sample dir_opt
+    metrics_port metrics_out min_rate =
   let module Service = Abcast_service.Service in
   let module Loadgen = Abcast_service.Loadgen in
   let module Runtime = Abcast_live.Runtime in
@@ -475,8 +517,11 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
   in
   let fsync = parse_fsync fsync in
   let dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "abcast-service-cli-%d" (Unix.getpid ()))
+    match dir_opt with
+    | Some d -> d
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "abcast-service-cli-%d" (Unix.getpid ()))
   in
   let cfg =
     {
@@ -488,7 +533,11 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
       max_sessions = max 4096 (2 * clients);
     }
   in
-  match Service.create ~base_port ~dir ~backend ~fsync cfg with
+  let trace_sample = if trace_sample > 0 then Some trace_sample else None in
+  match
+    Service.create ~base_port ~dir ~backend ~fsync ?trace_sample ?metrics_port
+      cfg
+  with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot create sockets: %s\n" (Unix.error_message e);
     exit 3
@@ -496,6 +545,27 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
     Fun.protect ~finally:(fun () -> Service.shutdown svc)
     @@ fun () ->
     let rt = Service.runtime svc in
+    install_sigusr1 rt metrics_out;
+    (match metrics_out with
+    | Some path ->
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Thread.create
+           (fun () ->
+             (* one JSONL line per second while the run lasts, so the
+                doctor has snapshots to merge next to the flight dumps *)
+             let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+             while Unix.gettimeofday () -. t0 < duration +. 5. do
+               Thread.delay 1.0;
+               (try
+                  output_string oc (Runtime.json_snapshot rt);
+                  output_char oc '\n';
+                  flush oc
+                with Sys_error _ -> ())
+             done;
+             close_out_noerr oc)
+           ())
+    | None -> ());
     Service.start svc;
     Printf.printf
       "service: %d processes, %d group(s), reads=%s, %d clients at %.0f \
@@ -627,6 +697,28 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
       end
     | None -> ())
 
+let doctor_cmd dir verbose max_traces min_complete =
+  let module Doctor = Abcast_harness.Doctor in
+  match Doctor.analyze ~max_traces ~dir () with
+  | Error msg ->
+    Printf.eprintf "doctor: %s\n" msg;
+    exit 2
+  | Ok r ->
+    print_string (Doctor.render ~verbose r);
+    let complete = Doctor.reconstructed r in
+    let failed = ref false in
+    if Doctor.has_anomalies r then begin
+      Printf.eprintf "doctor: %d anomalies\n" (List.length r.Doctor.anomalies);
+      failed := true
+    end;
+    if complete < min_complete then begin
+      Printf.eprintf
+        "doctor: only %d traces fully reconstructed (--min-complete %d)\n"
+        complete min_complete;
+      failed := true
+    end;
+    if !failed then exit 1
+
 (* ---- cmdliner plumbing ---- *)
 open Cmdliner
 
@@ -728,6 +820,30 @@ let run_t =
     $ shards_arg $ partitioned_kv_arg $ n_arg $ seed_arg $ msgs $ loss $ dup
     $ crashes $ trace $ trace_out $ backend $ fsync $ check)
 
+let trace_sample_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "trace-sample" ]
+        ~doc:
+          "sample every $(docv)-th broadcast per process with a causal \
+           trace id carried on the wire and stamped into each node's \
+           flight recorder at every stage; 0 disables (zero wire bytes)"
+        ~docv:"K")
+
+let dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ]
+        ~doc:
+          "storage directory (default: a fresh per-PID directory under \
+           the system temp dir). Flight recorders persist to \
+           $(docv)/node<i>/flight.bin — point `abcast-sim doctor` here \
+           afterwards. Send the process SIGUSR1 to force an immediate \
+           flight + metrics dump on a running cluster."
+        ~docv:"DIR")
+
 let live_t =
   let msgs = Arg.(value & opt int 30 & info [ "msgs" ] ~doc:"broadcast count") in
   let port = Arg.(value & opt int 7480 & info [ "port" ] ~doc:"UDP base port") in
@@ -776,7 +892,8 @@ let live_t =
   Term.(
     const live_cmd $ stack_arg $ consensus_arg $ window_arg $ topo_arg
     $ shards_arg $ partitioned_kv_arg $ n_arg $ msgs $ port $ backend $ fsync
-    $ metrics_port $ metrics_interval $ metrics_out $ min_rate)
+    $ metrics_port $ metrics_interval $ metrics_out $ trace_sample_arg
+    $ dir_arg $ min_rate)
 
 let service_t =
   let clients =
@@ -856,10 +973,63 @@ let service_t =
           ~doc:"fail (exit 1) if the completed-op rate lands below $(docv)"
           ~docv:"OPS_PER_S")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ]
+          ~doc:"append one JSON metrics snapshot per second to $(docv)"
+          ~docv:"FILE")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ]
+          ~doc:
+            "serve Prometheus metrics on 127.0.0.1:$(docv)/metrics, \
+             including the per-class abcast_service_request_us request \
+             histograms (class=write|lin|stale, labelled by shard group)"
+          ~docv:"PORT")
+  in
   Term.(
     const service_cmd $ n_arg $ shards_arg $ read_mode $ clients $ rate
     $ duration $ write_pct $ lin_pct $ lease_ms $ timeout $ port $ backend
-    $ fsync $ kills $ seed_arg $ min_rate)
+    $ fsync $ kills $ seed_arg $ trace_sample_arg $ dir_arg $ metrics_port
+    $ metrics_out $ min_rate)
+
+let doctor_t =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ]
+          ~doc:
+            "run directory to analyze (the --dir of a live/service run): \
+             node<i>/flight.bin dumps plus any .jsonl metrics snapshots"
+          ~docv:"DIR")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"print every trace's timeline")
+  in
+  let max_traces =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-traces" ] ~doc:"cap on traces reconstructed" ~docv:"N")
+  in
+  let min_complete =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "min-complete" ]
+          ~doc:
+            "fail (exit 1) unless at least $(docv) sampled traces were \
+             fully reconstructed end to end — the CI guard that a killed \
+             node's black box still explains its final broadcasts"
+          ~docv:"N")
+  in
+  Term.(const doctor_cmd $ dir $ verbose $ max_traces $ min_complete)
 
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in
@@ -882,8 +1052,18 @@ let cmds =
         (Cmd.info "service"
            ~doc:
              "drive the client service layer (exactly-once sessions, lease \
-              reads) under open-loop load on a live cluster")
+              reads) under open-loop load on a live cluster; SIGUSR1 dumps \
+              flight recorders + a metrics snapshot without stopping it")
         service_t;
+      Cmd.v
+        (Cmd.info "doctor"
+           ~doc:
+             "analyze a live run directory offline: merge per-node flight \
+              dumps and metrics snapshots into causal per-trace timelines, \
+              break latency into stages, and flag protocol anomalies \
+              (stuck instances, delivery gaps, dedup violations, lease \
+              overlaps); exits non-zero on anomaly for CI use")
+        doctor_t;
     ]
 
 let () = exit (Cmd.eval cmds)

@@ -29,7 +29,7 @@ let broadcast t data =
     { Payload.origin = t.io.self; boot = t.io.incarnation; seq = t.seq }
   in
   t.seq <- t.seq + 1;
-  let p = { Payload.id; data } in
+  let p = Payload.make id data in
   accept t p;
   id
 

@@ -30,6 +30,7 @@ val basic :
   ?max_batch_bytes:int ->
   ?ring_flush_us:int ->
   ?need_cap:int ->
+  ?trace_sample:int ->
   unit ->
   Proto.t
 (** The basic protocol (Fig. 2). [delta_gossip] (default true) gossips
@@ -38,7 +39,8 @@ val basic :
     [dissemination:`Ring] forwards payload batches around the successor
     ring instead of relying on gossip pulls (the stack name gains a
     ["+ring"] suffix); [max_batch_bytes] bounds one proposal's payload
-    bytes. *)
+    bytes. [trace_sample] (default 0 = off) samples every k-th broadcast
+    with a causal {!Trace_ctx} id carried on the wire. *)
 
 val alternative :
   ?consensus:consensus ->
@@ -56,6 +58,7 @@ val alternative :
   ?max_batch_bytes:int ->
   ?ring_flush_us:int ->
   ?need_cap:int ->
+  ?trace_sample:int ->
   ?app_factory:app_factory ->
   ?group_app_factory:group_app_factory ->
   unit ->
@@ -64,7 +67,10 @@ val alternative :
     {!Protocol.Make.Alternative.create}. [window > 1] pipelines that many
     consensus instances; [dissemination:`Ring] adds successor-ring
     payload forwarding. [need_cap] (default 128) bounds how many missing
-    payload ids one digest exchange will pull. *)
+    payload ids one digest exchange will pull. [trace_sample] (default 0
+    = off) samples every k-th broadcast with a causal {!Trace_ctx} id
+    carried on the wire and stamped into the flight recorder at every
+    hop. *)
 
 val throughput :
   ?consensus:consensus ->
@@ -73,6 +79,7 @@ val throughput :
   ?repair_period:int ->
   ?repair_full_every:int ->
   ?need_cap:int ->
+  ?trace_sample:int ->
   ?group_app_factory:group_app_factory ->
   unit ->
   Proto.t
@@ -83,7 +90,8 @@ val throughput :
     digests only repair. The repair path is tunable per shard:
     [repair_period] (default 10_000 µs) is the digest gossip cadence,
     [repair_full_every] (default 32) sends a full digest every that many
-    ticks, and [need_cap] (default 128) caps ids pulled per exchange. *)
+    ticks, and [need_cap] (default 128) caps ids pulled per exchange.
+    [trace_sample] enables causal trace sampling as in {!alternative}. *)
 
 val naive : ?consensus:consensus -> unit -> Proto.t
 (** The naive-logging strawman for ablations E1/E6: alternative protocol

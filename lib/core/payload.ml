@@ -28,7 +28,9 @@ end)
 let pp_id ppf { origin; boot; seq } =
   Format.fprintf ppf "p%d.%d.%d" origin boot seq
 
-type t = { id : id; data : string }
+type t = { id : id; data : string; trace : Trace_ctx.t }
+
+let make ?(trace = Trace_ctx.none) id data = { id; data; trace }
 
 let compare a b = compare_id a.id b.id
 
@@ -158,28 +160,42 @@ let[@inline] read_id r =
   let seq = Wire.read_varint r in
   { origin; boot; seq }
 
+(* Wire layout (v2): three zigzag id varints, then [len2] — the data
+   length shifted left one with the trace-presence flag in the low bit —
+   then the raw data bytes, then (iff flagged) the (node, stamp) trace
+   uvarint pair. The flag rides a bit that was free in the length
+   varint, so unsampled payloads (the overwhelming majority) cost zero
+   extra bytes over v1 for data under 64 bytes. *)
 let write_general w t =
   write_id w t.id;
-  Wire.write_string w t.data
+  let len = String.length t.data in
+  let traced = if t.trace = 0 then 0 else 1 in
+  Wire.write_uvarint w ((len lsl 1) lor traced);
+  let b = Wire.unsafe_reserve w len in
+  Bytes.blit_string t.data 0 b (Wire.length w) len;
+  Wire.unsafe_advance w len;
+  if traced = 1 then Trace_ctx.write w t.trace
 
-(* Fused fast path for the overwhelmingly common shape — all three id
-   zigzags and the data length fit in one varint byte each (ids are
-   small non-negative ints, payloads under 128 bytes): one capacity
-   reservation, four raw byte stores, one blit. Byte-identical to
-   [write_general]; anything larger falls back to it. *)
+(* Fused fast path for the overwhelmingly common shape — an unsampled
+   payload whose three id zigzags and shifted data length fit in one
+   varint byte each (ids are small non-negative ints, payloads under 64
+   bytes): one capacity reservation, four raw byte stores, one blit.
+   Byte-identical to [write_general]; anything larger, or any sampled
+   payload, falls back to it. *)
 let write w t =
   let { origin; boot; seq } = t.id in
   let z1 = (origin lsl 1) lxor (origin asr (Sys.int_size - 1)) in
   let z2 = (boot lsl 1) lxor (boot asr (Sys.int_size - 1)) in
   let z3 = (seq lsl 1) lxor (seq asr (Sys.int_size - 1)) in
   let len = String.length t.data in
-  if (z1 lor z2 lor z3 lor len) land lnot 0x7f = 0 then begin
+  if ((z1 lor z2 lor z3 lor (len lsl 1)) land lnot 0x7f) lor t.trace = 0
+  then begin
     let b = Wire.unsafe_reserve w (4 + len) in
     let i = Wire.length w in
     Bytes.unsafe_set b i (Char.unsafe_chr z1);
     Bytes.unsafe_set b (i + 1) (Char.unsafe_chr z2);
     Bytes.unsafe_set b (i + 2) (Char.unsafe_chr z3);
-    Bytes.unsafe_set b (i + 3) (Char.unsafe_chr len);
+    Bytes.unsafe_set b (i + 3) (Char.unsafe_chr (len lsl 1));
     Bytes.unsafe_blit_string t.data 0 b (i + 4) len;
     Wire.unsafe_advance w (4 + len)
   end
@@ -187,12 +203,21 @@ let write w t =
 
 let read_general r =
   let id = read_id r in
-  let data = Wire.read_string r in
-  { id; data }
+  let len2 = Wire.read_uvarint r in
+  let len = len2 lsr 1 in
+  if len > Wire.remaining r then
+    Wire.error "payload data length %d exceeds remaining %d bytes" len
+      (Wire.remaining r);
+  let p = Wire.unsafe_pos r in
+  let data = String.sub (Wire.unsafe_buf r) p len in
+  Wire.unsafe_seek r (p + len);
+  let trace = if len2 land 1 = 1 then Trace_ctx.read r else Trace_ctx.none in
+  { id; data; trace }
 
-(* Mirror of [write]'s fast path: four single varint bytes then the
-   data. Both guards keep it total — if any of the four bytes has the
-   continuation bit, or the data would run past the window, the general
+(* Mirror of [write]'s fast path: four single varint bytes (the fourth
+   with a clear trace flag) then the data. The guards keep it total — if
+   any of the four bytes has the continuation bit, the payload is
+   sampled, or the data would run past the window, the general
    (bounds-checked, multi-byte-aware) decoder takes over. *)
 let read r =
   let rem = Wire.remaining r in
@@ -202,8 +227,13 @@ let read r =
     let z1 = Char.code (String.unsafe_get s p) in
     let z2 = Char.code (String.unsafe_get s (p + 1)) in
     let z3 = Char.code (String.unsafe_get s (p + 2)) in
-    let len = Char.code (String.unsafe_get s (p + 3)) in
-    if (z1 lor z2 lor z3 lor len) < 0x80 && len <= rem - 4 then begin
+    let len2 = Char.code (String.unsafe_get s (p + 3)) in
+    let len = len2 lsr 1 in
+    if
+      (z1 lor z2 lor z3 lor len2) < 0x80
+      && len2 land 1 = 0
+      && len <= rem - 4
+    then begin
       let data = String.sub s (p + 4) len in
       Wire.unsafe_seek r (p + 4 + len);
       {
@@ -214,6 +244,7 @@ let read r =
             seq = (z3 lsr 1) lxor (-(z3 land 1));
           };
         data;
+        trace = Trace_ctx.none;
       }
     end
     else read_general r

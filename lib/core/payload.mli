@@ -22,8 +22,14 @@ module Id_tbl : Hashtbl.S with type key = id
 val pp_id : Format.formatter -> id -> unit
 (** Rendered as ["p<origin>.<boot>.<seq>"]. *)
 
-type t = { id : id; data : string }
-(** A message offered to [A-broadcast]. *)
+type t = { id : id; data : string; trace : Trace_ctx.t }
+(** A message offered to [A-broadcast]. [trace] is the sampled trace
+    context minted at broadcast time ({!Trace_ctx.none} for the
+    unsampled majority); it rides every hop so downstream nodes stamp
+    flight events with the originating broadcast's id. It never
+    influences identity, ordering, or delivery. *)
+
+val make : ?trace:Trace_ctx.t -> id -> string -> t
 
 val compare : t -> t -> int
 (** Orders by {!compare_id} (payload bytes never influence order). *)
@@ -45,8 +51,11 @@ val sorted_array : t list -> t array * int
     the returned array. The batch must be non-empty. Lets the batch
     encoder walk the sorted result without rebuilding a list. *)
 
-(** {2 Wire codec} — three zigzag varints for the identity, a
-    length-prefixed string for the payload bytes. *)
+(** {2 Wire codec} — three zigzag varints for the identity, then the
+    data length shifted left one with the trace-presence flag in the low
+    bit, the raw payload bytes, and (iff flagged) the trace context's
+    (node, stamp) uvarint pair. Unsampled payloads cost zero extra bytes
+    over the flag bit. *)
 
 val write_id : Abcast_util.Wire.writer -> id -> unit
 

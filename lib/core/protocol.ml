@@ -1,5 +1,6 @@
 module Engine = Abcast_sim.Engine
 module Storage = Abcast_sim.Storage
+module Flight = Abcast_sim.Flight
 module Metrics = Abcast_sim.Metrics
 module Heartbeat = Abcast_fd.Heartbeat
 module Omega = Abcast_fd.Omega
@@ -219,6 +220,10 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
            batch is the whole backlog, cut at this bound *)
     ring_flush_us : int; (* coalescing delay before forwarding ring entries *)
     need_cap : int; (* max missing ids pulled per digest exchange *)
+    trace_sample : int;
+        (* 0 = no causal tracing; k > 0 samples every k-th local
+           broadcast: mint a [Trace_ctx] carried on the payload across
+           every hop, so all nodes stamp flight events with it *)
     app : app option;
   }
 
@@ -238,6 +243,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       max_batch_bytes = 24_000;
       ring_flush_us = 400;
       need_cap = 128;
+      trace_sample = 0;
       app = None;
     }
 
@@ -466,8 +472,17 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   let span_key (id : Payload.id) =
     Printf.sprintf "%d.%d.%d" id.origin id.boot id.seq
 
+  (* One flight event on this node's recorder (a no-op unless the run
+     wired a real recorder into the engine io — the live runtime does). *)
+  let[@inline] flight t ~stage ~trace ~a ~b =
+    Flight.record t.io.flight ~time:(t.io.now ()) ~node:t.io.self
+      ~group:t.io.group ~boot:t.io.incarnation ~stage ~trace ~a ~b
+
   let deliver_one t (p : Payload.t) =
     Metrics.hincr t.mh.h_delivered;
+    if p.trace <> 0 then
+      flight t ~stage:Flight.apply ~trace:p.trace
+        ~a:(Agreed.total_len t.agreed) ~b:0;
     (match Ptbl.find_opt t.pending p.id with
     | Some pe ->
       Ptbl.remove t.pending p.id;
@@ -550,6 +565,17 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           Metrics.sobserve t.mh.s_stage_b2p (float_of_int (now - pe.p_t0))
         | _ -> ())
       batch;
+    if Flight.enabled t.io.flight then begin
+      (* One untraced event per opened instance (the doctor's
+         stuck-instance scan keys on these), plus one per sampled
+         payload linking its trace to the instance that carries it. *)
+      flight t ~stage:Flight.propose ~trace:0 ~a:j ~b:(List.length batch);
+      List.iter
+        (fun (p : Payload.t) ->
+          if p.trace <> 0 then
+            flight t ~stage:Flight.propose ~trace:p.trace ~a:j ~b:0)
+        batch
+    end;
     own_props_set t j (List.map (fun (p : Payload.t) -> p.id) batch);
     M.propose t.multi j value
 
@@ -635,6 +661,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
            && (repr.base_app <> None
               || Agreed.total_len t.agreed >= repr.base_len) ->
       t.io.emit (Printf.sprintf "state transfer: k %d -> %d" (committed t) ks);
+      (* The jump event excuses the skipped instances in the doctor's
+         delivery-gap scan: adopted prefixes never saw local decides. *)
+      flight t ~stage:Flight.stjump ~trace:0 ~a:(committed t) ~b:ks;
       (* "Terminate task sequencer": in-flight decisions below [ks] are
          ignored from now on because the commit cursor jumps past them. *)
       (match Agreed.adopt t.agreed repr with
@@ -754,7 +783,11 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   let on_gossip t ~src kq ~len_q uq =
     List.iter
       (fun (p : Payload.t) ->
-        if not (Agreed.contains t.agreed p.id) then unordered_add t p)
+        if not (Agreed.contains t.agreed p.id) then begin
+          if p.trace <> 0 && not (unordered_mem t p.id) then
+            flight t ~stage:Flight.rx_gossip ~trace:p.trace ~a:src ~b:0;
+          unordered_add t p
+        end)
       uq;
     if kq > committed t then t.gossip_k <- max t.gossip_k kq;
     (match t.mode.delta with
@@ -766,6 +799,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     List.iter
       (fun (hops, (p : Payload.t)) ->
         if not (Agreed.contains t.agreed p.id) then begin
+          if p.trace <> 0 && not (unordered_mem t p.id) then
+            flight t ~stage:Flight.rx_ring ~trace:p.trace ~a:src ~b:0;
           unordered_add t p;
           ring_enqueue t (hops - 1) p
         end)
@@ -840,9 +875,30 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   (* --- A-broadcast --------------------------------------------------- *)
 
   let broadcast t ?on_agreed data =
-    let id = { Payload.origin = t.io.self; boot = t.io.incarnation; seq = t.seq } in
+    let seq = t.seq in
+    let id = { Payload.origin = t.io.self; boot = t.io.incarnation; seq } in
     t.seq <- t.seq + 1;
-    let p = { Payload.id; data } in
+    (* Sampling is deterministic (every [trace_sample]-th local seq), so
+       a fixed fraction of broadcasts is traced without an RNG draw on
+       the hot path. The stamp packs (seq, group, boot) so it stays
+       unique across shard groups and reboots of the same node. *)
+    let trace =
+      let s = t.mode.trace_sample in
+      if
+        s > 0
+        && seq mod s = 0
+        && t.io.self <= Trace_ctx.max_node
+        && seq <= Trace_ctx.max_stamp lsr 10
+      then
+        Trace_ctx.make ~node:t.io.self
+          ~stamp:
+            ((((seq lsl 4) lor (t.io.group land 0xf)) lsl 6)
+            lor (t.io.incarnation land 0x3f))
+      else Trace_ctx.none
+    in
+    let p = { Payload.id; data; trace } in
+    if trace <> 0 then
+      flight t ~stage:Flight.bcast ~trace ~a:seq ~b:(String.length data);
     unordered_add t p;
     Ptbl.replace t.pending id
       { p_t0 = t.io.now (); p_proposed = -1; p_cb = on_agreed };
@@ -904,6 +960,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         ~leader:(Omega.of_heartbeat hb)
         ~on_decide:(fun k v ->
           with_t (fun t ->
+              flight t ~stage:Flight.decide ~trace:0 ~a:k
+                ~b:(String.length v);
               (* Buffer out-of-order decisions; only a decision at the
                  cursor lets the drain loop make progress. *)
               M.Pipeline.note_decided t.pipe k v;
@@ -1056,12 +1114,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     let create ?(gossip_period = 3_000) ?(delta_gossip = true)
         ?(gossip_full_every = 8) ?(dissemination = `Gossip)
         ?(max_batch_bytes = 24_000) ?(ring_flush_us = 400) ?(need_cap = 128)
-        io ~on_deliver =
+        ?(trace_sample = 0) io ~on_deliver =
       if gossip_full_every < 1 then
         invalid_arg "Basic.create: gossip_full_every must be >= 1";
       if max_batch_bytes < 1 then
         invalid_arg "Basic.create: max_batch_bytes must be >= 1";
       if need_cap < 0 then invalid_arg "Basic.create: need_cap must be >= 0";
+      if trace_sample < 0 then
+        invalid_arg "Basic.create: trace_sample must be >= 0";
       create_node io
         {
           basic_mode with
@@ -1072,6 +1132,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           max_batch_bytes;
           ring_flush_us;
           need_cap;
+          trace_sample;
         }
         ~on_deliver
   end
@@ -1089,7 +1150,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         ?(paranoid_log = false) ?(window = 1) ?(trim_state = true)
         ?(delta_gossip = true) ?(gossip_full_every = 8)
         ?(dissemination = `Gossip) ?(max_batch_bytes = 24_000)
-        ?(ring_flush_us = 400) ?(need_cap = 128) ?app io ~on_deliver =
+        ?(ring_flush_us = 400) ?(need_cap = 128) ?(trace_sample = 0) ?app io
+        ~on_deliver =
       if window < 1 then invalid_arg "Alternative.create: window must be >= 1";
       if gossip_full_every < 1 then
         invalid_arg "Alternative.create: gossip_full_every must be >= 1";
@@ -1097,6 +1159,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         invalid_arg "Alternative.create: max_batch_bytes must be >= 1";
       if need_cap < 0 then
         invalid_arg "Alternative.create: need_cap must be >= 0";
+      if trace_sample < 0 then
+        invalid_arg "Alternative.create: trace_sample must be >= 0";
       create_node io
         {
           gossip_period;
@@ -1113,6 +1177,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           max_batch_bytes;
           ring_flush_us;
           need_cap;
+          trace_sample;
           app;
         }
         ~on_deliver

@@ -152,6 +152,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?max_batch_bytes:int ->
       ?ring_flush_us:int ->
       ?need_cap:int ->
+      ?trace_sample:int ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
       t
@@ -176,7 +177,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         consensus proposal's payload bytes — the adaptive batch is the
         whole backlog, cut at this budget. [need_cap] (default 128)
         bounds how many missing ids one digest exchange will pull — the
-        repair path's flow control. *)
+        repair path's flow control.
+
+        [trace_sample] (default 0 = off) samples every [trace_sample]-th
+        local broadcast for causal tracing: the payload carries a
+        {!Trace_ctx} across every hop and each node records
+        flight-recorder events stamped with it (see
+        {!Abcast_sim.Flight}). *)
   end
 
   (** The alternative protocol (Figs. 3–5). *)
@@ -203,6 +210,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?max_batch_bytes:int ->
       ?ring_flush_us:int ->
       ?need_cap:int ->
+      ?trace_sample:int ->
       ?app:app ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
@@ -239,8 +247,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         predecessor is missing is skipped deterministically and
         re-proposed rather than breaking the FIFO invariant.
 
-        [dissemination]/[max_batch_bytes]/[ring_flush_us]/[need_cap]: as
-        in {!Basic.create}. *)
+        [dissemination]/[max_batch_bytes]/[ring_flush_us]/[need_cap]/
+        [trace_sample]: as in {!Basic.create}. *)
 
     val checkpoint_now : t -> unit
     (** Force a checkpoint immediately (tests and examples). *)

@@ -1,0 +1,55 @@
+(* Sampled per-payload trace context, packed into one immediate int.
+
+   A sampled broadcast mints a context from its originating node and a
+   per-node stamp (the broadcast sequence number); every hop, consensus
+   round, WAL write and apply it causes — on any node — records flight
+   events tagged with this id, so the doctor can stitch one cross-node
+   causal timeline per sampled message.
+
+   Packing: [(((stamp lsl 7) lor node) lsl 1) lor 1]. The low bit is
+   always set for a sampled context, so [0] unambiguously means
+   "unsampled" and the hot paths test a single int against zero. Node
+   ids get 7 bits (clusters here are small); the stamp gets the rest.
+
+   Wire form: a (node, stamp) uvarint pair, written only for sampled
+   payloads — the unsampled path pays zero bytes and zero branches
+   beyond the flag bit already carried by the payload length varint. *)
+
+module Wire = Abcast_util.Wire
+
+type t = int
+
+let none = 0
+let[@inline] is_sampled t = t <> 0
+
+let max_node = 0x7f
+let max_stamp = max_int lsr 8
+
+let make ~node ~stamp =
+  if node < 0 || node > max_node then
+    invalid_arg "Trace_ctx.make: node out of range";
+  if stamp < 0 || stamp > max_stamp then
+    invalid_arg "Trace_ctx.make: stamp out of range";
+  (((stamp lsl 7) lor node) lsl 1) lor 1
+
+let[@inline] node t = (t lsr 1) land 0x7f
+let[@inline] stamp t = t lsr 8
+
+let write w t =
+  Wire.write_uvarint w (node t);
+  Wire.write_uvarint w (stamp t)
+
+let read r =
+  let node = Wire.read_uvarint r in
+  if node > max_node then Wire.error "trace node %d out of range" node;
+  let stamp = Wire.read_uvarint r in
+  if stamp < 0 || stamp > max_stamp then
+    Wire.error "trace stamp out of range";
+  (((stamp lsl 7) lor node) lsl 1) lor 1
+
+let to_string t =
+  if t = 0 then "-" else Printf.sprintf "t%d.%d" (node t) (stamp t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal = Int.equal
+let compare = Int.compare

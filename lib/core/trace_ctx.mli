@@ -1,0 +1,48 @@
+(** Sampled per-payload trace context.
+
+    A context identifies one sampled broadcast cluster-wide: the
+    originating node and a per-node stamp, packed into a single
+    immediate int whose low bit is always set — so {!none} ([0]) means
+    "unsampled" and hot paths pay one compare-against-zero. Carried
+    inside {!Payload.t} across every wire hop (ring, gossip, consensus
+    values, WAL records, state transfer), it lets each node stamp its
+    flight-recorder events with the {e originating} broadcast's id.
+
+    On the wire a sampled context is a (node, stamp) uvarint pair;
+    unsampled payloads carry zero extra bytes (the presence flag rides
+    the payload length varint — see {!Payload}). *)
+
+type t = int
+
+val none : t
+(** [0]: not sampled. *)
+
+val is_sampled : t -> bool
+
+val make : node:int -> stamp:int -> t
+(** Mint a sampled context. [node] must fit in 7 bits, [stamp] in the
+    remaining width ({!max_stamp}); raises [Invalid_argument]
+    otherwise. Always nonzero. *)
+
+val max_node : int
+val max_stamp : int
+
+val node : t -> int
+(** Originating node of a sampled context. *)
+
+val stamp : t -> int
+(** Originating per-node stamp of a sampled context. *)
+
+val write : Abcast_util.Wire.writer -> t -> unit
+(** Uvarint pair. Only call for sampled contexts — the caller's framing
+    encodes presence. *)
+
+val read : Abcast_util.Wire.reader -> t
+(** Inverse of {!write}; rejects out-of-range fields via [Wire.error]. *)
+
+val to_string : t -> string
+(** ["t<node>.<stamp>"], or ["-"] for {!none}. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

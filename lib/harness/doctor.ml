@@ -1,0 +1,501 @@
+(* Offline trace analyzer behind [abcast-sim doctor].
+
+   Input is a live run directory: per-node flight-recorder dumps
+   ([node<i>/flight.bin], written by the runtime next to each WAL) plus
+   any JSONL metrics snapshot files the run left at the top level. The
+   analyzer merges every node's events into one timeline (the live
+   runtime stamps all flight events against one shared epoch, so
+   cross-node times are directly comparable), reconstructs the causal
+   path of every sampled broadcast, breaks the end-to-end latency into
+   stages, and cross-checks the merged history for protocol anomalies.
+
+   The anomaly rules only ever compare facts the total order makes
+   deterministic (apply positions, instance numbers, lease floors), so
+   they are robust to the ring buffer having dropped old events: a
+   missing event can hide an anomaly but never invent one. *)
+
+module Flight = Abcast_sim.Flight
+module Trace_ctx = Abcast_core.Trace_ctx
+
+type trace_info = {
+  tid : int;
+  origin : int;  (* node packed into the trace id *)
+  submit_time : int option;  (* linked via the ack's (session, seq) *)
+  bcast_time : int option;
+  first_rx : (int * int) list;  (* (node, time), one per remote node *)
+  proposes : (int * int) list;  (* (instance, time) *)
+  decide_time : int option;
+  applies : (int * int * int) list;  (* (node, time, apply position) *)
+  ack_time : int option;
+  complete : bool;
+      (* bcast + propose + decide + >= 1 apply all present: the causal
+         path can be walked end to end from the dumps *)
+}
+
+type stage_stat = {
+  stage : string;
+  count : int;
+  mean_us : float;
+  max_us : float;
+}
+
+type anomaly = { code : string; detail : string }
+
+type report = {
+  dir : string;
+  nodes : int list;  (* node ids a dump was loaded for *)
+  events : int;
+  dropped : int;  (* summed ring overwrites across nodes *)
+  boots : (int * int) list;  (* node -> boots seen in its dump *)
+  traces : trace_info list;
+  stages : stage_stat list;
+  anomalies : anomaly list;
+  snapshots : int;  (* JSONL metrics lines merged *)
+  notes : string list;
+}
+
+(* ---- loading -------------------------------------------------------- *)
+
+let list_node_dumps dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter_map (fun e ->
+           if String.length e > 4 && String.sub e 0 4 = "node" then
+             match int_of_string_opt (String.sub e 4 (String.length e - 4)) with
+             | Some i ->
+               let path = Filename.concat (Filename.concat dir e) "flight.bin" in
+               if Sys.file_exists path then Some (i, path) else None
+             | None -> None
+           else None)
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+let list_jsonl dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun e -> Filename.check_suffix e ".jsonl")
+    |> List.map (Filename.concat dir)
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+let count_lines path =
+  try
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  with Sys_error _ -> 0
+
+(* ---- analysis ------------------------------------------------------- *)
+
+let us f = float_of_int f
+
+let mk_stage name samples =
+  match samples with
+  | [] -> None
+  | _ ->
+    let n = List.length samples in
+    let sum = List.fold_left ( +. ) 0. samples in
+    let mx = List.fold_left Float.max neg_infinity samples in
+    Some { stage = name; count = n; mean_us = sum /. float_of_int n; max_us = mx }
+
+let analyze ?(max_traces = 64) ~dir () =
+  let dumps = list_node_dumps dir in
+  if dumps = [] then Error (Printf.sprintf "%s: no node*/flight.bin dumps" dir)
+  else begin
+    let notes = ref [] in
+    let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+    let loaded =
+      List.filter_map
+        (fun (i, path) ->
+          match Flight.load_file path with
+          | Ok d -> Some (i, d)
+          | Error e ->
+            note "node %d: unreadable flight dump (%s)" i e;
+            None)
+        dumps
+    in
+    if loaded = [] then Error (Printf.sprintf "%s: no readable flight dumps" dir)
+    else begin
+      let all =
+        List.concat_map (fun (_, d) -> d.Flight.d_events) loaded
+        |> List.sort (fun (a : Flight.event) b ->
+               compare (a.e_time, a.e_node, a.e_stage) (b.e_time, b.e_node, b.e_stage))
+      in
+      let dropped =
+        List.fold_left (fun acc (_, d) -> acc + d.Flight.d_dropped) 0 loaded
+      in
+      let boots =
+        List.map
+          (fun (i, d) ->
+            let bs =
+              List.filter (fun (e : Flight.event) -> e.e_stage = Flight.boot)
+                d.Flight.d_events
+            in
+            (i, List.length bs))
+          loaded
+      in
+      (* index events by kind once *)
+      let by_stage st =
+        List.filter (fun (e : Flight.event) -> e.e_stage = st) all
+      in
+      let rx =
+        List.filter
+          (fun (e : Flight.event) ->
+            e.e_stage = Flight.rx_ring || e.e_stage = Flight.rx_gossip)
+          all
+      in
+      let decides = by_stage Flight.decide in
+      let proposes_all = by_stage Flight.propose in
+      let applies_all = by_stage Flight.apply in
+      let acks = by_stage Flight.ack in
+      let submits = by_stage Flight.submit in
+      let stjumps = by_stage Flight.stjump in
+      let leases = by_stage Flight.lease in
+      (* every distinct sampled trace id, in first-seen order *)
+      let tids = Hashtbl.create 64 in
+      let tid_order = ref [] in
+      List.iter
+        (fun (e : Flight.event) ->
+          if e.e_trace <> 0 && not (Hashtbl.mem tids e.e_trace) then begin
+            Hashtbl.add tids e.e_trace ();
+            tid_order := e.e_trace :: !tid_order
+          end)
+        all;
+      let tid_order = List.rev !tid_order in
+      if List.length tid_order > max_traces then
+        note "showing first %d of %d sampled traces" max_traces
+          (List.length tid_order);
+      let decide_time_of ~group j t_p =
+        List.fold_left
+          (fun acc (e : Flight.event) ->
+            if e.e_a = j && e.e_group = group && e.e_time >= t_p then
+              match acc with
+              | Some t when t <= e.e_time -> acc
+              | _ -> Some e.e_time
+            else acc)
+          None decides
+      in
+      let trace_of tid =
+        let ev = List.filter (fun (e : Flight.event) -> e.e_trace = tid) all in
+        let find st =
+          List.find_opt (fun (e : Flight.event) -> e.e_stage = st) ev
+        in
+        let bcast = find Flight.bcast in
+        let group =
+          match ev with e :: _ -> e.e_group | [] -> 0
+        in
+        let origin = Trace_ctx.node tid in
+        (* first sight per remote node *)
+        let first_rx =
+          List.fold_left
+            (fun acc (e : Flight.event) ->
+              if e.e_trace = tid && not (List.mem_assoc e.e_node acc) then
+                (e.e_node, e.e_time) :: acc
+              else acc)
+            [] rx
+          |> List.rev
+        in
+        let proposes =
+          List.filter_map
+            (fun (e : Flight.event) ->
+              if e.e_trace = tid then Some (e.e_a, e.e_time) else None)
+            proposes_all
+        in
+        let decide_time =
+          List.fold_left
+            (fun acc (j, t_p) ->
+              match (acc, decide_time_of ~group j t_p) with
+              | None, d -> d
+              | d, None -> d
+              | Some a, Some b -> Some (min a b))
+            None proposes
+        in
+        let applies =
+          List.filter_map
+            (fun (e : Flight.event) ->
+              if e.e_trace = tid then Some (e.e_node, e.e_time, e.e_a) else None)
+            applies_all
+        in
+        let ack = List.find_opt (fun (e : Flight.event) -> e.e_trace = tid) acks in
+        (* the ack carries (session, seq); the matching submit is the
+           untraced event with the same operands at the ack's node *)
+        let submit_time =
+          match ack with
+          | None -> None
+          | Some a ->
+            List.find_opt
+              (fun (e : Flight.event) ->
+                e.e_node = a.e_node && e.e_a = a.e_a && e.e_b = a.e_b)
+              submits
+            |> Option.map (fun (e : Flight.event) -> e.e_time)
+        in
+        {
+          tid;
+          origin;
+          submit_time;
+          bcast_time = Option.map (fun (e : Flight.event) -> e.e_time) bcast;
+          first_rx;
+          proposes;
+          decide_time;
+          applies;
+          ack_time = Option.map (fun (e : Flight.event) -> e.e_time) ack;
+          complete =
+            bcast <> None && proposes <> [] && decide_time <> None
+            && applies <> [];
+        }
+      in
+      let traces =
+        List.filteri (fun i _ -> i < max_traces) tid_order |> List.map trace_of
+      in
+      (* ---- per-stage latency breakdown ---- *)
+      let collect f = List.concat_map f traces in
+      let stages =
+        List.filter_map Fun.id
+          [
+            mk_stage "submit->bcast"
+              (collect (fun t ->
+                   match (t.submit_time, t.bcast_time) with
+                   | Some s, Some b when b >= s -> [ us (b - s) ]
+                   | _ -> []));
+            mk_stage "bcast->rx (dissemination)"
+              (collect (fun t ->
+                   match t.bcast_time with
+                   | Some b ->
+                     List.filter_map
+                       (fun (n, r) ->
+                         if n <> t.origin && r >= b then Some (us (r - b))
+                         else None)
+                       t.first_rx
+                   | None -> []));
+            mk_stage "propose->decide (consensus)"
+              (collect (fun t ->
+                   match (t.proposes, t.decide_time) with
+                   | (_, p) :: _, Some d when d >= p -> [ us (d - p) ]
+                   | _ -> []));
+            mk_stage "decide->apply"
+              (collect (fun t ->
+                   match t.decide_time with
+                   | Some d ->
+                     List.filter_map
+                       (fun (_, ta, _) ->
+                         if ta >= d then Some (us (ta - d)) else None)
+                       t.applies
+                   | None -> []));
+            mk_stage "apply->ack"
+              (collect (fun t ->
+                   match (t.ack_time, t.applies) with
+                   | Some a, (_ :: _ as aps) ->
+                     let first =
+                       List.fold_left (fun m (_, ta, _) -> min m ta) max_int aps
+                     in
+                     if a >= first then [ us (a - first) ] else []
+                   | _ -> []));
+            mk_stage "wal append (dur)"
+              (List.filter_map
+                 (fun (e : Flight.event) ->
+                   if e.e_stage = Flight.wal_append then Some (us e.e_a)
+                   else None)
+                 all);
+            mk_stage "wal fsync (dur)"
+              (List.filter_map
+                 (fun (e : Flight.event) ->
+                   if e.e_stage = Flight.wal_fsync then Some (us e.e_a) else None)
+                 all);
+          ]
+      in
+      (* ---- anomalies ---- *)
+      let anomalies = ref [] in
+      let flag code fmt =
+        Printf.ksprintf (fun detail -> anomalies := { code; detail } :: !anomalies) fmt
+      in
+      (* stuck consensus instance: proposed at some node, never decided
+         anywhere in its group, while a later instance of that group did
+         decide (so it is not just in flight at the end of the run) *)
+      let groups =
+        List.sort_uniq compare
+          (List.map (fun (e : Flight.event) -> e.e_group) all)
+      in
+      List.iter
+        (fun g ->
+          let decided =
+            List.filter_map
+              (fun (e : Flight.event) ->
+                if e.e_group = g then Some e.e_a else None)
+              decides
+          in
+          let max_decided = List.fold_left max (-1) decided in
+          let proposed =
+            List.filter_map
+              (fun (e : Flight.event) ->
+                if e.e_group = g && e.e_trace = 0 then Some e.e_a else None)
+              proposes_all
+            |> List.sort_uniq compare
+          in
+          List.iter
+            (fun j ->
+              if j < max_decided && not (List.mem j decided) then
+                flag "stuck-instance"
+                  "group %d: instance %d proposed but never decided (max \
+                   decided %d)"
+                  g j max_decided)
+            proposed)
+        groups;
+      (* dedup violation: one sampled payload applied twice by the same
+         incarnation of the same node (recovery replay legitimately
+         re-applies under a higher boot, so the boot scopes the check) *)
+      let seen_apply = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Flight.event) ->
+          if e.e_trace <> 0 then begin
+            let k = (e.e_trace, e.e_node, e.e_group, e.e_boot) in
+            if Hashtbl.mem seen_apply k then
+              flag "dedup-violation"
+                "node %d (boot %d): trace %s applied twice" e.e_node e.e_boot
+                (Trace_ctx.to_string e.e_trace)
+            else Hashtbl.add seen_apply k ()
+          end)
+        applies_all;
+      (* delivery gap: the total order fixes what sits at each apply
+         position of a group, so a node whose dump brackets position p
+         (applies below and above) without applying p itself skipped a
+         delivery — unless a state-transfer jump on that node explains
+         the hole *)
+      let jump_nodes =
+        List.sort_uniq compare
+          (List.map (fun (e : Flight.event) -> (e.e_node, e.e_group)) stjumps)
+      in
+      List.iter
+        (fun t ->
+          match t.applies with
+          | [] -> ()
+          | (_, _, pos) :: _ ->
+            let g =
+              match
+                List.find_opt (fun (e : Flight.event) -> e.e_trace = t.tid) all
+              with
+              | Some e -> e.e_group
+              | None -> 0
+            in
+            List.iter
+              (fun (i, _) ->
+                let mine =
+                  List.filter_map
+                    (fun (e : Flight.event) ->
+                      if
+                        e.e_stage = Flight.apply && e.e_node = i && e.e_group = g
+                        && e.e_trace <> 0
+                      then Some (e.e_trace, e.e_a)
+                      else None)
+                    all
+                in
+                let has_tid = List.exists (fun (tid, _) -> tid = t.tid) mine in
+                let below = List.exists (fun (_, p) -> p < pos) mine in
+                let above = List.exists (fun (_, p) -> p > pos) mine in
+                if
+                  (not has_tid) && below && above
+                  && not (List.mem (i, g) jump_nodes)
+                then
+                  flag "delivery-gap"
+                    "node %d: applied positions around %d of group %d but \
+                     never trace %s"
+                    i pos g (Trace_ctx.to_string t.tid))
+              boots)
+        traces;
+      (* overlapping lease: a Lease renewal granted to a node that is not
+         the last Claim holder on that observer's timeline means two
+         nodes could serve lease reads at once *)
+      let last_claim = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Flight.event) ->
+          let k = (e.e_node, e.e_group) in
+          if e.e_b land 2 <> 0 then Hashtbl.replace last_claim k e.e_a
+          else
+            match Hashtbl.find_opt last_claim k with
+            | Some holder when holder <> e.e_a ->
+              flag "lease-overlap"
+                "node %d group %d: lease renewed for node %d while floor is \
+                 held by node %d"
+                e.e_node e.e_group e.e_a holder
+            | _ -> ())
+        leases;
+      let snapshots =
+        List.fold_left (fun acc p -> acc + count_lines p) 0 (list_jsonl dir)
+      in
+      Ok
+        {
+          dir;
+          nodes = List.map fst loaded;
+          events = List.length all;
+          dropped;
+          boots;
+          traces;
+          stages;
+          anomalies = List.rev !anomalies;
+          snapshots;
+          notes = List.rev !notes;
+        }
+    end
+  end
+
+let has_anomalies r = r.anomalies <> []
+
+let reconstructed r =
+  List.filter (fun t -> t.complete) r.traces |> List.length
+
+(* ---- rendering ------------------------------------------------------ *)
+
+let render ?(verbose = false) r =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "doctor: %s\n" r.dir;
+  pf "  dumps: nodes [%s], %d events (%d overwritten in rings), %d metrics \
+      snapshot lines\n"
+    (String.concat ";" (List.map string_of_int r.nodes))
+    r.events r.dropped r.snapshots;
+  List.iter (fun (i, n) -> if n > 1 then pf "  node %d: %d boots\n" i n) r.boots;
+  List.iter (fun n -> pf "  note: %s\n" n) r.notes;
+  pf "  traces: %d sampled, %d fully reconstructed\n" (List.length r.traces)
+    (reconstructed r);
+  List.iter
+    (fun t ->
+      if verbose || not t.complete then begin
+        pf "    %s (origin node %d)%s\n" (Trace_ctx.to_string t.tid) t.origin
+          (if t.complete then "" else "  [incomplete]");
+        let ev name = function
+          | Some ti -> pf "      %-10s @%d us\n" name ti
+          | None -> pf "      %-10s (missing)\n" name
+        in
+        ev "submit" t.submit_time;
+        ev "bcast" t.bcast_time;
+        List.iter (fun (n, ti) -> pf "      rx @ node %d @%d us\n" n ti) t.first_rx;
+        List.iter (fun (j, ti) -> pf "      propose[%d] @%d us\n" j ti) t.proposes;
+        ev "decide" t.decide_time;
+        List.iter
+          (fun (n, ti, pos) -> pf "      apply @ node %d pos %d @%d us\n" n pos ti)
+          t.applies;
+        ev "ack" t.ack_time
+      end)
+    r.traces;
+  if r.stages <> [] then begin
+    pf "  stage latency (us):\n";
+    List.iter
+      (fun s ->
+        pf "    %-28s n=%-5d mean=%-10.1f max=%.1f\n" s.stage s.count s.mean_us
+          s.max_us)
+      r.stages
+  end;
+  if r.anomalies = [] then pf "  anomalies: none\n"
+  else begin
+    pf "  anomalies: %d\n" (List.length r.anomalies);
+    List.iter (fun a -> pf "    [%s] %s\n" a.code a.detail) r.anomalies
+  end;
+  Buffer.contents b

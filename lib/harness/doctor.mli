@@ -1,0 +1,73 @@
+(** Offline causal trace analyzer ([abcast-sim doctor]).
+
+    Merges the per-node flight-recorder dumps of a live run directory
+    ([node<i>/flight.bin], see {!Abcast_sim.Flight}) with any JSONL
+    metrics snapshots next to them, reconstructs the cross-node causal
+    timeline of every sampled broadcast (submit → broadcast →
+    dissemination hops → propose/decide → apply → ack), breaks the
+    latency into per-stage components, and cross-checks the merged
+    history for protocol anomalies:
+
+    - [stuck-instance] — a consensus instance proposed but never decided
+      anywhere while later instances of its group did decide;
+    - [delivery-gap] — a node whose apply positions bracket a sampled
+      payload's position without ever applying it (state-transfer jumps
+      excuse the hole);
+    - [dedup-violation] — one sampled payload applied twice by the same
+      incarnation of a node;
+    - [lease-overlap] — a read-index lease renewed for a node that is
+      not the current claim holder.
+
+    All rules compare facts the total order makes deterministic, so a
+    ring buffer that overwrote old events can hide an anomaly but never
+    fabricate one. *)
+
+type trace_info = {
+  tid : int;  (** packed {!Abcast_core.Trace_ctx} id *)
+  origin : int;  (** originating node (from the id) *)
+  submit_time : int option;
+  bcast_time : int option;
+  first_rx : (int * int) list;  (** (node, µs) first sight per node *)
+  proposes : (int * int) list;  (** (instance, µs) *)
+  decide_time : int option;
+  applies : (int * int * int) list;  (** (node, µs, apply position) *)
+  ack_time : int option;
+  complete : bool;  (** full causal path present in the dumps *)
+}
+
+type stage_stat = {
+  stage : string;
+  count : int;
+  mean_us : float;
+  max_us : float;
+}
+
+type anomaly = { code : string; detail : string }
+
+type report = {
+  dir : string;
+  nodes : int list;
+  events : int;
+  dropped : int;
+  boots : (int * int) list;
+  traces : trace_info list;
+  stages : stage_stat list;
+  anomalies : anomaly list;
+  snapshots : int;
+  notes : string list;
+}
+
+val analyze : ?max_traces:int -> dir:string -> unit -> (report, string) result
+(** Load and analyze a run directory. [max_traces] (default 64) bounds
+    how many sampled traces are fully reconstructed. [Error] only when
+    no readable dump exists at all; individual unreadable dumps become
+    report notes. *)
+
+val has_anomalies : report -> bool
+
+val reconstructed : report -> int
+(** Number of analyzed traces whose full causal path was recovered. *)
+
+val render : ?verbose:bool -> report -> string
+(** Human-readable report. [verbose] prints every trace's timeline;
+    otherwise only incomplete traces are expanded. *)

@@ -6,6 +6,7 @@ module Rng = Abcast_util.Rng
 module Heap = Abcast_util.Heap
 module Wire = Abcast_util.Wire
 module Payload = Abcast_core.Payload
+module Flight = Abcast_sim.Flight
 
 type net_stats = { tx_oversize : int; rx_undecodable : int }
 
@@ -40,6 +41,11 @@ type node = {
   mutable thread : Thread.t option;
   mutable ops : node_ops option; (* written by the node thread at boot *)
   mutable boots : int;
+  flight : Flight.t;
+      (* the node's crash flight recorder. Created once per node (not per
+         incarnation) so a recovery appends after the crash's last events
+         instead of erasing them; persisted to [dir/node<i>/flight.bin]
+         periodically, at loop exit and on {!request_dump}. *)
 }
 
 type t = {
@@ -53,6 +59,13 @@ type t = {
   wake_sock : Unix.file_descr; (* unbound socket used to poke loops *)
   start_node : int -> unit; (* closes over the protocol's message type *)
   epoch : float;
+  mutable dump_epoch : int;
+      (* bumped by [request_dump] (e.g. from a SIGUSR1 handler); each
+         node loop compares it against its last-seen value and dumps its
+         flight recorder when behind *)
+  mutable prom_extra : (Buffer.t -> unit) list;
+      (* extra render hooks appended to the Prometheus dump — the
+         service layer exports its per-class latency histograms here *)
   (* metrics exporter machinery (threads started by [create] on demand,
      torn down by [shutdown]) *)
   mutable metrics_stop : bool;
@@ -154,7 +167,7 @@ let drain_socket sock =
   go ()
 
 let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
-    ~on_deliver () =
+    ~flight_cap ~on_deliver () =
   let nodes =
     Array.init n (fun id ->
         let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
@@ -171,6 +184,9 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
           thread = None;
           ops = None;
           boots = 0;
+          flight =
+            (if flight_cap > 0 then Flight.create ~cap:flight_cap ()
+             else Flight.disabled);
         })
   in
   let wake_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
@@ -190,17 +206,22 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
       metrics_stop = false;
       metrics_listen = None;
       metrics_threads = [];
+      dump_epoch = 0;
+      prom_extra = [];
     }
   (* The node event loop. Everything protocol-related happens here. *)
   and node_loop nd () =
     let metrics = Metrics.create () in
+    let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6) in
+    let node_dir =
+      Option.map (fun d -> Filename.concat d (Printf.sprintf "node%d" nd.id)) dir
+    in
     let store =
-      match dir with
+      match node_dir with
       | Some d ->
-        Storage.create
-          ~dir:(Filename.concat d (Printf.sprintf "node%d" nd.id))
+        Storage.create ~dir:d
           ~backend:(backend :> [ `Memory | `Files | `Wal ])
-          ~fsync ~metrics ~node:nd.id ()
+          ~fsync ~flight:nd.flight ~flight_now:now_us ~metrics ~node:nd.id ()
       | None -> Storage.create ~metrics ~node:nd.id ()
     in
     (* Real boot counter: persisted, so identities survive restarts. *)
@@ -211,11 +232,25 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
     in
     Storage.write store ~layer:"sys" ~key:"sys/boot"
       (string_of_int (incarnation + 1));
+    Flight.record nd.flight ~time:(now_us ()) ~node:nd.id ~group:0
+      ~boot:incarnation ~stage:Flight.boot ~trace:0 ~a:incarnation ~b:0;
+    (* Persist the black box next to the WAL: periodically (so a SIGKILL
+       loses at most the last second of events), on demand via
+       [request_dump], and at loop exit. *)
+    let flight_file = Option.map (fun d -> Filename.concat d "flight.bin") node_dir in
+    let dump_flight () =
+      match flight_file with
+      | Some path when Flight.enabled nd.flight ->
+        (try Flight.dump_to_file nd.flight path
+         with Sys_error _ | Unix.Unix_error _ -> ())
+      | _ -> ()
+    in
+    let last_flight_dump = ref (now_us ()) in
+    let seen_dump_epoch = ref t.dump_epoch in
     let timers : (int * int * (unit -> unit)) Heap.t =
       Heap.create ~cmp:(fun (a, sa, _) (b, sb, _) -> compare (a, sa) (b, sb)) ()
     in
     let timer_seq = ref 0 in
-    let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6) in
     let h_tx_oversize = Metrics.handle metrics ~node:nd.id "udp_tx_oversize" in
     let h_rx_undecodable =
       Metrics.handle metrics ~node:nd.id "udp_rx_undecodable"
@@ -307,6 +342,7 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
         trace_on = (fun () -> false);
         span_begin = (fun ~stage:_ _ -> ());
         span_end = (fun ~stage:_ _ -> ());
+        flight = nd.flight;
       }
     in
     let p =
@@ -444,6 +480,15 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
           Float.max 0.0 (Float.min 0.05 (float_of_int (at - now_us ()) /. 1e6))
         | None -> 0.05
       in
+      (* flight persistence: on demand (request_dump) or once a second *)
+      if
+        t.dump_epoch <> !seen_dump_epoch
+        || now_us () - !last_flight_dump >= 1_000_000
+      then begin
+        seen_dump_epoch := t.dump_epoch;
+        last_flight_dump := now_us ();
+        dump_flight ()
+      end;
       (match Unix.select [ nd.sock ] [] [] timeout with
       | [ _ ], _, _ ->
         drain_ready recv_budget;
@@ -454,6 +499,7 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
       | exception Unix.Unix_error _ -> ())
     done;
     flush_all ();
+    dump_flight ();
     Mutex.lock nd.mutex;
     nd.ops <- None;
     Mutex.unlock nd.mutex;
@@ -583,6 +629,7 @@ let prometheus t =
             (Printf.sprintf "%s_count{%s} %d\n" pn lbl (Histogram.count h)))
         cells)
     (group snd);
+  List.iter (fun f -> f buf) (List.rev t.prom_extra);
   Buffer.contents buf
 
 (* One JSONL snapshot line: counters and histogram summaries per node. *)
@@ -711,10 +758,11 @@ let snapshot_loop t interval path =
 
 let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
     ?(fsync = Abcast_store.Durable.Every { ops = 64; ms = 20 })
-    ?(on_deliver = fun ~node:_ ~group:_ _ -> ()) ?metrics_port
-    ?(metrics_interval = 1.0)
-    ?metrics_out () =
-  let t = make proto ~n ~base_port ~dir ~backend ~fsync ~on_deliver () in
+    ?(flight_cap = 8192) ?(on_deliver = fun ~node:_ ~group:_ _ -> ())
+    ?metrics_port ?(metrics_interval = 1.0) ?metrics_out () =
+  let t =
+    make proto ~n ~base_port ~dir ~backend ~fsync ~flight_cap ~on_deliver ()
+  in
   for i = 0 to n - 1 do
     t.start_node i
   done;
@@ -734,6 +782,16 @@ let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
 
 let n t = t.n
 let shards t = t.shards
+let now_us t = int_of_float ((Unix.gettimeofday () -. t.epoch) *. 1e6)
+let flight t i = t.nodes.(i).flight
+
+let request_dump t =
+  t.dump_epoch <- t.dump_epoch + 1;
+  for i = 0 to t.n - 1 do
+    wake t i
+  done
+
+let set_prom_extra t f = t.prom_extra <- f :: t.prom_extra
 
 let is_up t i =
   let nd = t.nodes.(i) in

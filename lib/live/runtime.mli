@@ -55,6 +55,7 @@ val create :
   ?dir:string ->
   ?backend:[ `Files | `Wal ] ->
   ?fsync:Abcast_store.Durable.policy ->
+  ?flight_cap:int ->
   ?on_deliver:(node:int -> group:int -> Abcast_core.Payload.t -> unit) ->
   ?metrics_port:int ->
   ?metrics_interval:float ->
@@ -72,6 +73,13 @@ val create :
     delivering node, the broadcast group ([0] on a single-group stack)
     and the payload; keep it short and synchronize your own data.
 
+    [flight_cap] (default 8192, [0] disables) sizes each process's crash
+    flight recorder ({!Abcast_sim.Flight}): a fixed, allocation-free ring
+    of lifecycle events that survives incarnations in memory and, with
+    [dir], is persisted to [dir/node<i>/flight.bin] about once a second,
+    at clean loop exit and on {!request_dump} — so even a SIGKILL'd
+    process leaves a black box next to its WAL for [abcast-sim doctor].
+
     With [metrics_port], a background thread serves the {!prometheus}
     dump over HTTP on [127.0.0.1:metrics_port] (one blocking request at
     a time — built for a scraper, not a crowd). With [metrics_out], a
@@ -87,6 +95,27 @@ val n : t -> int
 val shards : t -> int
 (** Number of broadcast groups the stack multiplexes
     ({!Abcast_core.Proto.S.shards}); [1] for any unsharded stack. *)
+
+val now_us : t -> int
+(** Microseconds since the runtime was created — the clock flight events
+    and JSONL snapshot timestamps are stamped with. *)
+
+val flight : t -> int -> Abcast_sim.Flight.t
+(** Process [i]'s flight recorder ({!Abcast_sim.Flight.disabled} when
+    [flight_cap = 0]). Layers above the runtime (the service) record
+    their own lifecycle events into it; recording is wait-free and a
+    concurrent record from another thread is at worst one garbled
+    advisory event, never a crash. *)
+
+val request_dump : t -> unit
+(** Ask every up process to persist its flight recorder now (each node
+    loop notices on its next pass). The [abcast-sim] binary maps SIGUSR1
+    to this. No-op without [dir]. *)
+
+val set_prom_extra : t -> (Buffer.t -> unit) -> unit
+(** Register an extra render hook appended to every {!prometheus} dump
+    (text format lines, newline-terminated). The service layer exports
+    its per-class request-latency histograms through this. *)
 
 val is_up : t -> int -> bool
 

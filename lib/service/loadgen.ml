@@ -114,10 +114,15 @@ let pick_target g =
 let record g c status =
   ignore status;
   let lat_us = (Unix.gettimeofday () -. c.issue_t) *. 1e6 in
-  let h =
-    match c.kind with Write -> g.hw | Lin_submit -> g.hl | Lin_local -> g.hl
+  let h, cls =
+    match c.kind with
+    | Write -> (g.hw, "write")
+    | Lin_submit | Lin_local -> (g.hl, "lin")
   in
   Histogram.add h lat_us;
+  let key = match c.kind with Write -> client_key c.id | _ -> c.rkey in
+  Service.observe_latency g.svc ~cls ~group:(Service.key_group g.svc key)
+    lat_us;
   g.completed <- g.completed + 1;
   if c.kind = Write then g.writes_acked.(c.id) <- g.writes_acked.(c.id) + 1;
   c.busy <- false
@@ -201,6 +206,8 @@ let issue g now =
         | Service.Value _ ->
           let lat_us = (Unix.gettimeofday () -. now) *. 1e6 in
           Histogram.add g.hs lat_us;
+          Service.observe_latency g.svc ~cls:"stale"
+            ~group:(Service.key_group g.svc c.rkey) lat_us;
           g.completed <- g.completed + 1;
           c.busy <- false
         | Service.Not_ready -> assert false)

@@ -16,6 +16,8 @@
 
 module Runtime = Abcast_live.Runtime
 module Envelope = Abcast_core.Envelope
+module Flight = Abcast_sim.Flight
+module Histogram = Abcast_util.Histogram
 module Kv = Abcast_apps.Kv
 module Pkv = Abcast_apps.Partitioned_kv
 
@@ -74,6 +76,10 @@ type t = {
   mutable stamp_ctr : int;
   mutable stopping : bool;
   mutable maint : Thread.t option;
+  lat_mu : Mutex.t;
+  lat : (string * int, Histogram.t) Hashtbl.t;
+      (* request latency per (class, group), exported through the
+         runtime's Prometheus endpoint with class/group labels *)
 }
 
 (* Slack added to the claim quarantine: covers the (shared-clock harness:
@@ -95,6 +101,62 @@ let mk_front () =
 let group_of_key ~shards key =
   if shards <= 1 then 0 else Pkv.shard_of_key ~shards key
 
+(* ---- per-class request latency (write / lin / stale) ----------------- *)
+
+let observe_latency t ~cls ~group us =
+  Mutex.lock t.lat_mu;
+  let h =
+    match Hashtbl.find_opt t.lat (cls, group) with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.lat (cls, group) h;
+      h
+  in
+  Histogram.add h us;
+  Mutex.unlock t.lat_mu
+
+(* Prometheus rendering of the latency table, appended to the runtime's
+   dump via [set_prom_extra]. Histograms are copied under the lock so
+   rendering never races an [observe_latency] from a client thread. *)
+let render_latency t buf =
+  Mutex.lock t.lat_mu;
+  let cells =
+    Hashtbl.fold (fun k h acc -> (k, Histogram.copy h) :: acc) t.lat []
+    |> List.sort compare
+  in
+  Mutex.unlock t.lat_mu;
+  if cells <> [] then begin
+    let pn = "abcast_service_request_us" in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "# HELP %s service request latency by op class
+# TYPE %s histogram
+"
+         pn pn);
+    List.iter
+      (fun ((cls, group), h) ->
+        let lbl = Printf.sprintf "class=\"%s\",group=\"%d\"" cls group in
+        let cum = ref 0 in
+        List.iter
+          (fun (bound, count) ->
+            if Float.is_finite bound then begin
+              cum := !cum + count;
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{%s,le=\"%.6g\"} %d\n" pn lbl bound
+                   !cum)
+            end)
+          (Histogram.buckets h);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{%s,le=\"+Inf\"} %d\n" pn lbl
+             (Histogram.count h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum{%s} %.6f\n" pn lbl (Histogram.sum h));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count{%s} %d\n" pn lbl (Histogram.count h)))
+      cells
+  end
+
 let group_of_cmd ~shards cmd =
   match Kv.decode_cmd cmd with
   | Some c -> group_of_key ~shards (Kv.cmd_key c)
@@ -102,7 +164,8 @@ let group_of_cmd ~shards cmd =
 
 (* Runs in the delivering node's thread for every A-delivered payload of
    (node, group): advance the machine, then act on the event. *)
-let on_payload cfg fronts ~node ~group (pl : Abcast_core.Payload.t) =
+let on_payload cfg fronts ~flight ~now ~node ~group (pl : Abcast_core.Payload.t)
+    =
   let fr = fronts.(node).(group) in
   Mutex.lock fr.fm;
   let ev = Session.apply fr.machine pl.data in
@@ -126,6 +189,13 @@ let on_payload cfg fronts ~node ~group (pl : Abcast_core.Payload.t) =
         | None -> None)
       else None
     | Session.Marker { kind; node = mn; stamp; granted; index } ->
+      if granted then
+        (* one event per observing node: the doctor cross-checks that a
+           Lease renewal is only ever granted to the current floor
+           holder ([b] packs kind and grant: claim = bit 1) *)
+        Flight.record (flight node) ~time:(now ()) ~node ~group ~boot:0
+          ~stage:Flight.lease ~trace:0 ~a:mn
+          ~b:((if kind = `Claim then 2 else 0) lor 1);
       (if mn = node then (
          (match Hashtbl.find_opt fr.pending stamp with
          | Some t0 when granted ->
@@ -149,9 +219,18 @@ let on_payload cfg fronts ~node ~group (pl : Abcast_core.Payload.t) =
     | Session.Foreign _ -> None
   in
   Mutex.unlock fr.fm;
-  match fire with Some (k, status, reply) -> k status reply | None -> ()
+  match fire with
+  | Some (k, status, reply) ->
+    (match ev with
+    | Session.Request_done { session; seq; _ } ->
+      Flight.record (flight node) ~time:(now ()) ~node ~group ~boot:0
+        ~stage:Flight.ack ~trace:pl.trace ~a:session ~b:seq
+    | _ -> ());
+    k status reply
+  | None -> ()
 
-let create ?base_port ?dir ?backend ?fsync (cfg : config) =
+let create ?base_port ?dir ?backend ?fsync ?trace_sample ?flight_cap
+    ?metrics_port (cfg : config) =
   if cfg.n < 1 then invalid_arg "Service.create: n >= 1";
   if cfg.shards < 1 then invalid_arg "Service.create: shards >= 1";
   let fronts =
@@ -189,29 +268,49 @@ let create ?base_port ?dir ?backend ?fsync (cfg : config) =
     (hooks, fun _pl -> ())
   in
   let stack =
-    let inner = Abcast_core.Factory.throughput ~window:cfg.window ~group_app_factory () in
+    let inner =
+      Abcast_core.Factory.throughput ~window:cfg.window ?trace_sample
+        ~group_app_factory ()
+    in
     if cfg.shards = 1 then inner
     else Abcast_core.Factory.sharded ~shards:cfg.shards inner
   in
+  (* on_deliver needs the runtime's flight recorders, which exist only
+     after [Runtime.create] returns; bridge the cycle with refs the
+     first delivery can only ever see initialized (node threads publish
+     ops after create). *)
+  let flight_ref = ref (fun (_ : int) -> Flight.disabled) in
+  let now_ref = ref (fun () -> 0) in
   let rt =
-    Runtime.create stack ~n:cfg.n ?base_port ?dir ?backend ?fsync
-      ~on_deliver:(fun ~node ~group pl -> on_payload cfg fronts ~node ~group pl)
+    Runtime.create stack ~n:cfg.n ?base_port ?dir ?backend ?fsync ?flight_cap
+      ?metrics_port
+      ~on_deliver:(fun ~node ~group pl ->
+        on_payload cfg fronts ~flight:!flight_ref ~now:!now_ref ~node ~group pl)
       ()
   in
-  {
-    cfg;
-    rt;
-    fronts;
-    lease_s = cfg.lease_ms /. 1000.;
-    sm = Mutex.create ();
-    claimant = 0;
-    stamp_ctr = 0;
-    stopping = false;
-    maint = None;
-  }
+  (flight_ref := fun i -> Runtime.flight rt i);
+  (now_ref := fun () -> Runtime.now_us rt);
+  let t =
+    {
+      cfg;
+      rt;
+      fronts;
+      lease_s = cfg.lease_ms /. 1000.;
+      sm = Mutex.create ();
+      claimant = 0;
+      stamp_ctr = 0;
+      stopping = false;
+      maint = None;
+      lat_mu = Mutex.create ();
+      lat = Hashtbl.create 8;
+    }
+  in
+  Runtime.set_prom_extra rt (fun buf -> render_latency t buf);
+  t
 
 let runtime t = t.rt
 let config t = t.cfg
+let key_group t key = group_of_key ~shards:t.cfg.shards key
 
 let claimant t =
   Mutex.lock t.sm;
@@ -294,6 +393,8 @@ let submit t ~node ~session ~seq ~cmd k =
   Mutex.lock fr.fm;
   Hashtbl.replace fr.waiters (session, seq) k;
   Mutex.unlock fr.fm;
+  Flight.record (Runtime.flight t.rt node) ~time:(Runtime.now_us t.rt) ~node
+    ~group ~boot:0 ~stage:Flight.submit ~trace:0 ~a:session ~b:seq;
   Runtime.broadcast ~group t.rt ~node
     (Envelope.encode (Envelope.Request { session; seq; cmd }))
 

@@ -37,11 +37,21 @@ val create :
   ?dir:string ->
   ?backend:[ `Files | `Wal ] ->
   ?fsync:Abcast_store.Durable.policy ->
+  ?trace_sample:int ->
+  ?flight_cap:int ->
+  ?metrics_port:int ->
   config ->
   t
 (** Build the throughput stack (sharded when [shards > 1]) with the
     session machines wired in as group app state, and start the live
-    cluster. [dir]/[backend]/[fsync] as in {!Abcast_live.Runtime.create}.
+    cluster. [dir]/[backend]/[fsync]/[flight_cap]/[metrics_port] as in
+    {!Abcast_live.Runtime.create} (the Prometheus dump additionally
+    carries this layer's [abcast_service_request_us] per-class
+    histograms, labelled [class="write"|"lin"|"stale"] and by shard
+    [group]); [trace_sample] as in
+    {!Abcast_core.Factory.throughput} (every k-th broadcast carries a
+    causal trace id, stamped into each node's flight recorder at every
+    stage — including this layer's submit/ack/lease events).
     Call {!start} afterwards to begin lease maintenance (read-index
     mode only). *)
 
@@ -100,6 +110,17 @@ val runtime : t -> Abcast_live.Runtime.t
 (** The underlying cluster, for crash/recover/metrics. *)
 
 val config : t -> config
+
+val key_group : t -> string -> int
+(** Broadcast group serving a key (0 when unsharded) — the routing
+    {!submit} applies to the command's key. *)
+
+val observe_latency : t -> cls:string -> group:int -> float -> unit
+(** Record one request latency sample (µs) under op class [cls]
+    (["write"] / ["lin"] / ["stale"]) and [group]. The per-(class, group)
+    histograms are appended to the runtime's Prometheus dump as
+    [abcast_service_request_us{class=...,group=...}] — the load
+    generator feeds this; embedders can too. Thread-safe. *)
 
 (** {2 Verification accessors} — meaningful on a quiesced cluster. *)
 

@@ -22,6 +22,9 @@ type 'm io = {
   trace_on : unit -> bool;
   span_begin : stage:string -> string -> unit;
   span_end : stage:string -> string -> unit;
+  flight : Flight.t;
+      (* this node's crash flight recorder; [Flight.disabled] (a no-op)
+         in the simulator unless a run opts in *)
 }
 
 let map_io wrap io =
@@ -41,6 +44,7 @@ let map_io wrap io =
     trace_on = io.trace_on;
     span_begin = io.span_begin;
     span_end = io.span_end;
+    flight = io.flight;
   }
 
 type 'm behavior = 'm io -> src:int -> 'm -> unit
@@ -184,6 +188,7 @@ let io_of t node =
     span_end =
       (fun ~stage key ->
         Trace.span_end t.trace ~time:t.time ~node:id ~stage key);
+    flight = Flight.disabled;
   }
 
 let set_behavior t i f = t.behaviors.(i) <- Some f

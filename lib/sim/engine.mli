@@ -46,6 +46,11 @@ type 'm io = {
           time; no-op when the trace is disabled *)
   span_end : stage:string -> string -> unit;
       (** close the matching span at the current time *)
+  flight : Flight.t;
+      (** this node's crash flight recorder. The engine hands out
+          {!Flight.disabled} (recording is a no-op); the live runtime
+          substitutes a real per-node ring so lifecycle events survive a
+          SIGKILL next to the WAL. *)
 }
 
 val map_io : ('a -> 'b) -> 'b io -> 'a io

@@ -145,7 +145,9 @@ let files_after_op fs path =
     if Durable.note_op fs.fpacer then files_flush fs
 
 let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
-    ?wal_segment_bytes ?wal_compact_min_bytes ~metrics ~node () =
+    ?wal_segment_bytes ?wal_compact_min_bytes ?(flight = Flight.disabled)
+    ?(flight_now = fun () -> int_of_float (Unix.gettimeofday () *. 1e6))
+    ~metrics ~node () =
   let backend =
     match (backend, dir) with
     | Some b, _ -> b
@@ -181,10 +183,22 @@ let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
       let h_append = Metrics.hist metrics ~node "wal_append_us"
       and h_fsync = Metrics.hist metrics ~node "wal_fsync_us"
       and h_recover = Metrics.hist metrics ~node "wal_recover_us" in
+      (* The flight tap mirrors the histogram one: WAL appends/fsyncs
+         land in the node's black box with their duration, so the doctor
+         can attribute fsync stalls to the broadcasts they delayed. *)
+      let fl stage us =
+        if Flight.enabled flight then
+          Flight.record flight ~time:(flight_now ()) ~node ~group:0 ~boot:0
+            ~stage ~trace:0 ~a:(int_of_float us) ~b:0
+      in
       let on_io op us =
         match op with
-        | `Append -> Histogram.add h_append us
-        | `Fsync -> Histogram.add h_fsync us
+        | `Append ->
+          Histogram.add h_append us;
+          fl Flight.wal_append us
+        | `Fsync ->
+          Histogram.add h_fsync us;
+          fl Flight.wal_fsync us
         | `Recover -> Histogram.add h_recover us
       in
       let wal =

@@ -40,11 +40,18 @@ val create :
   ?fsync:Abcast_store.Durable.policy ->
   ?wal_segment_bytes:int ->
   ?wal_compact_min_bytes:int ->
+  ?flight:Flight.t ->
+  ?flight_now:(unit -> int) ->
   metrics:Metrics.t ->
   node:int ->
   unit ->
   t
 (** Storage for process [node], accounting into [metrics].
+
+    [flight] (default {!Flight.disabled}) additionally records each WAL
+    append/fsync as a flight event with its duration, stamped with
+    [flight_now ()] µs (default: wall clock) so the live runtime can
+    keep flight timestamps on its own run-relative clock.
 
     [backend] defaults to [`Files] when [dir] is given (compatibility
     with the original file-per-key store) and [`Memory] otherwise;

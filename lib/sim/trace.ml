@@ -10,23 +10,55 @@ type span = {
   key : string;
 }
 
+(* Ring-buffer mode: with [cap > 0] each stream keeps two blocks of at
+   most [cap] records — when the current block fills, the previous one
+   is discarded (counted in [dropped]) and the current becomes the
+   previous. Memory is bounded by 2*cap records per stream and the most
+   recent [cap] are always retained; with [cap = 0] (the default, used
+   by the simulator) growth is unbounded as before. *)
 type t = {
   mutable enabled : bool;
   echo : bool;
-  mutable entries : entry list; (* reversed *)
-  mutable spans : span list; (* reversed *)
+  cap : int; (* 0 = unbounded *)
+  mutable entries : entry list; (* reversed, current block *)
+  mutable entries_old : entry list; (* reversed, previous block *)
+  mutable n_entries : int;
+  mutable spans : span list; (* reversed, current block *)
+  mutable spans_old : span list; (* reversed, previous block *)
+  mutable n_spans : int;
+  mutable dropped : int;
 }
 
-let create ?(enabled = false) ?(echo = false) () =
-  { enabled; echo; entries = []; spans = [] }
+let create ?(enabled = false) ?(echo = false) ?(cap = 0) () =
+  if cap < 0 then invalid_arg "Trace.create: negative cap";
+  {
+    enabled;
+    echo;
+    cap;
+    entries = [];
+    entries_old = [];
+    n_entries = 0;
+    spans = [];
+    spans_old = [];
+    n_spans = 0;
+    dropped = 0;
+  }
 
 let enable t b = t.enabled <- b
 let enabled t = t.enabled
+let dropped_events t = t.dropped
 
 let emit t ~time ~node text =
   if t.enabled then begin
     let e = { time; node; text } in
     t.entries <- e :: t.entries;
+    t.n_entries <- t.n_entries + 1;
+    if t.cap > 0 && t.n_entries >= t.cap then begin
+      t.dropped <- t.dropped + List.length t.entries_old;
+      t.entries_old <- t.entries;
+      t.entries <- [];
+      t.n_entries <- 0
+    end;
     if t.echo then Printf.printf "[%8d] p%d %s\n%!" time node text
   end
 
@@ -36,16 +68,24 @@ let emitf t ~time ~node fmt =
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let span t ~time ~node ~phase ~stage key =
-  if t.enabled then
-    t.spans <- { time; node; phase; stage; key } :: t.spans
+  if t.enabled then begin
+    t.spans <- { time; node; phase; stage; key } :: t.spans;
+    t.n_spans <- t.n_spans + 1;
+    if t.cap > 0 && t.n_spans >= t.cap then begin
+      t.dropped <- t.dropped + List.length t.spans_old;
+      t.spans_old <- t.spans;
+      t.spans <- [];
+      t.n_spans <- 0
+    end
+  end
 
 let span_begin t ~time ~node ~stage key =
   span t ~time ~node ~phase:B ~stage key
 
 let span_end t ~time ~node ~stage key = span t ~time ~node ~phase:E ~stage key
 
-let entries t = List.rev t.entries
-let spans t = List.rev t.spans
+let entries t = List.rev (t.entries @ t.entries_old)
+let spans t = List.rev (t.spans @ t.spans_old)
 
 let find t pred = List.find_opt pred (entries t)
 
@@ -57,7 +97,12 @@ let dump t ppf =
 
 let clear t =
   t.entries <- [];
-  t.spans <- []
+  t.entries_old <- [];
+  t.n_entries <- 0;
+  t.spans <- [];
+  t.spans_old <- [];
+  t.n_spans <- 0;
+  t.dropped <- 0
 
 (* ---- Chrome trace_event export ----
 

@@ -20,8 +20,13 @@ type span = {
   key : string;  (** message/instance key, pairs a [B] with its [E] *)
 }
 
-val create : ?enabled:bool -> ?echo:bool -> unit -> t
-(** [echo] additionally prints each entry to stdout as it is emitted. *)
+val create : ?enabled:bool -> ?echo:bool -> ?cap:int -> unit -> t
+(** [echo] additionally prints each entry to stdout as it is emitted.
+    [cap > 0] bounds memory (ring-buffer mode): each stream (entries,
+    spans) retains at least its most recent [cap] records and at most
+    [2*cap]; older records are discarded and counted in
+    {!dropped_events}. The default [cap = 0] keeps everything, as
+    simulation tests expect. Long-lived live runs should set a cap. *)
 
 val enable : t -> bool -> unit
 
@@ -48,11 +53,15 @@ val span_begin : t -> time:int -> node:int -> stage:string -> string -> unit
 
 val span_end : t -> time:int -> node:int -> stage:string -> string -> unit
 
+val dropped_events : t -> int
+(** Records discarded by ring-buffer mode since creation (or the last
+    {!clear}); always [0] when [cap = 0]. *)
+
 val entries : t -> entry list
-(** All entries in emission order. *)
+(** All retained entries in emission order. *)
 
 val spans : t -> span list
-(** All span events in emission order. *)
+(** All retained span events in emission order. *)
 
 val find : t -> (entry -> bool) -> entry option
 (** First entry satisfying the predicate. *)

@@ -7,7 +7,7 @@ module Bank = Abcast_apps.Bank
 module Du = Abcast_apps.Deferred_update
 module Cfa = Abcast_apps.Consensus_from_abcast
 
-let payload data = { Payload.id = { origin = 0; boot = 0; seq = 0 }; data }
+let payload data = Payload.make { origin = 0; boot = 0; seq = 0 } data
 
 let smr_unit_tests =
   [

@@ -41,6 +41,7 @@ let probe ?(self = 0) ?(n = 3) () =
       trace_on = (fun () -> false);
       span_begin = (fun ~stage:_ _ -> ());
       span_end = (fun ~stage:_ _ -> ());
+      flight = Abcast_sim.Flight.disabled;
     }
   in
   { io; sent; timers; store }

@@ -8,7 +8,7 @@ module Batch = Abcast_core.Batch
 
 let id origin boot seq = { Payload.origin; boot; seq }
 
-let pl ?(data = "d") i = { Payload.id = i; data }
+let pl ?(data = "d") i = Payload.make i data
 
 let payload_tests =
   [

@@ -7,7 +7,7 @@ module Table = Abcast_harness.Table
 
 let id origin boot seq = { Payload.origin; boot; seq }
 
-let pl i = { Payload.id = i; data = "d" }
+let pl i = Payload.make i "d"
 
 let expect_error what = function
   | Error _ -> ()

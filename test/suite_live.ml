@@ -125,10 +125,9 @@ let tests =
         let module Wire = Abcast_util.Wire in
         let payloads =
           List.init 8 (fun i ->
-              {
-                Payload.id = { origin = i mod 3; boot = 0; seq = i };
-                data = String.make 64 'x';
-              })
+              Payload.make
+                { origin = i mod 3; boot = 0; seq = i }
+                (String.make 64 'x'))
         in
         let msg = P.Gossip { k = 5; len = 9; unordered = payloads } in
         let dest = Wire.writer ~cap:(Live.max_datagram + 16) () in

@@ -5,6 +5,7 @@
 open Helpers
 module Histogram = Abcast_util.Histogram
 module Trace = Abcast_sim.Trace
+module Flight = Abcast_sim.Flight
 module Factory = Abcast_core.Factory
 module Durable = Abcast_store.Durable
 module Live = Abcast_live.Runtime
@@ -513,7 +514,219 @@ let live_tests =
             (List.for_all prom_line_ok (String.split_on_char '\n' direct)));
   ]
 
+(* ---- flight recorder (PR 9) ---- *)
+
+let record_n fl n =
+  for i = 0 to n - 1 do
+    Flight.record fl ~time:(i * 10) ~node:(i mod 3) ~group:0 ~boot:1
+      ~stage:Flight.bcast ~trace:0 ~a:i ~b:(i * 2)
+  done
+
+let flight_tests =
+  [
+    test "flight: ring wraps, keeping the newest events" (fun () ->
+        let fl = Flight.create ~cap:8 () in
+        record_n fl 20;
+        Alcotest.(check int) "total" 20 (Flight.total fl);
+        Alcotest.(check int) "stored" 8 (Flight.stored fl);
+        Alcotest.(check int) "dropped" 12 (Flight.dropped fl);
+        let evs = Flight.events fl in
+        Alcotest.(check (list int)) "oldest-first tail survives"
+          [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+          (List.map (fun (e : Flight.event) -> e.e_a) evs);
+        (match evs with
+        | e :: _ ->
+          Alcotest.(check int) "time" 120 e.e_time;
+          Alcotest.(check int) "node" 0 e.e_node;
+          Alcotest.(check int) "b" 24 e.e_b
+        | [] -> Alcotest.fail "no events"));
+    test "flight: disabled recorder records nothing" (fun () ->
+        Alcotest.(check bool) "off" false (Flight.enabled Flight.disabled);
+        record_n Flight.disabled 5;
+        Alcotest.(check int) "total" 0 (Flight.total Flight.disabled);
+        Alcotest.(check (list int)) "events" []
+          (List.map
+             (fun (e : Flight.event) -> e.e_a)
+             (Flight.events Flight.disabled)));
+    test "flight: dump/reload roundtrips through a file" (fun () ->
+        with_dir (fun base ->
+            let fl = Flight.create ~cap:16 () in
+            record_n fl 40;
+            (* negative operands must survive the zigzag encoding *)
+            Flight.record fl ~time:1000 ~node:2 ~group:3 ~boot:2
+              ~stage:Flight.stjump ~trace:0 ~a:(-7) ~b:min_int;
+            let path = Filename.concat base "flight.bin" in
+            Flight.dump_to_file fl path;
+            match Flight.load_file path with
+            | Error e -> Alcotest.failf "load failed: %s" e
+            | Ok d ->
+              Alcotest.(check int) "dropped persisted" (Flight.dropped fl)
+                d.Flight.d_dropped;
+              Alcotest.(check bool) "events identical" true
+                (d.Flight.d_events = Flight.events fl);
+              (match List.rev d.Flight.d_events with
+              | last :: _ ->
+                Alcotest.(check int) "a" (-7) last.Flight.e_a;
+                Alcotest.(check int) "b" min_int last.Flight.e_b
+              | [] -> Alcotest.fail "empty dump")));
+    test "flight: load rejects garbage and truncations" (fun () ->
+        (match Flight.load_string "not a flight dump" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage accepted");
+        let fl = Flight.create ~cap:4 () in
+        record_n fl 4;
+        let s = Flight.dump_string fl in
+        for len = 0 to String.length s - 1 do
+          match Flight.load_string (String.sub s 0 len) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "prefix %d accepted" len
+        done);
+    test "trace: ring-buffer mode bounds memory and counts drops" (fun () ->
+        let t = Trace.create ~enabled:true ~cap:10 () in
+        for i = 1 to 35 do
+          Trace.emit t ~time:i ~node:0 (Printf.sprintf "e%d" i)
+        done;
+        let entries = Trace.entries t in
+        let n = List.length entries in
+        Alcotest.(check bool) "retains at least cap" true (n >= 10);
+        Alcotest.(check bool) "bounded by two blocks" true (n <= 20);
+        Alcotest.(check int) "dropped accounts the rest" (35 - n)
+          (Trace.dropped_events t);
+        (match List.rev entries with
+        | last :: _ -> Alcotest.(check string) "newest kept" "e35" last.Trace.text
+        | [] -> Alcotest.fail "no entries");
+        Trace.clear t;
+        Alcotest.(check int) "clear resets drops" 0 (Trace.dropped_events t));
+    test "trace: unbounded mode never drops" (fun () ->
+        let t = Trace.create ~enabled:true () in
+        for i = 1 to 200 do
+          Trace.emit t ~time:i ~node:0 "x"
+        done;
+        Alcotest.(check int) "all kept" 200 (List.length (Trace.entries t));
+        Alcotest.(check int) "no drops" 0 (Trace.dropped_events t));
+  ]
+
+(* ---- doctor: offline trace analysis over synthetic dumps ---- *)
+
+module Doctor = Abcast_harness.Doctor
+module Trace_ctx = Abcast_core.Trace_ctx
+
+let write_dump base i fl =
+  let d = Filename.concat base (Printf.sprintf "node%d" i) in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Flight.dump_to_file fl (Filename.concat d "flight.bin")
+
+(* A minimal healthy 3-node run: one sampled broadcast travelling
+   submit -> bcast -> rx -> propose -> decide -> apply x3 -> ack, plus
+   the untraced per-instance propose/decide pair every node logs. *)
+let healthy_cluster ?(extra = fun (_ : int) (_ : Flight.t) -> ()) () =
+  let tid = Trace_ctx.make ~node:0 ~stamp:1 in
+  let fls = Array.init 3 (fun _ -> Flight.create ~cap:128 ()) in
+  let rec_ i ~time ~stage ~trace ~a ~b =
+    Flight.record fls.(i) ~time ~node:i ~group:0 ~boot:1 ~stage ~trace ~a ~b
+  in
+  Array.iteri
+    (fun i fl ->
+      Flight.record fl ~time:0 ~node:i ~group:0 ~boot:1 ~stage:Flight.boot
+        ~trace:0 ~a:1 ~b:0)
+    fls;
+  rec_ 0 ~time:10 ~stage:Flight.submit ~trace:0 ~a:7 ~b:1;
+  rec_ 0 ~time:20 ~stage:Flight.bcast ~trace:tid ~a:1 ~b:32;
+  rec_ 1 ~time:120 ~stage:Flight.rx_ring ~trace:tid ~a:0 ~b:0;
+  rec_ 2 ~time:140 ~stage:Flight.rx_gossip ~trace:tid ~a:0 ~b:0;
+  (* leader proposes instance 3 carrying the payload *)
+  rec_ 0 ~time:200 ~stage:Flight.propose ~trace:0 ~a:3 ~b:1;
+  rec_ 0 ~time:200 ~stage:Flight.propose ~trace:tid ~a:3 ~b:0;
+  for i = 0 to 2 do
+    rec_ i ~time:(900 + (i * 10)) ~stage:Flight.decide ~trace:0 ~a:3 ~b:32;
+    rec_ i ~time:(1000 + (i * 10)) ~stage:Flight.apply ~trace:tid ~a:5 ~b:0
+  done;
+  rec_ 0 ~time:1100 ~stage:Flight.ack ~trace:tid ~a:7 ~b:1;
+  Array.iteri extra fls;
+  fls
+
+let analyze_cluster fls =
+  with_dir (fun base ->
+      Array.iteri (fun i fl -> write_dump base i fl) fls;
+      match Doctor.analyze ~dir:base () with
+      | Error e -> Alcotest.failf "analyze failed: %s" e
+      | Ok r -> r)
+
+let doctor_tests =
+  [
+    test "doctor: reconstructs the full causal path of a sampled trace"
+      (fun () ->
+        let r = analyze_cluster (healthy_cluster ()) in
+        Alcotest.(check int) "one sampled trace" 1 (List.length r.Doctor.traces);
+        Alcotest.(check int) "fully reconstructed" 1 (Doctor.reconstructed r);
+        Alcotest.(check bool) "no anomalies" false (Doctor.has_anomalies r);
+        let t = List.hd r.Doctor.traces in
+        Alcotest.(check (option int)) "submit joined via ack" (Some 10)
+          t.Doctor.submit_time;
+        Alcotest.(check (option int)) "decide" (Some 900) t.Doctor.decide_time;
+        Alcotest.(check int) "applied everywhere" 3
+          (List.length t.Doctor.applies);
+        Alcotest.(check (option int)) "ack" (Some 1100) t.Doctor.ack_time;
+        (* stage table covers the whole path *)
+        let names = List.map (fun s -> s.Doctor.stage) r.Doctor.stages in
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) ("stage " ^ n) true (List.mem n names))
+          [
+            "submit->bcast";
+            "bcast->rx (dissemination)";
+            "propose->decide (consensus)";
+            "decide->apply";
+            "apply->ack";
+          ]);
+    test "doctor: flags an injected stuck consensus instance" (fun () ->
+        (* node 1 proposed instance 2, nobody ever decided it, yet
+           instance 3 decided everywhere: instance 2 is stuck *)
+        let fls =
+          healthy_cluster
+            ~extra:(fun i fl ->
+              if i = 1 then
+                Flight.record fl ~time:150 ~node:1 ~group:0 ~boot:1
+                  ~stage:Flight.propose ~trace:0 ~a:2 ~b:1)
+            ()
+        in
+        let r = analyze_cluster fls in
+        Alcotest.(check bool) "anomalous" true (Doctor.has_anomalies r);
+        match
+          List.find_opt
+            (fun a -> a.Doctor.code = "stuck-instance")
+            r.Doctor.anomalies
+        with
+        | None -> Alcotest.fail "stuck-instance not flagged"
+        | Some a ->
+          Alcotest.(check bool) "names the instance" true
+            (Astring.String.is_infix ~affix:"instance 2" a.Doctor.detail));
+    test "doctor: flags a dedup violation, excuses state-transfer holes"
+      (fun () ->
+        let dup =
+          healthy_cluster
+            ~extra:(fun i fl ->
+              if i = 2 then
+                (* same boot applies the same sampled payload twice *)
+                Flight.record fl ~time:1500 ~node:2 ~group:0 ~boot:1
+                  ~stage:Flight.apply ~trace:(Trace_ctx.make ~node:0 ~stamp:1)
+                  ~a:5 ~b:0)
+            ()
+        in
+        let r = analyze_cluster dup in
+        Alcotest.(check bool) "dedup flagged" true
+          (List.exists
+             (fun a -> a.Doctor.code = "dedup-violation")
+             r.Doctor.anomalies));
+    test "doctor: errors on a directory with no dumps" (fun () ->
+        with_dir (fun base ->
+            match Doctor.analyze ~dir:base () with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "accepted empty directory"));
+  ]
+
 let suite =
   ( "observability",
-    histogram_tests @ trace_tests @ stage_tests @ live_tests
+    histogram_tests @ trace_tests @ stage_tests @ flight_tests @ doctor_tests
+    @ live_tests
     @ List.map QCheck_alcotest.to_alcotest qcheck_props )

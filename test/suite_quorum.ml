@@ -8,7 +8,7 @@ module Factory = Abcast_core.Factory
 let cfg ?(r = 2) ?(w = 2) weights =
   { Q.weights = Array.of_list weights; read_quorum = r; write_quorum = w }
 
-let payload data = { Payload.id = { origin = 0; boot = 0; seq = 0 }; data }
+let payload data = Payload.make { origin = 0; boot = 0; seq = 0 } data
 
 let config_tests =
   [

@@ -393,6 +393,32 @@ let live_tests =
                 [ 0; 1; 2 ]
             in
             Alcotest.(check bool) "stale reads" true (await stale_all)));
+    slow_test "live: per-class request histograms reach the Prometheus dump"
+      (fun () ->
+        with_service ~base_port:7641 (fun svc ->
+            (* the loadgen path observes into the per-(class, group)
+               histograms; direct observations pin the label rendering
+               without depending on live timing *)
+            Service.observe_latency svc ~cls:"write" ~group:0 1234.0;
+            Service.observe_latency svc ~cls:"lin" ~group:0 5.0;
+            Service.observe_latency svc ~cls:"stale" ~group:0 3.0;
+            let body =
+              Abcast_live.Runtime.prometheus (Service.runtime svc)
+            in
+            List.iter
+              (fun needle ->
+                Alcotest.(check bool) ("contains " ^ needle) true
+                  (Astring.String.is_infix ~affix:needle body))
+              [
+                "abcast_service_request_us_bucket";
+                "abcast_service_request_us_sum";
+                "abcast_service_request_us_count";
+                {|class="write"|};
+                {|class="lin"|};
+                {|class="stale"|};
+                {|group="0"|};
+                {|le="+Inf"|};
+              ]));
     slow_test "live: loadgen exactly-once audit on a healthy cluster"
       (fun () ->
         with_service ~base_port:7631 (fun svc ->

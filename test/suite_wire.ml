@@ -41,8 +41,31 @@ let id_gen =
       (fun origin boot seq -> { Payload.origin; boot; seq })
       int_gen int_gen int_gen)
 
+module Trace_ctx = Abcast_core.Trace_ctx
+
+(* Mostly-unsampled (the live default), with sampled contexts across the
+   full packed range. *)
+let trace_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Trace_ctx.none);
+        ( 2,
+          map2
+            (fun node stamp -> Trace_ctx.make ~node ~stamp)
+            (int_bound Trace_ctx.max_node)
+            (frequency
+               [
+                 (4, small_nat);
+                 (1, oneofl [ 0; 1; Trace_ctx.max_stamp ]);
+               ]) );
+      ])
+
 let payload_gen =
-  QCheck.Gen.(map2 (fun id data -> { Payload.id; data }) id_gen data_gen)
+  QCheck.Gen.(
+    map3
+      (fun id data trace -> Payload.make ~trace id data)
+      id_gen data_gen trace_gen)
 
 (* Valid vclock: distinct (origin, boot) streams with their max seq. *)
 let streams_gen =
@@ -146,6 +169,33 @@ let roundtrip_props =
       (roundtrips Payload.write_id Payload.read_id ( = ));
     prop "payload roundtrips" payload_gen
       (roundtrips Payload.write Payload.read ( = ));
+    prop "trace context roundtrips" trace_gen (fun t ->
+        t = Trace_ctx.none
+        || roundtrips Trace_ctx.write Trace_ctx.read Trace_ctx.equal t);
+    prop "unsampled payloads carry zero trace bytes" (QCheck.Gen.pair id_gen data_gen)
+      (fun (id, data) ->
+        let plain = Wire.to_string Payload.write (Payload.make id data) in
+        let traced =
+          Wire.to_string Payload.write
+            (Payload.make ~trace:(Trace_ctx.make ~node:3 ~stamp:9) id data)
+        in
+        String.length traced > String.length plain);
+    prop "every strict prefix of a traced payload is rejected" payload_gen
+      (fun pl ->
+        let s = Wire.to_string Payload.write pl in
+        let ok = ref true in
+        for len = 0 to String.length s - 1 do
+          if
+            Wire.of_string_opt Payload.read (String.sub s 0 len) <> None
+          then ok := false
+        done;
+        !ok);
+    prop "trace-context decode of arbitrary bytes never raises"
+      QCheck.Gen.(string_size (int_bound 16))
+      (fun s ->
+        match Wire.of_string_opt Trace_ctx.read s with
+        | Some t -> Trace_ctx.is_sampled t
+        | None -> true);
     prop "vclock roundtrips" streams_gen (fun streams ->
         let vc = Vclock.of_streams streams in
         roundtrips Vclock.write Vclock.read
