@@ -770,16 +770,25 @@ let e15 () =
     {
       Agreed.base_app = Some (String.make 64 'a');
       base_len = 55;
+      base_chain = 0x1234;
       vc;
       tail = payloads 16;
     }
   in
   let msgs : (string * P.msg) list =
     [
-      ("gossip (8 x 32B)", P.Gossip { k = 12; len = 40; unordered = payloads 8 });
+      ( "gossip (8 x 32B)",
+        P.Gossip { k = 12; len = 40; unordered = payloads 8; cert = None } );
       ( "digest (5 streams)",
         P.Digest
-          { k = 12; len = 40; summary = List.init 5 (fun o -> (o, 0, 10)) } );
+          {
+            k = 12;
+            len = 40;
+            summary = List.init 5 (fun o -> (o, 0, 10));
+            cert =
+              Some
+                { Abcast_core.Audit.c_boot = 0; c_len = 40; c_hash = 0x1234 };
+          } );
       ("need (4 ids)", P.Need { ids = List.map (fun (p : Payload.t) -> p.id) (payloads 4) });
       ("state (16-msg tail)", P.State { k = 12; floor = 8; agreed = repr });
       ( "cons accept (24-msg batch)",
@@ -1344,11 +1353,101 @@ let e21 () =
          ])
        rows)
 
+(* E22 — online audit cost: the order-certificate sentinel on the same  *)
+(* saturating burst. Chain folding is a handful of integer multiplies   *)
+(* per delivery and certificates ride only the periodic gossip/digest   *)
+(* frames, so both the drain wall time and the wire bytes per payload   *)
+(* must sit within noise of the audit-off run (the acceptance bar is    *)
+(* <= 2 amortized bytes per payload).                                   *)
+
+type e22_row = {
+  au_on : bool;
+  au_msgs : int;
+  au_wall_s : float;  (* host wall time to drain, best of 5 *)
+  au_rate : float;  (* drained msgs per simulated second *)
+  au_bytes_per_msg : float;  (* wire bytes per delivered payload *)
+  au_diverged : int;  (* sentinel trips — must be 0 on a healthy run *)
+}
+
+let e22_run ~msgs on =
+  let n = 5 in
+  let stack () = Factory.throughput ~audit_every:(if on then 1 else 0) () in
+  let go () =
+    let cluster = Cluster.create (stack ()) ~seed:61 ~n ~count_bytes:true () in
+    let rng = Rng.create 67 in
+    Workload.burst cluster ~rng ~senders:(List.init n Fun.id) ~at:1_000
+      ~count:msgs ~size:64 ();
+    let ok =
+      Cluster.run_until cluster ~until:1_000_000_000
+        ~pred:(fun () -> Cluster.all_caught_up cluster ~count:msgs ())
+        ()
+    in
+    if not ok then failwith "E22: burst did not drain";
+    cluster
+  in
+  ignore (go ());
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    let c = go () in
+    let w = Unix.gettimeofday () -. t0 in
+    if w < !best then begin
+      best := w;
+      result := Some c
+    end
+  done;
+  let cluster = Option.get !result in
+  let m = Cluster.metrics cluster in
+  {
+    au_on = on;
+    au_msgs = msgs;
+    au_wall_s = !best;
+    au_rate =
+      float_of_int msgs /. (float_of_int (Cluster.now cluster - 1_000) /. 1e6);
+    au_bytes_per_msg =
+      float_of_int (Metrics.sum m "net_bytes") /. float_of_int (max 1 msgs);
+    au_diverged = Metrics.sum m "audit_diverged";
+  }
+
+let e22_rows ~msgs = List.map (e22_run ~msgs) [ false; true ]
+
+let e22 () =
+  let msgs = scale 2_000 in
+  let rows = e22_rows ~msgs in
+  let base = List.hd rows in
+  Table.print
+    ~title:
+      "E22: online audit cost — the E18 saturating burst (throughput \
+       preset, n=5) with the order-certificate sentinel off vs on; \
+       certificates piggyback on periodic gossip frames, so the \
+       amortized wire cost must stay under 2 bytes per payload"
+    ~header:
+      [ "audit"; "msgs"; "wall s (host)"; "sim msgs/s"; "bytes/msg";
+        "diverged"; "wall vs off" ]
+    (List.map
+       (fun r ->
+         [
+           (if r.au_on then "on" else "off");
+           Table.num r.au_msgs;
+           Table.flt r.au_wall_s;
+           Table.flt r.au_rate;
+           Table.flt r.au_bytes_per_msg;
+           Table.num r.au_diverged;
+           Table.flt (r.au_wall_s /. base.au_wall_s);
+         ])
+       rows);
+  List.iter
+    (fun r ->
+      if r.au_diverged > 0 then
+        failwith "E22: audit sentinel tripped on a healthy run")
+    rows
+
 let all : (string * (unit -> unit)) list =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E5b", e5b); ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9);
     ("E10", e10); ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
     ("E15", e15); ("E16", e16); ("E18", e18); ("E19", e19); ("E20", e20);
-    ("E21", e21);
+    ("E21", e21); ("E22", e22);
   ]

@@ -1,6 +1,11 @@
 (* `bench/main.exe --json`: machine-readable performance snapshot.
 
-   Writes BENCH_PR9.json in the current directory with
+   Writes BENCH_PR10.json in the current directory with
+
+   - the audit section (new in schema 10): the E22 pair — the same
+     burst with the order-certificate sentinel off vs on, recording the
+     amortized certificate bytes per payload and that no divergence was
+     reported on a healthy run;
 
    - the tracing section (new in schema 9): the E21 sweep — the E18
      saturating burst with the per-payload causal trace context sampled
@@ -254,7 +259,7 @@ let minor_words_per_send () =
           { origin = i mod 3; boot = 0; seq = i }
           (String.make 64 'x'))
   in
-  let msg = P.Gossip { k = 5; len = 9; unordered = payloads } in
+  let msg = P.Gossip { k = 5; len = 9; unordered = payloads; cert = None } in
   let dest = Wire.writer ~cap:(Live.max_datagram + 16) () in
   let scratch = Wire.writer ~cap:4096 () in
   let send () =
@@ -368,7 +373,7 @@ let micros () =
          ())
   in
   let module P = Abcast_core.Protocol.Make (Abcast_consensus.Paxos) in
-  let gossip = P.Gossip { k = 12; len = 40; unordered = payloads } in
+  let gossip = P.Gossip { k = 12; len = 40; unordered = payloads; cert = None } in
   [
     ("rng_bits64", time_ns ~iters:2_000_000 (fun () -> ignore (Rng.bits64 rng)));
     ( "batch_encode_decode_32",
@@ -536,7 +541,7 @@ let encoded_bytes () =
           (String.make 32 'x'))
   in
   let module P = Abcast_core.Protocol.Make (Abcast_consensus.Paxos) in
-  let gossip = P.Gossip { k = 12; len = 40; unordered = payloads } in
+  let gossip = P.Gossip { k = 12; len = 40; unordered = payloads; cert = None } in
   [
     ("gossip32_wire", String.length (P.encode_msg gossip));
     ("gossip32_marshal", String.length (Marshal.to_string gossip []));
@@ -686,6 +691,91 @@ let tracing_json () =
       (pct.tr_bytes_per_msg -. base.tr_bytes_per_msg),
     overhead_1pct )
 
+(* The E22 audit-cost pair, reused from the experiment harness: the same
+   saturating burst with the order-certificate sentinel off vs on. The
+   acceptance bar is <= 2 amortized wire bytes per payload and zero
+   sentinel trips on a healthy run. *)
+(* The [minor_words_per_send] loop with the audit active: the Gossip
+   frame carries a certificate and every send folds one payload id into
+   the delivery chain, exactly the sentinel's per-delivery work. Must
+   still be 0.0 after warm-up. *)
+let minor_words_per_audited_send () =
+  let module P = Abcast_core.Protocol.Make (Abcast_consensus.Paxos) in
+  let module Live = Abcast_live.Runtime in
+  let module Wire = Abcast_util.Wire in
+  let module Audit = Abcast_core.Audit in
+  let payloads =
+    List.init 8 (fun i ->
+        Abcast_core.Payload.make
+          { origin = i mod 3; boot = 0; seq = i }
+          (String.make 64 'x'))
+  in
+  let id0 = (List.hd payloads).Abcast_core.Payload.id in
+  let chain = ref Audit.empty in
+  let window = Audit.window ~cap:1024 () in
+  let pos = ref 0 in
+  let msg =
+    P.Gossip
+      {
+        k = 5;
+        len = 9;
+        unordered = payloads;
+        cert = Some { Audit.c_boot = 1; c_len = 9; c_hash = 0x1234 };
+      }
+  in
+  let dest = Wire.writer ~cap:(Live.max_datagram + 16) () in
+  let scratch = Wire.writer ~cap:4096 () in
+  let send () =
+    chain := Audit.mix !chain id0;
+    incr pos;
+    Audit.note window ~pos:!pos ~hash:!chain;
+    Wire.clear scratch;
+    P.write_msg scratch msg;
+    if Wire.length dest + Wire.length scratch + 3 > Live.max_datagram then
+      Live.Frame.start dest ~src:0;
+    Live.Frame.add dest ~msg:scratch
+  in
+  Live.Frame.start dest ~src:0;
+  for _ = 1 to 1_000 do
+    send ()
+  done;
+  let iters = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    send ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int iters
+
+let audit_json () =
+  let rows = Experiments.e22_rows ~msgs:2_000 in
+  let off = List.hd rows and on = List.nth rows 1 in
+  let overhead_pct = (on.au_wall_s -. off.au_wall_s) /. off.au_wall_s *. 100.0 in
+  let bytes_delta = on.au_bytes_per_msg -. off.au_bytes_per_msg in
+  let rows_json =
+    rows
+    |> List.map (fun (r : Experiments.e22_row) ->
+           Printf.sprintf
+             {|      { "audit": "%s", "msgs": %d, "wall_s": %.6f, "sim_msgs_per_sec": %.0f, "net_bytes_per_payload": %.1f, "diverged": %d }|}
+             (if r.au_on then "on" else "off")
+             r.au_msgs r.au_wall_s r.au_rate r.au_bytes_per_msg r.au_diverged)
+    |> String.concat ",\n"
+  in
+  ( Printf.sprintf
+      {|  "audit": {
+    "workload": { "stack": "throughput", "n": 5, "burst_msgs": 2000, "size": 64, "seed": 61 },
+    "rows": [
+%s
+    ],
+    "overhead_wall_pct": %.2f,
+    "cert_bytes_per_payload": %.2f,
+    "minor_words_per_audited_send": %.3f,
+    "diverged_on_healthy_run": %d
+  }|}
+      rows_json overhead_pct bytes_delta
+      (minor_words_per_audited_send ())
+      (off.au_diverged + on.au_diverged),
+    bytes_delta )
+
 let run () =
   let full = steady ~delta_gossip:false () in
   let delta = steady ~delta_gossip:true () in
@@ -720,6 +810,7 @@ let run () =
   let thr_json, speedup, speedup_vs_pr4, p95_ratio = throughput_json () in
   let shard_json, shard_speedup_s4, shard_p95_ratio_s4 = shard_scaling_json () in
   let trace_json, trace_1pct_overhead = tracing_json () in
+  let audit_sec, audit_bytes_delta = audit_json () in
   let service_sec, service_speedup = service_json () in
   let service_json_str =
     match service_sec with Some j -> j | None -> {|  "service": null|}
@@ -727,8 +818,9 @@ let run () =
   let json =
     Printf.sprintf
       {|{
-  "schema": 9,
+  "schema": 10,
   "workload": { "stack": "alt/paxos", "n": 5, "msgs": 400, "mean_gap_us": 1500, "seed": 7 },
+%s,
 %s,
 %s,
 %s,
@@ -758,21 +850,22 @@ let run () =
 |}
       (steady_json "full_gossip" full)
       (steady_json "delta_gossip" delta)
-      thr_json shard_json trace_json service_json_str reduction delta.wall_s
-      traced.wall_s trace_overhead_pct stage_json live_json micro_json
-      bytes_json storage_json
+      thr_json shard_json trace_json audit_sec service_json_str reduction
+      delta.wall_s traced.wall_s trace_overhead_pct stage_json live_json
+      micro_json bytes_json storage_json
   in
-  let oc = open_out "BENCH_PR9.json" in
+  let oc = open_out "BENCH_PR10.json" in
   output_string oc json;
   close_out oc;
   print_string json;
   Printf.printf
-    "wrote BENCH_PR9.json (causal tracing at 1%% sampling: %+.2f%% drain \
-     wall vs off; service: lin-read p50 %s broadcast/read-index at \
-     S=1/200 clients; shards: %.2fx aggregate at S=4, p95 ratio %.2fx; \
-     ring+W4 at n=5: %.2fx vs same-binary gossip+W1, %.2fx vs the recorded \
-     PR-4 rate, p95 ratio: %.2fx, trace overhead: %+.2f%%)\n"
-    trace_1pct_overhead
+    "wrote BENCH_PR10.json (order-certificate audit: %+.2f bytes/payload; \
+     causal tracing at 1%% sampling: %+.2f%% drain wall vs off; service: \
+     lin-read p50 %s broadcast/read-index at S=1/200 clients; shards: \
+     %.2fx aggregate at S=4, p95 ratio %.2fx; ring+W4 at n=5: %.2fx vs \
+     same-binary gossip+W1, %.2fx vs the recorded PR-4 rate, p95 ratio: \
+     %.2fx, trace overhead: %+.2f%%)\n"
+    audit_bytes_delta trace_1pct_overhead
     (match service_speedup with
     | Some s -> Printf.sprintf "%.0fx cheaper" s
     | None -> "skipped")

@@ -8,7 +8,7 @@
      --only E4 [E5 ...]   run only the listed experiments
      --micro              run only the micro-benchmarks
      --quick              shrink workloads (~4x faster, coarser numbers)
-     --json               write BENCH_PR9.json (machine-readable snapshot:
+     --json               write BENCH_PR10.json (machine-readable snapshot:
                           causal-tracing cost sweep sampling off..1/1,
                           live service SLO sweep read-mode x shards x
                           clients, shard-scaling sweep S in {1,2,4,8},

@@ -494,7 +494,7 @@ let live_cmd stack consensus window topo shards partitioned_kv n msgs base_port
 
 let service_cmd n shards read_mode clients rate duration write_pct lin_pct
     lease_ms timeout base_port backend fsync kills seed trace_sample dir_opt
-    metrics_port metrics_out min_rate =
+    metrics_port metrics_out history_out min_rate =
   let module Service = Abcast_service.Service in
   let module Loadgen = Abcast_service.Loadgen in
   let module Runtime = Abcast_live.Runtime in
@@ -536,7 +536,7 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
   let trace_sample = if trace_sample > 0 then Some trace_sample else None in
   match
     Service.create ~base_port ~dir ~backend ~fsync ?trace_sample ?metrics_port
-      cfg
+      ~metrics_interval:1.0 ?metrics_out cfg
   with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "cannot create sockets: %s\n" (Unix.error_message e);
@@ -546,26 +546,6 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
     @@ fun () ->
     let rt = Service.runtime svc in
     install_sigusr1 rt metrics_out;
-    (match metrics_out with
-    | Some path ->
-      let t0 = Unix.gettimeofday () in
-      ignore
-        (Thread.create
-           (fun () ->
-             (* one JSONL line per second while the run lasts, so the
-                doctor has snapshots to merge next to the flight dumps *)
-             let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-             while Unix.gettimeofday () -. t0 < duration +. 5. do
-               Thread.delay 1.0;
-               (try
-                  output_string oc (Runtime.json_snapshot rt);
-                  output_char oc '\n';
-                  flush oc
-                with Sys_error _ -> ())
-             done;
-             close_out_noerr oc)
-           ())
-    | None -> ());
     Service.start svc;
     Printf.printf
       "service: %d processes, %d group(s), reads=%s, %d clients at %.0f \
@@ -614,7 +594,17 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
     let lcfg =
       { Loadgen.clients; rate; duration; write_pct; lin_pct; timeout; seed }
     in
-    let report = Loadgen.run svc lcfg in
+    let hist =
+      Option.map (fun path -> Abcast_sim.History.create ~path) history_out
+    in
+    let report = Loadgen.run ?history:hist svc lcfg in
+    Option.iter Abcast_sim.History.close hist;
+    (match history_out with
+    | Some path ->
+      Printf.printf "history: %d client ops captured to %s\n%!"
+        (match hist with Some h -> Abcast_sim.History.events h | None -> 0)
+        path
+    | None -> ());
     Thread.join killer;
     (* stop the lease marker stream, then wait for the live replicas to
        converge before auditing *)
@@ -697,9 +687,9 @@ let service_cmd n shards read_mode clients rate duration write_pct lin_pct
       end
     | None -> ())
 
-let doctor_cmd dir verbose max_traces min_complete =
+let doctor_cmd dir verbose max_traces min_complete audit =
   let module Doctor = Abcast_harness.Doctor in
-  match Doctor.analyze ~max_traces ~dir () with
+  match Doctor.analyze ~max_traces ~audit ~dir () with
   | Error msg ->
     Printf.eprintf "doctor: %s\n" msg;
     exit 2
@@ -978,7 +968,21 @@ let service_t =
       value
       & opt (some string) None
       & info [ "metrics-out" ]
-          ~doc:"append one JSON metrics snapshot per second to $(docv)"
+          ~doc:
+            "append one JSON metrics snapshot per second to $(docv); the \
+             file rotates by size ($(docv).1 … keep 4)"
+          ~docv:"FILE")
+  in
+  let history_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history-out" ]
+          ~doc:
+            "record every completed client op (kind, key, invocation and \
+             response wall-clock, result) to the binary history file \
+             $(docv) — feed it to `doctor --audit` together with the run \
+             directory's flight dumps"
           ~docv:"FILE")
   in
   let metrics_port =
@@ -996,7 +1000,7 @@ let service_t =
     const service_cmd $ n_arg $ shards_arg $ read_mode $ clients $ rate
     $ duration $ write_pct $ lin_pct $ lease_ms $ timeout $ port $ backend
     $ fsync $ kills $ seed_arg $ trace_sample_arg $ dir_arg $ metrics_port
-    $ metrics_out $ min_rate)
+    $ metrics_out $ history_out $ min_rate)
 
 let doctor_t =
   let dir =
@@ -1029,7 +1033,19 @@ let doctor_t =
              node's black box still explains its final broadcasts"
           ~docv:"N")
   in
-  Term.(const doctor_cmd $ dir $ verbose $ max_traces $ min_complete)
+  let audit =
+    Arg.(
+      value
+      & flag
+      & info [ "audit" ]
+          ~doc:
+            "cross-check delivery chain hashes across nodes and merge any \
+             *.history client captures in DIR, verifying real-time order \
+             (a write acked before a linearizable read's invocation must \
+             be visible in its result); divergence exits 1 naming the \
+             node, group and position")
+  in
+  Term.(const doctor_cmd $ dir $ verbose $ max_traces $ min_complete $ audit)
 
 let soak_t =
   let n_bad = Arg.(value & opt int 1 & info [ "bad" ] ~doc:"number of bad processes") in

@@ -20,6 +20,7 @@ type repr = {
   base_app : string option;
       (** serialized application state covering the base, if compacted *)
   base_len : int;  (** number of messages logically inside the base *)
+  base_chain : int;  (** {!Audit} chain value after [base_len] deliveries *)
   vc : Vclock.t;  (** every message contained (base and tail) *)
   tail : Payload.t list;  (** explicit suffix, in delivery order *)
 }
@@ -44,6 +45,19 @@ val try_append : t -> Payload.t -> [ `Appended | `Dup | `Gap ]
 
 val total_len : t -> int
 (** Length of the whole logical sequence (base + tail). *)
+
+val chain : t -> int
+(** {!Audit} delivery hash chain after the whole sequence — maintained
+    incrementally (allocation-free) at every append, carried across
+    {!compact}/{!snapshot}/{!restore}/{!adopt}. *)
+
+val chain_at : t -> int -> int option
+(** Chain value after the first [pos] deliveries, if still remembered:
+    the frontier and the base are always known; intermediate positions
+    come from a fixed window of the last 1024 (O(1) lookup). *)
+
+val chain_window : t -> Audit.window
+(** The underlying window, for certificate checks. *)
 
 val tail : t -> Payload.t list
 (** The explicit tail, in delivery order. *)

@@ -11,7 +11,7 @@ let topology_suffix = function Some `Ring -> "+ring" | Some `Gossip | None -> ""
 
 let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?need_cap ?trace_sample () : Proto.t =
+    ?need_cap ?trace_sample ?audit_every () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -36,7 +36,8 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
       let create io ~deliver =
         P.Basic.create ?gossip_period ?delta_gossip ?gossip_full_every
           ?dissemination ?max_batch_bytes ?ring_flush_us ?need_cap
-          ?trace_sample io ~on_deliver:(fun p -> deliver ~group:0 p)
+          ?trace_sample ?audit_every io
+          ~on_deliver:(fun p -> deliver ~group:0 p)
 
       let broadcast_blocks = true
 
@@ -73,8 +74,8 @@ let basic ?(consensus = `Paxos) ?gossip_period ?delta_gossip
 let alternative_named label ?(consensus = `Paxos) ?gossip_period
     ?checkpoint_period ?delta ?early_return ?incremental ?paranoid_log
     ?window ?trim_state ?delta_gossip ?gossip_full_every ?dissemination
-    ?max_batch_bytes ?ring_flush_us ?need_cap ?trace_sample ?app_factory
-    ?group_app_factory () : Proto.t =
+    ?max_batch_bytes ?ring_flush_us ?need_cap ?trace_sample ?audit_every
+    ?fault_reorder_node ?app_factory ?group_app_factory () : Proto.t =
   let make (module C : Abcast_consensus.Consensus_intf.S) =
     let module P = Protocol.Make (C) in
     (module struct
@@ -143,10 +144,19 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
                 app_deliver p;
                 deliver p )
         in
+        (* The fault hook is addressed by node id so a sim run can arm
+           exactly one process; every other node keeps a healthy stack
+           and the audit sentinel has honest peers to disagree with. *)
+        let fault_reorder_once =
+          match fault_reorder_node with
+          | Some i when i = io.Abcast_sim.Engine.self -> true
+          | _ -> false
+        in
         P.Alternative.create ?gossip_period ?checkpoint_period ?delta
           ?early_return ?incremental ?paranoid_log ?window ?trim_state
           ?delta_gossip ?gossip_full_every ?dissemination ?max_batch_bytes
-          ?ring_flush_us ?need_cap ?trace_sample ?app io ~on_deliver:deliver
+          ?ring_flush_us ?need_cap ?trace_sample ?audit_every
+          ~fault_reorder_once ?app io ~on_deliver:deliver
 
       let broadcast_blocks = not (Option.value early_return ~default:true)
 
@@ -183,11 +193,13 @@ let alternative_named label ?(consensus = `Paxos) ?gossip_period
 let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?need_cap ?trace_sample ?app_factory ?group_app_factory () =
+    ?need_cap ?trace_sample ?audit_every ?fault_reorder_node ?app_factory
+    ?group_app_factory () =
   alternative_named "alt" ?consensus ?gossip_period ?checkpoint_period ?delta
     ?early_return ?incremental ?paranoid_log ?window ?trim_state ?delta_gossip
     ?gossip_full_every ?dissemination ?max_batch_bytes ?ring_flush_us
-    ?need_cap ?trace_sample ?app_factory ?group_app_factory ()
+    ?need_cap ?trace_sample ?audit_every ?fault_reorder_node ?app_factory
+    ?group_app_factory ()
 
 (* With ring dissemination the payloads never wait on a gossip tick —
    digests only repair a torn ring — so the preset slows the gossip task
@@ -198,10 +210,11 @@ let alternative ?consensus ?gossip_period ?checkpoint_period ?delta
    cadence and the Need-pull flow-control cap for per-shard tuning. *)
 let throughput ?consensus ?(window = 4) ?(max_batch_bytes = 24_000)
     ?(repair_period = 10_000) ?(repair_full_every = 32) ?need_cap
-    ?trace_sample ?group_app_factory () =
+    ?trace_sample ?audit_every ?fault_reorder_node ?group_app_factory () =
   alternative_named "alt" ?consensus ~window ~dissemination:`Ring
     ~max_batch_bytes ~gossip_full_every:repair_full_every
-    ~gossip_period:repair_period ?need_cap ?trace_sample ?group_app_factory ()
+    ~gossip_period:repair_period ?need_cap ?trace_sample ?audit_every
+    ?fault_reorder_node ?group_app_factory ()
 
 let naive ?(consensus = `Paxos) () =
   alternative_named "naive" ~consensus ~paranoid_log:true ~early_return:true

@@ -31,6 +31,7 @@ val basic :
   ?ring_flush_us:int ->
   ?need_cap:int ->
   ?trace_sample:int ->
+  ?audit_every:int ->
   unit ->
   Proto.t
 (** The basic protocol (Fig. 2). [delta_gossip] (default true) gossips
@@ -40,7 +41,9 @@ val basic :
     ring instead of relying on gossip pulls (the stack name gains a
     ["+ring"] suffix); [max_batch_bytes] bounds one proposal's payload
     bytes. [trace_sample] (default 0 = off) samples every k-th broadcast
-    with a causal {!Trace_ctx} id carried on the wire. *)
+    with a causal {!Trace_ctx} id carried on the wire. [audit_every]
+    (default 1; 0 = off) piggybacks an {!Audit.cert} order certificate
+    on every k-th gossip/digest — the online order audit. *)
 
 val alternative :
   ?consensus:consensus ->
@@ -59,6 +62,8 @@ val alternative :
   ?ring_flush_us:int ->
   ?need_cap:int ->
   ?trace_sample:int ->
+  ?audit_every:int ->
+  ?fault_reorder_node:int ->
   ?app_factory:app_factory ->
   ?group_app_factory:group_app_factory ->
   unit ->
@@ -70,7 +75,11 @@ val alternative :
     payload ids one digest exchange will pull. [trace_sample] (default 0
     = off) samples every k-th broadcast with a causal {!Trace_ctx} id
     carried on the wire and stamped into the flight recorder at every
-    hop. *)
+    hop. [audit_every] (default 1; 0 = off) controls the order-certificate
+    cadence as in {!basic}. [fault_reorder_node] (tests only) arms the
+    one-shot apply-reorder fault injection on exactly that process id, so
+    a run can break total order on one node and watch the audit sentinel
+    catch it. *)
 
 val throughput :
   ?consensus:consensus ->
@@ -80,6 +89,8 @@ val throughput :
   ?repair_full_every:int ->
   ?need_cap:int ->
   ?trace_sample:int ->
+  ?audit_every:int ->
+  ?fault_reorder_node:int ->
   ?group_app_factory:group_app_factory ->
   unit ->
   Proto.t
@@ -91,7 +102,8 @@ val throughput :
     [repair_period] (default 10_000 µs) is the digest gossip cadence,
     [repair_full_every] (default 32) sends a full digest every that many
     ticks, and [need_cap] (default 128) caps ids pulled per exchange.
-    [trace_sample] enables causal trace sampling as in {!alternative}. *)
+    [trace_sample]/[audit_every]/[fault_reorder_node] as in
+    {!alternative}. *)
 
 val naive : ?consensus:consensus -> unit -> Proto.t
 (** The naive-logging strawman for ablations E1/E6: alternative protocol

@@ -63,8 +63,18 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   module M = Abcast_consensus.Multi.Make (C)
 
   type msg =
-    | Gossip of { k : int; len : int; unordered : Payload.t list }
-    | Digest of { k : int; len : int; summary : (int * int * int) list }
+    | Gossip of {
+        k : int;
+        len : int;
+        unordered : Payload.t list;
+        cert : Audit.cert option;
+      }
+    | Digest of {
+        k : int;
+        len : int;
+        summary : (int * int * int) list;
+        cert : Audit.cert option;
+      }
     | Need of { ids : Payload.id list }
     | State of { k : int; floor : int; agreed : Agreed.repr }
     | Cons of M.msg
@@ -74,9 +84,9 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
             its remaining hop count *)
 
   let pp_msg ppf = function
-    | Gossip { k; len; unordered } ->
+    | Gossip { k; len; unordered; cert = _ } ->
       Format.fprintf ppf "gossip(k%d,len%d,|U|=%d)" k len (List.length unordered)
-    | Digest { k; len; summary } ->
+    | Digest { k; len; summary; cert = _ } ->
       Format.fprintf ppf "digest(k%d,len%d,|S|=%d)" k len (List.length summary)
     | Need { ids } -> Format.fprintf ppf "need(|ids|=%d)" (List.length ids)
     | State { k; _ } -> Format.fprintf ppf "state(k%d)" k
@@ -99,16 +109,18 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     (origin, boot, smax)
 
   let write_msg w = function
-    | Gossip { k; len; unordered } ->
+    | Gossip { k; len; unordered; cert } ->
       Wire.write_u8 w 0;
       Wire.write_varint w k;
       Wire.write_varint w len;
-      Wire.write_list Payload.write w unordered
-    | Digest { k; len; summary } ->
+      Wire.write_list Payload.write w unordered;
+      Wire.write_option Audit.write_cert w cert
+    | Digest { k; len; summary; cert } ->
       Wire.write_u8 w 1;
       Wire.write_varint w k;
       Wire.write_varint w len;
-      Wire.write_list write_summary_entry w summary
+      Wire.write_list write_summary_entry w summary;
+      Wire.write_option Audit.write_cert w cert
     | Need { ids } ->
       Wire.write_u8 w 2;
       Wire.write_list Payload.write_id w ids
@@ -139,12 +151,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       let k = Wire.read_varint r in
       let len = Wire.read_varint r in
       let unordered = Payload.read_list r in
-      Gossip { k; len; unordered }
+      let cert = Wire.read_option Audit.read_cert r in
+      Gossip { k; len; unordered; cert }
     | 1 ->
       let k = Wire.read_varint r in
       let len = Wire.read_varint r in
       let summary = Wire.read_list read_summary_entry r in
-      Digest { k; len; summary }
+      let cert = Wire.read_option Audit.read_cert r in
+      Digest { k; len; summary; cert }
     | 2 -> Need { ids = Wire.read_list Payload.read_id r }
     | 3 ->
       let k = Wire.read_varint r in
@@ -224,6 +238,14 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         (* 0 = no causal tracing; k > 0 samples every k-th local
            broadcast: mint a [Trace_ctx] carried on the payload across
            every hop, so all nodes stamp flight events with it *)
+    audit_every : int;
+        (* 0 = no order audit; k > 0 piggybacks an [Audit.cert] on every
+           k-th gossip/digest tick, and receivers compare it against
+           their own chain window (the online safety sentinel) *)
+    fault_reorder_once : bool;
+        (* test-only fault injection: deliberately apply the first
+           multi-stream decided batch in reversed order, breaking total
+           order on this node exactly once — the sentinel must catch it *)
     app : app option;
   }
 
@@ -244,6 +266,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       ring_flush_us = 400;
       need_cap = 128;
       trace_sample = 0;
+      audit_every = 1;
+      fault_reorder_once = false;
       app = None;
     }
 
@@ -320,6 +344,11 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
            add instead of folding the whole set on every gossip tick. *)
     ck_slot : (int * Agreed.repr) Storage.Slot.slot;
     unordered_full_slot : Payload.t list Storage.Slot.slot;
+    boot_t0 : int; (* io.now at node construction (recovery timing) *)
+    mutable recovery_done : bool; (* [recover] finished for this boot *)
+    mutable caught_up : bool; (* first post-recovery delivery observed *)
+    mutable audit_tripped : bool; (* order-divergence sentinel, one-shot *)
+    mutable fault_armed : bool; (* [mode.fault_reorder_once] not yet fired *)
   }
 
   (* The round counter [k] of the paper is the pipeline's commit cursor:
@@ -478,8 +507,28 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     Flight.record t.io.flight ~time:(t.io.now ()) ~node:t.io.self
       ~group:t.io.group ~boot:t.io.incarnation ~stage ~trace ~a ~b
 
+  (* Chain grid: note the audit chain in the flight recorder whenever the
+     delivery position crosses a multiple of this (power of two), so
+     every node records hashes at the *same* positions and the doctor can
+     compare them offline without any node-to-node coordination. *)
+  let chain_grid_mask = 256 - 1
+
   let deliver_one t (p : Payload.t) =
     Metrics.hincr t.mh.h_delivered;
+    if not t.caught_up && t.recovery_done then begin
+      (* First frontier delivery after recovery: the node is caught up. *)
+      t.caught_up <- true;
+      let dt = t.io.now () - t.boot_t0 in
+      flight t ~stage:Flight.caught_up ~trace:0
+        ~a:(Agreed.total_len t.agreed) ~b:dt;
+      Metrics.add t.io.metrics ~node:t.io.self "recovery_catchup_us" dt
+    end;
+    if
+      t.mode.audit_every > 0
+      && Agreed.total_len t.agreed land chain_grid_mask = 0
+    then
+      flight t ~stage:Flight.chain ~trace:0 ~a:(Agreed.total_len t.agreed)
+        ~b:(Agreed.chain t.agreed);
     if p.trace <> 0 then
       flight t ~stage:Flight.apply ~trace:p.trace
         ~a:(Agreed.total_len t.agreed) ~b:0;
@@ -603,8 +652,29 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     in
     walk k
 
+  (* Two payloads of different streams in one batch: reversing such a
+     batch genuinely transposes cross-stream deliveries (same-stream
+     pairs would just gap-skip back into the original order). *)
+  let multi_stream (batch : Payload.t list) =
+    match batch with
+    | [] | [ _ ] -> false
+    | p :: rest ->
+      List.exists
+        (fun (q : Payload.t) ->
+          q.id.origin <> p.id.origin || q.id.boot <> p.id.boot)
+        rest
+
   let apply_decision t v =
     let batch = Batch.decode v in
+    let batch =
+      if t.fault_armed && multi_stream batch then begin
+        t.fault_armed <- false;
+        Metrics.incr t.io.metrics ~node:t.io.self "fault_reorder_injected";
+        t.io.emit "FAULT: applying decided batch in reversed order";
+        List.rev batch
+      end
+      else batch
+    in
     List.iter
       (fun (p : Payload.t) ->
         (* A decided batch can carry a payload whose stream predecessor
@@ -754,12 +824,27 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       end
     end
 
+  (* The order certificate riding this gossip tick, if the cadence says
+     so. One small option allocation per periodic tick — never on the
+     per-payload path — and ~1 byte on the wire when absent. *)
+  let cert_now t =
+    if t.mode.audit_every > 0 && t.gossip_tick mod t.mode.audit_every = 0
+    then
+      Some
+        {
+          Audit.c_boot = t.io.incarnation;
+          c_len = Agreed.total_len t.agreed;
+          c_hash = Agreed.chain t.agreed;
+        }
+    else None
+
   let rec gossip_loop t =
     t.gossip_tick <- t.gossip_tick + 1;
     let full =
       (not t.mode.delta_gossip)
       || t.gossip_tick mod t.mode.gossip_full_every = 0
     in
+    let cert = cert_now t in
     let m =
       if full then
         Gossip
@@ -767,6 +852,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
             k = committed t;
             len = Agreed.total_len t.agreed;
             unordered = unordered_list t;
+            cert;
           }
       else
         Digest
@@ -774,11 +860,39 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
             k = committed t;
             len = Agreed.total_len t.agreed;
             summary = unordered_summary t;
+            cert;
           }
     in
     count_gossip t ~copies:t.io.n m;
     t.io.multisend m;
     t.io.after t.mode.gossip_period (fun () -> gossip_loop t)
+
+  (* The sentinel: compare a peer's order certificate against our own
+     chain at the same delivery position. Positions outside our window
+     (too far ahead, or already slid past) prove nothing and are skipped;
+     an overlap with a different hash is a total-order violation — the
+     one thing the paper's protocol must never allow — so it trips the
+     alarm (live: immediate flight dump) exactly once per boot. *)
+  let audit_check t ~src cert =
+    match cert with
+    | None -> ()
+    | Some (c : Audit.cert) -> (
+      if t.mode.audit_every > 0 then
+        match Agreed.chain_at t.agreed c.c_len with
+        | None -> ()
+        | Some h ->
+          if h <> c.c_hash then begin
+            Metrics.incr t.io.metrics ~node:t.io.self "audit_diverged";
+            if not t.audit_tripped then begin
+              t.audit_tripped <- true;
+              flight t ~stage:Flight.audit ~trace:0 ~a:c.c_len ~b:src;
+              t.io.alarm
+                (Printf.sprintf
+                   "audit: delivery order diverged from node %d (boot %d) \
+                    at len %d in group %d: local chain %x, remote %x"
+                   src c.c_boot c.c_len t.io.group h c.c_hash)
+            end
+          end)
 
   let on_gossip t ~src kq ~len_q uq =
     List.iter
@@ -866,6 +980,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
             k = committed t;
             len = Agreed.total_len t.agreed;
             unordered = List.sort Payload.compare ps;
+            cert = None;
           }
       in
       count_gossip t ~copies:1 m;
@@ -912,6 +1027,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
   (* --- Recovery (§4.2 "Recovery", §5.1) ------------------------------ *)
 
   let recover t =
+    let t0 = t.io.now () in
     (match Storage.Slot.get t.ck_slot with
     | Some (k, repr) ->
       M.Pipeline.seek t.pipe k;
@@ -927,15 +1043,20 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     (* Replay: walk the consensus log upward from the checkpoint.
        [Pipeline.ready] falls back to the stable decision log exactly for
        this — the volatile decide buffer died with the crash. *)
+    let rounds = ref 0 in
     let rec replay () =
       match M.Pipeline.ready t.pipe with
       | Some v ->
         apply_decision t v;
+        incr rounds;
         Metrics.incr t.io.metrics ~node:t.io.self "replay_rounds";
         replay ()
       | None -> ()
     in
     replay ();
+    let dt = t.io.now () - t0 in
+    Metrics.add t.io.metrics ~node:t.io.self "recovery_protocol_us" dt;
+    flight t ~stage:Flight.replay_done ~trace:0 ~a:!rounds ~b:dt;
     (* Re-propose every logged, still-undecided proposal — with a window
        there can be several in flight (idempotent, P4) — and rebuild the
        volatile record of what they contain. *)
@@ -1028,10 +1149,16 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         unordered_full_slot =
           Storage.Slot.make ~codec:unordered_codec store ~layer
             ~key:unordered_slot_key;
+        boot_t0 = io.Engine.now ();
+        recovery_done = false;
+        caught_up = false;
+        audit_tripped = false;
+        fault_armed = mode.fault_reorder_once;
       }
     in
     tref := Some t;
     recover t;
+    t.recovery_done <- true;
     gossip_loop t;
     (match mode.checkpoint_period with
     | Some period ->
@@ -1046,11 +1173,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
 
   let node_handler t ~src msg =
     match msg with
-    | Gossip { k; len; unordered } ->
+    | Gossip { k; len; unordered; cert } ->
       Metrics.hincr t.mh.h_rx_gossip;
+      audit_check t ~src cert;
       on_gossip t ~src k ~len_q:len unordered
-    | Digest { k; len; summary } ->
+    | Digest { k; len; summary; cert } ->
       Metrics.hincr t.mh.h_rx_digest;
+      audit_check t ~src cert;
       on_digest t ~src k ~len_q:len summary
     | Need { ids } ->
       Metrics.hincr t.mh.h_rx_need;
@@ -1114,7 +1243,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
     let create ?(gossip_period = 3_000) ?(delta_gossip = true)
         ?(gossip_full_every = 8) ?(dissemination = `Gossip)
         ?(max_batch_bytes = 24_000) ?(ring_flush_us = 400) ?(need_cap = 128)
-        ?(trace_sample = 0) io ~on_deliver =
+        ?(trace_sample = 0) ?(audit_every = 1) io ~on_deliver =
       if gossip_full_every < 1 then
         invalid_arg "Basic.create: gossip_full_every must be >= 1";
       if max_batch_bytes < 1 then
@@ -1122,6 +1251,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
       if need_cap < 0 then invalid_arg "Basic.create: need_cap must be >= 0";
       if trace_sample < 0 then
         invalid_arg "Basic.create: trace_sample must be >= 0";
+      if audit_every < 0 then
+        invalid_arg "Basic.create: audit_every must be >= 0";
       create_node io
         {
           basic_mode with
@@ -1133,6 +1264,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           ring_flush_us;
           need_cap;
           trace_sample;
+          audit_every;
         }
         ~on_deliver
   end
@@ -1150,8 +1282,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         ?(paranoid_log = false) ?(window = 1) ?(trim_state = true)
         ?(delta_gossip = true) ?(gossip_full_every = 8)
         ?(dissemination = `Gossip) ?(max_batch_bytes = 24_000)
-        ?(ring_flush_us = 400) ?(need_cap = 128) ?(trace_sample = 0) ?app io
-        ~on_deliver =
+        ?(ring_flush_us = 400) ?(need_cap = 128) ?(trace_sample = 0)
+        ?(audit_every = 1) ?(fault_reorder_once = false) ?app io ~on_deliver =
       if window < 1 then invalid_arg "Alternative.create: window must be >= 1";
       if gossip_full_every < 1 then
         invalid_arg "Alternative.create: gossip_full_every must be >= 1";
@@ -1161,6 +1293,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
         invalid_arg "Alternative.create: need_cap must be >= 0";
       if trace_sample < 0 then
         invalid_arg "Alternative.create: trace_sample must be >= 0";
+      if audit_every < 0 then
+        invalid_arg "Alternative.create: audit_every must be >= 0";
       create_node io
         {
           gossip_period;
@@ -1178,6 +1312,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) = struct
           ring_flush_us;
           need_cap;
           trace_sample;
+          audit_every;
+          fault_reorder_once;
           app;
         }
         ~on_deliver

@@ -45,18 +45,30 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       transfer, plus encapsulated consensus and failure-detector
       traffic. *)
   type msg =
-    | Gossip of { k : int; len : int; unordered : Payload.t list }
+    | Gossip of {
+        k : int;
+        len : int;
+        unordered : Payload.t list;
+        cert : Audit.cert option;
+      }
         (** full-payload [gossip(k_p, Unordered_p)] multisend (§4.2); [len]
             is the sender's delivered-sequence length, letting a state-
             transfer donor ship only the missing suffix (§5.3). With
             digest gossip enabled this is the periodic full-set fallback
-            and the reply to a {!Need} pull. *)
-    | Digest of { k : int; len : int; summary : (int * int * int) list }
+            and the reply to a {!Need} pull. [cert] optionally piggybacks
+            the sender's order certificate (the online audit). *)
+    | Digest of {
+        k : int;
+        len : int;
+        summary : (int * int * int) list;
+        cert : Audit.cert option;
+      }
         (** compact gossip: [summary] lists, per [(origin, boot)] stream,
             the highest sequence number present in the sender's
             [Unordered] set. A receiver derives exactly the candidate
             entries it is missing and pulls them with {!Need} — see
-            DESIGN.md for why the §4.2 liveness argument is preserved. *)
+            DESIGN.md for why the §4.2 liveness argument is preserved.
+            [cert]: as in {!Gossip}. *)
     | Need of { ids : Payload.id list }
         (** pull request for specific unordered entries, answered with a
             payload {!Gossip} restricted to the ids the sender holds *)
@@ -153,6 +165,7 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?ring_flush_us:int ->
       ?need_cap:int ->
       ?trace_sample:int ->
+      ?audit_every:int ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
       t
@@ -183,7 +196,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         local broadcast for causal tracing: the payload carries a
         {!Trace_ctx} across every hop and each node records
         flight-recorder events stamped with it (see
-        {!Abcast_sim.Flight}). *)
+        {!Abcast_sim.Flight}).
+
+        [audit_every] (default 1 = every tick; 0 = off) piggybacks an
+        {!Audit.cert} order certificate on every [audit_every]-th gossip
+        or digest; receivers compare it against their own delivery hash
+        chain and a mismatch trips the ["audit_diverged"] sentinel (an
+        [io.alarm], a flight event, and a metric). *)
   end
 
   (** The alternative protocol (Figs. 3–5). *)
@@ -211,6 +230,8 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
       ?ring_flush_us:int ->
       ?need_cap:int ->
       ?trace_sample:int ->
+      ?audit_every:int ->
+      ?fault_reorder_once:bool ->
       ?app:app ->
       msg Abcast_sim.Engine.io ->
       on_deliver:(Payload.t -> unit) ->
@@ -248,7 +269,13 @@ module Make (C : Abcast_consensus.Consensus_intf.S) : sig
         re-proposed rather than breaking the FIFO invariant.
 
         [dissemination]/[max_batch_bytes]/[ring_flush_us]/[need_cap]/
-        [trace_sample]: as in {!Basic.create}. *)
+        [trace_sample]/[audit_every]: as in {!Basic.create}.
+
+        [fault_reorder_once] (default false; tests only) arms a one-shot
+        fault injection: the first decided batch carrying payloads of at
+        least two streams is applied in reversed order, deliberately
+        breaking total order on this node so the audit sentinel can be
+        exercised end to end. *)
 
     val checkpoint_now : t -> unit
     (** Force a checkpoint immediately (tests and examples). *)

@@ -38,6 +38,7 @@ type t = {
   retained_bytes : int -> int;
   retained_keys : int -> int;
   disk_bytes : int -> int;
+  flight_of : int -> Abcast_sim.Flight.t;
   wal_stats : int -> Abcast_store.Wal.stats option;
   read_storage : int -> string -> string option;
   corrupt_storage : int -> key:string -> string -> unit;
@@ -51,9 +52,9 @@ type t = {
 }
 
 let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
-    ?(count_bytes = false) ?storage () =
+    ?(count_bytes = false) ?storage ?flight () =
   let msg_size = if count_bytes then Some P.msg_size else None in
-  let eng = Engine.create ~seed ~n ?net ?msg_size ?trace ?storage () in
+  let eng = Engine.create ~seed ~n ?net ?msg_size ?trace ?storage ?flight () in
   let nodes = Array.make n None in
   let ever_delivered = Hashtbl.create 256 in
   for i = 0 to n - 1 do
@@ -104,6 +105,7 @@ let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
     retained_keys =
       (fun i -> Abcast_sim.Storage.retained_keys (Engine.storage eng i));
     disk_bytes = (fun i -> Abcast_sim.Storage.disk_bytes (Engine.storage eng i));
+    flight_of = (fun i -> Engine.flight eng i);
     wal_stats = (fun i -> Abcast_sim.Storage.wal_stats (Engine.storage eng i));
     read_storage = (fun i key -> Abcast_sim.Storage.read (Engine.storage eng i) key);
     corrupt_storage =
@@ -121,6 +123,7 @@ let create (module P : Abcast_core.Proto.S) ~seed ~n ?net ?trace
 
 let n t = t.n
 let metrics t = t.metrics
+let flight t i = t.flight_of i
 let trace t = t.trace
 let histogram t name = Abcast_sim.Metrics.histogram t.metrics name
 let hist_summary t name = Abcast_sim.Metrics.hist_summary t.metrics name

@@ -16,15 +16,23 @@ val create :
   ?trace:Abcast_sim.Trace.t ->
   ?count_bytes:bool ->
   ?storage:(metrics:Abcast_sim.Metrics.t -> node:int -> Abcast_sim.Storage.t) ->
+  ?flight:(node:int -> Abcast_sim.Flight.t) ->
   unit ->
   t
 (** Build the cluster and start every process. [count_bytes] (default
     false) enables per-message byte accounting (slower: serializes every
     message). [storage] selects the stable-storage backend per process
-    (default memory-only; see {!Abcast_sim.Engine.create}). *)
+    (default memory-only; see {!Abcast_sim.Engine.create}). [flight]
+    gives each process a real flight recorder — tests dump them to a
+    run directory and feed {!Abcast_harness.Doctor}. *)
 
 val n : t -> int
 val metrics : t -> Abcast_sim.Metrics.t
+
+val flight : t -> int -> Abcast_sim.Flight.t
+(** A process's flight recorder ([Flight.disabled] no-op unless [create]
+    got a [flight] factory). *)
+
 val trace : t -> Abcast_sim.Trace.t
 
 val histogram : t -> string -> Abcast_util.Histogram.t option

@@ -15,6 +15,7 @@
    missing event can hide an anomaly but never invent one. *)
 
 module Flight = Abcast_sim.Flight
+module History = Abcast_sim.History
 module Trace_ctx = Abcast_core.Trace_ctx
 
 type trace_info = {
@@ -41,14 +42,37 @@ type stage_stat = {
 
 type anomaly = { code : string; detail : string }
 
+type recovery = {
+  rv_node : int;
+  rv_boot : int;
+  rv_replay_records : int;  (* stable-storage records replayed at boot *)
+  rv_replay_us : int;
+  rv_rounds : int;  (* consensus rounds re-run by protocol recovery *)
+  rv_protocol_us : int;
+  rv_stjump : (int * int) option;  (* state transfer jumped from -> to *)
+  rv_caught_len : int;  (* delivery length at first post-recovery
+                           delivery; -1 = never caught up in the dump *)
+  rv_caught_us : int;  (* µs from boot to that first delivery *)
+}
+
+type audit_summary = {
+  au_histories : int;  (* client history files merged *)
+  au_events : int;  (* completed ops across them *)
+  au_lin_reads : int;  (* linearizable reads checked *)
+  au_chain_points : int;  (* (group, position) chain grid points compared *)
+}
+
 type report = {
   dir : string;
   nodes : int list;  (* node ids a dump was loaded for *)
   events : int;
   dropped : int;  (* summed ring overwrites across nodes *)
+  dropped_by_node : (int * int) list;  (* node -> its ring overwrites *)
   boots : (int * int) list;  (* node -> boots seen in its dump *)
   traces : trace_info list;
   stages : stage_stat list;
+  recoveries : recovery list;
+  audit : audit_summary option;  (* Some when [analyze ~audit:true] ran *)
   anomalies : anomaly list;
   snapshots : int;  (* JSONL metrics lines merged *)
   notes : string list;
@@ -71,11 +95,36 @@ let list_node_dumps dir =
     |> List.sort compare
   | exception Sys_error _ -> []
 
+(* Snapshot streams rotate by size: [m.jsonl.3] is older than
+   [m.jsonl.1] is older than the live [m.jsonl]. Parse the generation so
+   the merged listing reads oldest-first. *)
+let jsonl_generation e =
+  if Filename.check_suffix e ".jsonl" then Some (e, 0)
+  else
+    match String.rindex_opt e '.' with
+    | Some i -> (
+      let base = String.sub e 0 i in
+      match int_of_string_opt (String.sub e (i + 1) (String.length e - i - 1)) with
+      | Some g when g > 0 && Filename.check_suffix base ".jsonl" ->
+        Some (base, g)
+      | _ -> None)
+    | None -> None
+
 let list_jsonl dir =
   match Sys.readdir dir with
   | entries ->
     Array.to_list entries
-    |> List.filter (fun e -> Filename.check_suffix e ".jsonl")
+    |> List.filter_map (fun e ->
+           Option.map (fun (base, gen) -> ((base, -gen), e)) (jsonl_generation e))
+    |> List.sort compare
+    |> List.map (fun (_, e) -> Filename.concat dir e)
+  | exception Sys_error _ -> []
+
+let list_histories dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun e -> Filename.check_suffix e ".history")
     |> List.map (Filename.concat dir)
     |> List.sort compare
   | exception Sys_error _ -> []
@@ -107,7 +156,7 @@ let mk_stage name samples =
     let mx = List.fold_left Float.max neg_infinity samples in
     Some { stage = name; count = n; mean_us = sum /. float_of_int n; max_us = mx }
 
-let analyze ?(max_traces = 64) ~dir () =
+let analyze ?(max_traces = 64) ?(audit = false) ~dir () =
   let dumps = list_node_dumps dir in
   if dumps = [] then Error (Printf.sprintf "%s: no node*/flight.bin dumps" dir)
   else begin
@@ -130,9 +179,21 @@ let analyze ?(max_traces = 64) ~dir () =
         |> List.sort (fun (a : Flight.event) b ->
                compare (a.e_time, a.e_node, a.e_stage) (b.e_time, b.e_node, b.e_stage))
       in
-      let dropped =
-        List.fold_left (fun acc (_, d) -> acc + d.Flight.d_dropped) 0 loaded
+      let dropped_by_node =
+        List.map (fun (i, d) -> (i, d.Flight.d_dropped)) loaded
       in
+      let dropped = List.fold_left (fun acc (_, d) -> acc + d) 0 dropped_by_node in
+      (* a wrapped ring means the timeline has a hole: every check below
+         stays sound (a missing event never invents an anomaly) but may
+         miss one, so the gap itself is worth a loud note *)
+      List.iter
+        (fun (i, d) ->
+          if d > 0 then
+            note
+              "node %d: flight ring overwrote %d events — the timeline has a \
+               hole (raise the flight capacity for longer memory)"
+              i d)
+        dropped_by_node;
       let boots =
         List.map
           (fun (i, d) ->
@@ -410,6 +471,227 @@ let analyze ?(max_traces = 64) ~dir () =
                     i pos g (Trace_ctx.to_string t.tid))
               boots)
         traces;
+      (* ---- recovery timeline: per (node, boot) episode ---- *)
+      let recoveries =
+        List.concat_map
+          (fun (i, d) ->
+            (* walk the node's own dump in order, splitting episodes at
+               boot events; replay events from the storage layer carry
+               boot 0, so attribution is positional, not by e_boot.
+               Storage replay runs BEFORE the protocol records its boot
+               event, so replay seen after the current episode already
+               caught up belongs to the NEXT incarnation — buffer it. *)
+            let eps = ref [] in
+            let cur = ref None in
+            let pending_records = ref 0 and pending_us = ref 0 in
+            let fresh boot =
+              {
+                rv_node = i;
+                rv_boot = boot;
+                rv_replay_records = 0;
+                rv_replay_us = 0;
+                rv_rounds = 0;
+                rv_protocol_us = 0;
+                rv_stjump = None;
+                rv_caught_len = -1;
+                rv_caught_us = 0;
+              }
+            in
+            let flush () =
+              match !cur with
+              | Some r -> eps := r :: !eps
+              | None -> ()
+            in
+            let get boot =
+              match !cur with
+              | Some r -> r
+              | None ->
+                let r = fresh boot in
+                cur := Some r;
+                r
+            in
+            List.iter
+              (fun (e : Flight.event) ->
+                if e.e_stage = Flight.boot then begin
+                  flush ();
+                  let r = fresh e.e_a in
+                  cur :=
+                    Some
+                      {
+                        r with
+                        rv_replay_records = !pending_records;
+                        rv_replay_us = !pending_us;
+                      };
+                  pending_records := 0;
+                  pending_us := 0
+                end
+                else if e.e_stage = Flight.replay then begin
+                  let caught =
+                    match !cur with
+                    | Some r -> r.rv_caught_len >= 0
+                    | None -> false
+                  in
+                  if caught then begin
+                    pending_records := !pending_records + e.e_a;
+                    pending_us := !pending_us + e.e_b
+                  end
+                  else
+                    let r = get e.e_boot in
+                    cur :=
+                      Some
+                        {
+                          r with
+                          rv_replay_records = r.rv_replay_records + e.e_a;
+                          rv_replay_us = r.rv_replay_us + e.e_b;
+                        }
+                end
+                else if e.e_stage = Flight.replay_done then begin
+                  let r = get e.e_boot in
+                  cur :=
+                    Some
+                      { r with rv_rounds = e.e_a; rv_protocol_us = e.e_b }
+                end
+                else if e.e_stage = Flight.stjump then begin
+                  let r = get e.e_boot in
+                  cur := Some { r with rv_stjump = Some (e.e_a, e.e_b) }
+                end
+                else if e.e_stage = Flight.caught_up then begin
+                  let r = get e.e_boot in
+                  cur :=
+                    Some { r with rv_caught_len = e.e_a; rv_caught_us = e.e_b }
+                end)
+              d.Flight.d_events;
+            flush ();
+            (* keep the episodes that tell a recovery story: an actual
+               re-boot, a non-empty replay, or a state-transfer jump *)
+            List.rev !eps
+            |> List.filter (fun r ->
+                   r.rv_boot > 0 || r.rv_replay_records > 0
+                   || r.rv_stjump <> None))
+          loaded
+      in
+      (* ---- online order audit evidence ---- *)
+      (* sentinel trips recorded live: a certificate that mismatched the
+         receiver's own delivery chain is a total-order violation caught
+         in flight — surface every one *)
+      List.iter
+        (fun (e : Flight.event) ->
+          flag "audit-diverged"
+            "node %d (boot %d): order certificate from node %d mismatched \
+             its delivery chain at length %d (group %d)"
+            e.e_node e.e_boot e.e_b e.e_a e.e_group)
+        (by_stage Flight.audit);
+      (* chain grid cross-check: every node notes its chain hash at
+         grid-aligned delivery positions; the total order makes the hash
+         at a position a pure function of the prefix, so two nodes
+         disagreeing at one (group, position) delivered different
+         prefixes. Flag the minority side. *)
+      let chain_tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (e : Flight.event) ->
+          let k = (e.e_group, e.e_a) in
+          let cur =
+            match Hashtbl.find_opt chain_tbl k with Some l -> l | None -> []
+          in
+          Hashtbl.replace chain_tbl k ((e.e_node, e.e_b) :: cur))
+        (by_stage Flight.chain);
+      let chain_points = Hashtbl.length chain_tbl in
+      Hashtbl.fold (fun k l acc -> (k, List.sort_uniq compare l) :: acc)
+        chain_tbl []
+      |> List.sort compare
+      |> List.iter (fun ((g, pos), l) ->
+             let hashes = List.sort_uniq compare (List.map snd l) in
+             if List.length hashes > 1 then begin
+               let count h = List.length (List.filter (fun (_, x) -> x = h) l) in
+               let majority =
+                 List.fold_left
+                   (fun best h -> if count h > count best then h else best)
+                   (List.hd hashes) (List.tl hashes)
+               in
+               List.sort_uniq compare l
+               |> List.iter (fun (n, h) ->
+                      if h <> majority then
+                        flag "order-divergence"
+                          "node %d: delivery chain at position %d of group %d \
+                           is %x, majority agrees on %x — this node delivered \
+                           a different prefix"
+                          n pos g h majority)
+             end);
+      (* ---- client history audit (--audit) ---- *)
+      let audit_summary =
+        if not audit then None
+        else begin
+          let files = list_histories dir in
+          let events =
+            List.concat_map
+              (fun p ->
+                match History.load_file p with
+                | Ok l -> l
+                | Error e ->
+                  note "%s: unreadable history (%s)" (Filename.basename p) e;
+                  [])
+              files
+          in
+          (* real-time order: the keys are per-client counters, so a
+             linearizable read invoked after a write's ack must observe a
+             counter at least as big as the number of writes acked on
+             that key before the invocation *)
+          let wtbl = Hashtbl.create 64 in
+          List.iter
+            (fun (e : History.event) ->
+              if e.History.kind = History.kind_write && e.ok then
+                Hashtbl.replace wtbl e.key
+                  (e.t_resp
+                  ::
+                  (match Hashtbl.find_opt wtbl e.key with
+                  | Some l -> l
+                  | None -> [])))
+            events;
+          let wsorted = Hashtbl.create 64 in
+          Hashtbl.iter
+            (fun k l ->
+              let a = Array.of_list l in
+              Array.sort compare a;
+              Hashtbl.replace wsorted k a)
+            wtbl;
+          let acked_before key t =
+            match Hashtbl.find_opt wsorted key with
+            | None -> 0
+            | Some a ->
+              (* count of acks with t_resp <= t *)
+              let lo = ref 0 and hi = ref (Array.length a) in
+              while !lo < !hi do
+                let mid = (!lo + !hi) / 2 in
+                if a.(mid) <= t then lo := mid + 1 else hi := mid
+              done;
+              !lo
+          in
+          let lin_reads = ref 0 in
+          List.iter
+            (fun (e : History.event) ->
+              if e.History.kind = History.kind_lin && e.ok then begin
+                incr lin_reads;
+                let visible = max e.value 0 in
+                let expected = acked_before e.key e.t_inv in
+                if visible < expected then
+                  flag "stale-lin-read"
+                    "client %d: linearizable read of key c%d returned %d, but \
+                     %d writes were acked before its invocation (t_inv %d µs)"
+                    e.client e.key visible expected e.t_inv
+              end)
+            events;
+          if files = [] then
+            note "--audit: no *.history files in %s (run the service with \
+                  --history-out)" dir;
+          Some
+            {
+              au_histories = List.length files;
+              au_events = List.length events;
+              au_lin_reads = !lin_reads;
+              au_chain_points = chain_points;
+            }
+        end
+      in
       (* overlapping lease: a Lease renewal granted to a node that is not
          the last Claim holder on that observer's timeline means two
          nodes could serve lease reads at once *)
@@ -436,9 +718,12 @@ let analyze ?(max_traces = 64) ~dir () =
           nodes = List.map fst loaded;
           events = List.length all;
           dropped;
+          dropped_by_node;
           boots;
           traces;
           stages;
+          recoveries;
+          audit = audit_summary;
           anomalies = List.rev !anomalies;
           snapshots;
           notes = List.rev !notes;
@@ -493,6 +778,30 @@ let render ?(verbose = false) r =
           s.max_us)
       r.stages
   end;
+  if r.recoveries <> [] then begin
+    pf "  recovery timeline:\n";
+    List.iter
+      (fun rv ->
+        pf "    node %d boot %d: replayed %d records in %d us" rv.rv_node
+          rv.rv_boot rv.rv_replay_records rv.rv_replay_us;
+        if rv.rv_rounds > 0 || rv.rv_protocol_us > 0 then
+          pf ", %d consensus rounds in %d us" rv.rv_rounds rv.rv_protocol_us;
+        (match rv.rv_stjump with
+        | Some (from_, to_) -> pf ", state transfer %d -> %d" from_ to_
+        | None -> ());
+        if rv.rv_caught_len >= 0 then
+          pf ", caught up at length %d (%d us after boot)" rv.rv_caught_len
+            rv.rv_caught_us
+        else pf ", never caught up in this dump";
+        pf "\n")
+      r.recoveries
+  end;
+  (match r.audit with
+  | Some a ->
+    pf "  audit: %d chain grid points compared; %d client histories (%d \
+        ops, %d lin reads checked)\n"
+      a.au_chain_points a.au_histories a.au_events a.au_lin_reads
+  | None -> ());
   if r.anomalies = [] then pf "  anomalies: none\n"
   else begin
     pf "  anomalies: %d\n" (List.length r.anomalies);

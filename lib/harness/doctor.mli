@@ -16,7 +16,19 @@
     - [dedup-violation] — one sampled payload applied twice by the same
       incarnation of a node;
     - [lease-overlap] — a read-index lease renewed for a node that is
-      not the current claim holder.
+      not the current claim holder;
+    - [audit-diverged] — the online order audit tripped live: a peer's
+      order certificate mismatched a node's own delivery chain;
+    - [order-divergence] — two nodes' delivery chain hashes disagree at
+      the same grid-aligned position of one group (the minority side is
+      named: it delivered a different prefix);
+    - [stale-lin-read] (with [~audit:true]) — a client history records a
+      linearizable read that missed a write acked before the read was
+      invoked.
+
+    It also extracts a per-(node, boot) recovery timeline — storage
+    replay size and duration, protocol replay rounds, state-transfer
+    jump, and the boot-to-first-delivery catch-up time.
 
     All rules compare facts the total order makes deterministic, so a
     ring buffer that overwrote old events can hide an anomaly but never
@@ -44,24 +56,51 @@ type stage_stat = {
 
 type anomaly = { code : string; detail : string }
 
+type recovery = {
+  rv_node : int;
+  rv_boot : int;
+  rv_replay_records : int;  (** stable-storage records replayed at boot *)
+  rv_replay_us : int;
+  rv_rounds : int;  (** consensus rounds re-run by protocol recovery *)
+  rv_protocol_us : int;
+  rv_stjump : (int * int) option;  (** state transfer jumped from → to *)
+  rv_caught_len : int;
+      (** delivery length at the first post-recovery delivery; [-1] if
+          the node never caught up within the dump *)
+  rv_caught_us : int;  (** µs from boot to that first delivery *)
+}
+
+type audit_summary = {
+  au_histories : int;  (** client history files merged *)
+  au_events : int;  (** completed client ops across them *)
+  au_lin_reads : int;  (** linearizable reads checked for real-time order *)
+  au_chain_points : int;  (** (group, position) chain grid points compared *)
+}
+
 type report = {
   dir : string;
   nodes : int list;
   events : int;
   dropped : int;
+  dropped_by_node : (int * int) list;
   boots : (int * int) list;
   traces : trace_info list;
   stages : stage_stat list;
+  recoveries : recovery list;
+  audit : audit_summary option;
   anomalies : anomaly list;
   snapshots : int;
   notes : string list;
 }
 
-val analyze : ?max_traces:int -> dir:string -> unit -> (report, string) result
+val analyze :
+  ?max_traces:int -> ?audit:bool -> dir:string -> unit -> (report, string) result
 (** Load and analyze a run directory. [max_traces] (default 64) bounds
-    how many sampled traces are fully reconstructed. [Error] only when
-    no readable dump exists at all; individual unreadable dumps become
-    report notes. *)
+    how many sampled traces are fully reconstructed. [audit] (default
+    false) additionally merges any [*.history] client capture files at
+    the top level of [dir] and checks real-time order against them.
+    [Error] only when no readable dump exists at all; individual
+    unreadable dumps become report notes. *)
 
 val has_anomalies : report -> bool
 

@@ -343,6 +343,14 @@ let make (module P : Abcast_core.Proto.S) ~n ~base_port ~dir ~backend ~fsync
         span_begin = (fun ~stage:_ _ -> ());
         span_end = (fun ~stage:_ _ -> ());
         flight = nd.flight;
+        alarm =
+          (* Safety sentinel: scream on stderr, bump the counter and dump
+             the flight ring immediately — the evidence must hit disk
+             before any operator reaction (or a panicked SIGKILL). *)
+          (fun reason ->
+            Metrics.incr metrics ~node:nd.id "alarms";
+            Printf.eprintf "abcast-live node %d: ALARM: %s\n%!" nd.id reason;
+            dump_flight ());
       }
     in
     let p =
@@ -724,11 +732,39 @@ let serve_metrics t port =
   in
   t.metrics_threads <- th :: t.metrics_threads
 
-let snapshot_loop t interval path =
+(* Size-based rotation for the JSONL snapshot stream: when the live file
+   crosses [rotate_bytes], it becomes [path.1] (shifting path.k to
+   path.k+1 and dropping path.keep), so a long-lived service bounds its
+   snapshot footprint at ~(keep+1) x rotate_bytes. The doctor reads the
+   rotated files oldest-first. *)
+let rotate_snapshots path ~keep =
+  let numbered k = path ^ "." ^ string_of_int k in
+  (try Sys.remove (numbered keep) with Sys_error _ -> ());
+  for k = keep - 1 downto 1 do
+    if Sys.file_exists (numbered k) then (
+      try Sys.rename (numbered k) (numbered (k + 1)) with Sys_error _ -> ())
+  done;
+  try Sys.rename path (numbered 1) with Sys_error _ -> ()
+
+let snapshot_loop t interval path ~rotate_bytes ~keep =
   let th =
     Thread.create
       (fun () ->
-        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        let open_file () = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        let oc = ref (open_file ()) in
+        let emit () =
+          try
+            output_string !oc (json_snapshot t);
+            output_char !oc '\n';
+            flush !oc;
+            if rotate_bytes > 0 && keep > 0 && pos_out !oc > rotate_bytes
+            then begin
+              close_out_noerr !oc;
+              rotate_snapshots path ~keep;
+              oc := open_file ()
+            end
+          with Sys_error _ -> ()
+        in
         let rec loop () =
           if not t.metrics_stop then begin
             let target = Unix.gettimeofday () +. interval in
@@ -736,9 +772,7 @@ let snapshot_loop t interval path =
               Thread.delay 0.02
             done;
             if not t.metrics_stop then begin
-              output_string oc (json_snapshot t);
-              output_char oc '\n';
-              flush oc;
+              emit ();
               loop ()
             end
           end
@@ -747,11 +781,8 @@ let snapshot_loop t interval path =
         (* final snapshot at shutdown: [shutdown] joins this thread
            before crashing the nodes, so the tables are still live and
            even a run shorter than one interval leaves one line *)
-        (try
-           output_string oc (json_snapshot t);
-           output_char oc '\n'
-         with Sys_error _ -> ());
-        close_out_noerr oc)
+        emit ();
+        close_out_noerr !oc)
       ()
   in
   t.metrics_threads <- th :: t.metrics_threads
@@ -759,7 +790,8 @@ let snapshot_loop t interval path =
 let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
     ?(fsync = Abcast_store.Durable.Every { ops = 64; ms = 20 })
     ?(flight_cap = 8192) ?(on_deliver = fun ~node:_ ~group:_ _ -> ())
-    ?metrics_port ?(metrics_interval = 1.0) ?metrics_out () =
+    ?metrics_port ?(metrics_interval = 1.0) ?metrics_out
+    ?(metrics_rotate_bytes = 4 * 1024 * 1024) ?(metrics_keep = 4) () =
   let t =
     make proto ~n ~base_port ~dir ~backend ~fsync ~flight_cap ~on_deliver ()
   in
@@ -776,7 +808,9 @@ let create proto ~n ?(base_port = 7400) ?dir ?(backend = `Wal)
     t.nodes;
   (match metrics_port with Some port -> serve_metrics t port | None -> ());
   (match metrics_out with
-  | Some path -> snapshot_loop t metrics_interval path
+  | Some path ->
+    snapshot_loop t metrics_interval path ~rotate_bytes:metrics_rotate_bytes
+      ~keep:metrics_keep
   | None -> ());
   t
 

@@ -60,6 +60,8 @@ val create :
   ?metrics_port:int ->
   ?metrics_interval:float ->
   ?metrics_out:string ->
+  ?metrics_rotate_bytes:int ->
+  ?metrics_keep:int ->
   unit ->
   t
 (** Bind one UDP socket per process on [127.0.0.1:base_port+i] (default
@@ -84,8 +86,11 @@ val create :
     dump over HTTP on [127.0.0.1:metrics_port] (one blocking request at
     a time — built for a scraper, not a crowd). With [metrics_out], a
     second thread appends one JSON snapshot line to that file every
-    [metrics_interval] seconds (default 1.0). Both threads are joined by
-    {!shutdown}.
+    [metrics_interval] seconds (default 1.0); when the file crosses
+    [metrics_rotate_bytes] (default 4 MiB; 0 disables) it is rotated to
+    [<file>.1] (shifting older rotations up, keeping at most
+    [metrics_keep] of them, default 4), so a long-lived service bounds
+    its snapshot footprint. Both threads are joined by {!shutdown}.
 
     @raise Unix.Unix_error if sockets cannot be created (callers may want
     to skip live tests in restricted environments). *)

@@ -17,6 +17,7 @@
 module Histogram = Abcast_util.Histogram
 module Envelope = Abcast_core.Envelope
 module Kv = Abcast_apps.Kv
+module History = Abcast_sim.History
 
 type config = {
   clients : int;
@@ -68,6 +69,7 @@ type client = {
   mutable op : int;  (* issue counter: stale completions are ignored *)
   mutable kind : op_kind;
   mutable rkey : string;  (* key of the in-flight read *)
+  mutable rkey_idx : int;  (* integer index of [rkey] (history capture) *)
   mutable issue_t : float;
   mutable deadline : float;
   mutable target : int;
@@ -76,6 +78,7 @@ type client = {
 type gen = {
   svc : Service.t;
   cfg : config;
+  hist : History.t option;  (* per-op completion capture (g.lm held) *)
   lm : Mutex.t;
   rng : Random.State.t;
   clients : client array;
@@ -111,9 +114,14 @@ let pick_target g =
   | Service.Read_index -> Service.claimant g.svc
   | Service.Broadcast | Service.Stale -> up_node g
 
-let record g c status =
-  ignore status;
-  let lat_us = (Unix.gettimeofday () -. c.issue_t) *. 1e6 in
+(* Result value of a completed op for the history log: the Kv counter
+   replies are decimal strings, anything else (missing key, non-counter
+   reply) records as -1 = "no value". *)
+let int_value s = match int_of_string_opt s with Some v -> v | None -> -1
+
+let record g c status ~value =
+  let now = Unix.gettimeofday () in
+  let lat_us = (now -. c.issue_t) *. 1e6 in
   let h, cls =
     match c.kind with
     | Write -> (g.hw, "write")
@@ -125,11 +133,37 @@ let record g c status =
     lat_us;
   g.completed <- g.completed + 1;
   if c.kind = Write then g.writes_acked.(c.id) <- g.writes_acked.(c.id) + 1;
+  (match g.hist with
+  | Some hist ->
+    let kind =
+      match c.kind with
+      | Write -> History.kind_write
+      | Lin_submit | Lin_local ->
+        (* whole-service stale mode serves "lin"-class reads with no
+           ordering guarantee: exclude them from the real-time check *)
+        if (Service.config g.svc).read_mode = Service.Stale then
+          History.kind_stale
+        else History.kind_lin
+    in
+    History.record hist
+      {
+        History.client = c.id;
+        kind;
+        key = (match c.kind with Write -> c.id | _ -> c.rkey_idx);
+        seq = c.seq;
+        t_inv = int_of_float (c.issue_t *. 1e6);
+        t_resp = int_of_float (now *. 1e6);
+        value;
+        ok = (match status with
+             | Envelope.Applied | Envelope.Cached -> true
+             | Envelope.Gap -> false);
+      }
+  | None -> ());
   c.busy <- false
 
-let completion g c op status _reply =
+let completion g c op status reply =
   Mutex.lock g.lm;
-  if c.busy && c.op = op then record g c status;
+  if c.busy && c.op = op then record g c status ~value:(int_value reply);
   Mutex.unlock g.lm
 
 (* g.lm held *)
@@ -147,8 +181,8 @@ let submit_current g c =
 (* g.lm held. Returns [true] if the read completed. *)
 let try_lin_local g c =
   match Service.read_index g.svc ~node:(Service.claimant g.svc) ~key:c.rkey with
-  | Service.Value _ ->
-    record g c Envelope.Applied;
+  | Service.Value v ->
+    record g c Envelope.Applied ~value:(int_value v);
     true
   | Service.Not_ready ->
     g.not_ready <- g.not_ready + 1;
@@ -181,7 +215,8 @@ let issue g now =
       submit_current g c
     end
     else begin
-      c.rkey <- client_key (Random.State.int g.rng (Array.length g.clients));
+      c.rkey_idx <- Random.State.int g.rng (Array.length g.clients);
+      c.rkey <- client_key c.rkey_idx;
       if r < g.cfg.write_pct + g.cfg.lin_pct then begin
         match (Service.config g.svc).read_mode with
         | Service.Broadcast ->
@@ -196,19 +231,34 @@ let issue g now =
              still account the op as a linearizable-class read *)
           c.kind <- Lin_local;
           (match Service.read_stale g.svc ~node:(up_node g) ~key:c.rkey with
-          | Service.Value _ -> record g c Envelope.Applied
+          | Service.Value v -> record g c Envelope.Applied ~value:(int_value v)
           | Service.Not_ready -> assert false)
       end
       else begin
         (* stale read: local, completes immediately *)
         c.kind <- Lin_local;
         (match Service.read_stale g.svc ~node:(up_node g) ~key:c.rkey with
-        | Service.Value _ ->
-          let lat_us = (Unix.gettimeofday () -. now) *. 1e6 in
+        | Service.Value v ->
+          let done_t = Unix.gettimeofday () in
+          let lat_us = (done_t -. now) *. 1e6 in
           Histogram.add g.hs lat_us;
           Service.observe_latency g.svc ~cls:"stale"
             ~group:(Service.key_group g.svc c.rkey) lat_us;
           g.completed <- g.completed + 1;
+          (match g.hist with
+          | Some hist ->
+            History.record hist
+              {
+                History.client = c.id;
+                kind = History.kind_stale;
+                key = c.rkey_idx;
+                seq = c.seq;
+                t_inv = int_of_float (now *. 1e6);
+                t_resp = int_of_float (done_t *. 1e6);
+                value = int_value v;
+                ok = true;
+              }
+          | None -> ());
           c.busy <- false
         | Service.Not_ready -> assert false)
       end
@@ -239,13 +289,14 @@ let reap g now =
           end)
     g.clients
 
-let run svc (cfg : config) =
+let run ?history svc (cfg : config) =
   if cfg.clients < 1 then invalid_arg "Loadgen.run: clients >= 1";
   if cfg.rate <= 0. then invalid_arg "Loadgen.run: rate > 0";
   let g =
     {
       svc;
       cfg;
+      hist = history;
       lm = Mutex.create ();
       rng = Random.State.make [| cfg.seed |];
       clients =
@@ -257,6 +308,7 @@ let run svc (cfg : config) =
               op = 0;
               kind = Write;
               rkey = "";
+              rkey_idx = 0;
               issue_t = 0.;
               deadline = 0.;
               target = 0;

@@ -40,11 +40,16 @@ type report = {
 val client_key : int -> string
 (** The key client [i] increments — [c<i>]. *)
 
-val run : Service.t -> config -> report
+val run : ?history:Abcast_sim.History.t -> Service.t -> config -> report
 (** Drive the service from the calling thread for [duration] seconds,
     then drain in-flight ops (retrying) for up to [3 * timeout + 1]
     more. The service must be {!Service.start}ed. Safe to run while the
-    harness crashes/recovers nodes. *)
+    harness crashes/recovers nodes.
+
+    With [history], every completed op is appended to the recorder
+    (session, kind, key, invocation/response wall-clock, result value) —
+    the client-side half of the [doctor --audit] evidence. The caller
+    owns the recorder ({!Abcast_sim.History.close} it after the run). *)
 
 val check_exactly_once : Service.t -> report -> node:int -> string list
 (** Audit a (quiesced) replica at [node] against the run: for every

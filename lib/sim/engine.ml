@@ -25,6 +25,9 @@ type 'm io = {
   flight : Flight.t;
       (* this node's crash flight recorder; [Flight.disabled] (a no-op)
          in the simulator unless a run opts in *)
+  alarm : string -> unit;
+      (* safety sentinel tripped (audit divergence): the live runtime
+         dumps the flight recorder immediately so the evidence survives *)
 }
 
 let map_io wrap io =
@@ -45,6 +48,7 @@ let map_io wrap io =
     span_begin = io.span_begin;
     span_end = io.span_end;
     flight = io.flight;
+    alarm = io.alarm;
   }
 
 type 'm behavior = 'm io -> src:int -> 'm -> unit
@@ -63,6 +67,7 @@ type 'm node = {
   mutable handler : (src:int -> 'm -> unit) option;
   store : Storage.t;
   rng : Rng.t;
+  flight : Flight.t;
 }
 
 type 'm t = {
@@ -90,7 +95,7 @@ let item_cmp a b =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ~seed ~n ?net ?msg_size ?trace ?storage () =
+let create ~seed ~n ?net ?msg_size ?trace ?storage ?flight () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
   let root = Rng.create seed in
   let metrics = Metrics.create () in
@@ -101,6 +106,11 @@ let create ~seed ~n ?net ?msg_size ?trace ?storage () =
     | Some f -> f
     | None -> fun ~metrics ~node -> Storage.create ~metrics ~node ()
   in
+  let mk_flight =
+    match flight with
+    | Some f -> f
+    | None -> fun ~node:_ -> Flight.disabled
+  in
   let nodes =
     Array.init n (fun id ->
         {
@@ -110,6 +120,7 @@ let create ~seed ~n ?net ?msg_size ?trace ?storage () =
           handler = None;
           store = mk_store ~metrics ~node:id;
           rng = Rng.split root;
+          flight = mk_flight ~node:id;
         })
   in
   let handles name = Array.init n (fun i -> Metrics.handle metrics ~node:i name) in
@@ -139,6 +150,7 @@ let metrics t = t.metrics
 let network t = t.net
 let trace t = t.trace
 let storage t i = t.nodes.(i).store
+let flight t i = t.nodes.(i).flight
 
 let push t ~at ev =
   let at = max at t.time in
@@ -188,7 +200,11 @@ let io_of t node =
     span_end =
       (fun ~stage key ->
         Trace.span_end t.trace ~time:t.time ~node:id ~stage key);
-    flight = Flight.disabled;
+    flight = node.flight;
+    alarm =
+      (fun reason ->
+        Metrics.incr t.metrics ~node:id "alarms";
+        Trace.emit t.trace ~time:t.time ~node:id ("ALARM: " ^ reason));
   }
 
 let set_behavior t i f = t.behaviors.(i) <- Some f

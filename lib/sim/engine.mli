@@ -48,9 +48,14 @@ type 'm io = {
       (** close the matching span at the current time *)
   flight : Flight.t;
       (** this node's crash flight recorder. The engine hands out
-          {!Flight.disabled} (recording is a no-op); the live runtime
-          substitutes a real per-node ring so lifecycle events survive a
-          SIGKILL next to the WAL. *)
+          {!Flight.disabled} (recording is a no-op) unless [create] got a
+          [flight] factory; the live runtime substitutes a real per-node
+          ring so lifecycle events survive a SIGKILL next to the WAL. *)
+  alarm : string -> unit;
+      (** safety sentinel: the protocol calls this when an online audit
+          detects a violated invariant (order divergence). The engine
+          bumps an ["alarms"] counter and traces; the live runtime also
+          dumps the flight recorder immediately so evidence survives. *)
 }
 
 val map_io : ('a -> 'b) -> 'b io -> 'a io
@@ -73,6 +78,7 @@ val create :
   ?msg_size:('m -> int) ->
   ?trace:Trace.t ->
   ?storage:(metrics:Metrics.t -> node:int -> Storage.t) ->
+  ?flight:(node:int -> Flight.t) ->
   unit ->
   'm t
 (** [create ~seed ~n ()] builds a simulation of [n] processes over a
@@ -80,7 +86,9 @@ val create :
     (counter ["net_bytes"]). [storage] overrides how each process's
     stable storage is built (default: memory-only) — pass a factory
     closing over a directory to run a simulation against the real
-    file-per-key or WAL backends (the backend-equivalence sweep does). *)
+    file-per-key or WAL backends (the backend-equivalence sweep does).
+    [flight] gives each process a real flight recorder (default:
+    {!Flight.disabled}); recorders survive crash/recover like storage. *)
 
 val n : 'm t -> int
 val now : 'm t -> time
@@ -89,6 +97,10 @@ val network : 'm t -> Net.t
 val trace : 'm t -> Trace.t
 val storage : 'm t -> int -> Storage.t
 (** Direct access to a process's stable storage (inspection/tests). *)
+
+val flight : 'm t -> int -> Flight.t
+(** A process's flight recorder ({!Flight.disabled} unless [create] got
+    a [flight] factory). *)
 
 val set_behavior : 'm t -> int -> 'm behavior -> unit
 (** Install the program text of a process. Must be set before [start]. *)

@@ -29,11 +29,17 @@ let ack = 9
 let lease = 10
 let stjump = 11
 let boot = 12
+let chain = 13
+let audit = 14
+let replay = 15
+let replay_done = 16
+let caught_up = 17
 
 let names =
   [|
     "submit"; "bcast"; "rx_ring"; "rx_gossip"; "propose"; "decide"; "apply";
-    "wal_append"; "wal_fsync"; "ack"; "lease"; "stjump"; "boot";
+    "wal_append"; "wal_fsync"; "ack"; "lease"; "stjump"; "boot"; "chain";
+    "audit"; "replay"; "replay_done"; "caught_up";
   |]
 
 let stage_name s =

@@ -66,6 +66,22 @@ val stjump : int  (** state transfer jumped [a] → [b] instances *)
 
 val boot : int  (** node (re)started with boot counter [a] *)
 
+val chain : int
+(** audit chain grid point: delivery position [a] has chain hash [b] —
+    positions are grid-aligned so doctor can compare across nodes *)
+
+val audit : int
+(** audit sentinel tripped: certificate from node [b] mismatched our
+    chain at position [a] — a live total-order violation *)
+
+val replay : int  (** storage replay done: [a] records in [b] µs *)
+
+val replay_done : int
+(** protocol recovery replay done: [a] consensus rounds in [b] µs *)
+
+val caught_up : int
+(** first post-recovery delivery: length [a], [b] µs after boot *)
+
 val stage_name : int -> string
 
 (** {2 Reading} *)

@@ -1,0 +1,124 @@
+(* Client-visible history capture: a compact binary log of completed
+   operations (who, what, when invoked, when responded, what came back),
+   one file per client process. The doctor's [--audit] pass merges these
+   with the servers' flight dumps and checks client-observable sanity —
+   chiefly real-time order: a write acked before a linearizable read was
+   invoked must be visible in that read's result.
+
+   Format (ABHI v1): magic "ABHI", version uvarint, then one record per
+   completed op — client, kind, key, seq as uvarints, t_inv/t_resp in
+   microseconds as uvarints, result value as a signed varint (-1 when
+   the op returned no parseable value), ok as one byte. Records are
+   appended as they complete; a crashed client leaves a truncated final
+   record, which [load_file] tolerates by stopping at the first partial
+   record (mirroring the WAL's torn-tail rule). *)
+
+module Wire = Abcast_util.Wire
+
+let magic = "ABHI"
+
+let version = 1
+
+(* Op kinds; [key] below is the integer key index (the client id owning
+   the counter key), not the string key. *)
+let kind_write = 0
+
+let kind_lin = 1
+
+let kind_stale = 2
+
+type event = {
+  client : int;
+  kind : int;
+  key : int;
+  seq : int;  (* session seq for writes/broadcast reads; 0 otherwise *)
+  t_inv : int;  (* invocation wall-clock, µs *)
+  t_resp : int;  (* response wall-clock, µs *)
+  value : int;  (* result value; -1 = none *)
+  ok : bool;
+}
+
+type t = {
+  oc : out_channel;
+  scratch : Wire.writer;
+  mutable events : int;
+  mutable closed : bool;
+}
+
+let create ~path =
+  let oc = open_out_bin path in
+  let w = Wire.writer ~cap:64 () in
+  output_string oc magic;
+  Wire.write_uvarint w version;
+  output_string oc (Wire.contents w);
+  flush oc;
+  { oc; scratch = w; events = 0; closed = false }
+
+let write_event w (e : event) =
+  Wire.write_uvarint w e.client;
+  Wire.write_uvarint w e.kind;
+  Wire.write_uvarint w e.key;
+  Wire.write_uvarint w e.seq;
+  Wire.write_uvarint w e.t_inv;
+  Wire.write_uvarint w e.t_resp;
+  Wire.write_varint w e.value;
+  Wire.write_u8 w (if e.ok then 1 else 0)
+
+(* Not thread-safe: callers serialize (the load generator records under
+   its own lock). Each record is flushed as one write so a SIGKILL loses
+   at most the op in progress. *)
+let record t e =
+  if not t.closed then begin
+    Wire.clear t.scratch;
+    write_event t.scratch e;
+    output_string t.oc (Wire.contents t.scratch);
+    t.events <- t.events + 1
+  end
+
+let events t = t.events
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end
+
+let read_event r =
+  let client = Wire.read_uvarint r in
+  let kind = Wire.read_uvarint r in
+  let key = Wire.read_uvarint r in
+  let seq = Wire.read_uvarint r in
+  let t_inv = Wire.read_uvarint r in
+  let t_resp = Wire.read_uvarint r in
+  let value = Wire.read_varint r in
+  let ok = Wire.read_u8 r <> 0 in
+  { client; kind; key; seq; t_inv; t_resp; value; ok }
+
+let load_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let mlen = String.length magic in
+  if len < mlen || String.sub s 0 mlen <> magic then
+    Error "not a history file (bad magic)"
+  else begin
+    let r = Wire.reader ~pos:mlen s in
+    match Wire.read_uvarint r with
+    | exception Wire.Error _ -> Error "not a history file (truncated header)"
+    | v when v <> version ->
+      Error (Printf.sprintf "unsupported history version %d" v)
+    | _ ->
+      let out = ref [] in
+      let rec go () =
+        if Wire.remaining r > 0 then begin
+          match read_event r with
+          | e ->
+            out := e :: !out;
+            go ()
+          | exception Wire.Error _ -> () (* torn tail: keep the prefix *)
+        end
+      in
+      go ();
+      Ok (List.rev !out)
+  end

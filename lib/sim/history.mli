@@ -1,0 +1,55 @@
+(** Client-visible history capture.
+
+    A compact binary log (ABHI v1) of completed client operations, one
+    file per client process: who invoked what, when it was invoked and
+    when it responded, and what came back. The load generator appends a
+    record per completion; [abcast-sim doctor --audit] merges these
+    files with the servers' flight dumps and checks client-observable
+    sanity — chiefly real-time order (a write acked before a
+    linearizable read was invoked must be visible in its result).
+
+    Records are appended one buffered write per op; a client killed
+    mid-write leaves a truncated final record, which {!load_file}
+    tolerates by keeping the intact prefix (the WAL's torn-tail rule). *)
+
+val kind_write : int
+(** Counter increment on the client's own key. *)
+
+val kind_lin : int
+(** Linearizable read (broadcast round or read-index lease). *)
+
+val kind_stale : int
+(** Local stale read (no ordering guarantee — excluded from the
+    real-time-order check). *)
+
+type event = {
+  client : int;  (** issuing client id *)
+  kind : int;  (** {!kind_write} / {!kind_lin} / {!kind_stale} *)
+  key : int;  (** integer key index: the id of the client owning the key *)
+  seq : int;  (** session seq for session-bound ops; 0 otherwise *)
+  t_inv : int;  (** invocation wall-clock, µs since the epoch *)
+  t_resp : int;  (** response wall-clock, µs *)
+  value : int;  (** result value; -1 when the op returned none *)
+  ok : bool;
+}
+
+type t
+(** An open history file being recorded. Not thread-safe: callers
+    serialize (the load generator records under its own lock). *)
+
+val create : path:string -> t
+(** Create/truncate [path] and write the header.
+    @raise Sys_error on I/O failure. *)
+
+val record : t -> event -> unit
+(** Append one completed op. No-op after {!close}. *)
+
+val events : t -> int
+(** Number of records written so far. *)
+
+val close : t -> unit
+(** Flush and close. Idempotent. *)
+
+val load_file : string -> (event list, string) result
+(** Parse a history file; [Error] on bad magic/version, [Ok] with the
+    intact prefix when the tail is torn. *)

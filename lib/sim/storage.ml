@@ -155,6 +155,19 @@ let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
     | None, None -> `Memory
   in
   let tbl = Hashtbl.create 32 in
+  (* Recovery-timeline instrumentation: how much the boot replayed from
+     stable storage and how long it took. The flight event puts the
+     replay on the same clock as the protocol's own recovery stages, so
+     the doctor can render a boot-to-caught-up timeline per node. *)
+  let note_replay ~t0 ~records ~bytes =
+    let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    Metrics.add metrics ~node "recovery_replay_records" records;
+    Metrics.add metrics ~node "recovery_replay_bytes" bytes;
+    Metrics.add metrics ~node "recovery_replay_us" us;
+    if Flight.enabled flight then
+      Flight.record flight ~time:(flight_now ()) ~node ~group:0 ~boot:0
+        ~stage:Flight.replay ~trace:0 ~a:records ~b:us
+  in
   let persist =
     match (backend, dir) with
     | `Memory, _ -> P_none
@@ -162,13 +175,20 @@ let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
       invalid_arg "Storage.create: file and wal backends need ~dir"
     | `Files, Some d ->
       Durable.mkdir_p d;
+      let t0 = Unix.gettimeofday () in
+      let records = ref 0 and bytes = ref 0 in
       Array.iter
         (fun name ->
           if not (Filename.check_suffix name ".tmp") then
             match key_of_hex name with
-            | key -> Hashtbl.replace tbl key (read_file (Filename.concat d name))
+            | key ->
+              let v = read_file (Filename.concat d name) in
+              incr records;
+              bytes := !bytes + String.length v;
+              Hashtbl.replace tbl key v
             | exception _ -> ())
         (Sys.readdir d);
+      note_replay ~t0 ~records:!records ~bytes:!bytes;
       P_files
         {
           fdir = d;
@@ -205,7 +225,13 @@ let create ?dir ?backend ?(fsync = Durable.Every { ops = 64; ms = 20 })
         Wal.open_ ?segment_bytes:wal_segment_bytes
           ?compact_min_bytes:wal_compact_min_bytes ~fsync ~on_io ~dir:d ()
       in
-      Wal.iter wal (fun key value -> Hashtbl.replace tbl key value);
+      let t0 = Unix.gettimeofday () in
+      let records = ref 0 and bytes = ref 0 in
+      Wal.iter wal (fun key value ->
+          incr records;
+          bytes := !bytes + String.length key + String.length value;
+          Hashtbl.replace tbl key value);
+      note_replay ~t0 ~records:!records ~bytes:!bytes;
       P_wal (wal_state ~metrics ~node wal)
   in
   { tbl; metrics; node; prefix = ""; persist; layer_handles = Hashtbl.create 4 }

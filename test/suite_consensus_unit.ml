@@ -42,6 +42,7 @@ let probe ?(self = 0) ?(n = 3) () =
       span_begin = (fun ~stage:_ _ -> ());
       span_end = (fun ~stage:_ _ -> ());
       flight = Abcast_sim.Flight.disabled;
+      alarm = ignore;
     }
   in
   { io; sent; timers; store }

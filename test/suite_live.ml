@@ -129,7 +129,7 @@ let tests =
                 { origin = i mod 3; boot = 0; seq = i }
                 (String.make 64 'x'))
         in
-        let msg = P.Gossip { k = 5; len = 9; unordered = payloads } in
+        let msg = P.Gossip { k = 5; len = 9; unordered = payloads; cert = None } in
         let dest = Wire.writer ~cap:(Live.max_datagram + 16) () in
         let scratch = Wire.writer ~cap:4096 () in
         let send () =

@@ -723,10 +723,280 @@ let doctor_tests =
             match Doctor.analyze ~dir:base () with
             | Error _ -> ()
             | Ok _ -> Alcotest.fail "accepted empty directory"));
+    test "doctor: merges rotated .jsonl.N snapshot files" (fun () ->
+        with_dir (fun base ->
+            Array.iteri (fun i fl -> write_dump base i fl) (healthy_cluster ());
+            let put name lines =
+              let oc = open_out (Filename.concat base name) in
+              List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+              close_out oc
+            in
+            put "m.jsonl" [ "{}"; "{}" ];
+            put "m.jsonl.1" [ "{}"; "{}"; "{}" ];
+            put "m.jsonl.2" [ "{}" ];
+            match Doctor.analyze ~dir:base () with
+            | Error e -> Alcotest.failf "analyze failed: %s" e
+            | Ok r ->
+              Alcotest.(check int) "all generations counted" 6
+                r.Doctor.snapshots));
+    test "doctor: surfaces per-node flight-ring drops" (fun () ->
+        let fls = healthy_cluster () in
+        (* overflow node 2's ring so its early history is overwritten *)
+        for t = 1 to 300 do
+          Flight.record fls.(2) ~time:(2000 + t) ~node:2 ~group:0 ~boot:1
+            ~stage:Flight.submit ~trace:0 ~a:t ~b:0
+        done;
+        let r = analyze_cluster fls in
+        let d2 =
+          try List.assoc 2 r.Doctor.dropped_by_node with Not_found -> 0
+        in
+        Alcotest.(check bool) "node 2 dropped events" true (d2 > 0);
+        Alcotest.(check int) "others dropped none" 0
+          (try List.assoc 0 r.Doctor.dropped_by_node with Not_found -> 0);
+        Alcotest.(check bool) "a note warns about the hole" true
+          (List.exists
+             (fun n -> Astring.String.is_infix ~affix:"overwrote" n)
+             r.Doctor.notes));
+  ]
+
+(* ---- the online order sentinel, end to end ---- *)
+
+module History = Abcast_sim.History
+
+let audit_tests =
+  [
+    test
+      "sentinel: reordered apply stream trips the live audit; doctor \
+       --audit names the node"
+      (fun () ->
+        (* node 1 applies one decided multi-stream batch in reversed
+           order — a genuine total-order violation its healthy peers
+           must catch via the piggybacked order certificates *)
+        let cluster =
+          Cluster.create
+            (Factory.alternative ~fault_reorder_node:1 ())
+            ~seed:42 ~n:3
+            ~flight:(fun ~node:_ -> Flight.create ~cap:8192 ())
+            ()
+        in
+        let rng = Rng.create 4242 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+            ~stop:120_000 ~mean_gap:300 ()
+        in
+        (* the injected violation can leave node 1 permanently short
+           (its gap-skipped payloads may never be re-proposed), so only
+           the healthy majority is required to quiesce *)
+        let ok =
+          Cluster.run_until cluster ~until:400_000_000
+            ~pred:(fun () ->
+              Cluster.all_caught_up cluster ~among:[ 0; 2 ] ~count ())
+            ()
+        in
+        Alcotest.(check bool) "healthy majority quiesced" true ok;
+        let m = Cluster.metrics cluster in
+        Alcotest.(check bool) "fault actually fired" true
+          (Metrics.get m ~node:1 "fault_reorder_injected" > 0);
+        let diverged =
+          List.fold_left
+            (fun acc i -> acc + Metrics.get m ~node:i "audit_diverged")
+            0 [ 0; 1; 2 ]
+        in
+        Alcotest.(check bool) "sentinel tripped live" true (diverged > 0);
+        with_dir (fun base ->
+            for i = 0 to 2 do
+              write_dump base i (Cluster.flight cluster i)
+            done;
+            match Doctor.analyze ~audit:true ~dir:base () with
+            | Error e -> Alcotest.failf "doctor: %s" e
+            | Ok r ->
+              Alcotest.(check bool) "doctor flags the divergence" true
+                (List.exists
+                   (fun a ->
+                     a.Doctor.code = "audit-diverged"
+                     || a.Doctor.code = "order-divergence")
+                   r.Doctor.anomalies);
+              Alcotest.(check bool) "and pinpoints node 1" true
+                (List.exists
+                   (fun a ->
+                     (a.Doctor.code = "audit-diverged"
+                     || a.Doctor.code = "order-divergence")
+                     && Astring.String.is_infix ~affix:"node 1"
+                          a.Doctor.detail)
+                   r.Doctor.anomalies)));
+    test "sentinel: a healthy run keeps every chain agreeing" (fun () ->
+        let cluster =
+          Cluster.create (Factory.alternative ()) ~seed:43 ~n:3
+            ~flight:(fun ~node:_ -> Flight.create ~cap:8192 ())
+            ()
+        in
+        let rng = Rng.create 4343 in
+        let count =
+          Workload.open_loop cluster ~rng ~senders:[ 0; 1; 2 ] ~start:1_000
+            ~stop:120_000 ~mean_gap:300 ()
+        in
+        let ok =
+          Cluster.run_until cluster ~until:400_000_000
+            ~pred:(fun () -> Cluster.all_caught_up cluster ~count ())
+            ()
+        in
+        Alcotest.(check bool) "run quiesced" true ok;
+        let m = Cluster.metrics cluster in
+        List.iter
+          (fun i ->
+            Alcotest.(check int)
+              (Printf.sprintf "node %d never diverged" i)
+              0
+              (Metrics.get m ~node:i "audit_diverged"))
+          [ 0; 1; 2 ];
+        with_dir (fun base ->
+            for i = 0 to 2 do
+              write_dump base i (Cluster.flight cluster i)
+            done;
+            match Doctor.analyze ~audit:true ~dir:base () with
+            | Error e -> Alcotest.failf "doctor: %s" e
+            | Ok r ->
+              Alcotest.(check bool) "no order anomalies" false
+                (List.exists
+                   (fun a ->
+                     a.Doctor.code = "audit-diverged"
+                     || a.Doctor.code = "order-divergence")
+                   r.Doctor.anomalies)));
+    test "history: records roundtrip through the ABHI file" (fun () ->
+        with_dir (fun base ->
+            let path = Filename.concat base "c.history" in
+            let h = History.create ~path in
+            let evs =
+              [
+                {
+                  History.client = 0;
+                  kind = History.kind_write;
+                  key = 0;
+                  seq = 1;
+                  t_inv = 100;
+                  t_resp = 250;
+                  value = 1;
+                  ok = true;
+                };
+                {
+                  History.client = 3;
+                  kind = History.kind_lin;
+                  key = 0;
+                  seq = 0;
+                  t_inv = 300;
+                  t_resp = 420;
+                  value = 1;
+                  ok = true;
+                };
+                {
+                  History.client = 5;
+                  kind = History.kind_stale;
+                  key = 2;
+                  seq = 0;
+                  t_inv = 500;
+                  t_resp = 510;
+                  value = -1;
+                  ok = false;
+                };
+              ]
+            in
+            List.iter (History.record h) evs;
+            Alcotest.(check int) "count" 3 (History.events h);
+            History.close h;
+            (match History.load_file path with
+            | Error e -> Alcotest.failf "load: %s" e
+            | Ok got ->
+              Alcotest.(check bool) "roundtrip" true (got = evs));
+            (* torn tail: truncate mid-record, the prefix survives *)
+            let full = In_channel.with_open_bin path In_channel.input_all in
+            let torn = String.sub full 0 (String.length full - 3) in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc torn);
+            match History.load_file path with
+            | Error e -> Alcotest.failf "torn load: %s" e
+            | Ok got ->
+              Alcotest.(check int) "intact prefix kept" 2 (List.length got)));
+    test "doctor --audit: catches a linearizable read that missed an \
+          acked write"
+      (fun () ->
+        with_dir (fun base ->
+            Array.iteri (fun i fl -> write_dump base i fl) (healthy_cluster ());
+            let h = History.create ~path:(Filename.concat base "c.history") in
+            (* client 0's write acked at t=100; client 1 then invokes a
+               lin read at t=200 and sees nothing: real-time order broken *)
+            History.record h
+              {
+                History.client = 0;
+                kind = History.kind_write;
+                key = 0;
+                seq = 1;
+                t_inv = 50;
+                t_resp = 100;
+                value = 1;
+                ok = true;
+              };
+            History.record h
+              {
+                History.client = 1;
+                kind = History.kind_lin;
+                key = 0;
+                seq = 0;
+                t_inv = 200;
+                t_resp = 260;
+                value = 0;
+                ok = true;
+              };
+            History.close h;
+            match Doctor.analyze ~audit:true ~dir:base () with
+            | Error e -> Alcotest.failf "doctor: %s" e
+            | Ok r ->
+              (match r.Doctor.audit with
+              | None -> Alcotest.fail "no audit summary"
+              | Some a ->
+                Alcotest.(check int) "one history" 1 a.Doctor.au_histories;
+                Alcotest.(check int) "one lin read" 1 a.Doctor.au_lin_reads);
+              Alcotest.(check bool) "stale lin read flagged" true
+                (List.exists
+                   (fun a -> a.Doctor.code = "stale-lin-read")
+                   r.Doctor.anomalies)));
+    test "doctor --audit: a consistent history passes" (fun () ->
+        with_dir (fun base ->
+            Array.iteri (fun i fl -> write_dump base i fl) (healthy_cluster ());
+            let h = History.create ~path:(Filename.concat base "c.history") in
+            History.record h
+              {
+                History.client = 0;
+                kind = History.kind_write;
+                key = 0;
+                seq = 1;
+                t_inv = 50;
+                t_resp = 100;
+                value = 1;
+                ok = true;
+              };
+            History.record h
+              {
+                History.client = 1;
+                kind = History.kind_lin;
+                key = 0;
+                seq = 0;
+                t_inv = 200;
+                t_resp = 260;
+                value = 1;
+                ok = true;
+              };
+            History.close h;
+            match Doctor.analyze ~audit:true ~dir:base () with
+            | Error e -> Alcotest.failf "doctor: %s" e
+            | Ok r ->
+              Alcotest.(check bool) "no stale-lin-read" false
+                (List.exists
+                   (fun a -> a.Doctor.code = "stale-lin-read")
+                   r.Doctor.anomalies)));
   ]
 
 let suite =
   ( "observability",
     histogram_tests @ trace_tests @ stage_tests @ flight_tests @ doctor_tests
-    @ live_tests
+    @ audit_tests @ live_tests
     @ List.map QCheck_alcotest.to_alcotest qcheck_props )

@@ -79,12 +79,23 @@ let streams_gen =
 
 let vclock_gen = QCheck.Gen.map Vclock.of_streams streams_gen
 
+module Audit = Abcast_core.Audit
+
+let cert_gen =
+  QCheck.Gen.(
+    map3
+      (fun c_boot c_len c_hash -> { Audit.c_boot; c_len; c_hash })
+      nat_gen nat_gen nat_gen)
+
+let cert_opt_gen = QCheck.Gen.(frequency [ (1, return None); (2, map Option.some cert_gen) ])
+
 let repr_gen =
   QCheck.Gen.(
-    map
-      (fun (base_app, base_len, vc, tail) ->
-        { Agreed.base_app; base_len; vc; tail })
-      (quad (option data_gen) nat_gen vclock_gen (small_list payload_gen)))
+    map2
+      (fun (base_app, base_len, vc, tail) base_chain ->
+        { Agreed.base_app; base_len; base_chain; vc; tail })
+      (quad (option data_gen) nat_gen vclock_gen (small_list payload_gen))
+      nat_gen)
 
 let paxos_gen : Paxos.msg QCheck.Gen.t =
   QCheck.Gen.(
@@ -123,11 +134,13 @@ let msg_gen : P.msg QCheck.Gen.t =
     oneof
       [
         map3
-          (fun k len unordered -> P.Gossip { k; len; unordered })
-          nat_gen nat_gen (small_list payload_gen);
+          (fun (k, cert) len unordered -> P.Gossip { k; len; unordered; cert })
+          (pair nat_gen cert_opt_gen)
+          nat_gen (small_list payload_gen);
         map3
-          (fun k len summary -> P.Digest { k; len; summary })
-          nat_gen nat_gen
+          (fun (k, cert) len summary -> P.Digest { k; len; summary; cert })
+          (pair nat_gen cert_opt_gen)
+          nat_gen
           (small_list (triple nat_gen nat_gen int_gen));
         map (fun ids -> P.Need { ids }) (small_list id_gen);
         map3
@@ -143,6 +156,7 @@ let msg_gen : P.msg QCheck.Gen.t =
 let repr_equal (a : Agreed.repr) (b : Agreed.repr) =
   a.base_app = b.base_app
   && a.base_len = b.base_len
+  && a.base_chain = b.base_chain
   && Vclock.streams a.vc = Vclock.streams b.vc
   && a.tail = b.tail
 
@@ -221,6 +235,88 @@ let roundtrip_props =
         with
         | Some (k', repr') -> k = k' && repr_equal repr repr'
         | None -> false);
+  ]
+
+(* --- Order-audit chains and certificates (PR 10) ---------------------- *)
+
+let chain ids = List.fold_left Audit.mix Audit.empty ids
+
+let audit_props =
+  [
+    prop "order certificate roundtrips" cert_gen
+      (roundtrips Audit.write_cert Audit.read_cert ( = ));
+    prop "every strict prefix of a certificate is rejected" cert_gen
+      (fun c ->
+        let s = Wire.to_string Audit.write_cert c in
+        let ok = ref true in
+        for len = 0 to String.length s - 1 do
+          if Wire.of_string_opt Audit.read_cert (String.sub s 0 len) <> None
+          then ok := false
+        done;
+        !ok);
+    prop "chain values are non-negative" (QCheck.Gen.small_list id_gen)
+      (fun ids -> chain ids >= 0);
+    prop "equal delivery prefixes yield equal chains at every position"
+      (QCheck.Gen.small_list id_gen)
+      (fun ids ->
+        (* two nodes folding the same sequence independently *)
+        let a = ref Audit.empty and b = ref Audit.empty in
+        List.for_all
+          (fun id ->
+            a := Audit.mix !a id;
+            b := Audit.mix !b id;
+            !a = !b)
+          ids);
+    prop "transposing two distinct deliveries changes the chain"
+      QCheck.Gen.(
+        triple (small_list id_gen) (pair id_gen id_gen) (small_list id_gen))
+      (fun (pre, (x, y), post) ->
+        x = y || chain (pre @ [ x; y ] @ post) <> chain (pre @ [ y; x ] @ post));
+    prop "chains are boot-epoch-scoped"
+      QCheck.Gen.(pair (small_list id_gen) id_gen)
+      (fun (pre, id) ->
+        (* the same (origin, seq) redelivered by a later incarnation is
+           a different identity and must hash differently *)
+        chain (pre @ [ id ])
+        <> chain (pre @ [ { id with Payload.boot = id.Payload.boot + 1 } ]));
+    prop "window covers exactly the last cap positions"
+      QCheck.Gen.(pair (int_range 1 16) (int_range 1 64))
+      (fun (cap, len) ->
+        let w = Audit.window ~cap () in
+        for pos = 1 to len do
+          Audit.note w ~pos ~hash:(pos * 7)
+        done;
+        let ok = ref true in
+        for pos = 1 to len do
+          let expect =
+            if pos > len - min cap len then Some (pos * 7) else None
+          in
+          if Audit.hash_at w ~pos <> expect then ok := false
+        done;
+        !ok);
+    prop "check: match in window, mismatch on altered hash, unknown outside"
+      QCheck.Gen.(pair (int_range 1 16) (int_range 1 64))
+      (fun (cap, len) ->
+        let w = Audit.window ~cap () in
+        for pos = 1 to len do
+          Audit.note w ~pos ~hash:(pos * 7)
+        done;
+        let cert pos hash = { Audit.c_boot = 0; c_len = pos; c_hash = hash } in
+        Audit.check w (cert len (len * 7)) = `Match
+        && Audit.check w (cert len ((len * 7) + 1)) = `Mismatch
+        && Audit.check w (cert (len + 1) 0) = `Unknown
+        && (cap >= len || Audit.check w (cert (len - cap) 0) = `Unknown));
+    prop "a position gap restarts the window"
+      QCheck.Gen.(int_range 2 16)
+      (fun cap ->
+        let w = Audit.window ~cap () in
+        Audit.note w ~pos:1 ~hash:11;
+        Audit.note w ~pos:2 ~hash:22;
+        (* state transfer jumps the frontier: old positions are no
+           longer comparable evidence *)
+        Audit.note w ~pos:10 ~hash:33;
+        Audit.hash_at w ~pos:2 = None
+        && Audit.hash_at w ~pos:10 = Some 33);
   ]
 
 (* --- Service envelope codecs (PR 8) ---------------------------------- *)
@@ -461,4 +557,4 @@ let suite =
   ( "wire",
     rejection_tests @ equivalence_tests
     @ List.map QCheck_alcotest.to_alcotest
-        (roundtrip_props @ envelope_props @ truncation_props) )
+        (roundtrip_props @ audit_props @ envelope_props @ truncation_props) )
